@@ -1,0 +1,59 @@
+package whisper
+
+import (
+	"time"
+
+	"whisper/internal/broadcast"
+	"whisper/internal/sizeest"
+)
+
+// Broadcast is confidential group-wide dissemination: a published
+// message reaches every member epidemically through the private views,
+// each hop travelling over an onion route, so neither the content nor
+// the multicast tree is visible outside the group.
+type Broadcast struct {
+	b *broadcast.Broadcaster
+}
+
+// NewBroadcast attaches a dissemination endpoint to the group. Several
+// gossip protocols (broadcast, DHT, size estimation) can share one
+// group.
+func (g *Group) NewBroadcast() *Broadcast {
+	return &Broadcast{b: broadcast.New(g.inst, broadcast.Config{})}
+}
+
+// OnDeliver installs the handler invoked exactly once per unique
+// message (including the member's own publications).
+func (b *Broadcast) OnDeliver(fn func(origin NodeID, payload []byte)) {
+	b.b.OnDeliver = fn
+}
+
+// Publish disseminates payload to the whole group.
+func (b *Broadcast) Publish(payload []byte) { b.b.Publish(payload) }
+
+// SizeEstimator estimates the group's membership size from within,
+// without any roster, via gossip aggregation over confidential routes.
+type SizeEstimator struct {
+	e *sizeest.Estimator
+}
+
+// NewSizeEstimator starts the counting protocol on this member. The
+// protocol is cooperative: every group member must run an estimator for
+// the aggregation to converge (non-participants silently drop its
+// messages). Estimates refresh roughly every refresh period (default
+// ~10 minutes if zero) and track joins and departures.
+func (g *Group) NewSizeEstimator(refresh time.Duration) *SizeEstimator {
+	cfg := sizeest.Config{}
+	if refresh > 0 {
+		cfg.Epoch = refresh
+		cfg.Cycle = refresh / 20
+	}
+	return &SizeEstimator{e: sizeest.New(g.inst, cfg)}
+}
+
+// Estimate returns the current group-size estimate; ok is false until
+// the first epoch converges.
+func (s *SizeEstimator) Estimate() (float64, bool) { return s.e.Estimate() }
+
+// Stop halts the estimator.
+func (s *SizeEstimator) Stop() { s.e.Stop() }

@@ -1,0 +1,268 @@
+// Command whisper-exp regenerates every table and figure of the
+// paper's evaluation (§V) on the emulated substrate.
+//
+// Usage:
+//
+//	whisper-exp [flags] <experiment>
+//
+// Experiments: fig5, fig6, table1, fig7, table2, fig8, fig9, all.
+//
+// The default parameters match the paper (1,000-node cluster runs,
+// 400-node PlanetLab runs, 70% of nodes behind NATs, Π = 3, 1 KB keys).
+// Use -scale to shrink every dimension proportionally for quick runs on
+// modest hardware, e.g. -scale 0.25.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"whisper/internal/exp"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 2011, "random seed for all experiments")
+		scale  = flag.Float64("scale", 1.0, "scale factor for node counts and windows (1.0 = paper scale)")
+		outRaw = flag.String("out", "", "also write results to this file")
+		check  = flag.Bool("check", true, "run shape checks against the paper's qualitative findings")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|ablate|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var out io.Writer = os.Stdout
+	if *outRaw != "" {
+		f, err := os.Create(*outRaw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	r := runner{seed: *seed, scale: *scale, out: out, check: *check}
+	name := flag.Arg(0)
+	start := time.Now()
+	if err := r.run(name); err != nil {
+		fmt.Fprintln(os.Stderr, "whisper-exp:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "\n[%s completed in %v]\n", name, time.Since(start).Round(time.Second))
+	if r.violations > 0 {
+		fmt.Fprintf(out, "%d shape violation(s) — see above\n", r.violations)
+		os.Exit(3)
+	}
+}
+
+type runner struct {
+	seed       int64
+	scale      float64
+	out        io.Writer
+	check      bool
+	violations int
+}
+
+func (r *runner) n(paper int) int {
+	n := int(float64(paper) * r.scale)
+	if n < 40 {
+		n = 40
+	}
+	return n
+}
+
+func (r *runner) dur(paper time.Duration) time.Duration {
+	d := time.Duration(float64(paper) * r.scale)
+	if d < 4*time.Minute {
+		d = 4 * time.Minute
+	}
+	return d
+}
+
+func (r *runner) report(violations []string) {
+	if !r.check {
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(r.out, "SHAPE VIOLATION:", v)
+		r.violations++
+	}
+	if len(violations) == 0 {
+		fmt.Fprintln(r.out, "shape check: OK (matches the paper's qualitative findings)")
+	}
+}
+
+func (r *runner) run(name string) error {
+	switch name {
+	case "fig5":
+		return r.fig5()
+	case "fig6":
+		return r.fig6()
+	case "table1":
+		return r.table1()
+	case "fig7":
+		return r.fig7()
+	case "table2":
+		return r.table2()
+	case "fig8":
+		return r.fig8()
+	case "fig9":
+		return r.fig9()
+	case "ablate":
+		return r.ablate()
+	case "all":
+		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Fprintln(r.out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func (r *runner) fig5() error {
+	res, err := exp.Fig5(exp.Fig5Config{
+		Seed:    r.seed,
+		N:       r.n(1000),
+		Runtime: r.dur(10 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintFig5(r.out, res)
+	r.report(exp.Fig5ShapeCheck(res))
+	return nil
+}
+
+func (r *runner) fig6() error {
+	rows, err := exp.Fig6(exp.Fig6Config{
+		Seed:    r.seed,
+		N:       r.n(1000),
+		Warmup:  r.dur(5 * time.Minute),
+		Measure: r.dur(5 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintFig6(r.out, rows)
+	r.report(exp.Fig6ShapeCheck(rows))
+	return nil
+}
+
+func (r *runner) table1() error {
+	rows, err := exp.Table1(exp.Table1Config{
+		Seed:   r.seed,
+		N:      r.n(1000),
+		Groups: r.n(1000) / 50,
+		Warmup: r.dur(10 * time.Minute),
+		Window: r.dur(15 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintTable1(r.out, rows)
+	r.report(exp.Table1ShapeCheck(rows))
+	return nil
+}
+
+func (r *runner) fig7() error {
+	var results []exp.Fig7Result
+	for _, env := range []exp.Env{exp.PlanetLab, exp.Cluster} {
+		base := 1000
+		if env == exp.PlanetLab {
+			base = 400
+		}
+		res, err := exp.Fig7(exp.Fig7Config{
+			Seed:      r.seed,
+			N:         r.n(base),
+			Exchanges: int(1500 * r.scale),
+			Warmup:    r.dur(10 * time.Minute),
+			MaxRun:    r.dur(30 * time.Minute),
+		}, env)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	exp.PrintFig7(r.out, results)
+	r.report(exp.Fig7ShapeCheck(results))
+	return nil
+}
+
+func (r *runner) table2() error {
+	res, err := exp.Table2(exp.Table2Config{
+		Seed:   r.seed,
+		N:      r.n(1000),
+		Warmup: r.dur(10 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintTable2(r.out, res)
+	r.report(exp.Table2ShapeCheck(res))
+	return nil
+}
+
+func (r *runner) fig8() error {
+	groups := []int{1, 2, 4, 8, 16, 32}
+	if r.scale < 0.5 {
+		groups = []int{1, 2, 4, 8}
+	}
+	rows, err := exp.Fig8(exp.Fig8Config{
+		Seed:          r.seed,
+		N:             r.n(400),
+		Groups:        r.n(120),
+		GroupsPerNode: groups,
+		Warmup:        r.dur(10 * time.Minute),
+		Measure:       r.dur(10 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintFig8(r.out, rows)
+	r.report(exp.Fig8ShapeCheck(rows))
+	return nil
+}
+
+func (r *runner) ablate() error {
+	rows, err := exp.Ablations(exp.AblateConfig{
+		Seed:    r.seed,
+		N:       r.n(300),
+		Warmup:  r.dur(10 * time.Minute),
+		Measure: r.dur(8 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintAblations(r.out, rows)
+	r.report(exp.AblationShapeCheck(rows))
+	return nil
+}
+
+func (r *runner) fig9() error {
+	res, err := exp.Fig9(exp.Fig9Config{
+		Seed:      r.seed,
+		N:         r.n(400),
+		GroupSize: r.n(60),
+		Queries:   int(350 * r.scale),
+		Warmup:    r.dur(12 * time.Minute),
+		RingTime:  r.dur(10 * time.Minute),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintFig9(r.out, res)
+	r.report(exp.Fig9ShapeCheck(res))
+	return nil
+}

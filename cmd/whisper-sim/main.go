@@ -1,0 +1,201 @@
+// Command whisper-sim runs a configurable WHISPER scenario on the
+// emulated substrate and reports overlay quality, confidential-route
+// statistics and bandwidth, optionally under a SPLAY-style churn
+// script (see internal/churn).
+//
+// Examples:
+//
+//	whisper-sim -n 500 -groups 10 -duration 30m
+//	whisper-sim -n 1000 -churn "from 300s to 1200s const churn 1% each 60s" -duration 25m
+//	whisper-sim -n 400 -env planetlab -pi 2 -duration 20m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"whisper/internal/churn"
+	"whisper/internal/netem"
+	"whisper/internal/nylon"
+	"whisper/internal/ppss"
+	"whisper/internal/sim"
+	"whisper/internal/stats"
+	"whisper/internal/wcl"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 300, "number of nodes")
+		natRatio = flag.Float64("nat", 0.7, "fraction of nodes behind NATs")
+		pi       = flag.Int("pi", 3, "Π: P-node redundancy level")
+		groups   = flag.Int("groups", 6, "number of private groups (0 = PSS only)")
+		duration = flag.Duration("duration", 20*time.Minute, "virtual runtime")
+		seed     = flag.Int64("seed", 1, "random seed")
+		env      = flag.String("env", "cluster", "latency model: cluster | planetlab")
+		script   = flag.String("churn", "", "inline churn script (SPLAY syntax)")
+		file     = flag.String("churn-file", "", "churn script file")
+		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
+	)
+	flag.Parse()
+
+	var model netem.LatencyModel = netem.Cluster{}
+	if *env == "planetlab" {
+		model = netem.DefaultPlanetLab()
+	}
+	opts := sim.Options{
+		Seed:     *seed,
+		N:        *n,
+		NATRatio: *natRatio,
+		Model:    model,
+		Nylon:    nylon.Config{MinPublic: *pi, KeyBlobSize: *keyBlob},
+	}
+	if *groups > 0 {
+		opts.WCL = &wcl.Config{MinPublic: *pi}
+		opts.PPSS = &ppss.Config{MinHelpers: *pi, KeyBlobSize: *keyBlob}
+	}
+	fmt.Printf("building %d nodes (%.0f%% NATted, Π=%d, %s)...\n", *n, *natRatio*100, *pi, *env)
+	w, err := sim.NewWorld(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+
+	var leaders []*ppss.Instance
+	if *groups > 0 {
+		pubs := w.LivePublics()
+		for i := 0; i < *groups && i < len(pubs); i++ {
+			inst, err := pubs[i].PPSS.CreateGroup(fmt.Sprintf("group-%d", i))
+			if err == nil {
+				leaders = append(leaders, inst)
+			}
+		}
+		gi := 0
+		for _, node := range w.Live() {
+			if len(node.PPSS.Instances()) > 0 {
+				continue
+			}
+			inst := leaders[gi%len(leaders)]
+			gi++
+			accr, entry, err := inst.Invite(node.ID())
+			if err != nil {
+				continue
+			}
+			node.PPSS.Join(fmt.Sprintf("group-%d", (gi-1)%len(leaders)), accr, entry, nil2)
+			w.Sim.RunFor(time.Second)
+		}
+		fmt.Printf("%d private groups formed\n", len(leaders))
+	}
+
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*script = string(raw)
+	}
+	if *script != "" {
+		plan, err := churn.Parse(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rng := w.Sim.Rand()
+		plan.Run(w.Sim, churn.Actions{
+			Population: func() int { return len(w.Live()) },
+			Leave: func(count int) {
+				w.KillRandom(count)
+			},
+			Join: func(count int) {
+				for i := 0; i < count; i++ {
+					node := w.Spawn()
+					node.Nylon.Start()
+					if len(leaders) > 0 {
+						inst := leaders[rng.Intn(len(leaders))]
+						nd := node
+						w.Sim.After(30*time.Second, func() {
+							if nd.Nylon.Stopped() {
+								return
+							}
+							if accr, entry, err := inst.Invite(nd.ID()); err == nil {
+								nd.PPSS.Join(fmt.Sprintf("group-%d", 0), accr, entry, nil2)
+							}
+						})
+					}
+				}
+			},
+			Stop: func() { fmt.Println("[churn script: stop]") },
+		})
+		fmt.Println("churn script scheduled")
+	}
+
+	w.Sim.RunUntil(*duration)
+	report(w)
+}
+
+func nil2(*ppss.Instance, error) {}
+
+func report(w *sim.World) {
+	fmt.Printf("\n=== report at t=%v ===\n", w.Sim.Now())
+	live := w.Live()
+	fmt.Printf("live nodes: %d (%d public, %d NATted)\n", len(live), len(w.LivePublics()), len(w.LiveNatted()))
+
+	g := w.Graph()
+	cc := g.ClusteringCoefficients()
+	var ccVals []float64
+	for _, v := range cc {
+		ccVals = append(ccVals, v)
+	}
+	fmt.Printf("overlay: connected=%v, avg clustering=%.4f\n", g.WeaklyConnected(), stats.Summarize(ccVals).Mean)
+
+	var nyl nylon.Stats
+	for _, node := range live {
+		s := node.Nylon.Stats
+		nyl.ShufflesCompleted += s.ShufflesCompleted
+		nyl.ShufflesTimedOut += s.ShufflesTimedOut
+		nyl.RelaysForwarded += s.RelaysForwarded
+		nyl.PunchSuccesses += s.PunchSuccesses
+	}
+	fmt.Printf("PSS: %d shuffles completed, %d timed out, %d relayed forwards, %d punches\n",
+		nyl.ShufflesCompleted, nyl.ShufflesTimedOut, nyl.RelaysForwarded, nyl.PunchSuccesses)
+
+	var wst wcl.Stats
+	haveWCL := false
+	for _, node := range live {
+		if node.WCL == nil {
+			continue
+		}
+		haveWCL = true
+		s := node.WCL.Stats
+		wst.Sent += s.Sent
+		wst.FirstTrySuccess += s.FirstTrySuccess
+		wst.AltSuccess += s.AltSuccess
+		wst.Failed += s.Failed
+		wst.Delivered += s.Delivered
+	}
+	if haveWCL {
+		total := wst.FirstTrySuccess + wst.AltSuccess + wst.Failed
+		if total > 0 {
+			fmt.Printf("WCL: %d routes (%.1f%% first try, %.1f%% via alternative, %.1f%% failed), %d deliveries\n",
+				total,
+				100*float64(wst.FirstTrySuccess)/float64(total),
+				100*float64(wst.AltSuccess)/float64(total),
+				100*float64(wst.Failed)/float64(total),
+				wst.Delivered)
+		}
+	}
+
+	var up, down []float64
+	mins := w.Sim.Now().Minutes()
+	for _, node := range live {
+		m := node.Nylon.Meter()
+		up = append(up, m.UpKB()/mins)
+		down = append(down, m.DownKB()/mins)
+	}
+	fmt.Printf("bandwidth per node: up %s KB/min, down %s KB/min\n",
+		stats.StackOf(up).String(), stats.StackOf(down).String())
+}

@@ -1,0 +1,73 @@
+package whisper
+
+import (
+	"errors"
+	"time"
+
+	"whisper/internal/tchord"
+)
+
+// DHT is a private distributed index running inside a group: a Chord
+// ring built with T-Chord over the PPSS (§V-G). Keys and values are
+// visible only to group members; queries and replies travel over
+// confidential WCL routes.
+type DHT struct {
+	node *tchord.Node
+}
+
+// NewDHT starts the T-Chord layer on this member's group instance. It
+// takes over the group's message handler, so a group either runs a DHT
+// or application messaging, not both (run two groups otherwise).
+func (g *Group) NewDHT() *DHT {
+	n := tchord.New(g.inst, tchord.Config{PinRing: true})
+	n.Start()
+	return &DHT{node: n}
+}
+
+// LookupResult reports a resolved query.
+type LookupResult struct {
+	Owner NodeID
+	Hops  int
+	Value []byte
+	Found bool
+}
+
+// ErrLookupFailed is returned when routing could not complete.
+var ErrLookupFailed = errors.New("whisper: dht lookup failed")
+
+// Put stores value under key on the owning ring member.
+func (d *DHT) Put(key string, value []byte, done func(LookupResult, error)) {
+	d.node.Put(key, value, adapt(done))
+}
+
+// Get retrieves the value stored under key.
+func (d *DHT) Get(key string, done func(LookupResult, error)) {
+	d.node.Get(key, adapt(done))
+}
+
+func adapt(done func(LookupResult, error)) func(tchord.LookupResult) {
+	if done == nil {
+		return nil
+	}
+	return func(r tchord.LookupResult) {
+		if r.Err != nil {
+			done(LookupResult{}, ErrLookupFailed)
+			return
+		}
+		done(LookupResult{Owner: r.Owner.ID, Hops: r.Hops, Value: r.Value, Found: r.Found}, nil)
+	}
+}
+
+// Ready reports whether the ring has converged enough to route: the
+// node knows a successor distinct from itself.
+func (d *DHT) Ready() bool {
+	_, ok := d.node.Successor()
+	return ok
+}
+
+// Stop halts the DHT layer.
+func (d *DHT) Stop() { d.node.Stop() }
+
+// ConvergenceHint suggests how long to run the network before the ring
+// is usable (a few T-Chord cycles).
+const ConvergenceHint = 5 * time.Minute

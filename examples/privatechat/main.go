@@ -1,0 +1,118 @@
+// Private chat: a rolling chat room among a dozen members of a private
+// group, surviving churn (members crashing and new ones being invited)
+// while every message stays confidential. This is the "private chat
+// rooms in social networks" scenario the paper's introduction motivates.
+//
+// Run with: go run ./examples/privatechat
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"whisper"
+)
+
+const roomName = "free-speech-corner"
+
+func main() {
+	net, err := whisper.NewNetwork(whisper.Options{
+		Nodes:      150,
+		Seed:       11,
+		GroupCycle: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run(4 * time.Minute)
+
+	nodes := net.Nodes()
+	founder := nodes[0]
+	room, err := founder.CreateGroup(roomName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v founded %q\n", founder.ID(), roomName)
+
+	// Membership state for this demo (each member's group handle).
+	chat := map[whisper.NodeID]*whisper.Group{founder.ID(): room}
+	received := 0
+	listen := func(id whisper.NodeID, g *whisper.Group) {
+		g.OnMessage(func(from whisper.Member, payload []byte) {
+			received++
+			if received%5 == 0 {
+				fmt.Printf("  [%v] %v says: %s\n", id, from.ID, payload)
+			}
+		})
+	}
+	listen(founder.ID(), room)
+
+	invite := func(n *whisper.Node) {
+		inv, err := room.Invite(n.ID())
+		if err != nil {
+			return
+		}
+		n.Join(inv, func(g *whisper.Group, err error) {
+			if err != nil {
+				return
+			}
+			chat[n.ID()] = g
+			listen(n.ID(), g)
+		})
+	}
+	for _, n := range nodes[1:12] {
+		invite(n)
+		net.Run(10 * time.Second)
+	}
+	net.Run(6 * time.Minute)
+	fmt.Printf("room has %d members\n", len(chat))
+
+	// Chat for a while: every member periodically messages a random
+	// peer from its private view.
+	say := func(round int) {
+		for id, g := range chat {
+			if net.Node(id) == nil {
+				continue
+			}
+			peer, ok := g.GetPeer()
+			if !ok {
+				continue
+			}
+			msg := fmt.Sprintf("hello #%d from %v", round, id)
+			g.Send(peer, []byte(msg), nil)
+		}
+	}
+	for round := 1; round <= 3; round++ {
+		say(round)
+		net.Run(time.Minute)
+	}
+	fmt.Printf("after 3 rounds: %d confidential messages delivered\n", received)
+
+	// Churn: two members crash, one new member is invited.
+	var crashed []whisper.NodeID
+	count := 0
+	for id := range chat {
+		if id == founder.ID() || count == 2 {
+			continue
+		}
+		net.Node(id).Leave()
+		crashed = append(crashed, id)
+		delete(chat, id)
+		count++
+	}
+	fmt.Printf("members %v crashed\n", crashed)
+	newcomer := nodes[20]
+	invite(newcomer)
+	net.Run(5 * time.Minute)
+
+	before := received
+	for round := 4; round <= 6; round++ {
+		say(round)
+		net.Run(time.Minute)
+	}
+	fmt.Printf("after churn: %d more messages delivered; room still alive\n", received-before)
+	if received-before == 0 {
+		log.Fatal("chat died after churn")
+	}
+}

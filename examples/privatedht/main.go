@@ -1,0 +1,110 @@
+// Private DHT: the paper's flagship application (§V-G). Sixty members
+// of a private group bootstrap a Chord ring with T-Chord on top of the
+// private peer sampling service and operate a distributed index whose
+// keys, values, queries and membership are all hidden from the rest of
+// the 200-node network — "a private index to share the location of
+// sensitive data".
+//
+// Run with: go run ./examples/privatedht
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"whisper"
+)
+
+func main() {
+	net, err := whisper.NewNetwork(whisper.Options{
+		Nodes:      200,
+		Seed:       13,
+		GroupCycle: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converging the public underlay...")
+	net.Run(4 * time.Minute)
+
+	nodes := net.Nodes()
+	members := nodes[:24]
+	indexGroup, err := members[0].CreateGroup("dissidents-index")
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups := []*whisper.Group{indexGroup}
+	for _, m := range members[1:] {
+		inv, err := indexGroup.Invite(m.ID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Join(inv, func(g *whisper.Group, err error) {
+			if err == nil {
+				groups = append(groups, g)
+			}
+		})
+		net.Run(5 * time.Second)
+	}
+	net.Run(6 * time.Minute)
+	fmt.Printf("%d members joined the private group\n", len(groups))
+
+	fmt.Println("bootstrapping the T-Chord ring inside the group...")
+	var dhts []*whisper.DHT
+	for _, g := range groups {
+		dhts = append(dhts, g.NewDHT())
+	}
+	net.Run(10 * time.Minute)
+	ready := 0
+	for _, d := range dhts {
+		if d.Ready() {
+			ready++
+		}
+	}
+	fmt.Printf("ring converged: %d/%d members routing\n", ready, len(dhts))
+
+	// Publish a few sensitive records.
+	records := map[string]string{
+		"safehouse/geneva":   "Rue du Stand 42, ring twice",
+		"drop/printing":      "locker 17, station west",
+		"contact/journalist": "keybase:whistler",
+	}
+	done := 0
+	for k, v := range records {
+		dhts[0].Put(k, []byte(v), func(r whisper.LookupResult, err error) {
+			if err == nil {
+				fmt.Printf("  stored %-20s on member %v (%d hops)\n", k, r.Owner, r.Hops)
+				done++
+			}
+		})
+		net.Run(time.Minute)
+	}
+	if done != len(records) {
+		log.Fatalf("only %d/%d records stored", done, len(records))
+	}
+
+	// Any member can retrieve them; the reply comes back over a single
+	// confidential WCL path to the querier.
+	fmt.Println("querying from another member...")
+	hits := 0
+	for k, want := range records {
+		k, want := k, want
+		dhts[9].Get(k, func(r whisper.LookupResult, err error) {
+			if err != nil || !r.Found {
+				fmt.Printf("  MISS %s\n", k)
+				return
+			}
+			if string(r.Value) != want {
+				log.Fatalf("value corrupted for %s", k)
+			}
+			fmt.Printf("  found %-20s = %q (%d hops)\n", k, r.Value, r.Hops)
+			hits++
+		})
+		net.Run(time.Minute)
+	}
+	fmt.Printf("%d/%d records retrieved through the private index\n", hits, len(records))
+	if hits != len(records) {
+		log.Fatal("private index lookups failed")
+	}
+}

@@ -1,0 +1,110 @@
+// Quickstart: create a confidential group on an emulated WHISPER
+// network, invite members with an out-of-band token, and exchange a
+// message that no third party — relay, mix, or passive observer — can
+// read or attribute.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"whisper"
+)
+
+func main() {
+	fmt.Println("Building a 100-node network (70% behind NATs)...")
+	net, err := whisper.NewNetwork(whisper.Options{
+		Nodes:      100,
+		Seed:       7,
+		GroupCycle: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Let the NAT-resilient peer sampling service converge: nodes
+	// discover each other, open NAT-traversal routes, and sample keys.
+	net.Run(4 * time.Minute)
+
+	nodes := net.Nodes()
+	alice, bob := nodes[0], nodes[1]
+	fmt.Printf("alice = %v (%s), bob = %v (%s)\n",
+		alice.ID(), alice.NATType(), bob.ID(), bob.NATType())
+
+	// Alice founds a private group. She becomes its leader: she holds
+	// the group private key and can admit members.
+	room, err := alice.CreateGroup("ops-room")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// She invites Bob. The invitation is a token to be delivered out of
+	// band — paste it into a chat, an e-mail, a QR code.
+	inv, err := room.Invite(bob.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	token := inv.String()
+	fmt.Printf("invitation token (%d chars): %.60s...\n", len(token), token)
+
+	// Bob redeems the token. The join handshake itself already travels
+	// over a confidential onion route.
+	parsed, err := whisper.ParseInvitation(token)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bobRoom *whisper.Group
+	bob.Join(parsed, func(g *whisper.Group, err error) {
+		if err != nil {
+			log.Fatal("join failed: ", err)
+		}
+		bobRoom = g
+	})
+	net.Run(time.Minute)
+	fmt.Println("bob joined:", bobRoom.Name())
+
+	// A few private gossip cycles populate the members' private views.
+	net.Run(5 * time.Minute)
+
+	// Bob listens; Alice sends. The payload is AES-encrypted under a
+	// fresh key, and the message travels S → A → B → D through two
+	// mixes, so no single node or link observer ever sees both
+	// endpoints together.
+	bobRoom.OnMessage(func(from whisper.Member, payload []byte) {
+		fmt.Printf("bob received %q from %v\n", payload, from.ID)
+	})
+	var target whisper.Member
+	for _, m := range room.Members() {
+		if m.ID == bob.ID() {
+			target = m
+		}
+	}
+	if target.ID == 0 {
+		// Bob not in Alice's current view sample; pin him via GetPeer
+		// rotation by running a little longer.
+		net.Run(3 * time.Minute)
+		for _, m := range room.Members() {
+			if m.ID == bob.ID() {
+				target = m
+			}
+		}
+	}
+	if target.ID == 0 {
+		log.Fatal("bob never appeared in alice's private view")
+	}
+	room.Send(target, []byte("the eagle lands at midnight"), func(err error) {
+		if err != nil {
+			log.Fatal("send failed: ", err)
+		}
+		fmt.Println("alice's message was acknowledged end-to-end")
+	})
+	net.Run(time.Minute)
+
+	up, down := alice.Bandwidth()
+	fmt.Printf("alice's total traffic: %.1f KB up / %.1f KB down\n",
+		float64(up)/1024, float64(down)/1024)
+	fmt.Println("done: content privacy and membership privacy held throughout.")
+}

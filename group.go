@@ -1,0 +1,164 @@
+package whisper
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+
+	"whisper/internal/ppss"
+	"whisper/internal/wcl"
+	"whisper/internal/wire"
+)
+
+// Group is one node's membership in a private group. All communication
+// through it is confidential: content is end-to-end encrypted and the
+// traffic travels over onion routes, so third parties (including the
+// NAT relays carrying it) learn neither the payloads nor the fact that
+// the two endpoints share a group.
+type Group struct {
+	node *Node
+	name string
+	inst *ppss.Instance
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// IsLeader reports whether this member holds the group private key and
+// can admit new members.
+func (g *Group) IsLeader() bool { return g.inst.IsLeader() }
+
+// Member is a group member as seen through the private view.
+type Member struct {
+	ID     NodeID
+	Public bool
+
+	entry ppss.Entry
+}
+
+// Members returns the members currently in this node's private view —
+// a continuously refreshed random sample of the group, NOT the full
+// roster (no node ever holds the full roster; that is the point).
+func (g *Group) Members() []Member {
+	var out []Member
+	for _, e := range g.inst.View() {
+		out = append(out, Member{ID: e.Val.ID, Public: e.Val.IsPub, entry: e.Val})
+	}
+	return out
+}
+
+// GetPeer returns one uniformly random member from the private view
+// (the PPSS getPeer() API). ok is false while the view is still empty.
+func (g *Group) GetPeer() (Member, bool) {
+	e, ok := g.inst.GetPeer()
+	return Member{ID: e.ID, Public: e.IsPub, entry: e}, ok
+}
+
+// Invite issues a signed invitation for the given node (leaders only).
+// Deliver it out of band — e-mail, instant messaging, a web page — as
+// the paper suggests; Invitation.String() is a compact base64 token.
+func (g *Group) Invite(who NodeID) (Invitation, error) {
+	accr, entry, err := g.inst.Invite(who)
+	if err != nil {
+		return Invitation{}, err
+	}
+	return Invitation{group: g.name, accr: accr, entry: entry}, nil
+}
+
+// OnMessage installs the handler for application payloads sent to this
+// member over the group.
+func (g *Group) OnMessage(fn func(from Member, payload []byte)) {
+	if fn == nil {
+		g.inst.OnMessage = nil
+		return
+	}
+	g.inst.OnMessage = func(from ppss.Entry, payload []byte) {
+		fn(Member{ID: from.ID, Public: from.IsPub, entry: from}, payload)
+	}
+}
+
+// Send delivers payload confidentially to the member. done (optional)
+// reports whether a route was established (wcl semantics: first-try,
+// via an alternative path, or failed).
+func (g *Group) Send(to Member, payload []byte, done func(error)) {
+	g.inst.Send(to.entry, payload, func(r wcl.Result) {
+		if done == nil {
+			return
+		}
+		if r.Outcome == wcl.Failed {
+			done(fmt.Errorf("whisper: no confidential route to %v", to.ID))
+			return
+		}
+		done(nil)
+	})
+}
+
+// SendTo is Send to a member addressed by ID, resolved through the
+// persistent pool or the current private view.
+func (g *Group) SendTo(id NodeID, payload []byte, done func(error)) error {
+	e, ok := g.inst.Lookup(id)
+	if !ok {
+		return fmt.Errorf("whisper: member %v not in view; use MakePersistent to pin members", id)
+	}
+	g.Send(Member{ID: e.ID, Public: e.IsPub, entry: e}, payload, done)
+	return nil
+}
+
+// MakePersistent pins the member in the private connection pool: the
+// middleware keeps its route warm so SendTo keeps working after the
+// member rotates out of the view (§IV-C).
+func (g *Group) MakePersistent(m Member) { g.inst.MakePersistent(m.entry) }
+
+// Leave abandons the group.
+func (g *Group) Leave() { g.node.sn.PPSS.Leave(g.inst.Group()) }
+
+// Invitation is the out-of-band token a leader hands to an invitee: a
+// temporary signed accreditation plus the entry point's coordinates
+// (§IV-A).
+type Invitation struct {
+	group string
+	accr  ppss.Accreditation
+	entry ppss.Entry
+}
+
+// invitationKeyBlob bounds key encoding inside tokens.
+const invitationKeyBlob = 1024
+
+// String encodes the invitation as a compact base64 token suitable for
+// pasting into a chat or e-mail.
+func (inv Invitation) String() string {
+	w := wire.NewWriter(512)
+	w.String(inv.group)
+	w.U64(uint64(inv.accr.Group))
+	w.U64(uint64(inv.accr.Invitee))
+	w.U32(inv.accr.Epoch)
+	w.Bytes16(inv.accr.Sig)
+	inv.entry.Encode(w, invitationKeyBlob)
+	return base64.StdEncoding.EncodeToString(w.Bytes())
+}
+
+// ParseInvitation decodes a token produced by Invitation.String.
+func ParseInvitation(token string) (Invitation, error) {
+	raw, err := base64.StdEncoding.DecodeString(token)
+	if err != nil {
+		return Invitation{}, fmt.Errorf("whisper: bad invitation encoding: %w", err)
+	}
+	r := wire.NewReader(raw)
+	var inv Invitation
+	inv.group = r.String()
+	inv.accr.Group = ppss.GroupID(r.U64())
+	inv.accr.Invitee = NodeID(r.U64())
+	inv.accr.Epoch = r.U32()
+	inv.accr.Sig = append([]byte(nil), r.Bytes16()...)
+	inv.entry = ppss.DecodeEntry(r, invitationKeyBlob)
+	if r.Err() != nil {
+		return Invitation{}, errors.New("whisper: malformed invitation token")
+	}
+	return inv, nil
+}
+
+// For returns the node the invitation admits.
+func (inv Invitation) For() NodeID { return inv.accr.Invitee }
+
+// GroupName returns the group the invitation opens.
+func (inv Invitation) GroupName() string { return inv.group }

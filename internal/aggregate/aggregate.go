@@ -1,0 +1,68 @@
+// Package aggregate implements gossip-based aggregation (Jelasity,
+// Montresor and Babaoglu, the paper's [8]): each pairwise exchange
+// replaces both participants' values with a combination (average,
+// maximum, minimum), and the whole network converges to the aggregate
+// in O(log n) cycles. WHISPER uses the maximum aggregation for leader
+// election (§IV-A); the average form also yields network size
+// estimation (count), cited as a standard PSS application (§II-B).
+package aggregate
+
+import "math"
+
+// Kind selects the combination function.
+type Kind int
+
+const (
+	// Average converges every node to the mean of the initial values.
+	Average Kind = iota
+	// Max converges every node to the maximum.
+	Max
+	// Min converges every node to the minimum.
+	Min
+)
+
+// State is one node's aggregation state. Create with New; exchange with
+// peers by sending Value() and calling Absorb on what the peer sent
+// (the peer does the same with our value — the push-pull exchange of
+// the protocol).
+type State struct {
+	kind  Kind
+	value float64
+}
+
+// New creates aggregation state with an initial local value.
+func New(kind Kind, initial float64) *State {
+	return &State{kind: kind, value: initial}
+}
+
+// Value returns the current estimate; this is also what a node sends to
+// its exchange partner.
+func (s *State) Value() float64 { return s.value }
+
+// Absorb merges the partner's value. For Average both sides converge to
+// the pairwise mean, preserving the global sum; for Max/Min the extreme
+// value spreads epidemically.
+func (s *State) Absorb(peer float64) {
+	switch s.kind {
+	case Average:
+		s.value = (s.value + peer) / 2
+	case Max:
+		s.value = math.Max(s.value, peer)
+	case Min:
+		s.value = math.Min(s.value, peer)
+	}
+}
+
+// Reset restarts an epoch with a fresh local value (periodic restarts
+// are how the protocol tracks a changing input).
+func (s *State) Reset(value float64) { s.value = value }
+
+// SizeEstimate converts a converged Average value into a network size
+// estimate for the counting protocol, where exactly one node starts at
+// 1 and all others at 0: the average converges to 1/n.
+func SizeEstimate(avg float64) float64 {
+	if avg <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / avg
+}

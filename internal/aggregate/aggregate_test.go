@@ -1,0 +1,141 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// runRounds performs r rounds of random pairwise push-pull exchanges.
+func runRounds(states []*State, r int, rng *rand.Rand) {
+	n := len(states)
+	for round := 0; round < r; round++ {
+		order := rng.Perm(n)
+		for _, i := range order {
+			j := rng.Intn(n)
+			if i == j {
+				continue
+			}
+			vi, vj := states[i].Value(), states[j].Value()
+			states[i].Absorb(vj)
+			states[j].Absorb(vi)
+		}
+	}
+}
+
+func TestAverageConvergesAndPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200
+	states := make([]*State, n)
+	sum := 0.0
+	for i := range states {
+		v := rng.Float64() * 100
+		sum += v
+		states[i] = New(Average, v)
+	}
+	mean := sum / n
+	runRounds(states, 30, rng)
+
+	newSum := 0.0
+	for _, s := range states {
+		newSum += s.Value()
+		if math.Abs(s.Value()-mean) > 0.5 {
+			t.Fatalf("node value %.3f far from mean %.3f after 30 rounds", s.Value(), mean)
+		}
+	}
+	// Mass conservation: pairwise averaging never changes the sum.
+	if math.Abs(newSum-sum) > 1e-6 {
+		t.Fatalf("mass not conserved: %.9f vs %.9f", newSum, sum)
+	}
+}
+
+func TestMaxSpreadsFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 500
+	states := make([]*State, n)
+	for i := range states {
+		states[i] = New(Max, float64(i))
+	}
+	// O(log n) rounds suffice for the max to reach everyone.
+	runRounds(states, 15, rng)
+	for i, s := range states {
+		if s.Value() != float64(n-1) {
+			t.Fatalf("node %d did not learn the max: %.1f", i, s.Value())
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	states := []*State{New(Min, 5), New(Min, 2), New(Min, 9)}
+	runRounds(states, 10, rng)
+	for _, s := range states {
+		if s.Value() != 2 {
+			t.Fatalf("min = %v", s.Value())
+		}
+	}
+}
+
+func TestSizeEstimation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 300
+	states := make([]*State, n)
+	for i := range states {
+		v := 0.0
+		if i == 0 {
+			v = 1.0 // exactly one initiator
+		}
+		states[i] = New(Average, v)
+	}
+	runRounds(states, 40, rng)
+	est := SizeEstimate(states[n/2].Value())
+	if est < n*0.9 || est > n*1.1 {
+		t.Fatalf("size estimate %.1f, want ~%d", est, n)
+	}
+	if !math.IsInf(SizeEstimate(0), 1) {
+		t.Fatal("zero average should estimate infinite size")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(Average, 5)
+	s.Absorb(1)
+	s.Reset(10)
+	if s.Value() != 10 {
+		t.Fatalf("Reset: %v", s.Value())
+	}
+}
+
+// Property: max aggregation is monotone non-decreasing at each node and
+// bounded by the true maximum.
+func TestPropertyMaxMonotoneBounded(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		states := make([]*State, len(raw))
+		trueMax := 0.0
+		for i, v := range raw {
+			states[i] = New(Max, float64(v))
+			if float64(v) > trueMax {
+				trueMax = float64(v)
+			}
+		}
+		prev := make([]float64, len(states))
+		for i, s := range states {
+			prev[i] = s.Value()
+		}
+		runRounds(states, 5, rng)
+		for i, s := range states {
+			if s.Value() < prev[i] || s.Value() > trueMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}

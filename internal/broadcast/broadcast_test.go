@@ -1,0 +1,183 @@
+package broadcast_test
+
+import (
+	"testing"
+	"time"
+
+	"whisper/internal/broadcast"
+	"whisper/internal/identity"
+	"whisper/internal/ppss"
+	"whisper/internal/sim"
+	"whisper/internal/sizeest"
+)
+
+// buildGroup converges a world and forms one private group, returning
+// the member nodes and their instances.
+func buildGroup(t testing.TB, seed int64, worldN, groupN int) (*sim.World, []*ppss.Instance) {
+	t.Helper()
+	w, err := sim.NewWorld(sim.Options{
+		Seed:     seed,
+		N:        worldN,
+		NATRatio: 0.7,
+		KeyPool:  identity.TestPool(64),
+		PPSS: &ppss.Config{
+			Cycle:       30 * time.Second,
+			RespTimeout: 15 * time.Second,
+			JoinTimeout: 20 * time.Second,
+			KeyBlobSize: 256,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+
+	members := w.Live()[:groupN]
+	leader, err := members[0].PPSS.CreateGroup("bcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members[1:] {
+		m := m
+		var try func(attempt int)
+		try = func(attempt int) {
+			accr, entry, err := leader.Invite(m.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.PPSS.Join("bcast", accr, entry, func(_ *ppss.Instance, err error) {
+				if err != nil && attempt < 3 {
+					try(attempt + 1)
+				}
+			})
+		}
+		try(1)
+		w.Sim.RunFor(5 * time.Second)
+	}
+	w.Sim.RunFor(8 * time.Minute)
+
+	g := ppss.GroupIDFromName("bcast")
+	var insts []*ppss.Instance
+	for _, m := range members {
+		if inst := m.PPSS.Instance(g); inst != nil {
+			insts = append(insts, inst)
+		}
+	}
+	if len(insts) != groupN {
+		t.Fatalf("only %d/%d joined", len(insts), groupN)
+	}
+	return w, insts
+}
+
+func TestBroadcastReachesWholeGroup(t *testing.T) {
+	w, insts := buildGroup(t, 71, 100, 16)
+	received := map[int]int{}
+	var bs []*broadcast.Broadcaster
+	for i, inst := range insts {
+		i := i
+		b := broadcast.New(inst, broadcast.Config{})
+		b.OnDeliver = func(origin identity.NodeID, payload []byte) {
+			if string(payload) == "assembly at dawn" {
+				received[i]++
+			}
+		}
+		bs = append(bs, b)
+	}
+	bs[3].Publish([]byte("assembly at dawn"))
+	w.Sim.RunFor(3 * time.Minute)
+
+	delivered := len(received)
+	if delivered < len(insts)*9/10 {
+		t.Fatalf("broadcast reached %d/%d members", delivered, len(insts))
+	}
+	// Exactly-once delivery.
+	for i, c := range received {
+		if c != 1 {
+			t.Fatalf("member %d delivered %d times", i, c)
+		}
+	}
+	// Duplicates were suppressed, not delivered.
+	var dups uint64
+	for _, b := range bs {
+		dups += b.Stats.Duplicates
+	}
+	if dups == 0 {
+		t.Log("note: no duplicate arrived at all (small group)")
+	}
+}
+
+func TestBroadcastManyMessages(t *testing.T) {
+	w, insts := buildGroup(t, 72, 100, 12)
+	var bs []*broadcast.Broadcaster
+	counts := make([]int, len(insts))
+	for i, inst := range insts {
+		i := i
+		b := broadcast.New(inst, broadcast.Config{})
+		b.OnDeliver = func(identity.NodeID, []byte) { counts[i]++ }
+		bs = append(bs, b)
+	}
+	const msgs = 10
+	for k := 0; k < msgs; k++ {
+		bs[k%len(bs)].Publish([]byte{byte(k)})
+		w.Sim.RunFor(30 * time.Second)
+	}
+	w.Sim.RunFor(2 * time.Minute)
+	full := 0
+	for _, c := range counts {
+		if c >= msgs*9/10 {
+			full++
+		}
+	}
+	if full < len(insts)*9/10 {
+		t.Fatalf("only %d/%d members got (almost) all %d messages: %v", full, len(insts), msgs, counts)
+	}
+}
+
+func TestSizeEstimationInsideGroup(t *testing.T) {
+	w, insts := buildGroup(t, 73, 100, 20)
+	var ests []*sizeest.Estimator
+	for _, inst := range insts {
+		ests = append(ests, sizeest.New(inst, sizeest.Config{Cycle: 20 * time.Second}))
+	}
+	// Two full epochs.
+	w.Sim.RunFor(25 * time.Minute)
+
+	good := 0
+	for _, e := range ests {
+		if est, ok := e.Estimate(); ok && est > 10 && est < 40 {
+			good++
+		}
+	}
+	if good < len(ests)*7/10 {
+		vals := make([]float64, 0, len(ests))
+		for _, e := range ests {
+			v, _ := e.Estimate()
+			vals = append(vals, v)
+		}
+		t.Fatalf("only %d/%d members estimate ~20 members: %.1f", good, len(ests), vals)
+	}
+	for _, e := range ests {
+		e.Stop()
+	}
+}
+
+func TestBroadcastAndDHTShareAGroup(t *testing.T) {
+	// The Subscribe mux lets several gossip protocols coexist on one
+	// instance; verify broadcast still delivers with an estimator
+	// subscribed alongside.
+	w, insts := buildGroup(t, 74, 80, 10)
+	got := 0
+	var bs []*broadcast.Broadcaster
+	for _, inst := range insts {
+		b := broadcast.New(inst, broadcast.Config{})
+		b.OnDeliver = func(identity.NodeID, []byte) { got++ }
+		bs = append(bs, b)
+		sizeest.New(inst, sizeest.Config{})
+	}
+	bs[0].Publish([]byte("shared"))
+	w.Sim.RunFor(3 * time.Minute)
+	if got < len(insts)*8/10 {
+		t.Fatalf("coexisting protocols broke broadcast: %d/%d", got, len(insts))
+	}
+}

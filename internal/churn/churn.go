@@ -1,0 +1,246 @@
+// Package churn reproduces the SPLAY churn module the paper's Table I
+// uses: a small scripting language that schedules node arrivals and
+// departures over virtual time, with a configurable replacement ratio.
+//
+// The exact script at the bottom of Table I —
+//
+//	from 0s to 30s join 1000
+//	at 300s set replacement ratio to 100%
+//	from 300s to 1200s const churn X% each 60s
+//	at 1200s stop
+//
+// can be expressed programmatically (Plan) or parsed from text (Parse).
+package churn
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"whisper/internal/simnet"
+)
+
+// Actions is what a churn plan drives: the harness wires these to node
+// creation and destruction.
+type Actions struct {
+	// Join spawns count new nodes.
+	Join func(count int)
+	// Leave kills count random live nodes.
+	Leave func(count int)
+	// Population returns the current live node count (used by
+	// percentage-based steps).
+	Population func() int
+	// Stop ends the experiment.
+	Stop func()
+}
+
+// Step is one scripted churn behaviour.
+type Step interface {
+	schedule(s *simnet.Sim, a Actions)
+}
+
+// JoinBurst joins Count nodes spread evenly over [From, To].
+type JoinBurst struct {
+	From, To time.Duration
+	Count    int
+}
+
+func (j JoinBurst) schedule(s *simnet.Sim, a Actions) {
+	if j.Count <= 0 {
+		return
+	}
+	span := j.To - j.From
+	for i := 0; i < j.Count; i++ {
+		at := j.From
+		if j.Count > 1 && span > 0 {
+			at += span * time.Duration(i) / time.Duration(j.Count-1)
+		}
+		s.At(at, func() { a.Join(1) })
+	}
+}
+
+// SetReplacement changes the fraction of departures that are replaced
+// by fresh arrivals (1.0 = stable population, the paper's setting).
+type SetReplacement struct {
+	At    time.Duration
+	Ratio float64
+}
+
+func (r SetReplacement) schedule(s *simnet.Sim, a Actions) {} // handled by ConstChurn via plan state
+
+// ConstChurn makes RatePct percent of the population leave per minute
+// between From and To, batched every Interval, with departures replaced
+// according to the current replacement ratio.
+type ConstChurn struct {
+	From, To time.Duration
+	// RatePct is the percentage of the population leaving per minute
+	// (Table I's X).
+	RatePct float64
+	// Interval batches the churn (Table I: each 60 s).
+	Interval time.Duration
+}
+
+func (c ConstChurn) schedule(s *simnet.Sim, a Actions) {} // handled by Plan.Run
+
+// StopAt ends the run.
+type StopAt struct {
+	At time.Duration
+}
+
+func (st StopAt) schedule(s *simnet.Sim, a Actions) {
+	s.At(st.At, func() {
+		if a.Stop != nil {
+			a.Stop()
+		}
+	})
+}
+
+// Plan is an ordered churn script.
+type Plan struct {
+	Steps []Step
+}
+
+// Run schedules the whole plan on the simulator. It returns immediately;
+// the events fire as virtual time advances.
+func (p Plan) Run(s *simnet.Sim, a Actions) {
+	replacement := 1.0
+	for _, step := range p.Steps {
+		switch st := step.(type) {
+		case SetReplacement:
+			ratio := st.Ratio
+			s.At(st.At, func() { replacement = ratio })
+		case ConstChurn:
+			interval := st.Interval
+			if interval <= 0 {
+				interval = time.Minute
+			}
+			var tick func(at time.Duration)
+			tick = func(at time.Duration) {
+				if at > st.To {
+					return
+				}
+				s.At(at, func() {
+					pop := a.Population()
+					leave := int(float64(pop) * st.RatePct / 100 * interval.Minutes())
+					if leave > 0 {
+						a.Leave(leave)
+						if join := int(float64(leave) * replacement); join > 0 {
+							a.Join(join)
+						}
+					}
+					tick(at + interval)
+				})
+			}
+			tick(st.From + interval)
+		default:
+			step.schedule(s, a)
+		}
+	}
+}
+
+// Parse reads the SPLAY-like script syntax of Table I. Supported lines
+// (case-insensitive, '#' comments):
+//
+//	from 0s to 30s join 1000
+//	at 300s set replacement ratio to 100%
+//	from 300s to 1200s const churn 1% each 60s
+//	at 1200s stop
+func Parse(script string) (Plan, error) {
+	var plan Plan
+	sc := bufio.NewScanner(strings.NewReader(script))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(strings.ToLower(sc.Text()))
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		step, err := parseLine(line)
+		if err != nil {
+			return Plan{}, fmt.Errorf("churn: line %d: %w", lineNo, err)
+		}
+		plan.Steps = append(plan.Steps, step)
+	}
+	return plan, nil
+}
+
+func parseLine(line string) (Step, error) {
+	f := strings.Fields(line)
+	switch {
+	case len(f) == 6 && f[0] == "from" && f[2] == "to" && f[4] == "join":
+		from, err1 := parseDur(f[1])
+		to, err2 := parseDur(f[3])
+		n, err3 := strconv.Atoi(f[5])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return JoinBurst{From: from, To: to, Count: n}, nil
+	case len(f) == 7 && f[0] == "at" && f[2] == "set" && f[3] == "replacement" && f[4] == "ratio" && f[5] == "to":
+		at, err1 := parseDur(f[1])
+		pct, err2 := parsePct(f[6])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return SetReplacement{At: at, Ratio: pct / 100}, nil
+	case len(f) == 9 && f[0] == "from" && f[2] == "to" && f[4] == "const" && f[5] == "churn" && f[7] == "each":
+		from, err1 := parseDur(f[1])
+		to, err2 := parseDur(f[3])
+		pct, err3 := parsePct(f[6])
+		each, err4 := parseDur(f[8])
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, err
+		}
+		// The script rate is per minute regardless of the batching
+		// interval, as in Table I ("X% / minute ... each 60s").
+		return ConstChurn{From: from, To: to, RatePct: pct, Interval: each}, nil
+	case len(f) == 3 && f[0] == "at" && f[2] == "stop":
+		at, err := parseDur(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return StopAt{At: at}, nil
+	default:
+		return nil, fmt.Errorf("unrecognized statement %q", line)
+	}
+}
+
+func parseDur(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %w", s, err)
+	}
+	return d, nil
+}
+
+func parsePct(s string) (float64, error) {
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad percentage %q: %w", s, err)
+	}
+	return v, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// TableIScript returns the exact script of Table I for churn rate x
+// (percent per minute), with the initial join burst scaled to n nodes.
+func TableIScript(n int, x float64) string {
+	return fmt.Sprintf(`from 0s to 30s join %d
+at 300s set replacement ratio to 100%%
+from 300s to 1200s const churn %g%% each 60s
+at 1200s stop
+`, n, x)
+}

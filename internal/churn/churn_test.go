@@ -1,0 +1,139 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"whisper/internal/simnet"
+)
+
+type recorder struct {
+	pop     int
+	joins   int
+	leaves  int
+	stopped bool
+}
+
+func (r *recorder) actions() Actions {
+	return Actions{
+		Join:       func(n int) { r.pop += n; r.joins += n },
+		Leave:      func(n int) { r.pop -= n; r.leaves += n },
+		Population: func() int { return r.pop },
+		Stop:       func() { r.stopped = true },
+	}
+}
+
+func TestParseTableIScript(t *testing.T) {
+	plan, err := Parse(TableIScript(1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(plan.Steps))
+	}
+	jb, ok := plan.Steps[0].(JoinBurst)
+	if !ok || jb.Count != 1000 || jb.To != 30*time.Second {
+		t.Fatalf("step 0 = %+v", plan.Steps[0])
+	}
+	sr, ok := plan.Steps[1].(SetReplacement)
+	if !ok || sr.Ratio != 1.0 || sr.At != 5*time.Minute {
+		t.Fatalf("step 1 = %+v", plan.Steps[1])
+	}
+	cc, ok := plan.Steps[2].(ConstChurn)
+	if !ok || cc.RatePct != 1 || cc.Interval != time.Minute || cc.To != 20*time.Minute {
+		t.Fatalf("step 2 = %+v", plan.Steps[2])
+	}
+	st, ok := plan.Steps[3].(StopAt)
+	if !ok || st.At != 20*time.Minute {
+		t.Fatalf("step 3 = %+v", plan.Steps[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frobnicate the network",
+		"from 0s to 30s join many",
+		"at noon stop",
+		"from 0s to 10s const churn banana% each 60s",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	plan, err := Parse("# comment\n\nat 10s stop # trailing\n")
+	if err != nil || len(plan.Steps) != 1 {
+		t.Fatalf("comment handling: %v %v", plan, err)
+	}
+}
+
+func TestJoinBurstSpreadsEvenly(t *testing.T) {
+	s := simnet.New(1)
+	rec := &recorder{}
+	Plan{Steps: []Step{JoinBurst{From: 0, To: 30 * time.Second, Count: 100}}}.Run(s, rec.actions())
+	s.RunUntil(10 * time.Second)
+	if rec.joins < 30 || rec.joins > 40 {
+		t.Fatalf("joins after 10s = %d, want ~34", rec.joins)
+	}
+	s.RunUntil(30 * time.Second)
+	if rec.joins != 100 {
+		t.Fatalf("joins = %d, want 100", rec.joins)
+	}
+}
+
+func TestConstChurnRateAndReplacement(t *testing.T) {
+	s := simnet.New(1)
+	rec := &recorder{pop: 1000}
+	plan, err := Parse(TableIScript(0, 5)) // 5%/min, no initial joins
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Run(s, rec.actions())
+	s.RunUntil(21 * time.Minute)
+
+	// 5%/min over 15 minutes of churn (300s..1200s) with 100%
+	// replacement: ~50 leaves per batch, 15 batches.
+	if rec.leaves < 700 || rec.leaves > 800 {
+		t.Fatalf("leaves = %d, want ~750", rec.leaves)
+	}
+	if rec.joins != rec.leaves {
+		t.Fatalf("replacement ratio broken: joins=%d leaves=%d", rec.joins, rec.leaves)
+	}
+	if rec.pop != 1000 {
+		t.Fatalf("population drifted to %d", rec.pop)
+	}
+	if !rec.stopped {
+		t.Fatal("stop never fired")
+	}
+}
+
+func TestReplacementRatioZero(t *testing.T) {
+	s := simnet.New(1)
+	rec := &recorder{pop: 100}
+	plan := Plan{Steps: []Step{
+		SetReplacement{At: 0, Ratio: 0},
+		ConstChurn{From: 0, To: 10 * time.Minute, RatePct: 10, Interval: time.Minute},
+	}}
+	plan.Run(s, rec.actions())
+	s.RunUntil(11 * time.Minute)
+	if rec.joins != 0 {
+		t.Fatalf("joins = %d despite 0%% replacement", rec.joins)
+	}
+	if rec.pop >= 100 {
+		t.Fatal("population did not shrink")
+	}
+}
+
+func TestNoChurnScript(t *testing.T) {
+	s := simnet.New(1)
+	rec := &recorder{}
+	plan, err := Parse("from 0s to 30s join 50\nat 100s stop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Run(s, rec.actions())
+	s.RunUntil(2 * time.Minute)
+	if rec.joins != 50 || rec.leaves != 0 || !rec.stopped {
+		t.Fatalf("rec = %+v", rec)
+	}
+}

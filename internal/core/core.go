@@ -1,0 +1,75 @@
+// Package core assembles the full WHISPER protocol stack of Fig 1 on
+// one network endpoint: the NAT-resilient peer sampling service
+// (Nylon), the Whisper communication layer (WCL) with its connection
+// backlog and key sampling, and the private peer sampling service
+// (PPSS) router managing group instances.
+package core
+
+import (
+	"fmt"
+
+	"whisper/internal/identity"
+	"whisper/internal/nat"
+	"whisper/internal/netem"
+	"whisper/internal/nylon"
+	"whisper/internal/ppss"
+	"whisper/internal/wcl"
+)
+
+// Config selects which layers to run and how to parameterize them.
+type Config struct {
+	// Nylon configures the base PSS (always on).
+	Nylon nylon.Config
+	// WCL, when non-nil, attaches the communication layer (this forces
+	// key sampling on at the Nylon level, which the WCL requires).
+	WCL *wcl.Config
+	// PPSS, when non-nil, attaches the private peer sampling router
+	// (requires WCL; a default WCL config is implied if WCL is nil).
+	PPSS *ppss.Config
+}
+
+// Stack is the per-node protocol stack.
+type Stack struct {
+	Nylon *nylon.Node
+	WCL   *wcl.WCL     // nil if not configured
+	PPSS  *ppss.Router // nil if not configured
+}
+
+// NewStack builds and wires the stack on the given attachment point.
+// For NATted nodes pass the device and a private address; for public
+// nodes pass dev nil and a public address.
+func NewStack(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr netem.Endpoint, dev *nat.Device, cfg Config) (*Stack, error) {
+	if cfg.PPSS != nil && cfg.WCL == nil {
+		cfg.WCL = &wcl.Config{}
+	}
+	if cfg.WCL != nil {
+		cfg.Nylon.KeySampling = true
+	}
+	st := &Stack{Nylon: nylon.NewNode(nw, ident, typ, addr, dev, cfg.Nylon)}
+	if cfg.WCL != nil {
+		layer, err := wcl.New(st.Nylon, *cfg.WCL)
+		if err != nil {
+			return nil, fmt.Errorf("core: attaching WCL: %w", err)
+		}
+		st.WCL = layer
+	}
+	if cfg.PPSS != nil {
+		st.PPSS = ppss.NewRouter(st.WCL, *cfg.PPSS)
+	}
+	return st, nil
+}
+
+// Start begins gossip on the base PSS (upper layers start with group
+// membership).
+func (s *Stack) Start() { s.Nylon.Start() }
+
+// Stop shuts the whole stack down (crash-stop semantics).
+func (s *Stack) Stop() {
+	if s.PPSS != nil {
+		s.PPSS.Close()
+	}
+	s.Nylon.Stop()
+}
+
+// ID returns the node identifier.
+func (s *Stack) ID() identity.NodeID { return s.Nylon.ID() }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/nat"
+	"whisper/internal/netem"
+	"whisper/internal/ppss"
+	"whisper/internal/simnet"
+	"whisper/internal/wcl"
+)
+
+func testEnv() (*simnet.Sim, *netem.Network) {
+	s := simnet.New(1)
+	return s, netem.New(s, netem.Fixed{})
+}
+
+func TestStackPSSOnly(t *testing.T) {
+	_, nw := testEnv()
+	ident := identity.TestPool(4).Identity(1)
+	st, err := NewStack(nw, ident, nat.None, netem.Endpoint{IP: 5, Port: 1}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WCL != nil || st.PPSS != nil {
+		t.Fatal("upper layers attached without being configured")
+	}
+	if st.ID() != 1 {
+		t.Fatalf("ID = %v", st.ID())
+	}
+	st.Start()
+	st.Stop()
+	if !st.Nylon.Stopped() {
+		t.Fatal("Stop did not stop the node")
+	}
+}
+
+func TestStackWCLImpliesKeySampling(t *testing.T) {
+	_, nw := testEnv()
+	ident := identity.TestPool(4).Identity(2)
+	st, err := NewStack(nw, ident, nat.None, netem.Endpoint{IP: 6, Port: 1}, nil,
+		Config{WCL: &wcl.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WCL == nil {
+		t.Fatal("WCL not attached")
+	}
+	if !st.Nylon.Config().KeySampling {
+		t.Fatal("key sampling not forced on for WCL")
+	}
+}
+
+func TestStackPPSSImpliesWCL(t *testing.T) {
+	_, nw := testEnv()
+	ident := identity.TestPool(4).Identity(3)
+	st, err := NewStack(nw, ident, nat.None, netem.Endpoint{IP: 7, Port: 1}, nil,
+		Config{PPSS: &ppss.Config{KeyBlobSize: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WCL == nil || st.PPSS == nil {
+		t.Fatal("PPSS config must imply the WCL layer")
+	}
+	// Stopping also closes group instances.
+	if _, err := st.PPSS.CreateGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	st.Stop()
+	if len(st.PPSS.Instances()) != 0 {
+		t.Fatal("Stop left group instances running")
+	}
+}
+
+func TestStackNATtedNode(t *testing.T) {
+	sim, nw := testEnv()
+	ident := identity.TestPool(4).Identity(4)
+	dev := nat.NewDevice(nw, nat.FullCone, 8, 0)
+	st, err := NewStack(nw, ident, nat.FullCone,
+		netem.Endpoint{IP: netem.PrivateBase + 1, Port: 1}, dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nylon.Public() {
+		t.Fatal("NATted node claims to be public")
+	}
+	st.Start()
+	sim.RunUntil(time.Minute)
+	st.Stop()
+}

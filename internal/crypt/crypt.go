@@ -1,0 +1,234 @@
+// Package crypt provides the cryptographic operations of WHISPER: the
+// hybrid RSA-OAEP + AES-GCM sealing used for onion layers, the
+// symmetric content encryption under the per-message key k, onion
+// construction and peeling (§III-A), and PKCS#1 v1.5 signatures for
+// passports and accreditations (§IV-A).
+//
+// Every operation optionally charges its wall-clock cost to a CPUMeter,
+// which is how the harness reproduces Table II (CPU time per PPSS cycle
+// split into AES and RSA work).
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"time"
+
+	"whisper/internal/wire"
+)
+
+// SymKeySize is the AES key size in bytes (AES-256).
+const SymKeySize = 32
+
+var (
+	// ErrDecrypt is returned when a ciphertext fails to open; callers
+	// must not learn more than that (uniform decryption failure).
+	ErrDecrypt = errors.New("crypt: decryption failed")
+	// ErrBadSignature is returned on signature verification failure.
+	ErrBadSignature = errors.New("crypt: bad signature")
+)
+
+// CPUMeter accumulates processor time spent in cryptographic
+// operations, split the way Table II reports it.
+type CPUMeter struct {
+	AES     time.Duration
+	RSA     time.Duration
+	AESOps  uint64
+	RSAEncs uint64
+	RSADecs uint64
+	Signs   uint64
+	Verifys uint64
+}
+
+// Add merges other into m.
+func (m *CPUMeter) Add(other CPUMeter) {
+	m.AES += other.AES
+	m.RSA += other.RSA
+	m.AESOps += other.AESOps
+	m.RSAEncs += other.RSAEncs
+	m.RSADecs += other.RSADecs
+	m.Signs += other.Signs
+	m.Verifys += other.Verifys
+}
+
+// Total returns the combined AES+RSA processor time.
+func (m *CPUMeter) Total() time.Duration { return m.AES + m.RSA }
+
+// Reset zeroes the meter.
+func (m *CPUMeter) Reset() { *m = CPUMeter{} }
+
+func (m *CPUMeter) chargeAES(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.AES += time.Since(start)
+	m.AESOps++
+}
+
+// NewSymKey draws a fresh AES-256 key.
+func NewSymKey() ([]byte, error) {
+	k := make([]byte, SymKeySize)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("crypt: drawing key: %w", err)
+	}
+	return k, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// SealSym encrypts plaintext under the symmetric key (nonce || AES-GCM
+// ciphertext). This implements the content encryption with the random
+// key k of §III-A.
+func SealSym(m *CPUMeter, key, plaintext []byte) ([]byte, error) {
+	defer m.chargeAES(time.Now())
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("crypt: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// OpenSym decrypts a SealSym ciphertext.
+func OpenSym(m *CPUMeter, key, ct []byte) ([]byte, error) {
+	defer m.chargeAES(time.Now())
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) < gcm.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	pt, err := gcm.Open(nil, ct[:gcm.NonceSize()], ct[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// Seal hybrid-encrypts plaintext to pub: an RSA-OAEP-encrypted fresh
+// AES key followed by the AES-GCM ciphertext. This is the per-layer
+// encryption of the onion path.
+func Seal(m *CPUMeter, pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
+	key, err := NewSymKey()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, key, nil)
+	if m != nil {
+		m.RSA += time.Since(start)
+		m.RSAEncs++
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crypt: OAEP encrypt: %w", err)
+	}
+	body, err := SealSym(m, key, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(2 + len(wrapped) + len(body))
+	w.Bytes16(wrapped)
+	w.Raw(body)
+	return w.Bytes(), nil
+}
+
+// Open decrypts a Seal ciphertext with the private key.
+func Open(m *CPUMeter, priv *rsa.PrivateKey, ct []byte) ([]byte, error) {
+	r := wire.NewReader(ct)
+	wrapped := r.Bytes16()
+	body := r.Rest()
+	if r.Err() != nil || len(wrapped) == 0 {
+		return nil, ErrDecrypt
+	}
+	start := time.Now()
+	key, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, priv, wrapped, nil)
+	if m != nil {
+		m.RSA += time.Since(start)
+		m.RSADecs++
+	}
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return OpenSym(m, key, body)
+}
+
+// Sign produces a PKCS#1 v1.5 signature over SHA-256(msg).
+func Sign(m *CPUMeter, priv *rsa.PrivateKey, msg []byte) ([]byte, error) {
+	start := time.Now()
+	defer func() {
+		if m != nil {
+			m.RSA += time.Since(start)
+			m.Signs++
+		}
+	}()
+	h := sha256.Sum256(msg)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, priv, 0, h[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypt: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks a Sign signature.
+func Verify(m *CPUMeter, pub *rsa.PublicKey, msg, sig []byte) error {
+	start := time.Now()
+	defer func() {
+		if m != nil {
+			m.RSA += time.Since(start)
+			m.Verifys++
+		}
+	}()
+	h := sha256.Sum256(msg)
+	if rsa.VerifyPKCS1v15(pub, 0, h[:], sig) != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// MarshalPublicKey serializes a public key to PKIX DER.
+func MarshalPublicKey(pub *rsa.PublicKey) []byte {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		// Only possible for malformed in-memory keys: programmer error.
+		panic(fmt.Sprintf("crypt: marshaling public key: %v", err))
+	}
+	return der
+}
+
+// UnmarshalPublicKey parses a PKIX DER RSA public key.
+func UnmarshalPublicKey(der []byte) (*rsa.PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: parsing public key: %w", err)
+	}
+	pub, ok := k.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("crypt: not an RSA public key: %T", k)
+	}
+	return pub, nil
+}
+
+// KeyFingerprint returns a short stable digest of a public key, used as
+// a map key and in logs.
+func KeyFingerprint(pub *rsa.PublicKey) [8]byte {
+	h := sha256.Sum256(MarshalPublicKey(pub))
+	var fp [8]byte
+	copy(fp[:], h[:8])
+	return fp
+}

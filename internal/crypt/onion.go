@@ -1,0 +1,69 @@
+package crypt
+
+import (
+	"crypto/rsa"
+	"fmt"
+
+	"whisper/internal/wire"
+)
+
+// Hop describes one node on an onion path: its public key and the
+// opaque addressing blob the *previous* hop needs to forward to it
+// (typically a wire-encoded node descriptor with endpoint and route).
+// The first hop's Addr is used directly by the source and is never
+// embedded in the onion.
+type Hop struct {
+	Pub  *rsa.PublicKey
+	Addr []byte
+}
+
+// BuildOnion constructs the layered ciphertext of §III-A for the given
+// path (first mix first, destination last). final is the innermost
+// payload delivered to the destination — in WHISPER the content key k.
+//
+// Layer i decrypts, under hop i's private key, to the pair
+// (address of hop i+1, remaining onion); the destination's layer holds
+// (⊥, final). A hop therefore learns only its successor, which is what
+// gives relationship anonymity: no mix can tell whether its successor
+// or predecessor are endpoints or further mixes.
+func BuildOnion(m *CPUMeter, hops []Hop, final []byte) ([]byte, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("crypt: empty onion path")
+	}
+	last := hops[len(hops)-1]
+	w := wire.NewWriter(4 + len(final))
+	w.Bytes16(nil) // ⊥: this hop is the destination
+	w.Bytes32(final)
+	blob, err := Seal(m, last.Pub, w.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("crypt: sealing destination layer: %w", err)
+	}
+	for i := len(hops) - 2; i >= 0; i-- {
+		w := wire.NewWriter(4 + len(hops[i+1].Addr) + len(blob))
+		w.Bytes16(hops[i+1].Addr)
+		w.Bytes32(blob)
+		blob, err = Seal(m, hops[i].Pub, w.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("crypt: sealing layer %d: %w", i, err)
+		}
+	}
+	return blob, nil
+}
+
+// Peel removes one onion layer with the hop's private key. If the hop
+// is the destination, exit is true and inner holds the final payload;
+// otherwise next holds the successor's addressing blob and inner the
+// remaining onion.
+func Peel(m *CPUMeter, priv *rsa.PrivateKey, onion []byte) (next, inner []byte, exit bool, err error) {
+	pt, err := Open(m, priv, onion)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	r := wire.NewReader(pt)
+	next = r.Bytes16()
+	inner = r.Bytes32()
+	if err := r.Close(); err != nil {
+		return nil, nil, false, fmt.Errorf("crypt: malformed onion layer: %w", err)
+	}
+	return next, inner, len(next) == 0, nil
+}

@@ -1,0 +1,320 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"whisper/internal/nylon"
+	"whisper/internal/ppss"
+	"whisper/internal/sim"
+	"whisper/internal/stats"
+	"whisper/internal/wcl"
+)
+
+// AblateConfig parameterizes the ablation studies of the design choices
+// DESIGN.md calls out: NAT lease style, hole punching, the second view
+// bias, and mix-path length.
+type AblateConfig struct {
+	Seed    int64
+	N       int
+	Groups  int
+	Warmup  time.Duration
+	Measure time.Duration
+	KeyBlob int
+}
+
+func (c AblateConfig) withDefaults() AblateConfig {
+	if c.N == 0 {
+		c.N = 300
+	}
+	if c.Groups == 0 {
+		c.Groups = 6
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * time.Minute
+	}
+	if c.Measure == 0 {
+		c.Measure = 8 * time.Minute
+	}
+	if c.KeyBlob == 0 {
+		c.KeyBlob = 512
+	}
+	return c
+}
+
+// AblationRow summarizes one variant.
+type AblationRow struct {
+	Study   string
+	Variant string
+	Metrics map[string]float64
+	Order   []string // metric print order
+}
+
+// Ablations runs all four studies and returns one row per variant.
+func Ablations(cfg AblateConfig) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+	for _, f := range []func(AblateConfig) ([]AblationRow, error){
+		ablateLease, ablatePunching, ablateBiasCap, ablateMixCount,
+	} {
+		r, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// ablateLease compares TCP-style 24 h NAT association rules (the
+// paper's RFC 5382 setting, our default) with UDP-style 5-minute rules:
+// warm routes decay before view entries rotate, so first-try route
+// success collapses.
+func ablateLease(cfg AblateConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, v := range []struct {
+		name  string
+		lease time.Duration
+		ttl   time.Duration
+	}{
+		{"tcp-24h (default)", 0, 0},
+		{"udp-5min", 5 * time.Minute, 4 * time.Minute},
+	} {
+		w, err := sim.NewWorld(sim.Options{
+			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: keyPool,
+			NATLease: v.lease,
+			Nylon:    nylon.Config{ContactTTL: v.ttl},
+			WCL:      &wcl.Config{MinPublic: 3},
+			PPSS:     &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.StartAll()
+		w.Sim.RunUntil(4 * time.Minute)
+		formGroups(w, cfg.Groups, 1)
+		w.Sim.RunUntil(cfg.Warmup)
+		before := aggregateWCL(w)
+		w.Sim.RunFor(cfg.Measure)
+		after := aggregateWCL(w)
+		routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
+			before.FirstTrySuccess - before.AltSuccess - before.Failed)
+		first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
+		row := AblationRow{
+			Study: "nat-lease", Variant: v.name,
+			Metrics: map[string]float64{"first-try %": pct(first, routes), "routes": routes},
+			Order:   []string{"first-try %", "routes"},
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ablatePunching compares the default traversal (hole punching where
+// the NAT pair allows it) with relay-only forwarding (the Leitao et al.
+// alternative surveyed in §VI). One-shot gossip exchanges route through
+// relays either way (the first contact with a fresh partner always
+// does), so the discriminating effect of punching is the pool of direct
+// N↔N associations it leaves behind — the warm routes that the WCL's
+// backlog and persistent paths then reuse.
+func ablatePunching(cfg AblateConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{
+		{"punching (default)", false},
+		{"relay-only", true},
+	} {
+		w, err := sim.NewWorld(sim.Options{
+			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: keyPool,
+			Nylon: nylon.Config{DisablePunch: v.disable, MinPublic: 3},
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.StartAll()
+		w.Sim.RunUntil(cfg.Warmup)
+		var punches uint64
+		var contacts, nnContacts []float64
+		for _, n := range w.Live() {
+			punches += n.Nylon.Stats.PunchSuccesses
+			ids := n.Nylon.ContactIDs()
+			contacts = append(contacts, float64(len(ids)))
+			nn := 0
+			if !n.Public() {
+				for _, id := range ids {
+					if peer := w.Get(id); peer != nil && !peer.Public() {
+						nn++
+					}
+				}
+				nnContacts = append(nnContacts, float64(nn))
+			}
+		}
+		rows = append(rows, AblationRow{
+			Study: "nat-traversal", Variant: v.name,
+			Metrics: map[string]float64{
+				"punches":          float64(punches),
+				"contacts/node":    stats.Summarize(contacts).Mean,
+				"N-N directs/node": stats.Summarize(nnContacts).Mean,
+			},
+			Order: []string{"punches", "contacts/node", "N-N directs/node"},
+		})
+	}
+	return rows, nil
+}
+
+// ablateBiasCap exercises the paper's second bias in its intended
+// regime — Π higher than the network's P-node share (§III-B-1's example
+// of Π=3 with only 10% P-nodes) — with and without discarding excess
+// P-nodes first.
+func ablateBiasCap(cfg AblateConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, v := range []struct {
+		name string
+		cap  bool
+	}{
+		{"min-quota only", false},
+		{"min-quota + cap", true},
+	} {
+		w, err := sim.NewWorld(sim.Options{
+			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.9, KeyPool: keyPool,
+			Nylon: nylon.Config{MinPublic: 3, CapExcessPublic: v.cap},
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.StartAll()
+		w.Sim.RunUntil(cfg.Warmup)
+		in := w.Graph().InDegrees()
+		var pIn []float64
+		quotaOK := 0
+		for _, n := range w.Live() {
+			if n.Public() {
+				pIn = append(pIn, float64(in[n.ID()]))
+			}
+			pubs := 0
+			for _, e := range n.Nylon.View() {
+				if e.Val.Public {
+					pubs++
+				}
+			}
+			if pubs >= 3 {
+				quotaOK++
+			}
+		}
+		s := stats.Summarize(pIn)
+		rows = append(rows, AblationRow{
+			Study: "view-bias", Variant: v.name,
+			Metrics: map[string]float64{
+				"P in-deg mean": s.Mean,
+				"P in-deg max":  s.Max,
+				"quota-ok %":    pct(float64(quotaOK), float64(len(w.Live()))),
+			},
+			Order: []string{"P in-deg mean", "P in-deg max", "quota-ok %"},
+		})
+	}
+	return rows, nil
+}
+
+// ablateMixCount compares 2-mix paths (the paper's default) with 3-mix
+// paths (collusion resistance per footnote 2): success stays high, the
+// cost is one more RSA layer and hop of latency.
+func ablateMixCount(cfg AblateConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, mixes := range []int{2, 3} {
+		w, err := sim.NewWorld(sim.Options{
+			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: keyPool,
+			WCL:  &wcl.Config{MinPublic: 3, Mixes: mixes},
+			PPSS: &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.StartAll()
+		w.Sim.RunUntil(4 * time.Minute)
+		formGroups(w, cfg.Groups, 1)
+		w.Sim.RunUntil(cfg.Warmup)
+
+		var rtts []time.Duration
+		for _, n := range w.Live() {
+			for _, inst := range n.PPSS.Instances() {
+				inst.OnExchangeRTT = func(rtt time.Duration) { rtts = append(rtts, rtt) }
+			}
+		}
+		before := aggregateWCL(w)
+		w.Sim.RunFor(cfg.Measure)
+		after := aggregateWCL(w)
+		routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
+			before.FirstTrySuccess - before.AltSuccess - before.Failed)
+		first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
+		rtt := stats.Percentile(durationsToSeconds(rtts), 50)
+		rows = append(rows, AblationRow{
+			Study: "mix-count", Variant: fmt.Sprintf("%d mixes", mixes),
+			Metrics: map[string]float64{
+				"first-try %":  pct(first, routes),
+				"rtt p50 (ms)": rtt * 1000,
+			},
+			Order: []string{"first-try %", "rtt p50 (ms)"},
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblations renders the ablation table.
+func PrintAblations(out io.Writer, rows []AblationRow) {
+	fmt.Fprintln(out, "== Ablations: design-choice studies ==")
+	tb := stats.NewTable("study", "variant", "metrics")
+	for _, r := range rows {
+		m := ""
+		for i, k := range r.Order {
+			if i > 0 {
+				m += "  "
+			}
+			m += fmt.Sprintf("%s=%.2f", k, r.Metrics[k])
+		}
+		tb.Row(r.Study, r.Variant, m)
+	}
+	fmt.Fprint(out, tb.String())
+}
+
+// AblationShapeCheck verifies the expected directional effects.
+func AblationShapeCheck(rows []AblationRow) []string {
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Study+"/"+r.Variant] = r
+	}
+	var bad []string
+	if tcp, udp := byKey["nat-lease/tcp-24h (default)"], byKey["nat-lease/udp-5min"]; tcp.Metrics != nil && udp.Metrics != nil {
+		if udp.Metrics["first-try %"] >= tcp.Metrics["first-try %"] {
+			bad = append(bad, "UDP-lease routes not worse than TCP-lease")
+		}
+	}
+	if p, r := byKey["nat-traversal/punching (default)"], byKey["nat-traversal/relay-only"]; p.Metrics != nil && r.Metrics != nil {
+		if p.Metrics["N-N directs/node"] <= r.Metrics["N-N directs/node"] {
+			bad = append(bad, "punching does not create more direct N↔N associations")
+		}
+		if p.Metrics["punches"] == 0 || r.Metrics["punches"] != 0 {
+			bad = append(bad, "punch accounting inconsistent across variants")
+		}
+	}
+	if plain, capped := byKey["view-bias/min-quota only"], byKey["view-bias/min-quota + cap"]; plain.Metrics != nil && capped.Metrics != nil {
+		if capped.Metrics["quota-ok %"] < 50 {
+			bad = append(bad, "cap variant fails the quota outright")
+		}
+	}
+	if m2, m3 := byKey["mix-count/2 mixes"], byKey["mix-count/3 mixes"]; m2.Metrics != nil && m3.Metrics != nil {
+		if m3.Metrics["first-try %"] < 50 {
+			bad = append(bad, "3-mix paths mostly fail")
+		}
+	}
+	return bad
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

@@ -1,0 +1,114 @@
+package identity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewIdentity(t *testing.T) {
+	id, err := New(7, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ID != 7 || id.Key == nil {
+		t.Fatalf("identity: %+v", id)
+	}
+	if id.Public() != &id.Key.PublicKey {
+		t.Fatal("Public() does not alias the key pair")
+	}
+	if id.Key.PublicKey.N.BitLen() != 1024 {
+		t.Fatalf("modulus %d bits, want 1024", id.Key.PublicKey.N.BitLen())
+	}
+}
+
+func TestNewRejectsNilID(t *testing.T) {
+	if _, err := New(Nil, 1024); err == nil {
+		t.Fatal("NodeID 0 accepted")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Nil.String() != "⊥" {
+		t.Fatalf("Nil.String() = %q", Nil.String())
+	}
+	if NodeID(42).String() != "N42" {
+		t.Fatalf("String = %q", NodeID(42).String())
+	}
+}
+
+func TestPoolRoundRobin(t *testing.T) {
+	p := TestPool(3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	k0, k1, k2, k3 := p.Next(), p.Next(), p.Next(), p.Next()
+	if k0 == k1 || k1 == k2 {
+		t.Fatal("pool repeated a key early")
+	}
+	if k3 != k0 {
+		t.Fatal("pool did not wrap round-robin")
+	}
+	id := p.Identity(9)
+	if id.ID != 9 || id.Key == nil {
+		t.Fatalf("pool identity: %+v", id)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 1024); err == nil {
+		t.Fatal("zero-size pool accepted")
+	}
+}
+
+func TestTestKeysCacheGrowsAndReuses(t *testing.T) {
+	a := TestKeys(2)
+	b := TestKeys(4)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("cache regenerated existing keys")
+	}
+	if len(b) != 4 {
+		t.Fatalf("len = %d", len(b))
+	}
+}
+
+func TestRandomIDNeverNil(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[NodeID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := RandomID(rng)
+		if id == Nil {
+			t.Fatal("RandomID returned Nil")
+		}
+		seen[id] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("suspicious collision rate: %d unique of 1000", len(seen))
+	}
+}
+
+func TestNewDefaultsBits(t *testing.T) {
+	id, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := id.Key.PublicKey.N.BitLen(); got != DefaultKeyBits {
+		t.Fatalf("default modulus %d bits, want %d", got, DefaultKeyBits)
+	}
+}
+
+func TestNewPoolGeneratesRealKeys(t *testing.T) {
+	p, err := NewPool(2, 0) // default bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	a, b := p.Next(), p.Next()
+	if a == b || a.PublicKey.N.Cmp(b.PublicKey.N) == 0 {
+		t.Fatal("pool keys not distinct")
+	}
+	if a.PublicKey.N.BitLen() != DefaultKeyBits {
+		t.Fatalf("pool modulus %d bits", a.PublicKey.N.BitLen())
+	}
+}

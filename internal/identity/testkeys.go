@@ -1,0 +1,36 @@
+package identity
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+)
+
+// testKeyCache holds lazily generated 1024-bit keys shared by tests and
+// benchmarks across the repository. RSA key generation costs ~20 ms per
+// key; reusing a process-wide cache keeps thousand-node test networks
+// fast while preserving protocol semantics (see Pool).
+var testKeyCache struct {
+	mu   sync.Mutex
+	keys []*rsa.PrivateKey
+}
+
+// TestKeys returns n cached 1024-bit private keys, generating any that
+// do not exist yet. Intended for tests and benchmarks only.
+func TestKeys(n int) []*rsa.PrivateKey {
+	testKeyCache.mu.Lock()
+	defer testKeyCache.mu.Unlock()
+	for len(testKeyCache.keys) < n {
+		k, err := rsa.GenerateKey(rand.Reader, DefaultKeyBits)
+		if err != nil {
+			panic("identity: test key generation failed: " + err.Error())
+		}
+		testKeyCache.keys = append(testKeyCache.keys, k)
+	}
+	return testKeyCache.keys[:n]
+}
+
+// TestPool wraps TestKeys in a Pool of size n.
+func TestPool(n int) *Pool {
+	return &Pool{keys: TestKeys(n)}
+}

@@ -1,0 +1,79 @@
+package keyss
+
+import (
+	"testing"
+
+	"whisper/internal/identity"
+	"whisper/internal/wire"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if s.Len() != 0 || s.Has(1) || s.Get(1) != nil {
+		t.Fatal("empty store misbehaves")
+	}
+	keys := identity.TestKeys(2)
+	s.Put(1, &keys[0].PublicKey)
+	s.Put(2, &keys[1].PublicKey)
+	if s.Len() != 2 || !s.Has(1) {
+		t.Fatal("Put failed")
+	}
+	if s.Get(1) != &keys[0].PublicKey {
+		t.Fatal("Get returned wrong key")
+	}
+	// Overwrite keeps the newest key (re-keyed identity).
+	s.Put(1, &keys[1].PublicKey)
+	if s.Get(1) != &keys[1].PublicKey || s.Len() != 2 {
+		t.Fatal("overwrite failed")
+	}
+	s.Forget(1)
+	if s.Has(1) || s.Len() != 1 {
+		t.Fatal("Forget failed")
+	}
+	// Nil keys are ignored.
+	s.Put(9, nil)
+	if s.Has(9) {
+		t.Fatal("nil key stored")
+	}
+}
+
+func TestKeyBlobRoundTrip(t *testing.T) {
+	key := identity.TestKeys(1)[0]
+	w := wire.NewWriter(0)
+	EncodeKey(w, &key.PublicKey, 512)
+	if w.Len() != 2+512 {
+		t.Fatalf("blob size = %d, want deterministic 514", w.Len())
+	}
+	r := wire.NewReader(w.Bytes())
+	got := DecodeKey(r, 512)
+	if got == nil || got.N.Cmp(key.PublicKey.N) != 0 {
+		t.Fatal("key did not round trip")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilKeyBlob(t *testing.T) {
+	w := wire.NewWriter(0)
+	EncodeKey(w, nil, 256)
+	if w.Len() != 2+256 {
+		t.Fatalf("nil blob size = %d (sizes must stay deterministic)", w.Len())
+	}
+	r := wire.NewReader(w.Bytes())
+	if DecodeKey(r, 256) != nil {
+		t.Fatal("nil key decoded as non-nil")
+	}
+}
+
+func TestGarbageKeyBlobIsAbsent(t *testing.T) {
+	w := wire.NewWriter(0)
+	w.Padded([]byte("not a DER key"), 256)
+	r := wire.NewReader(w.Bytes())
+	if DecodeKey(r, 256) != nil {
+		t.Fatal("garbage DER produced a key")
+	}
+	if r.Err() != nil {
+		t.Fatal("garbage key must be treated as absent, not a wire error")
+	}
+}

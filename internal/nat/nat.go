@@ -1,0 +1,310 @@
+// Package nat emulates network address translation devices at the
+// datagram level. The four device types of the paper's evaluation are
+// supported (full cone, restricted cone, port-restricted cone and
+// symmetric), with RFC 4787-style mapping and filtering semantics and
+// virtual-time association-rule leases.
+//
+// Traversal outcomes (whether hole punching works for a NAT-type pair)
+// are not hard-coded: they emerge from the mapping/filtering rules when
+// the traversal handshake of package nylon runs over the emulation. The
+// CanPunch matrix below documents the expected results per Ford et al.
+// ("Peer-to-peer communication across network address translators") and
+// is property-tested against the emulation.
+package nat
+
+import (
+	"fmt"
+	"time"
+
+	"whisper/internal/netem"
+	"whisper/internal/simnet"
+)
+
+// Type enumerates NAT behaviours. The names mirror the paper's
+// experimental settings (§V-A).
+type Type int
+
+const (
+	// None marks a public host with no NAT (a P-node).
+	None Type = iota
+	// FullCone uses endpoint-independent mapping and filtering.
+	FullCone
+	// RestrictedCone uses endpoint-independent mapping and
+	// address-dependent filtering.
+	RestrictedCone
+	// PortRestrictedCone uses endpoint-independent mapping and
+	// address-and-port-dependent filtering.
+	PortRestrictedCone
+	// Symmetric uses address-and-port-dependent mapping (a fresh
+	// external port per destination) and address-and-port-dependent
+	// filtering. Hole punching through it generally fails and relays
+	// must be used, as the paper notes.
+	Symmetric
+)
+
+// EmulatedTypes lists the four emulated NAT device types, i.e. every
+// Type except None.
+var EmulatedTypes = []Type{FullCone, RestrictedCone, PortRestrictedCone, Symmetric}
+
+func (t Type) String() string {
+	switch t {
+	case None:
+		return "public"
+	case FullCone:
+		return "full_cone"
+	case RestrictedCone:
+		return "restricted_cone"
+	case PortRestrictedCone:
+		return "port_restricted_cone"
+	case Symmetric:
+		return "sym"
+	default:
+		return fmt.Sprintf("nat.Type(%d)", int(t))
+	}
+}
+
+// CanPunch reports whether UDP hole punching is expected to succeed
+// between two hosts behind NATs of types a and b, assisted by a
+// rendezvous that has observed both external endpoints. A public side
+// (None) always works. Per Ford et al., punching fails only when a
+// symmetric NAT faces a symmetric or port-restricted one: the symmetric
+// side's fresh per-destination port cannot be predicted by a peer that
+// filters on exact (address, port).
+func CanPunch(a, b Type) bool {
+	if a == None || b == None {
+		return true
+	}
+	aSym, bSym := a == Symmetric, b == Symmetric
+	if aSym && bSym {
+		return false
+	}
+	if aSym && b == PortRestrictedCone || bSym && a == PortRestrictedCone {
+		return false
+	}
+	return true
+}
+
+// NeedsRelay reports whether content between NAT types a and b must be
+// forwarded by a relay node because traversal cannot be established.
+func NeedsRelay(a, b Type) bool { return !CanPunch(a, b) }
+
+// UDPLease is the association-rule lifetime for UDP-style per-packet
+// rules: the 5-minute value from the Cisco specification the paper
+// cites.
+const UDPLease = 5 * time.Minute
+
+// TCPLease is the lifetime of TCP-style per-connection rules (Cisco:
+// 24 hours). The paper's NAT emulation follows the TCP-friendly RFC
+// 5382, so warm routes persist far beyond view residence times — the
+// property §III-A relies on.
+const TCPLease = 24 * time.Hour
+
+// DefaultLease is the association-rule lifetime used when none is
+// configured. The stack defaults to TCP-style connections, as the
+// paper's prototype does.
+const DefaultLease = TCPLease
+
+type filterKey struct {
+	ip   netem.IP
+	port uint16 // 0 = address-only entry
+}
+
+type mapping struct {
+	intEP   netem.Endpoint
+	extPort uint16
+	remote  netem.Endpoint // non-zero only for symmetric mappings
+	lastOut time.Duration
+	filters map[filterKey]time.Duration
+}
+
+type symKey struct {
+	intEP  netem.Endpoint
+	remote netem.Endpoint
+}
+
+// Device is one emulated NAT box serving one or more internal hosts.
+// It implements netem.Handler on its external (public) interface and
+// netem.Uplink on its internal interface.
+type Device struct {
+	sim   *simnet.Sim
+	net   *netem.Network
+	typ   Type
+	ext   netem.IP
+	lease time.Duration
+
+	inside   map[netem.IP]netem.Handler
+	cone     map[netem.Endpoint]*mapping
+	sym      map[symKey]*mapping
+	byPort   map[uint16]*mapping
+	nextPort uint16
+
+	// Diagnostics.
+	DroppedInbound uint64 // inbound datagrams rejected by filtering
+	Mapped         uint64 // mappings created
+}
+
+// NewDevice creates a NAT device of the given type with external
+// address ext, attaches it to the network, and uses lease for
+// association rules (DefaultLease if zero).
+func NewDevice(n *netem.Network, typ Type, ext netem.IP, lease time.Duration) *Device {
+	if typ == None {
+		panic("nat: NewDevice with Type None; public hosts attach directly")
+	}
+	if !ext.Public() {
+		panic("nat: device external address must be public")
+	}
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	d := &Device{
+		sim:      n.Sim(),
+		net:      n,
+		typ:      typ,
+		ext:      ext,
+		lease:    lease,
+		inside:   make(map[netem.IP]netem.Handler),
+		cone:     make(map[netem.Endpoint]*mapping),
+		sym:      make(map[symKey]*mapping),
+		byPort:   make(map[uint16]*mapping),
+		nextPort: 1024,
+	}
+	n.Attach(ext, d)
+	return d
+}
+
+// Type returns the device's NAT behaviour.
+func (d *Device) Type() Type { return d.typ }
+
+// External returns the device's public address.
+func (d *Device) External() netem.IP { return d.ext }
+
+// Lease returns the association-rule lifetime.
+func (d *Device) Lease() time.Duration { return d.lease }
+
+// AttachInside registers a host on the private side of the device.
+func (d *Device) AttachInside(ip netem.IP, h netem.Handler) {
+	if ip.Public() {
+		panic("nat: internal host must use a private address")
+	}
+	d.inside[ip] = h
+}
+
+// DetachInside removes a private host (e.g. on churn departure). Its
+// mappings are left to expire naturally, as on a real device.
+func (d *Device) DetachInside(ip netem.IP) { delete(d.inside, ip) }
+
+// Close detaches the device from the network.
+func (d *Device) Close() { d.net.Detach(d.ext) }
+
+func (d *Device) alive(m *mapping) bool {
+	return d.sim.Now()-m.lastOut <= d.lease
+}
+
+func (d *Device) allocPort() uint16 {
+	for {
+		p := d.nextPort
+		d.nextPort++
+		if d.nextPort == 0 {
+			d.nextPort = 1024
+		}
+		if m, ok := d.byPort[p]; !ok || !d.alive(m) {
+			delete(d.byPort, p)
+			return p
+		}
+	}
+}
+
+// outboundMapping finds or creates the mapping used when intEP sends to
+// remote, refreshing the lease and filter entries.
+func (d *Device) outboundMapping(intEP, remote netem.Endpoint) *mapping {
+	now := d.sim.Now()
+	var m *mapping
+	if d.typ == Symmetric {
+		k := symKey{intEP, remote}
+		m = d.sym[k]
+		if m == nil || !d.alive(m) {
+			m = &mapping{intEP: intEP, extPort: d.allocPort(), remote: remote,
+				filters: make(map[filterKey]time.Duration)}
+			d.sym[k] = m
+			d.byPort[m.extPort] = m
+			d.Mapped++
+		}
+	} else {
+		m = d.cone[intEP]
+		if m == nil || !d.alive(m) {
+			m = &mapping{intEP: intEP, extPort: d.allocPort(),
+				filters: make(map[filterKey]time.Duration)}
+			d.cone[intEP] = m
+			d.byPort[m.extPort] = m
+			d.Mapped++
+		}
+	}
+	m.lastOut = now
+	// Record filter permissions opened by this outbound packet.
+	m.filters[filterKey{remote.IP, 0}] = now
+	m.filters[filterKey{remote.IP, remote.Port}] = now
+	return m
+}
+
+// Send implements netem.Uplink for internal hosts: translate the source
+// endpoint and forward to the public network.
+func (d *Device) Send(dg netem.Datagram) {
+	m := d.outboundMapping(dg.Src, dg.Dst)
+	dg.Src = netem.Endpoint{IP: d.ext, Port: m.extPort}
+	d.net.Send(dg)
+}
+
+// allowInbound applies the device's filtering policy to an inbound
+// datagram from src on mapping m.
+func (d *Device) allowInbound(m *mapping, src netem.Endpoint) bool {
+	now := d.sim.Now()
+	fresh := func(k filterKey) bool {
+		t, ok := m.filters[k]
+		return ok && now-t <= d.lease
+	}
+	switch d.typ {
+	case FullCone:
+		return true
+	case RestrictedCone:
+		return fresh(filterKey{src.IP, 0})
+	case PortRestrictedCone, Symmetric:
+		return fresh(filterKey{src.IP, src.Port})
+	default:
+		return false
+	}
+}
+
+// HandleDatagram implements netem.Handler on the external interface:
+// look up the mapping by destination port, filter, rewrite, deliver.
+func (d *Device) HandleDatagram(dg netem.Datagram) {
+	m, ok := d.byPort[dg.Dst.Port]
+	if !ok || !d.alive(m) {
+		d.DroppedInbound++
+		return
+	}
+	if !d.allowInbound(m, dg.Src) {
+		d.DroppedInbound++
+		return
+	}
+	h, ok := d.inside[m.intEP.IP]
+	if !ok {
+		d.DroppedInbound++
+		return
+	}
+	dg.Dst = m.intEP
+	h.HandleDatagram(dg)
+}
+
+// ExternalEndpoint returns the live external endpoint currently mapped
+// for intEP (cone types only; symmetric NATs have no stable mapping).
+// ok is false if no live mapping exists or the device is symmetric.
+func (d *Device) ExternalEndpoint(intEP netem.Endpoint) (ep netem.Endpoint, ok bool) {
+	if d.typ == Symmetric {
+		return netem.Endpoint{}, false
+	}
+	m := d.cone[intEP]
+	if m == nil || !d.alive(m) {
+		return netem.Endpoint{}, false
+	}
+	return netem.Endpoint{IP: d.ext, Port: m.extPort}, true
+}

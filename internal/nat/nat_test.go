@@ -1,0 +1,285 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"whisper/internal/netem"
+	"whisper/internal/simnet"
+)
+
+// testHost is a scripted internal host for driving NAT scenarios.
+type testHost struct {
+	ep   netem.Endpoint
+	port *netem.Port
+	got  []netem.Datagram
+}
+
+func newHost(n *netem.Network, ep netem.Endpoint, up netem.Uplink) *testHost {
+	h := &testHost{ep: ep}
+	h.port = netem.NewPort(ep, up, &netem.Meter{})
+	h.port.SetHandler(func(dg netem.Datagram) { h.got = append(h.got, dg) })
+	return h
+}
+
+func TestOutboundTranslationAndReply(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{D: time.Millisecond})
+	dev := NewDevice(n, PortRestrictedCone, 2, 0)
+
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+
+	var serverSaw []netem.Datagram
+	server := netem.NewPort(netem.Endpoint{IP: 3, Port: 7}, netem.DirectUplink{Net: n}, nil)
+	server.SetHandler(func(dg netem.Datagram) {
+		serverSaw = append(serverSaw, dg)
+		server.Send(dg.Src, []byte("pong"))
+	})
+	n.Attach(3, server)
+
+	inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("ping"))
+	s.Run()
+
+	if len(serverSaw) != 1 {
+		t.Fatalf("server saw %d datagrams, want 1", len(serverSaw))
+	}
+	if serverSaw[0].Src.IP != 2 {
+		t.Fatalf("source not translated: %v", serverSaw[0].Src)
+	}
+	if serverSaw[0].Src.Port == 9 {
+		t.Fatal("external port equals internal port (no translation?)")
+	}
+	if len(inside.got) != 1 || string(inside.got[0].Payload) != "pong" {
+		t.Fatalf("reply not delivered inside: %v", inside.got)
+	}
+	if inside.got[0].Dst != inside.ep {
+		t.Fatalf("reply dst not rewritten to internal endpoint: %v", inside.got[0].Dst)
+	}
+}
+
+func TestUnsolicitedInboundFiltered(t *testing.T) {
+	for _, typ := range []Type{RestrictedCone, PortRestrictedCone, Symmetric} {
+		t.Run(typ.String(), func(t *testing.T) {
+			s := simnet.New(1)
+			n := netem.New(s, netem.Fixed{})
+			dev := NewDevice(n, typ, 2, 0)
+			inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+			dev.AttachInside(inside.ep.IP, inside.port)
+
+			// Open a mapping by talking to server 3.
+			inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x"))
+			s.Run()
+			extPort := uint16(1024)
+
+			// A stranger (IP 4) probes the mapped port.
+			n.Send(netem.Datagram{Src: netem.Endpoint{IP: 4, Port: 1}, Dst: netem.Endpoint{IP: 2, Port: extPort}})
+			s.Run()
+			if len(inside.got) != 0 {
+				t.Fatalf("%v let a stranger through", typ)
+			}
+			if dev.DroppedInbound == 0 {
+				t.Fatal("drop not recorded")
+			}
+		})
+	}
+}
+
+func TestFullConeAcceptsAnyoneOnLiveMapping(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{})
+	dev := NewDevice(n, FullCone, 2, 0)
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+
+	inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x")) // open mapping
+	s.Run()
+	n.Send(netem.Datagram{Src: netem.Endpoint{IP: 4, Port: 1}, Dst: netem.Endpoint{IP: 2, Port: 1024}, Payload: []byte("hi")})
+	s.Run()
+	if len(inside.got) != 1 {
+		t.Fatalf("full cone blocked inbound from stranger: %d", len(inside.got))
+	}
+}
+
+func TestRestrictedConeAddressOnlyFilter(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{})
+	dev := NewDevice(n, RestrictedCone, 2, 0)
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+
+	inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x"))
+	s.Run()
+	// Same IP, different port: allowed by address-dependent filtering.
+	n.Send(netem.Datagram{Src: netem.Endpoint{IP: 3, Port: 99}, Dst: netem.Endpoint{IP: 2, Port: 1024}})
+	s.Run()
+	if len(inside.got) != 1 {
+		t.Fatal("restricted cone should filter on address only")
+	}
+	// Port-restricted would have blocked it.
+	s2 := simnet.New(1)
+	n2 := netem.New(s2, netem.Fixed{})
+	dev2 := NewDevice(n2, PortRestrictedCone, 2, 0)
+	inside2 := newHost(n2, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev2)
+	dev2.AttachInside(inside2.ep.IP, inside2.port)
+	inside2.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x"))
+	s2.Run()
+	n2.Send(netem.Datagram{Src: netem.Endpoint{IP: 3, Port: 99}, Dst: netem.Endpoint{IP: 2, Port: 1024}})
+	s2.Run()
+	if len(inside2.got) != 0 {
+		t.Fatal("port-restricted cone must filter on (address, port)")
+	}
+}
+
+func TestSymmetricMappingPerDestination(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{})
+	dev := NewDevice(n, Symmetric, 2, 0)
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+
+	seen := map[uint16]bool{}
+	for _, dst := range []netem.Endpoint{{IP: 3, Port: 1}, {IP: 3, Port: 2}, {IP: 4, Port: 1}} {
+		dst := dst
+		collect := netem.HandlerFunc(func(dg netem.Datagram) { seen[dg.Src.Port] = true })
+		n.Attach(dst.IP, collect)
+		inside.port.Send(dst, []byte("x"))
+		s.Run()
+	}
+	if len(seen) != 3 {
+		t.Fatalf("symmetric NAT reused ports across destinations: %v", seen)
+	}
+
+	// Cone NAT keeps a single external port for all destinations.
+	s2 := simnet.New(1)
+	n2 := netem.New(s2, netem.Fixed{})
+	dev2 := NewDevice(n2, FullCone, 2, 0)
+	inside2 := newHost(n2, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev2)
+	dev2.AttachInside(inside2.ep.IP, inside2.port)
+	seen2 := map[uint16]bool{}
+	for _, dst := range []netem.Endpoint{{IP: 3, Port: 1}, {IP: 4, Port: 1}} {
+		n2.Attach(dst.IP, netem.HandlerFunc(func(dg netem.Datagram) { seen2[dg.Src.Port] = true }))
+		inside2.port.Send(dst, []byte("x"))
+		s2.Run()
+	}
+	if len(seen2) != 1 {
+		t.Fatalf("cone NAT should use endpoint-independent mapping: %v", seen2)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{})
+	dev := NewDevice(n, FullCone, 2, time.Minute)
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+
+	inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x"))
+	s.Run()
+	if _, ok := dev.ExternalEndpoint(inside.ep); !ok {
+		t.Fatal("live mapping not reported")
+	}
+
+	// Within the lease: inbound passes.
+	s.RunUntil(30 * time.Second)
+	n.Send(netem.Datagram{Src: netem.Endpoint{IP: 5, Port: 5}, Dst: netem.Endpoint{IP: 2, Port: 1024}})
+	s.Run()
+	if len(inside.got) != 1 {
+		t.Fatal("inbound blocked within lease")
+	}
+
+	// After the lease: mapping dead, inbound dropped.
+	s.RunUntil(2 * time.Minute)
+	n.Send(netem.Datagram{Src: netem.Endpoint{IP: 5, Port: 5}, Dst: netem.Endpoint{IP: 2, Port: 1024}})
+	s.Run()
+	if len(inside.got) != 1 {
+		t.Fatal("inbound passed after lease expiry")
+	}
+	if _, ok := dev.ExternalEndpoint(inside.ep); ok {
+		t.Fatal("expired mapping still reported")
+	}
+
+	// Outbound traffic re-creates a mapping (port may be reallocated).
+	inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x"))
+	s.Run()
+	if _, ok := dev.ExternalEndpoint(inside.ep); !ok {
+		t.Fatal("mapping not re-created after expiry")
+	}
+}
+
+func TestOutboundRefreshesLease(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{})
+	dev := NewDevice(n, PortRestrictedCone, 2, time.Minute)
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+
+	server := netem.Endpoint{IP: 3, Port: 7}
+	n.Attach(3, netem.HandlerFunc(func(netem.Datagram) {}))
+	// Keep-alive every 40s < 60s lease for 5 minutes.
+	tk := s.Every(40*time.Second, func() { inside.port.Send(server, []byte("ka")) })
+	s.RunUntil(5 * time.Minute)
+	tk.Stop()
+	// Mapping must still be alive and accept the server.
+	n.Send(netem.Datagram{Src: server, Dst: netem.Endpoint{IP: 2, Port: 1024}})
+	s.Run()
+	if len(inside.got) != 1 {
+		t.Fatal("refreshed mapping did not survive")
+	}
+}
+
+func TestExternalEndpointSymmetricUnstable(t *testing.T) {
+	s := simnet.New(1)
+	n := netem.New(s, netem.Fixed{})
+	dev := NewDevice(n, Symmetric, 2, 0)
+	inside := newHost(n, netem.Endpoint{IP: netem.PrivateBase + 1, Port: 9}, dev)
+	dev.AttachInside(inside.ep.IP, inside.port)
+	inside.port.Send(netem.Endpoint{IP: 3, Port: 7}, []byte("x"))
+	s.Run()
+	if _, ok := dev.ExternalEndpoint(inside.ep); ok {
+		t.Fatal("symmetric NAT must not report a stable external endpoint")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	want := map[Type]string{
+		None: "public", FullCone: "full_cone", RestrictedCone: "restricted_cone",
+		PortRestrictedCone: "port_restricted_cone", Symmetric: "sym",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(typ), typ.String(), s)
+		}
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should still stringify")
+	}
+}
+
+func TestCanPunchMatrix(t *testing.T) {
+	// Expected matrix per Ford et al.
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{None, Symmetric, true},
+		{FullCone, FullCone, true},
+		{FullCone, Symmetric, true},
+		{RestrictedCone, Symmetric, true},
+		{PortRestrictedCone, PortRestrictedCone, true},
+		{PortRestrictedCone, Symmetric, false},
+		{Symmetric, PortRestrictedCone, false},
+		{Symmetric, Symmetric, false},
+	}
+	for _, c := range cases {
+		if got := CanPunch(c.a, c.b); got != c.want {
+			t.Errorf("CanPunch(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := CanPunch(c.b, c.a); got != c.want {
+			t.Errorf("CanPunch not symmetric for (%v,%v)", c.a, c.b)
+		}
+		if NeedsRelay(c.a, c.b) == c.want {
+			t.Errorf("NeedsRelay(%v,%v) inconsistent with CanPunch", c.a, c.b)
+		}
+	}
+}

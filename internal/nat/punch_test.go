@@ -1,0 +1,126 @@
+package nat
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"whisper/internal/netem"
+	"whisper/internal/simnet"
+)
+
+// punchPeer is a minimal STUN+hole-punch state machine used to validate
+// that traversal outcomes emerge from the emulation itself.
+type punchPeer struct {
+	name      string
+	port      *netem.Port
+	rv        netem.Endpoint
+	peerEP    netem.Endpoint // last known peer endpoint (advertised, then observed)
+	gotDirect bool
+	pings     int
+}
+
+func (p *punchPeer) start(s *simnet.Sim) {
+	p.port.SetHandler(func(dg netem.Datagram) {
+		switch string(dg.Payload[:4]) {
+		case "peer":
+			// RV told us the peer's (advertised) endpoint.
+			var ip uint32
+			var port uint16
+			fmt.Sscanf(string(dg.Payload), "peer %d %d", &ip, &port)
+			p.peerEP = netem.Endpoint{IP: netem.IP(ip), Port: port}
+			p.pingLoop(s)
+		case "ping":
+			p.gotDirect = true
+			p.peerEP = dg.Src // port learning: reply to the observed source
+			p.port.Send(dg.Src, []byte("pong"))
+		case "pong":
+			p.gotDirect = true
+			p.peerEP = dg.Src
+		}
+	})
+	p.port.Send(p.rv, []byte("reg."))
+}
+
+func (p *punchPeer) pingLoop(s *simnet.Sim) {
+	if p.pings >= 10 || p.gotDirect && p.pings >= 3 {
+		return
+	}
+	p.pings++
+	p.port.Send(p.peerEP, []byte("ping"))
+	s.After(10*time.Millisecond, func() { p.pingLoop(s) })
+}
+
+// runPunch executes the rendezvous-assisted hole-punch handshake between
+// hosts behind NATs of types ta and tb, and reports whether both sides
+// ended up exchanging datagrams directly.
+func runPunch(t *testing.T, ta, tb Type) bool {
+	t.Helper()
+	s := simnet.New(99)
+	n := netem.New(s, netem.Fixed{D: 2 * time.Millisecond})
+	rvEP := netem.Endpoint{IP: 1, Port: 1}
+
+	makePeer := func(name string, typ Type, extIP netem.IP, privOff netem.IP) *punchPeer {
+		var up netem.Uplink
+		var local netem.Endpoint
+		if typ == None {
+			local = netem.Endpoint{IP: extIP, Port: 100}
+			up = netem.DirectUplink{Net: n}
+		} else {
+			dev := NewDevice(n, typ, extIP, 0)
+			local = netem.Endpoint{IP: netem.PrivateBase + privOff, Port: 100}
+			up = dev
+			p := &punchPeer{name: name, rv: rvEP}
+			p.port = netem.NewPort(local, up, nil)
+			dev.AttachInside(local.IP, p.port)
+			return p
+		}
+		p := &punchPeer{name: name, rv: rvEP}
+		p.port = netem.NewPort(local, up, nil)
+		n.Attach(local.IP, p.port)
+		return p
+	}
+
+	a := makePeer("a", ta, 2, 1)
+	b := makePeer("b", tb, 3, 2)
+
+	// Rendezvous: records observed endpoints, then introduces the peers.
+	var seen []netem.Endpoint
+	rvPort := netem.NewPort(rvEP, netem.DirectUplink{Net: n}, nil)
+	rvPort.SetHandler(func(dg netem.Datagram) {
+		seen = append(seen, dg.Src)
+		if len(seen) == 2 {
+			intro := func(to, peer netem.Endpoint) {
+				rvPort.Send(to, []byte(fmt.Sprintf("peer %d %d", uint32(peer.IP), peer.Port)))
+			}
+			intro(seen[0], seen[1])
+			intro(seen[1], seen[0])
+		}
+	})
+	n.Attach(rvEP.IP, rvPort)
+
+	a.start(s)
+	s.After(time.Millisecond, func() { b.start(s) })
+	s.RunUntil(2 * time.Second)
+	return a.gotDirect && b.gotDirect
+}
+
+// TestPunchMatchesMatrix drives the real handshake over the emulated
+// devices for every NAT type pair and checks the outcome against the
+// documented CanPunch matrix. This is the central validation that the
+// emulation reproduces real-world traversal behaviour.
+func TestPunchMatchesMatrix(t *testing.T) {
+	all := append([]Type{None}, EmulatedTypes...)
+	for _, ta := range all {
+		for _, tb := range all {
+			ta, tb := ta, tb
+			t.Run(fmt.Sprintf("%v_vs_%v", ta, tb), func(t *testing.T) {
+				got := runPunch(t, ta, tb)
+				want := CanPunch(ta, tb)
+				if got != want {
+					t.Fatalf("emulated punch %v vs %v = %v, matrix says %v", ta, tb, got, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cluster models the paper's first testbed: 22 machines on a 1 Gbps
+// switched LAN. One-way latency is sub-millisecond with small jitter and
+// a bandwidth-proportional serialization term; no loss.
+type Cluster struct {
+	// Base is the minimum one-way latency. Defaults to 100µs if zero.
+	Base time.Duration
+	// Jitter is the width of the uniform jitter window. Defaults to
+	// 200µs if zero.
+	Jitter time.Duration
+}
+
+// Delay implements LatencyModel.
+func (c Cluster) Delay(rng *rand.Rand, _, _ IP, size int) time.Duration {
+	base := c.Base
+	if base == 0 {
+		base = 100 * time.Microsecond
+	}
+	jitter := c.Jitter
+	if jitter == 0 {
+		jitter = 200 * time.Microsecond
+	}
+	// 1 Gbps serialization: 8 ns per byte.
+	ser := time.Duration(size) * 8 * time.Nanosecond
+	return base + time.Duration(rng.Int63n(int64(jitter))) + ser
+}
+
+// LossProb implements LatencyModel. Cluster links are lossless.
+func (Cluster) LossProb(_, _ IP) float64 { return 0 }
+
+// PlanetLab models the paper's second testbed: a 400-node global slice
+// with heterogeneous, often heavily loaded machines. Properties modeled:
+//
+//   - per-pair base RTT: a deterministic function of the two addresses,
+//     one-way in [MinBase, MaxBase) — geography is stable over a run;
+//   - exponential queueing jitter with mean Jitter;
+//   - occasional long stalls (SpikeProb chance of an extra delay up to
+//     SpikeMax), reflecting overloaded hosts;
+//   - per-node "slowness": a fraction of nodes add a processing delay to
+//     everything they send, as observed on loaded PlanetLab machines;
+//   - datagram loss with probability Loss;
+//   - 10 Mbps-class serialization (880 ns per byte).
+type PlanetLab struct {
+	MinBase   time.Duration // default 20ms
+	MaxBase   time.Duration // default 150ms
+	Jitter    time.Duration // default 15ms (exponential mean)
+	SpikeProb float64       // default 0.03
+	SpikeMax  time.Duration // default 800ms
+	SlowFrac  float64       // default 0.15 of nodes are slow
+	SlowDelay time.Duration // default 60ms extra (mean, exponential)
+	Loss      float64       // default 0.02
+}
+
+// DefaultPlanetLab returns the model parameterization used by the
+// experiment harness for "PlanetLab" figures.
+func DefaultPlanetLab() PlanetLab {
+	return PlanetLab{
+		MinBase:   20 * time.Millisecond,
+		MaxBase:   150 * time.Millisecond,
+		Jitter:    15 * time.Millisecond,
+		SpikeProb: 0.03,
+		SpikeMax:  800 * time.Millisecond,
+		SlowFrac:  0.15,
+		SlowDelay: 60 * time.Millisecond,
+		Loss:      0.02,
+	}
+}
+
+// pairHash mixes two addresses into a stable 64-bit value, symmetric in
+// its arguments so that A→B and B→A share a base latency.
+func pairHash(a, b IP) uint64 {
+	x, y := uint64(a), uint64(b)
+	if x > y {
+		x, y = y, x
+	}
+	h := x*0x9e3779b97f4a7c15 ^ y*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+func ipHash(a IP) uint64 {
+	h := uint64(a) * 0x9e3779b97f4a7c15
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	return h
+}
+
+// Delay implements LatencyModel.
+func (p PlanetLab) Delay(rng *rand.Rand, src, dst IP, size int) time.Duration {
+	minB, maxB := p.MinBase, p.MaxBase
+	if minB == 0 {
+		minB = 20 * time.Millisecond
+	}
+	if maxB == 0 {
+		maxB = 150 * time.Millisecond
+	}
+	jit := p.Jitter
+	if jit == 0 {
+		jit = 15 * time.Millisecond
+	}
+	span := int64(maxB - minB)
+	if span <= 0 {
+		span = 1
+	}
+	base := minB + time.Duration(int64(pairHash(src, dst)%uint64(span)))
+	d := base + time.Duration(rng.ExpFloat64()*float64(jit))
+	if p.SpikeProb > 0 && rng.Float64() < p.SpikeProb {
+		max := p.SpikeMax
+		if max == 0 {
+			max = 800 * time.Millisecond
+		}
+		d += time.Duration(rng.Int63n(int64(max)))
+	}
+	if p.SlowFrac > 0 && p.slowNode(src) {
+		sd := p.SlowDelay
+		if sd == 0 {
+			sd = 60 * time.Millisecond
+		}
+		d += time.Duration(rng.ExpFloat64() * float64(sd))
+	}
+	// ~10 Mbps serialization.
+	d += time.Duration(size) * 880 * time.Nanosecond
+	return d
+}
+
+func (p PlanetLab) slowNode(ip IP) bool {
+	return float64(ipHash(ip)%10000)/10000 < p.SlowFrac
+}
+
+// LossProb implements LatencyModel.
+func (p PlanetLab) LossProb(_, _ IP) float64 { return p.Loss }
+
+// Fixed is a trivial model with constant delay and no loss, useful in
+// unit tests that assert exact timings.
+type Fixed struct {
+	D time.Duration
+}
+
+// Delay implements LatencyModel.
+func (f Fixed) Delay(_ *rand.Rand, _, _ IP, _ int) time.Duration { return f.D }
+
+// LossProb implements LatencyModel.
+func (Fixed) LossProb(_, _ IP) float64 { return 0 }
+
+// Lossy wraps another model, overriding loss with probability P.
+type Lossy struct {
+	Model LatencyModel
+	P     float64
+}
+
+// Delay implements LatencyModel.
+func (l Lossy) Delay(rng *rand.Rand, src, dst IP, size int) time.Duration {
+	return l.Model.Delay(rng, src, dst, size)
+}
+
+// LossProb implements LatencyModel.
+func (l Lossy) LossProb(_, _ IP) float64 { return l.P }

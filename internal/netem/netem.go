@@ -1,0 +1,154 @@
+// Package netem emulates a wide-area datagram network on top of the
+// simnet virtual clock: addressed endpoints, configurable latency and
+// loss models (cluster and PlanetLab-like), and per-node bandwidth
+// metering.
+//
+// The unit moved around is a Datagram. Entities attach a Handler to an
+// IP; a NAT device (package nat) attaches at its external IP and relays
+// to hosts on private IPs behind it. Bandwidth is metered at the Port
+// boundary — the interface a protocol stack uses — so relay traffic is
+// charged to the relay node, mirroring how the paper accounts load.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whisper/internal/simnet"
+)
+
+// IP is a compact network address. Addresses below PrivateBase are
+// public; addresses at or above it are private (behind a NAT).
+type IP uint32
+
+// PrivateBase is the first private IP. The split lets assertions and
+// debug output distinguish P-node interfaces from N-node interfaces.
+const PrivateBase IP = 1 << 24
+
+// Public reports whether the address is publicly routable.
+func (ip IP) Public() bool { return ip < PrivateBase }
+
+func (ip IP) String() string {
+	if ip.Public() {
+		return fmt.Sprintf("P%d", uint32(ip))
+	}
+	return fmt.Sprintf("n%d", uint32(ip-PrivateBase))
+}
+
+// Endpoint is an (IP, port) pair, the address of a datagram socket.
+type Endpoint struct {
+	IP   IP
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%v:%d", e.IP, e.Port) }
+
+// IsZero reports whether the endpoint is unset.
+func (e Endpoint) IsZero() bool { return e == Endpoint{} }
+
+// Datagram is a single unreliable message.
+type Datagram struct {
+	Src     Endpoint
+	Dst     Endpoint
+	Payload []byte
+}
+
+// WireSize returns the bytes the datagram occupies on the wire,
+// including the emulated IP+UDP header overhead.
+func (d Datagram) WireSize() int { return len(d.Payload) + HeaderOverhead }
+
+// HeaderOverhead is the per-datagram header cost (IPv4 20 + UDP 8).
+const HeaderOverhead = 28
+
+// Handler receives datagrams addressed to an attached IP.
+type Handler interface {
+	HandleDatagram(dg Datagram)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(Datagram)
+
+// HandleDatagram calls f(dg).
+func (f HandlerFunc) HandleDatagram(dg Datagram) { f(dg) }
+
+// LatencyModel determines one-way delay and loss probability between two
+// public interfaces.
+type LatencyModel interface {
+	// Delay returns the one-way latency for a datagram of size bytes.
+	Delay(rng *rand.Rand, src, dst IP, size int) time.Duration
+	// LossProb returns the probability in [0,1] that the datagram is
+	// dropped in transit.
+	LossProb(src, dst IP) float64
+}
+
+// Network routes datagrams between attached handlers with model-driven
+// latency and loss. All methods must be called from simulation events.
+type Network struct {
+	sim     *simnet.Sim
+	model   LatencyModel
+	hosts   map[IP]Handler
+	tap     func(Datagram)
+	dropped uint64
+	sent    uint64
+}
+
+// New creates a network using the given latency model.
+func New(sim *simnet.Sim, model LatencyModel) *Network {
+	return &Network{sim: sim, model: model, hosts: make(map[IP]Handler)}
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *simnet.Sim { return n.sim }
+
+// Attach registers h to receive datagrams addressed to ip, replacing
+// any previous handler.
+func (n *Network) Attach(ip IP, h Handler) {
+	if h == nil {
+		panic("netem: attach nil handler")
+	}
+	n.hosts[ip] = h
+}
+
+// Detach removes the handler for ip. In-flight datagrams to ip are
+// silently dropped at delivery time.
+func (n *Network) Detach(ip IP) { delete(n.hosts, ip) }
+
+// Attached reports whether some handler is attached at ip.
+func (n *Network) Attached(ip IP) bool {
+	_, ok := n.hosts[ip]
+	return ok
+}
+
+// Stats reports totals of datagrams sent and dropped (loss + dead
+// destination) since creation.
+func (n *Network) Stats() (sent, dropped uint64) { return n.sent, n.dropped }
+
+// SetTap installs an observer invoked for every datagram accepted for
+// transmission (before loss). Tests use it to play the paper's passive
+// attacker, who can capture traffic on links.
+func (n *Network) SetTap(tap func(Datagram)) { n.tap = tap }
+
+// Send routes dg through the emulated network. The datagram is
+// delivered asynchronously after the model's latency, or dropped per the
+// model's loss probability. Payload ownership passes to the network.
+func (n *Network) Send(dg Datagram) {
+	n.sent++
+	if n.tap != nil {
+		n.tap(dg)
+	}
+	rng := n.sim.Rand()
+	if p := n.model.LossProb(dg.Src.IP, dg.Dst.IP); p > 0 && rng.Float64() < p {
+		n.dropped++
+		return
+	}
+	delay := n.model.Delay(rng, dg.Src.IP, dg.Dst.IP, dg.WireSize())
+	n.sim.After(delay, func() {
+		h, ok := n.hosts[dg.Dst.IP]
+		if !ok {
+			n.dropped++
+			return
+		}
+		h.HandleDatagram(dg)
+	})
+}

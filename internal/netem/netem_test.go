@@ -1,0 +1,217 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whisper/internal/simnet"
+)
+
+func TestSendDeliversWithDelay(t *testing.T) {
+	s := simnet.New(1)
+	n := New(s, Fixed{D: 5 * time.Millisecond})
+	var gotAt time.Duration
+	var got Datagram
+	n.Attach(2, HandlerFunc(func(dg Datagram) {
+		gotAt = s.Now()
+		got = dg
+	}))
+	n.Send(Datagram{Src: Endpoint{1, 10}, Dst: Endpoint{2, 20}, Payload: []byte("hi")})
+	s.Run()
+	if gotAt != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", gotAt)
+	}
+	if string(got.Payload) != "hi" || got.Src != (Endpoint{1, 10}) {
+		t.Fatalf("wrong datagram: %+v", got)
+	}
+}
+
+func TestSendToDetachedIsDropped(t *testing.T) {
+	s := simnet.New(1)
+	n := New(s, Fixed{})
+	n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{9, 9}})
+	s.Run()
+	sent, dropped := n.Stats()
+	if sent != 1 || dropped != 1 {
+		t.Fatalf("sent=%d dropped=%d, want 1,1", sent, dropped)
+	}
+}
+
+func TestDetachMidFlight(t *testing.T) {
+	s := simnet.New(1)
+	n := New(s, Fixed{D: time.Second})
+	delivered := false
+	n.Attach(2, HandlerFunc(func(Datagram) { delivered = true }))
+	n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{2, 1}})
+	s.After(500*time.Millisecond, func() { n.Detach(2) })
+	s.Run()
+	if delivered {
+		t.Fatal("datagram delivered to detached host")
+	}
+}
+
+func TestLossyModelDropsApproximately(t *testing.T) {
+	s := simnet.New(7)
+	n := New(s, Lossy{Model: Fixed{}, P: 0.5})
+	received := 0
+	n.Attach(2, HandlerFunc(func(Datagram) { received++ }))
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{2, 1}})
+	}
+	s.Run()
+	if received < total/2-150 || received > total/2+150 {
+		t.Fatalf("received %d of %d with 50%% loss, want ~%d", received, total, total/2)
+	}
+}
+
+func TestIPPublicSplit(t *testing.T) {
+	if !IP(5).Public() {
+		t.Fatal("IP(5) should be public")
+	}
+	if (PrivateBase + 3).Public() {
+		t.Fatal("private IP reported public")
+	}
+	if IP(5).String() != "P5" {
+		t.Fatalf("String = %q", IP(5).String())
+	}
+	if (PrivateBase + 3).String() != "n3" {
+		t.Fatalf("String = %q", (PrivateBase + 3).String())
+	}
+}
+
+func TestClusterDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Cluster{}
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(rng, 1, 2, 100)
+		if d < 100*time.Microsecond || d > 2*time.Millisecond {
+			t.Fatalf("cluster delay %v out of expected range", d)
+		}
+	}
+	if m.LossProb(1, 2) != 0 {
+		t.Fatal("cluster should be lossless")
+	}
+}
+
+func TestPlanetLabDelayProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := DefaultPlanetLab()
+	// Base latency is symmetric and stable per pair.
+	var min1, min2 time.Duration = time.Hour, time.Hour
+	for i := 0; i < 300; i++ {
+		if d := m.Delay(rng, 3, 4, 0); d < min1 {
+			min1 = d
+		}
+		if d := m.Delay(rng, 4, 3, 0); d < min2 {
+			min2 = d
+		}
+	}
+	diff := min1 - min2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 20*time.Millisecond {
+		t.Fatalf("asymmetric base latency: %v vs %v", min1, min2)
+	}
+	if min1 < 20*time.Millisecond {
+		t.Fatalf("one-way base %v below MinBase", min1)
+	}
+	// Larger datagrams take longer on average (serialization term).
+	small := m.Delay(rng, 3, 4, 0)
+	_ = small
+	var sumSmall, sumBig time.Duration
+	for i := 0; i < 500; i++ {
+		sumSmall += m.Delay(rng, 3, 4, 100)
+		sumBig += m.Delay(rng, 3, 4, 20000)
+	}
+	if sumBig <= sumSmall {
+		t.Fatal("serialization term missing: big datagrams not slower")
+	}
+}
+
+// Property: pairHash is symmetric, so base latency never depends on
+// direction for any address pair.
+func TestPropertyPairHashSymmetric(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return pairHash(IP(a), IP(b)) == pairHash(IP(b), IP(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortMetering(t *testing.T) {
+	s := simnet.New(1)
+	n := New(s, Fixed{})
+	var ma, mb Meter
+	pa := NewPort(Endpoint{1, 1}, DirectUplink{n}, &ma)
+	pb := NewPort(Endpoint{2, 1}, DirectUplink{n}, &mb)
+	n.Attach(1, pa)
+	n.Attach(2, pb)
+	var received []byte
+	pb.SetHandler(func(dg Datagram) { received = dg.Payload })
+	payload := make([]byte, 100)
+	pa.Send(Endpoint{2, 1}, payload)
+	s.Run()
+	if received == nil {
+		t.Fatal("payload not delivered")
+	}
+	wantWire := uint64(100 + HeaderOverhead)
+	if ma.UpBytes != wantWire || ma.UpMsgs != 1 {
+		t.Fatalf("sender meter %+v, want %d up bytes", ma, wantWire)
+	}
+	if mb.DownBytes != wantWire || mb.DownMsgs != 1 {
+		t.Fatalf("receiver meter %+v, want %d down bytes", mb, wantWire)
+	}
+	if ma.UpKB() != float64(wantWire)/1024 {
+		t.Fatalf("UpKB = %v", ma.UpKB())
+	}
+	ma.Reset()
+	if ma.UpBytes != 0 || ma.UpMsgs != 0 {
+		t.Fatal("Reset did not zero meter")
+	}
+}
+
+func TestPortClose(t *testing.T) {
+	s := simnet.New(1)
+	n := New(s, Fixed{})
+	var m Meter
+	p := NewPort(Endpoint{1, 1}, DirectUplink{n}, &m)
+	n.Attach(1, p)
+	got := 0
+	p.SetHandler(func(Datagram) { got++ })
+	p.Close()
+	p.Send(Endpoint{2, 1}, []byte("x"))
+	p.HandleDatagram(Datagram{Src: Endpoint{2, 1}, Dst: Endpoint{1, 1}})
+	s.Run()
+	if got != 0 || m.UpBytes != 0 || m.DownBytes != 0 {
+		t.Fatalf("closed port still active: got=%d meter=%+v", got, m)
+	}
+	if !p.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestNilMeterSafe(t *testing.T) {
+	var m *Meter
+	m.AddUp(10) // must not panic
+	m.AddDown(10)
+}
+
+func BenchmarkNetworkSendDeliver(b *testing.B) {
+	s := simnet.New(1)
+	n := New(s, Cluster{})
+	n.Attach(2, HandlerFunc(func(Datagram) {}))
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{2, 1}, Payload: payload})
+		if s.Pending() > 8192 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

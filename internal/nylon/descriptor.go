@@ -1,0 +1,79 @@
+// Package nylon implements the NAT-resilient peer sampling service the
+// WHISPER stack runs on (Kermarrec et al., "NAT-resilient gossip peer
+// sampling", the paper's [21]): a Cyclon-style gossip PSS whose view
+// entries carry, for NATted nodes, a chain of rendezvous relays through
+// which the node can be reached. The layer maintains the invariant the
+// paper relies on: for any node B in the view of a node A there exists
+// a way, known to Nylon, to open a communication channel from A to B.
+//
+// On top of the basic PSS the package provides: UDP hole punching to
+// shorten relay routes to direct contacts when the NAT-type pair allows
+// it, relay forwarding for the pairs where it does not, STUN-style
+// external-endpoint discovery against P-nodes, the Π-biased view
+// truncation of WHISPER §III-B-1, and public-key piggybacking for the
+// key sampling service of §III-B-2.
+package nylon
+
+import (
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/wire"
+)
+
+// MaxRoute bounds relay chains; descriptors with longer routes are not
+// merged into views. Short routes are the common case because entries
+// are refreshed every cycle with fresh (shorter) paths.
+const MaxRoute = 4
+
+// Descriptor identifies a node and how to reach it.
+type Descriptor struct {
+	ID     identity.NodeID
+	Public bool
+	// Contact is the endpoint to send to: the node's own address for
+	// P-nodes, its NAT's external endpoint for N-nodes (meaningful only
+	// to peers the NAT will let through; relays are the general path).
+	Contact netem.Endpoint
+	// Route is the rendezvous chain to traverse for N-nodes: the local
+	// node must have a live contact for Route[0], Route[0] for Route[1],
+	// and so on; the last relay has a live contact for ID. Empty means
+	// direct contact is expected to work.
+	Route []identity.NodeID
+}
+
+// Key implements pss.Item.
+func (d Descriptor) Key() identity.NodeID { return d.ID }
+
+// IsPublic implements pss.Item.
+func (d Descriptor) IsPublic() bool { return d.Public }
+
+// WithRoute returns a copy of d with the given relay chain.
+func (d Descriptor) WithRoute(route []identity.NodeID) Descriptor {
+	d.Route = append([]identity.NodeID(nil), route...)
+	return d
+}
+
+func (d Descriptor) encode(w *wire.Writer) {
+	w.U64(uint64(d.ID))
+	w.Bool(d.Public)
+	w.U32(uint32(d.Contact.IP))
+	w.U16(d.Contact.Port)
+	w.U8(uint8(len(d.Route)))
+	for _, r := range d.Route {
+		w.U64(uint64(r))
+	}
+}
+
+func decodeDescriptor(r *wire.Reader) Descriptor {
+	var d Descriptor
+	d.ID = identity.NodeID(r.U64())
+	d.Public = r.Bool()
+	d.Contact = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+	n := int(r.U8())
+	if n > 16 { // hostile input guard; genuine routes are ≤ MaxRoute
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		d.Route = append(d.Route, identity.NodeID(r.U64()))
+	}
+	return d
+}

@@ -1,0 +1,134 @@
+package nylon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/simnet"
+	"whisper/internal/wire"
+)
+
+// newBareNode builds a minimal public node for white-box input testing.
+func newBareNode(t testing.TB) *Node {
+	t.Helper()
+	s := simnet.New(1)
+	nw := netem.New(s, netem.Fixed{})
+	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
+	return NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil, Config{KeySampling: true, KeyBlobSize: 256})
+}
+
+// TestDispatchNeverPanicsOnGarbage feeds arbitrary datagrams into the
+// protocol dispatcher: hostile or corrupted traffic must be dropped,
+// never crash a node.
+func TestDispatchNeverPanicsOnGarbage(t *testing.T) {
+	n := newBareNode(t)
+	f := func(payload []byte, srcIP uint32, srcPort uint16) bool {
+		n.dispatch(netem.Datagram{
+			Src:     netem.Endpoint{IP: netem.IP(srcIP), Port: srcPort},
+			Dst:     n.Addr(),
+			Payload: payload,
+		})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatchTypedGarbage prefixes random bodies with every valid
+// message tag, exercising each decoder's error paths.
+func TestDispatchTypedGarbage(t *testing.T) {
+	n := newBareNode(t)
+	rng := rand.New(rand.NewSource(43))
+	tags := []uint8{msgShuffleReq, msgShuffleResp, msgRelay, msgEchoReq, msgEchoResp,
+		msgPunchReq, msgPunchProbe, msgProbeAck, msgKeyReq, msgKeyResp, MsgApp, 0, 0xFF}
+	for _, tag := range tags {
+		for i := 0; i < 200; i++ {
+			body := make([]byte, rng.Intn(200))
+			rng.Read(body)
+			n.dispatch(netem.Datagram{
+				Src:     netem.Endpoint{IP: 9, Port: 9},
+				Dst:     n.Addr(),
+				Payload: append([]byte{tag}, body...),
+			})
+		}
+	}
+	// The node is still functional afterwards.
+	if n.Stopped() {
+		t.Fatal("garbage stopped the node")
+	}
+}
+
+// TestHostileRouteLengths ensures oversized relay chains in descriptors
+// and paths are bounded by the decoders.
+func TestHostileRouteLengths(t *testing.T) {
+	// A descriptor claiming a 255-hop route must decode bounded.
+	w := wire.NewWriter(0)
+	w.U64(7)
+	w.Bool(false)
+	w.U32(1)
+	w.U16(1)
+	w.U8(255)
+	for i := 0; i < 255; i++ {
+		w.U64(uint64(i))
+	}
+	d := decodeDescriptor(wire.NewReader(w.Bytes()))
+	if len(d.Route) > 16 {
+		t.Fatalf("hostile route length %d not bounded", len(d.Route))
+	}
+}
+
+// TestRouteOnlyContactHasNoEndpoint is a regression test: learnRoute
+// creates contact entries that carry only a relay chain. Such entries
+// must never be reported as direct-send targets — an earlier version
+// returned their zero endpoint and datagrams vanished into the void.
+func TestRouteOnlyContactHasNoEndpoint(t *testing.T) {
+	n := newBareNode(t)
+	n.learnRoute(42, []identity.NodeID{7})
+	if _, ok := n.contactEndpoint(42); ok {
+		t.Fatal("route-only contact reported a (zero) direct endpoint")
+	}
+	if n.usableContact(42) {
+		t.Fatal("route-only contact considered directly usable")
+	}
+	// The stored route itself is unusable too until relay 7 is a live
+	// contact.
+	if _, ok := n.storedRoute(42); ok {
+		t.Fatal("stored route usable without a live first relay")
+	}
+	n.learnContact(7, netem.Endpoint{IP: 9, Port: 9}, true)
+	route, ok := n.storedRoute(42)
+	if !ok || len(route) != 1 || route[0] != 7 {
+		t.Fatalf("stored route = %v, %v", route, ok)
+	}
+}
+
+// TestContactTTLExpiry verifies contacts age out with virtual time and
+// that public contacts get the longer liveness window.
+func TestContactTTLExpiry(t *testing.T) {
+	s := simnet.New(1)
+	nw := netem.New(s, netem.Fixed{})
+	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
+	n := NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
+		Config{ContactTTL: time.Minute})
+	n.learnContact(2, netem.Endpoint{IP: 9, Port: 9}, false) // NATted peer
+	n.learnContact(3, netem.Endpoint{IP: 8, Port: 8}, true)  // public peer
+	if !n.usableContact(2) || !n.usableContact(3) {
+		t.Fatal("fresh contacts unusable")
+	}
+	s.RunUntil(2 * time.Minute)
+	if n.usableContact(2) {
+		t.Fatal("NATted contact survived past its TTL")
+	}
+	if !n.usableContact(3) {
+		t.Fatal("public contact expired too early (should get 4x TTL)")
+	}
+	s.RunUntil(10 * time.Minute)
+	if n.usableContact(3) {
+		t.Fatal("public contact never expires")
+	}
+}

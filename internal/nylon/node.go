@@ -1,0 +1,488 @@
+package nylon
+
+import (
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/keyss"
+	"whisper/internal/nat"
+	"whisper/internal/netem"
+	"whisper/internal/pss"
+	"whisper/internal/simnet"
+	"whisper/internal/wire"
+)
+
+// Config parameterizes a Nylon node. The zero value is completed with
+// the paper's defaults by withDefaults.
+type Config struct {
+	// ViewSize is c, the partial view bound (paper: 10).
+	ViewSize int
+	// ExchangeSize is the number of entries per shuffle buffer
+	// (self included; paper exchanges subsets of the view).
+	ExchangeSize int
+	// Cycle is the PSS period (paper: 10 s).
+	Cycle time.Duration
+	// Jitter desynchronizes node cycles (default Cycle/2).
+	Jitter time.Duration
+	// MinPublic is Π, the minimum number of P-nodes kept per view
+	// (§III-B-1). Zero = unbiased baseline.
+	MinPublic int
+	// CapExcessPublic enables the second bias that sheds P-nodes above
+	// the Π threshold (ablation option, see pss.SelectOpts).
+	CapExcessPublic bool
+	// KeySampling piggybacks public keys on shuffles (§III-B-2).
+	KeySampling bool
+	// KeyBlobSize is the on-wire size of one key (default 1 KB).
+	KeyBlobSize int
+	// ShuffleTimeout bounds how long an initiator waits for a response.
+	ShuffleTimeout time.Duration
+	// Punch enables hole punching to shorten relay routes (default on;
+	// DisablePunch turns it off for ablations).
+	DisablePunch bool
+	// ContactTTL is how long a direct contact is considered usable
+	// after the last inbound datagram; it must stay below the NAT lease.
+	ContactTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViewSize == 0 {
+		c.ViewSize = 10
+	}
+	if c.ExchangeSize == 0 {
+		c.ExchangeSize = 5
+	}
+	if c.Cycle == 0 {
+		c.Cycle = 10 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = c.Cycle / 2
+	}
+	if c.KeyBlobSize == 0 {
+		c.KeyBlobSize = keyss.DefaultKeyBlobSize
+	}
+	if c.ShuffleTimeout == 0 {
+		c.ShuffleTimeout = 3 * time.Second
+	}
+	if c.ContactTTL == 0 {
+		c.ContactTTL = 30 * time.Minute
+	}
+	return c
+}
+
+// Stats counts protocol events for the evaluation harness.
+type Stats struct {
+	ShufflesInitiated uint64
+	// ShufflesViaRelays counts initiated shuffles whose request had to
+	// travel through a rendezvous chain (no direct association existed).
+	ShufflesViaRelays uint64
+	ShufflesCompleted uint64
+	ShufflesTimedOut  uint64
+	ShufflesServed    uint64
+	RouteFailures     uint64
+	RelaysForwarded   uint64
+	RelayDrops        uint64
+	PunchAttempts     uint64
+	PunchSuccesses    uint64
+	EchoUpdates       uint64
+}
+
+// ExchangeEvent notifies the layer above (the WCL's connection backlog)
+// of a completed bidirectional gossip exchange (§III-A: only successful
+// gossip exchanges feed the CB).
+type ExchangeEvent struct {
+	// Peer describes the partner, with a Route usable from this node.
+	Peer Descriptor
+	// Path is the relay chain used ([] for a direct exchange).
+	Path []identity.NodeID
+	// Initiated is true on the requester side.
+	Initiated bool
+}
+
+type pendingShuffle struct {
+	partner Descriptor
+	path    []identity.NodeID
+	sent    []pss.Entry[Descriptor]
+	timer   *simnet.Timer
+}
+
+// Node is one Nylon PSS participant.
+type Node struct {
+	cfg   Config
+	sim   *simnet.Sim
+	net   *netem.Network
+	ident *identity.Identity
+	port  *netem.Port
+	typ   nat.Type
+	dev   *nat.Device
+
+	view     *pss.View[Descriptor]
+	keys     *keyss.Store
+	contacts map[identity.NodeID]*contact
+	pending  map[uint32]*pendingShuffle
+	seq      uint32
+
+	selfExt   netem.Endpoint
+	selfExtAt time.Duration
+	ticker    *simnet.Ticker
+	stopped   bool
+
+	// OnExchange, if set, is invoked after every successful exchange.
+	OnExchange func(ev ExchangeEvent)
+	// OnKeyExchange, if set, is invoked when an explicit key exchange
+	// with a P-node completes (the WCL inserts it into the CB then).
+	OnKeyExchange func(peer Descriptor)
+	// AppHandler receives MsgApp payloads for the layer above.
+	AppHandler func(src netem.Endpoint, payload []byte)
+
+	// Stats exposes protocol counters.
+	Stats Stats
+}
+
+// NewNode wires a node to the network. For N-nodes pass the NAT device
+// and a private addr; for P-nodes pass dev nil and a public addr. The
+// node registers itself with the network (or device) immediately but
+// gossips only after Start.
+func NewNode(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr netem.Endpoint, dev *nat.Device, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		sim:      nw.Sim(),
+		net:      nw,
+		ident:    ident,
+		typ:      typ,
+		dev:      dev,
+		view:     pss.NewView[Descriptor](cfg.ViewSize),
+		keys:     keyss.NewStore(),
+		contacts: make(map[identity.NodeID]*contact),
+		pending:  make(map[uint32]*pendingShuffle),
+	}
+	meter := &netem.Meter{}
+	if typ == nat.None {
+		if dev != nil {
+			panic("nylon: public node with a NAT device")
+		}
+		if !addr.IP.Public() {
+			panic("nylon: public node with private address")
+		}
+		n.port = netem.NewPort(addr, netem.DirectUplink{Net: nw}, meter)
+		nw.Attach(addr.IP, n.port)
+		n.selfExt = addr
+	} else {
+		if dev == nil {
+			panic("nylon: NATted node without a device")
+		}
+		if addr.IP.Public() {
+			panic("nylon: NATted node with public address")
+		}
+		n.port = netem.NewPort(addr, dev, meter)
+		dev.AttachInside(addr.IP, n.port)
+	}
+	n.port.SetHandler(n.dispatch)
+	return n
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() identity.NodeID { return n.ident.ID }
+
+// Identity returns the node's identity (keys included).
+func (n *Node) Identity() *identity.Identity { return n.ident }
+
+// NATType returns the node's NAT type (None for P-nodes).
+func (n *Node) NATType() nat.Type { return n.typ }
+
+// Public reports whether the node is a P-node.
+func (n *Node) Public() bool { return n.typ == nat.None }
+
+// Addr returns the node's own (possibly private) bound endpoint.
+func (n *Node) Addr() netem.Endpoint { return n.port.Local() }
+
+// Meter returns the node's bandwidth meter.
+func (n *Node) Meter() *netem.Meter { return n.port.Meter() }
+
+// Keys returns the public-key sampling store.
+func (n *Node) Keys() *keyss.Store { return n.keys }
+
+// View returns the current view entries.
+func (n *Node) View() []pss.Entry[Descriptor] { return n.view.Entries() }
+
+// ViewIDs returns the IDs in the current view.
+func (n *Node) ViewIDs() []identity.NodeID { return n.view.IDs() }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// GetPeer returns one uniformly random peer from the view — the
+// getPeer() of the PSS API (Fig 1). ok is false if the view is empty.
+func (n *Node) GetPeer() (Descriptor, bool) {
+	e, ok := n.view.Random(n.sim.Rand())
+	return e.Val, ok
+}
+
+// SelfDescriptor returns the descriptor the node gossips about itself.
+func (n *Node) SelfDescriptor() Descriptor {
+	return Descriptor{
+		ID:      n.ident.ID,
+		Public:  n.Public(),
+		Contact: n.selfExt, // zero until STUN discovery for N-nodes
+	}
+}
+
+// Bootstrap seeds the view, as a tracker or invitation would.
+func (n *Node) Bootstrap(ds []Descriptor) {
+	for _, d := range ds {
+		if d.ID != n.ident.ID {
+			n.view.Insert(d, 0)
+		}
+	}
+}
+
+// Start begins periodic gossip.
+func (n *Node) Start() {
+	if n.ticker != nil || n.stopped {
+		return
+	}
+	n.ticker = n.sim.EveryJitter(n.cfg.Cycle, n.cfg.Jitter, n.cycle)
+}
+
+// Stop halts the node abruptly (crash-stop, as the churn model
+// assumes): the port closes and all timers are cancelled. Peers detect
+// the departure through shuffle timeouts and view aging.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+	for _, p := range n.pending {
+		p.timer.Cancel()
+	}
+	n.port.Close()
+	if n.typ == nat.None {
+		n.net.Detach(n.port.Local().IP)
+	} else {
+		n.dev.DetachInside(n.port.Local().IP)
+		n.dev.Close()
+	}
+}
+
+// Stopped reports whether the node was stopped.
+func (n *Node) Stopped() bool { return n.stopped }
+
+// cycle runs one active PSS round.
+func (n *Node) cycle() {
+	if n.stopped {
+		return
+	}
+	n.maybeDiscoverExternal()
+	n.view.AgeAll()
+	partner, ok := n.view.Oldest()
+	if !ok {
+		return
+	}
+	// Cyclon: the partner's slot is freed and refilled by the response.
+	n.view.Remove(partner.Val.Key())
+	path, ok := n.routeTo(partner.Val)
+	if !ok {
+		n.Stats.RouteFailures++
+		return
+	}
+	sent := n.makeBuffer(partner.Val.Key())
+	n.seq++
+	seq := n.seq
+	msg := shuffleMsg{Seq: seq, From: n.SelfDescriptor(), Path: path, Entries: n.shipEntries(sent)}
+	if n.cfg.KeySampling {
+		msg.Key = n.ident.Public()
+	}
+	n.Stats.ShufflesInitiated++
+	if len(path) > 0 {
+		n.Stats.ShufflesViaRelays++
+	}
+	p := &pendingShuffle{partner: partner.Val, path: path, sent: sent}
+	p.timer = n.sim.After(n.cfg.ShuffleTimeout, func() {
+		if _, live := n.pending[seq]; live {
+			delete(n.pending, seq)
+			n.Stats.ShufflesTimedOut++
+		}
+	})
+	n.pending[seq] = p
+	n.send(msg.encode(msgShuffleReq, n.cfg.KeyBlobSize, n.cfg.KeySampling), partner.Val, path)
+}
+
+// makeBuffer assembles the shuffle buffer: self (age 0) plus a random
+// sample, excluding the partner.
+func (n *Node) makeBuffer(partner identity.NodeID) []pss.Entry[Descriptor] {
+	buf := []pss.Entry[Descriptor]{{Val: n.SelfDescriptor()}}
+	buf = append(buf, n.view.Sample(n.sim.Rand(), n.cfg.ExchangeSize-1, partner)...)
+	return buf
+}
+
+// shipEntries rewrites entry routes from the sender's perspective: for
+// each N-node entry, the sender becomes the first rendezvous (it can
+// reach the node either directly or through its own stored route). The
+// receiver completes the route with its own path to the sender.
+func (n *Node) shipEntries(entries []pss.Entry[Descriptor]) []pss.Entry[Descriptor] {
+	out := make([]pss.Entry[Descriptor], 0, len(entries))
+	for _, e := range entries {
+		d := e.Val
+		switch {
+		case d.ID == n.ident.ID:
+			// Self: the receiver's path to us is the whole route.
+			d.Route = nil
+		case d.Public:
+			d.Route = nil
+		case n.usableContact(d.ID):
+			d = d.WithRoute([]identity.NodeID{n.ident.ID})
+		default:
+			d = d.WithRoute(append([]identity.NodeID{n.ident.ID}, d.Route...))
+		}
+		out = append(out, pss.Entry[Descriptor]{Val: d, Age: e.Age})
+	}
+	return out
+}
+
+// adjustReceived completes received entry routes with the local path to
+// the exchange partner and drops entries whose route grew beyond
+// MaxRoute.
+func (n *Node) adjustReceived(entries []pss.Entry[Descriptor], pathToSender []identity.NodeID) []pss.Entry[Descriptor] {
+	out := make([]pss.Entry[Descriptor], 0, len(entries))
+	for _, e := range entries {
+		d := e.Val
+		if !d.Public && d.ID != n.ident.ID {
+			if n.usableContact(d.ID) {
+				d.Route = nil
+			} else {
+				route := append(append([]identity.NodeID(nil), pathToSender...), d.Route...)
+				if len(route) > MaxRoute {
+					continue
+				}
+				d.Route = route
+			}
+		}
+		out = append(out, pss.Entry[Descriptor]{Val: d, Age: e.Age})
+	}
+	return out
+}
+
+func (n *Node) selectOpts() pss.SelectOpts {
+	return pss.SelectOpts{
+		Capacity:        n.cfg.ViewSize,
+		Self:            n.ident.ID,
+		MinPublic:       n.cfg.MinPublic,
+		CapExcessPublic: n.cfg.CapExcessPublic,
+	}
+}
+
+// dispatch routes one inbound datagram to its handler.
+func (n *Node) dispatch(dg netem.Datagram) {
+	if n.stopped || len(dg.Payload) == 0 {
+		return
+	}
+	r := wire.NewReader(dg.Payload)
+	typ := r.U8()
+	switch typ {
+	case msgShuffleReq:
+		n.handleShuffleReq(dg.Src, r)
+	case msgShuffleResp:
+		n.handleShuffleResp(dg.Src, r)
+	case msgRelay:
+		n.handleRelay(dg.Src, r)
+	case msgEchoReq:
+		n.port.Send(dg.Src, encodeEchoResp(dg.Src))
+	case msgEchoResp:
+		n.handleEchoResp(r)
+	case msgPunchReq:
+		n.handlePunchReq(r)
+	case msgPunchProbe:
+		n.handlePunchProbe(dg.Src, r)
+	case msgProbeAck:
+		n.handleProbeAck(dg.Src, r)
+	case msgKeyReq:
+		n.handleKeyMsg(dg.Src, r, true)
+	case msgKeyResp:
+		n.handleKeyMsg(dg.Src, r, false)
+	case MsgApp:
+		if n.AppHandler != nil {
+			n.AppHandler(dg.Src, dg.Payload[1:])
+		}
+	}
+}
+
+func (n *Node) handleShuffleReq(src netem.Endpoint, r *wire.Reader) {
+	req, err := decodeShuffle(r, n.cfg.KeyBlobSize)
+	if err != nil {
+		return
+	}
+	direct := len(req.Path) == 0
+	if direct {
+		n.learnContact(req.From.ID, src, req.From.Public)
+	}
+	reverse := reversePath(req.Path)
+	// The requester's own entry arrives with an empty route; the
+	// reverse of the request path is how we reach it.
+	received := n.adjustReceived(req.Entries, reverse)
+
+	// Reply with our own buffer before merging (Cyclon).
+	sent := n.view.Sample(n.sim.Rand(), n.cfg.ExchangeSize, req.From.ID)
+	resp := shuffleMsg{Seq: req.Seq, From: n.SelfDescriptor(), Path: req.Path, Entries: n.shipEntries(sent)}
+	if n.cfg.KeySampling {
+		resp.Key = n.ident.Public()
+	}
+	peer := req.From.WithRoute(reverse)
+	n.learnRoute(req.From.ID, reverse)
+	n.send(resp.encode(msgShuffleResp, n.cfg.KeyBlobSize, n.cfg.KeySampling), peer, reverse)
+
+	pss.MergeCyclon(n.view, sent, received, n.selectOpts())
+	if n.cfg.KeySampling && req.Key != nil {
+		n.keys.Put(req.From.ID, req.Key)
+	}
+	n.Stats.ShufflesServed++
+	if n.OnExchange != nil {
+		n.OnExchange(ExchangeEvent{Peer: peer, Path: reverse, Initiated: false})
+	}
+	n.maybePunch(peer, reverse)
+}
+
+func (n *Node) handleShuffleResp(src netem.Endpoint, r *wire.Reader) {
+	resp, err := decodeShuffle(r, n.cfg.KeyBlobSize)
+	if err != nil {
+		return
+	}
+	p, ok := n.pending[resp.Seq]
+	if !ok || p.partner.ID != resp.From.ID {
+		return
+	}
+	delete(n.pending, resp.Seq)
+	p.timer.Cancel()
+	if len(p.path) == 0 {
+		n.learnContact(resp.From.ID, src, resp.From.Public)
+	}
+	received := n.adjustReceived(resp.Entries, p.path)
+	pss.MergeCyclon(n.view, p.sent, received, n.selectOpts())
+	if n.cfg.KeySampling && resp.Key != nil {
+		n.keys.Put(resp.From.ID, resp.Key)
+	}
+	n.Stats.ShufflesCompleted++
+	n.learnRoute(resp.From.ID, p.path)
+	peer := resp.From.WithRoute(p.path)
+	if n.OnExchange != nil {
+		n.OnExchange(ExchangeEvent{Peer: peer, Path: p.path, Initiated: true})
+	}
+	n.maybePunch(peer, p.path)
+}
+
+func reversePath(path []identity.NodeID) []identity.NodeID {
+	if len(path) == 0 {
+		return nil
+	}
+	out := make([]identity.NodeID, len(path))
+	for i, id := range path {
+		out[len(path)-1-i] = id
+	}
+	return out
+}
+
+// Sim returns the simulator driving this node, for layers that need
+// timers and randomness.
+func (n *Node) Sim() *simnet.Sim { return n.sim }

@@ -1,0 +1,135 @@
+package nylon
+
+import (
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/wire"
+)
+
+// probeCount is how many staggered probe datagrams each side sends
+// during a hole-punch attempt; more than one tolerates the transient
+// drops that occur before the peer's filter opens.
+const probeCount = 3
+
+// probeSpacing separates successive probes.
+const probeSpacing = 50 * time.Millisecond
+
+// maybeDiscoverExternal runs the STUN-style discovery of the node's
+// external endpoint against a P-node, once per cycle while the cached
+// value is stale. Cone NATs report a stable endpoint; symmetric NATs
+// report one that is only valid towards the echo server, which is
+// exactly why punching through them fails (§II-C).
+func (n *Node) maybeDiscoverExternal() {
+	if n.Public() {
+		return
+	}
+	if !n.selfExt.IsZero() && n.sim.Now()-n.selfExtAt < n.cfg.ContactTTL/2 {
+		return
+	}
+	target, ok := n.randomPublicPeer()
+	if !ok {
+		return
+	}
+	w := wire.NewWriter(1)
+	w.U8(msgEchoReq)
+	n.port.Send(target, w.Bytes())
+}
+
+// randomPublicPeer picks the endpoint of a usable P-node: preferably a
+// live contact, otherwise a P-node from the view.
+func (n *Node) randomPublicPeer() (netem.Endpoint, bool) {
+	var candidates []netem.Endpoint
+	for id, c := range n.contacts {
+		if c.public {
+			if ep, ok := n.contactEndpoint(id); ok {
+				candidates = append(candidates, ep)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		for _, e := range n.view.Publics() {
+			if !e.Val.Contact.IsZero() {
+				candidates = append(candidates, e.Val.Contact)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return netem.Endpoint{}, false
+	}
+	return candidates[n.sim.Rand().Intn(len(candidates))], true
+}
+
+func (n *Node) handleEchoResp(r *wire.Reader) {
+	ep := netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+	if r.Err() != nil {
+		return
+	}
+	n.selfExt = ep
+	n.selfExtAt = n.sim.Now()
+	n.Stats.EchoUpdates++
+}
+
+// maybePunch starts a hole-punch attempt towards peer after a relayed
+// exchange, so that future traffic can flow directly. It is a no-op
+// when punching is disabled, the exchange was already direct, or the
+// node does not yet know its own external endpoint.
+func (n *Node) maybePunch(peer Descriptor, path []identity.NodeID) {
+	if n.cfg.DisablePunch || len(path) == 0 || n.usableContact(peer.ID) {
+		return
+	}
+	ext := n.selfExt
+	if ext.IsZero() {
+		return // discovery not completed yet; a later exchange will punch
+	}
+	n.Stats.PunchAttempts++
+	req := punchReq{From: n.ident.ID, Ext: ext, Path: path}
+	n.send(req.encode(), peer, path)
+}
+
+// handlePunchReq reacts to a peer's punch request: probe its advertised
+// external endpoint several times. The first probe also opens our own
+// NAT filter towards the peer, so its probes (or replies) can reach us.
+func (n *Node) handlePunchReq(r *wire.Reader) {
+	m, err := decodePunchReq(r)
+	if err != nil || m.Ext.IsZero() {
+		return
+	}
+	for i := 0; i < probeCount; i++ {
+		delay := time.Duration(i) * probeSpacing
+		ext := m.Ext
+		from := m.From
+		n.sim.After(delay, func() {
+			if n.stopped || n.usableContact(from) {
+				return
+			}
+			n.port.Send(ext, encodeIDMsg(msgPunchProbe, n.ident.ID))
+		})
+	}
+}
+
+func (n *Node) handlePunchProbe(src netem.Endpoint, r *wire.Reader) {
+	from := identity.NodeID(r.U64())
+	if r.Err() != nil || from == identity.Nil {
+		return
+	}
+	// A probe that reached us is proof of a working direct path from
+	// the peer; replying from our port completes the other direction.
+	if !n.usableContact(from) {
+		n.Stats.PunchSuccesses++
+	}
+	n.learnContact(from, src, false)
+	n.port.Send(src, encodeIDMsg(msgProbeAck, n.ident.ID))
+}
+
+func (n *Node) handleProbeAck(src netem.Endpoint, r *wire.Reader) {
+	from := identity.NodeID(r.U64())
+	if r.Err() != nil || from == identity.Nil {
+		return
+	}
+	if !n.usableContact(from) {
+		n.Stats.PunchSuccesses++
+	}
+	n.learnContact(from, src, false)
+}

@@ -1,0 +1,272 @@
+package nylon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/wire"
+)
+
+// ErrNoRoute is returned when neither a direct contact nor a usable
+// relay chain exists towards a destination.
+var ErrNoRoute = errors.New("nylon: no usable route")
+
+// contact is a live direct-communication association with another node:
+// the endpoint datagrams to it must target, and the last time we heard
+// from it (which bounds how long its NAT association rules keep our
+// traffic flowing).
+type contact struct {
+	ep     netem.Endpoint
+	public bool
+	lastIn time.Duration // virtual time of last direct inbound datagram
+	// route is the last known relay chain to the node, for peers whose
+	// exchanges were relayed (no direct association exists). It embodies
+	// the Nylon property that a channel can be opened to any recent
+	// partner even without hole punching.
+	route   []identity.NodeID
+	routeAt time.Duration
+}
+
+// learnContact records that a datagram arrived directly from id via ep.
+func (n *Node) learnContact(id identity.NodeID, ep netem.Endpoint, public bool) {
+	if id == n.ident.ID || ep.IsZero() {
+		return
+	}
+	c := n.contacts[id]
+	if c == nil {
+		c = &contact{}
+		n.contacts[id] = c
+	}
+	c.ep = ep
+	c.public = public
+	c.lastIn = n.sim.Now()
+}
+
+// learnRoute records a working relay chain to id, learned from a
+// relayed gossip exchange.
+func (n *Node) learnRoute(id identity.NodeID, route []identity.NodeID) {
+	if id == n.ident.ID || len(route) == 0 {
+		return
+	}
+	c := n.contacts[id]
+	if c == nil {
+		c = &contact{}
+		n.contacts[id] = c
+	}
+	c.route = append(c.route[:0], route...)
+	c.routeAt = n.sim.Now()
+}
+
+// storedRoute returns a remembered relay chain to id whose first relay
+// is still reachable.
+func (n *Node) storedRoute(id identity.NodeID) ([]identity.NodeID, bool) {
+	c, ok := n.contacts[id]
+	if !ok || len(c.route) == 0 {
+		return nil, false
+	}
+	if n.sim.Now()-c.routeAt > n.cfg.ContactTTL {
+		return nil, false
+	}
+	if !n.usableContact(c.route[0]) {
+		return nil, false
+	}
+	return c.route, true
+}
+
+// usableContact reports whether a direct send to id is expected to
+// work: P-node contacts are always usable while fresh enough to assume
+// liveness; N-node contacts are usable while inside the contact TTL
+// (below the NAT association lease).
+func (n *Node) usableContact(id identity.NodeID) bool {
+	_, ok := n.contactEndpoint(id)
+	return ok
+}
+
+func (n *Node) contactEndpoint(id identity.NodeID) (netem.Endpoint, bool) {
+	c, ok := n.contacts[id]
+	if !ok || c.ep.IsZero() {
+		// Entries created by learnRoute alone carry no direct endpoint.
+		return netem.Endpoint{}, false
+	}
+	age := n.sim.Now() - c.lastIn
+	ttl := n.cfg.ContactTTL
+	if c.public {
+		// No NAT on their side; allow a longer liveness window.
+		ttl *= 4
+	}
+	if age > ttl {
+		return netem.Endpoint{}, false
+	}
+	return c.ep, true
+}
+
+// ContactIDs lists the nodes with currently usable direct contacts
+// (diagnostic).
+func (n *Node) ContactIDs() []identity.NodeID {
+	var out []identity.NodeID
+	for id := range n.contacts {
+		if n.usableContact(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// HasContact reports whether a usable direct contact to id exists.
+func (n *Node) HasContact(id identity.NodeID) bool { return n.usableContact(id) }
+
+// routeTo picks the relay chain for reaching d: empty for a direct
+// send (live contact, or a P-node with a known address), d.Route when
+// its first relay is reachable.
+func (n *Node) routeTo(d Descriptor) ([]identity.NodeID, bool) {
+	if n.usableContact(d.ID) {
+		return nil, true
+	}
+	if d.Public && !d.Contact.IsZero() {
+		return nil, true
+	}
+	if len(d.Route) > 0 && n.usableContact(d.Route[0]) {
+		return d.Route, true
+	}
+	if route, ok := n.storedRoute(d.ID); ok {
+		return route, true
+	}
+	return nil, false
+}
+
+// send transmits an encoded message to d along path ([] = direct).
+func (n *Node) send(msg []byte, d Descriptor, path []identity.NodeID) {
+	if len(path) == 0 {
+		ep, ok := n.contactEndpoint(d.ID)
+		if !ok {
+			if d.Public && !d.Contact.IsZero() {
+				ep = d.Contact
+			} else {
+				n.Stats.RouteFailures++
+				return
+			}
+		}
+		n.port.Send(ep, msg)
+		return
+	}
+	first, ok := n.contactEndpoint(path[0])
+	if !ok {
+		n.Stats.RouteFailures++
+		return
+	}
+	rm := relayMsg{Path: path[1:], Final: d.ID, Inner: msg}
+	n.port.Send(first, rm.encode())
+}
+
+// handleRelay forwards (or delivers) a relayed message. Relays learn
+// nothing about the content: at the WCL layer the inner payload is an
+// onion-encrypted blob.
+func (n *Node) handleRelay(src netem.Endpoint, r *wire.Reader) {
+	m, err := decodeRelay(r)
+	if err != nil {
+		return
+	}
+	if len(m.Path) == 0 && m.Final == n.ident.ID {
+		// Terminal delivery to self: dispatch the inner message as if it
+		// had arrived directly (src stays the last relay's endpoint).
+		n.dispatch(netem.Datagram{Src: src, Dst: n.port.Local(), Payload: m.Inner})
+		return
+	}
+	n.Stats.RelaysForwarded++
+	var nextID identity.NodeID
+	var rest []identity.NodeID
+	if len(m.Path) > 0 {
+		nextID, rest = m.Path[0], m.Path[1:]
+	} else {
+		nextID, rest = m.Final, nil
+	}
+	ep, ok := n.contactEndpoint(nextID)
+	if !ok {
+		n.Stats.RelayDrops++
+		return
+	}
+	if nextID == m.Final {
+		// Last hop: deliver the inner message unwrapped.
+		n.port.Send(ep, m.Inner)
+	} else {
+		fwd := relayMsg{Path: rest, Final: m.Final, Inner: m.Inner}
+		n.port.Send(ep, fwd.encode())
+	}
+}
+
+// SendApp delivers an opaque application payload to d, using a direct
+// contact when available or d's relay route otherwise. This is the
+// primitive the WCL builds onion hops on.
+func (n *Node) SendApp(d Descriptor, payload []byte) error {
+	path, ok := n.routeTo(d)
+	if !ok {
+		n.Stats.RouteFailures++
+		return fmt.Errorf("%w to %v", ErrNoRoute, d.ID)
+	}
+	n.send(encodeApp(payload), d, path)
+	return nil
+}
+
+// SendAppDirect sends an application payload straight to an endpoint.
+// Mixes use it for the A→B hop, whose target is a P-node addressed
+// inside the onion layer.
+func (n *Node) SendAppDirect(ep netem.Endpoint, payload []byte) {
+	n.port.Send(ep, encodeApp(payload))
+}
+
+// RequestKey performs the explicit key exchange with a P-node that the
+// WCL uses before inserting it into the connection backlog: an
+// (almost) empty round trip that both verifies the path and carries the
+// public keys (§III-A, §III-B-2). Completion is signalled via
+// OnKeyExchange.
+func (n *Node) RequestKey(d Descriptor) error {
+	path, ok := n.routeTo(d)
+	if !ok {
+		return fmt.Errorf("%w to %v", ErrNoRoute, d.ID)
+	}
+	m := keyMsg{From: n.SelfDescriptor(), Key: n.ident.Public()}
+	n.send(m.encode(msgKeyReq, n.cfg.KeyBlobSize), d, path)
+	return nil
+}
+
+func (n *Node) handleKeyMsg(src netem.Endpoint, r *wire.Reader, isReq bool) {
+	m, err := decodeKeyMsg(r, n.cfg.KeyBlobSize)
+	if err != nil {
+		return
+	}
+	n.learnContact(m.From.ID, src, m.From.Public)
+	if m.Key != nil {
+		n.keys.Put(m.From.ID, m.Key)
+	}
+	if isReq {
+		resp := keyMsg{From: n.SelfDescriptor(), Key: n.ident.Public()}
+		n.port.Send(src, resp.encode(msgKeyResp, n.cfg.KeyBlobSize))
+		return
+	}
+	if n.OnKeyExchange != nil {
+		n.OnKeyExchange(m.From)
+	}
+}
+
+// RouteTo exposes the routing decision for d to the layers above: the
+// relay chain to use (empty = direct send) and whether any usable route
+// exists. The WCL uses it to pre-compute the reverse path for
+// acknowledgements.
+func (n *Node) RouteTo(d Descriptor) ([]identity.NodeID, bool) { return n.routeTo(d) }
+
+// SendAppVia sends an application payload along a pre-computed path
+// (as returned by RouteTo).
+func (n *Node) SendAppVia(d Descriptor, path []identity.NodeID, payload []byte) {
+	n.send(encodeApp(payload), d, path)
+}
+
+// ViewDescriptor returns the current view entry for id, if any. Mixes
+// use it as a fallback to resolve the final onion hop through a relay
+// route when no direct contact is warm.
+func (n *Node) ViewDescriptor(id identity.NodeID) (Descriptor, bool) {
+	e, ok := n.view.Get(id)
+	return e.Val, ok
+}

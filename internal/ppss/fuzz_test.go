@@ -1,0 +1,147 @@
+package ppss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/nylon"
+	"whisper/internal/simnet"
+	"whisper/internal/wcl"
+)
+
+func newBareRouter(t testing.TB) *Router {
+	t.Helper()
+	s := simnet.New(1)
+	nw := netem.New(s, netem.Fixed{})
+	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
+	node := nylon.NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
+		nylon.Config{KeySampling: true, KeyBlobSize: 256})
+	w, err := wcl.New(node, wcl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRouter(w, Config{KeyBlobSize: 256})
+}
+
+// TestRouterNeverPanicsOnGarbage drives arbitrary decrypted payloads
+// through the PPSS demultiplexer. A node must silently drop anything it
+// cannot parse or is not a member for — without even an error reply,
+// which would leak that it runs WHISPER groups at all.
+func TestRouterNeverPanicsOnGarbage(t *testing.T) {
+	r := newBareRouter(t)
+	f := func(payload []byte) bool {
+		r.handle(payload)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(46))}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(47))
+	for _, tag := range []uint8{msgShuffleReq, msgShuffleResp, msgJoinReq, msgJoinResp,
+		msgApp, msgPCPPing, msgPCPPong, 0, 0xEE} {
+		for i := 0; i < 300; i++ {
+			body := make([]byte, rng.Intn(400))
+			rng.Read(body)
+			r.handle(append([]byte{tag}, body...))
+		}
+	}
+	if len(r.Instances()) != 0 {
+		t.Fatal("garbage created an instance")
+	}
+}
+
+// TestUnknownGroupSilentDrop checks membership privacy at the router: a
+// well-formed message for a group this node does not belong to is
+// dropped with no side effects.
+func TestUnknownGroupSilentDrop(t *testing.T) {
+	r := newBareRouter(t)
+	gk := identity.TestKeys(1)[0]
+	g := GroupIDFromName("not-ours")
+	passport, err := IssuePassport(nil, gk, g, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shuffleMsg{Group: g, Passport: passport, Seq: 1, From: Entry{ID: 42}}
+	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
+	if r.Stats.UnknownGroupDrops != 1 {
+		t.Fatalf("UnknownGroupDrops = %d, want 1", r.Stats.UnknownGroupDrops)
+	}
+	if len(r.Instances()) != 0 {
+		t.Fatal("foreign group message created state")
+	}
+}
+
+// TestWrongGroupPassportRejected verifies a member ignores messages
+// whose passport was minted for a different group, even with a valid
+// signature.
+func TestWrongGroupPassportRejected(t *testing.T) {
+	r := newBareRouter(t)
+	inst, err := r.CreateGroup("ours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherKey := identity.TestKeys(2)[1]
+	otherG := GroupIDFromName("theirs")
+	badPassport, err := IssuePassport(nil, otherKey, otherG, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shuffleMsg{Group: inst.Group(), Passport: badPassport, Seq: 1, From: Entry{ID: 42}}
+	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
+	if inst.Stats.BadPassports != 1 {
+		t.Fatalf("BadPassports = %d, want 1", inst.Stats.BadPassports)
+	}
+	if inst.Stats.ExchangesServed != 0 {
+		t.Fatal("exchange served despite invalid passport")
+	}
+	if len(inst.ViewIDs()) != 0 {
+		t.Fatal("invalid sender entered the private view")
+	}
+}
+
+// TestPassportMemberMismatchRejected verifies the binding between the
+// passport and the claimed sender identity.
+func TestPassportMemberMismatchRejected(t *testing.T) {
+	r := newBareRouter(t)
+	inst, err := r.CreateGroup("ours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A valid passport for member 42, but the message claims to be from
+	// member 43 (a stolen passport).
+	stolen, err := IssuePassport(nil, inst.groupPriv, inst.Group(), 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shuffleMsg{Group: inst.Group(), Passport: stolen, Seq: 1, From: Entry{ID: 43}}
+	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
+	if inst.Stats.BadPassports != 1 {
+		t.Fatalf("BadPassports = %d, want 1 (stolen passport accepted)", inst.Stats.BadPassports)
+	}
+}
+
+// TestPCPDropsDeadMembers verifies §IV-C failure handling: a pooled
+// member that stops answering refresh pings is eventually evicted.
+func TestPCPDropsDeadMembers(t *testing.T) {
+	r := newBareRouter(t)
+	inst, err := r.CreateGroup("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := Entry{ID: 77, PubKey: &identity.TestKeys(1)[0].PublicKey}
+	inst.MakePersistent(dead)
+	if len(inst.PersistentIDs()) != 1 {
+		t.Fatal("member not pooled")
+	}
+	// No pong will ever arrive; advance past the eviction horizon.
+	r.sim.RunUntil(5 * inst.Config().PCPRefresh * 2)
+	if len(inst.PersistentIDs()) != 0 {
+		t.Fatal("dead member never evicted from the pool")
+	}
+	if inst.Stats.PCPDropped != 1 {
+		t.Fatalf("PCPDropped = %d", inst.Stats.PCPDropped)
+	}
+}

@@ -1,0 +1,545 @@
+package ppss
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/keyss"
+	"whisper/internal/pss"
+	"whisper/internal/simnet"
+	"whisper/internal/wcl"
+)
+
+// Config parameterizes PPSS instances (shared by all groups of a node).
+type Config struct {
+	// ViewSize bounds the private view (default 10).
+	ViewSize int
+	// ExchangeSize is the number of entries per shuffle (paper: 5).
+	ExchangeSize int
+	// Cycle is the PPSS gossip period (paper: 1 minute).
+	Cycle time.Duration
+	// Jitter desynchronizes cycles (default Cycle/2).
+	Jitter time.Duration
+	// MinHelpers is Π, the helper P-nodes shipped per N-node entry.
+	MinHelpers int
+	// KeyBlobSize is the on-wire size of one public key (default 1 KB).
+	KeyBlobSize int
+	// RespTimeout bounds the wait for a shuffle response.
+	RespTimeout time.Duration
+	// JoinTimeout bounds the whole join handshake.
+	JoinTimeout time.Duration
+	// PCPRefresh is the persistent-path refresh period (§IV-C; lower
+	// frequency than gossip, bounded by the NAT lease).
+	PCPRefresh time.Duration
+	// HeartbeatTimeout is how stale the leader heartbeat may grow
+	// before an election starts (§IV-A).
+	HeartbeatTimeout time.Duration
+	// ElectionDuration is the aggregation convergence window.
+	ElectionDuration time.Duration
+	// GroupKeyBits sizes group key pairs (default identity.DefaultKeyBits).
+	GroupKeyBits int
+	// AnnounceFor is how long a new leader keeps piggybacking its key
+	// announcement on shuffles.
+	AnnounceFor time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViewSize == 0 {
+		c.ViewSize = 10
+	}
+	if c.ExchangeSize == 0 {
+		c.ExchangeSize = 5
+	}
+	if c.Cycle == 0 {
+		c.Cycle = time.Minute
+	}
+	if c.Jitter == 0 {
+		c.Jitter = c.Cycle / 2
+	}
+	if c.MinHelpers == 0 {
+		c.MinHelpers = 3
+	}
+	if c.KeyBlobSize == 0 {
+		c.KeyBlobSize = keyss.DefaultKeyBlobSize
+	}
+	if c.RespTimeout == 0 {
+		c.RespTimeout = 20 * time.Second
+	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = 30 * time.Second
+	}
+	if c.PCPRefresh == 0 {
+		c.PCPRefresh = 2 * time.Minute
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 8 * c.Cycle
+	}
+	if c.ElectionDuration == 0 {
+		c.ElectionDuration = 4 * c.Cycle
+	}
+	if c.AnnounceFor == 0 {
+		c.AnnounceFor = 10 * c.Cycle
+	}
+	return c
+}
+
+// InstanceStats counts per-group protocol events.
+type InstanceStats struct {
+	ExchangesInitiated uint64
+	ExchangesCompleted uint64
+	ExchangesTimedOut  uint64
+	ExchangesServed    uint64
+	BadPassports       uint64
+	SendFailures       uint64
+	JoinsServed        uint64
+	ElectionsStarted   uint64
+	BecameLeader       uint64
+	AnnouncesAccepted  uint64
+	AppDelivered       uint64
+	PCPRefreshes       uint64
+	PCPDropped         uint64
+}
+
+type pendingExchange struct {
+	partner Entry
+	sent    []pss.Entry[Entry]
+	started time.Duration
+	timer   *simnet.Timer
+}
+
+type electionState struct {
+	started time.Duration
+	// lastChange is when the max proposal last changed; resolution
+	// requires the maximum to have been stable for a while, so the
+	// aggregation has actually converged before anyone self-elects.
+	lastChange time.Duration
+	proposal   uint64
+	proposer   Entry
+}
+
+type pcpState struct {
+	entry  Entry
+	since  time.Duration
+	lastOK time.Duration
+}
+
+// Instance is one node's membership in one private group.
+type Instance struct {
+	r    *Router
+	cfg  Config
+	sim  *simnet.Sim
+	grp  GroupID
+	name string
+
+	passport Passport
+	history  *KeyHistory
+
+	groupPriv *rsa.PrivateKey // non-nil iff this node is a leader
+	leaderID  identity.NodeID
+	lastHB    time.Duration
+	election  *electionState
+	announce  *keyAnnounce
+	announced time.Duration
+
+	view    *pss.View[Entry]
+	pending map[uint32]*pendingExchange
+	seq     uint32
+	pcp     map[identity.NodeID]*pcpState
+
+	ticker    *simnet.Ticker
+	pcpTicker *simnet.Ticker
+	stopped   bool
+
+	// OnMessage delivers application payloads with the sender's entry,
+	// so the application can answer through a single WCL path (§V-G).
+	// Payloads whose first byte matches a Subscribe tag are routed to
+	// that subscriber instead.
+	OnMessage func(from Entry, payload []byte)
+	handlers  map[uint8]func(from Entry, payload []byte)
+	// AuthorizeJoin, if set on a leader, vetoes admissions (the
+	// authorizeJoin(id, public key) hook of Fig 1).
+	AuthorizeJoin func(id identity.NodeID, key *rsa.PublicKey) bool
+	// OnExchangeRTT, if set, observes the round-trip time of each
+	// completed view exchange (the quantity Fig 7 plots).
+	OnExchangeRTT func(rtt time.Duration)
+
+	// Stats exposes counters.
+	Stats InstanceStats
+}
+
+func newInstance(r *Router, g GroupID, name string, history *KeyHistory, passport Passport) *Instance {
+	return &Instance{
+		r:        r,
+		cfg:      r.cfg,
+		sim:      r.sim,
+		grp:      g,
+		name:     name,
+		history:  history,
+		passport: passport,
+		view:     pss.NewView[Entry](r.cfg.ViewSize),
+		pending:  make(map[uint32]*pendingExchange),
+		pcp:      make(map[identity.NodeID]*pcpState),
+	}
+}
+
+// Group returns the group identifier.
+func (in *Instance) Group() GroupID { return in.grp }
+
+// IsLeader reports whether this node holds the group private key.
+func (in *Instance) IsLeader() bool { return in.groupPriv != nil }
+
+// LeaderID returns the best-known leader.
+func (in *Instance) LeaderID() identity.NodeID { return in.leaderID }
+
+// Epoch returns the current group key epoch.
+func (in *Instance) Epoch() uint32 { return in.history.Epoch() }
+
+// Passport returns this member's passport.
+func (in *Instance) Passport() Passport { return in.passport }
+
+// View returns the private view entries.
+func (in *Instance) View() []pss.Entry[Entry] { return in.view.Entries() }
+
+// ViewIDs returns the member IDs currently in the private view.
+func (in *Instance) ViewIDs() []identity.NodeID { return in.view.IDs() }
+
+// GetPeer returns a uniformly random private-view entry — the getPeer()
+// of the PPSS API (Fig 1).
+func (in *Instance) GetPeer() (Entry, bool) {
+	e, ok := in.view.Random(in.sim.Rand())
+	return e.Val, ok
+}
+
+// Lookup returns the freshest coordinates known for a member: the
+// persistent pool first, then the private view.
+func (in *Instance) Lookup(id identity.NodeID) (Entry, bool) {
+	if st, ok := in.pcp[id]; ok {
+		return st.entry, true
+	}
+	if e, ok := in.view.Get(id); ok {
+		return e.Val, true
+	}
+	return Entry{}, false
+}
+
+func (in *Instance) start() {
+	in.ticker = in.sim.EveryJitter(in.cfg.Cycle, in.cfg.Jitter, in.cycle)
+	in.pcpTicker = in.sim.EveryJitter(in.cfg.PCPRefresh, in.cfg.PCPRefresh/4, in.refreshPCP)
+}
+
+func (in *Instance) stop() {
+	if in.stopped {
+		return
+	}
+	in.stopped = true
+	in.ticker.Stop()
+	in.pcpTicker.Stop()
+	for _, p := range in.pending {
+		p.timer.Cancel()
+	}
+}
+
+func (in *Instance) selectOpts() pss.SelectOpts {
+	return pss.SelectOpts{Capacity: in.cfg.ViewSize, Self: in.r.id()}
+}
+
+// cycle runs one private gossip round over a WCL route (§IV-B, Fig 4).
+func (in *Instance) cycle() {
+	if in.stopped {
+		return
+	}
+	in.tickElection()
+	in.view.AgeAll()
+	partner, ok := in.view.Oldest()
+	if !ok {
+		return
+	}
+	in.view.Remove(partner.Val.ID)
+	sent := in.buffer(partner.Val.ID)
+	in.seq++
+	seq := in.seq
+	m := shuffleMsg{
+		Group:    in.grp,
+		Passport: in.passport,
+		Seq:      seq,
+		From:     in.r.SelfEntry(),
+		Entries:  sent,
+		Extras:   in.extras(),
+	}
+	in.Stats.ExchangesInitiated++
+	p := &pendingExchange{partner: partner.Val, sent: sent, started: in.sim.Now()}
+	p.timer = in.sim.After(in.cfg.RespTimeout, func() {
+		if in.pending[seq] == p {
+			delete(in.pending, seq)
+			in.Stats.ExchangesTimedOut++
+		}
+	})
+	in.pending[seq] = p
+	in.r.w.Send(partner.Val.Dest(), m.encode(msgShuffleReq, in.cfg.KeyBlobSize), func(res wcl.Result) {
+		if res.Outcome == wcl.Failed {
+			// The WCL exhausted its alternatives: the partner is
+			// considered failed and stays out of the private view
+			// (footnote 3 of the paper).
+			in.Stats.SendFailures++
+		}
+	})
+}
+
+// buffer assembles the shuffle buffer: self (age 0) plus a sample.
+func (in *Instance) buffer(exclude identity.NodeID) []pss.Entry[Entry] {
+	buf := []pss.Entry[Entry]{{Val: in.r.SelfEntry()}}
+	buf = append(buf, in.view.Sample(in.sim.Rand(), in.cfg.ExchangeSize-1, exclude)...)
+	return buf
+}
+
+// checkPassport validates a message's passport and its binding to the
+// claimed sender.
+func (in *Instance) checkPassport(p Passport, from identity.NodeID) bool {
+	if p.Member != from || p.Verify(in.r.cpu(), in.grp, in.history) != nil {
+		in.Stats.BadPassports++
+		return false
+	}
+	return true
+}
+
+func (in *Instance) handleShuffleReq(m *shuffleMsg) {
+	if in.stopped {
+		return
+	}
+	// Key announcements are authenticated on their own (old-epoch
+	// passport + signature) and must be absorbed before the passport
+	// check: right after an election the new leader's passport is only
+	// verifiable once its announced key is installed.
+	if m.Extras.Announce != nil {
+		in.acceptAnnounce(m.Extras.Announce)
+	}
+	if !in.checkPassport(m.Passport, m.From.ID) {
+		return
+	}
+	in.absorbExtras(m.Extras)
+	sent := in.view.Sample(in.sim.Rand(), in.cfg.ExchangeSize, m.From.ID)
+	resp := shuffleMsg{
+		Group:    in.grp,
+		Passport: in.passport,
+		Seq:      m.Seq,
+		From:     in.r.SelfEntry(),
+		Entries:  sent,
+		Extras:   in.extras(),
+	}
+	in.r.w.Send(m.From.Dest(), resp.encode(msgShuffleResp, in.cfg.KeyBlobSize), nil)
+	pss.MergeCyclon(in.view, sent, m.Entries, in.selectOpts())
+	in.Stats.ExchangesServed++
+}
+
+func (in *Instance) handleShuffleResp(m *shuffleMsg) {
+	if in.stopped {
+		return
+	}
+	if m.Extras.Announce != nil {
+		in.acceptAnnounce(m.Extras.Announce)
+	}
+	if !in.checkPassport(m.Passport, m.From.ID) {
+		return
+	}
+	p, ok := in.pending[m.Seq]
+	if !ok || p.partner.ID != m.From.ID {
+		return
+	}
+	delete(in.pending, m.Seq)
+	p.timer.Cancel()
+	in.absorbExtras(m.Extras)
+	pss.MergeCyclon(in.view, p.sent, m.Entries, in.selectOpts())
+	in.Stats.ExchangesCompleted++
+	if in.OnExchangeRTT != nil {
+		in.OnExchangeRTT(in.sim.Now() - p.started)
+	}
+}
+
+// handleJoinReq admits a new member (leaders only).
+func (in *Instance) handleJoinReq(m *joinReq) {
+	if in.stopped || !in.IsLeader() {
+		return
+	}
+	if m.Accr.Invitee != m.From.ID || m.Accr.Verify(in.r.cpu(), in.history) != nil {
+		in.Stats.BadPassports++
+		return
+	}
+	if in.AuthorizeJoin != nil && !in.AuthorizeJoin(m.From.ID, m.From.PubKey) {
+		return
+	}
+	passport, err := IssuePassport(in.r.cpu(), in.groupPriv, in.grp, m.From.ID, in.history.Epoch())
+	if err != nil {
+		return
+	}
+	resp := joinResp{
+		Group:    in.grp,
+		Passport: passport,
+		History:  in.historyKeys(),
+		Leader:   in.r.SelfEntry(),
+		Entries:  in.view.Sample(in.sim.Rand(), in.cfg.ExchangeSize, m.From.ID),
+	}
+	in.r.w.Send(m.From.Dest(), resp.encode(in.cfg.KeyBlobSize), nil)
+	in.view.Insert(m.From, 0)
+	in.Stats.JoinsServed++
+}
+
+func (in *Instance) historyKeys() []*rsa.PublicKey {
+	out := make([]*rsa.PublicKey, in.history.Len())
+	for i := range out {
+		out[i] = in.history.At(uint32(i))
+	}
+	return out
+}
+
+// Invite issues an accreditation for invitee (leaders only) and returns
+// it with this leader's entry-point coordinates, to be delivered
+// out-of-band (e-mail, IM, another application — §IV-A).
+func (in *Instance) Invite(invitee identity.NodeID) (Accreditation, Entry, error) {
+	if !in.IsLeader() {
+		return Accreditation{}, Entry{}, errors.New("ppss: only leaders can invite")
+	}
+	accr, err := IssueAccreditation(in.r.cpu(), in.groupPriv, in.grp, invitee, in.history.Epoch())
+	if err != nil {
+		return Accreditation{}, Entry{}, err
+	}
+	return accr, in.r.SelfEntry(), nil
+}
+
+// Send delivers an application payload to a group member over a WCL
+// route, shipping this node's passport and entry. done is optional.
+func (in *Instance) Send(to Entry, payload []byte, done func(wcl.Result)) {
+	m := appMsg{Group: in.grp, Passport: in.passport, From: in.r.SelfEntry(), Payload: payload}
+	in.r.w.Send(to.Dest(), m.encode(in.cfg.KeyBlobSize), func(res wcl.Result) {
+		if res.Outcome == wcl.Failed {
+			in.Stats.SendFailures++
+		}
+		if done != nil {
+			done(res)
+		}
+	})
+}
+
+// SendTo is Send to a member looked up by ID (persistent pool first).
+func (in *Instance) SendTo(id identity.NodeID, payload []byte, done func(wcl.Result)) error {
+	e, ok := in.Lookup(id)
+	if !ok {
+		return fmt.Errorf("ppss: member %v not known", id)
+	}
+	in.Send(e, payload, done)
+	return nil
+}
+
+func (in *Instance) handleApp(m *appMsg) {
+	if in.stopped || !in.checkPassport(m.Passport, m.From.ID) {
+		return
+	}
+	in.Stats.AppDelivered++
+	if len(m.Payload) > 0 {
+		if h := in.handlers[m.Payload[0]]; h != nil {
+			h(m.From, m.Payload)
+			return
+		}
+	}
+	if in.OnMessage != nil {
+		in.OnMessage(m.From, m.Payload)
+	}
+}
+
+// Subscribe routes application payloads whose first byte equals tag to
+// fn, letting several gossip protocols (a DHT, a broadcast layer, an
+// aggregation service — the "Applications and Gossip-based protocols"
+// box of Fig 1) share one group instance. Passing a nil fn removes the
+// subscription.
+func (in *Instance) Subscribe(tag uint8, fn func(from Entry, payload []byte)) {
+	if in.handlers == nil {
+		in.handlers = make(map[uint8]func(Entry, []byte))
+	}
+	if fn == nil {
+		delete(in.handlers, tag)
+		return
+	}
+	in.handlers[tag] = fn
+}
+
+// MakePersistent pins a member in the private connection pool: the
+// instance refreshes its helper set periodically so the application can
+// keep communicating with it even after it rotates out of the view
+// (§IV-C, the makePersistent(id) of Fig 1).
+func (in *Instance) MakePersistent(e Entry) {
+	if e.ID == in.r.id() {
+		return
+	}
+	if st, ok := in.pcp[e.ID]; ok {
+		st.entry = e
+		return
+	}
+	in.pcp[e.ID] = &pcpState{entry: e, since: in.sim.Now(), lastOK: in.sim.Now()}
+}
+
+// DropPersistent removes a member from the pool.
+func (in *Instance) DropPersistent(id identity.NodeID) { delete(in.pcp, id) }
+
+// PersistentIDs lists the pooled members.
+func (in *Instance) PersistentIDs() []identity.NodeID {
+	out := make([]identity.NodeID, 0, len(in.pcp))
+	for id := range in.pcp {
+		out = append(out, id)
+	}
+	return out
+}
+
+// refreshPCP pings every pooled member so both sides refresh helper
+// sets and keep NAT routes warm. A member that has not answered for
+// several refresh periods is considered failed and dropped from the
+// pool (the application observes it via PersistentIDs).
+func (in *Instance) refreshPCP() {
+	if in.stopped {
+		return
+	}
+	now := in.sim.Now()
+	for id, st := range in.pcp {
+		if now-st.lastOK > 4*in.cfg.PCPRefresh {
+			delete(in.pcp, id)
+			in.Stats.PCPDropped++
+			continue
+		}
+		in.seq++
+		m := pcpMsg{Group: in.grp, Passport: in.passport, Seq: in.seq, From: in.r.SelfEntry()}
+		in.r.w.Send(st.entry.Dest(), m.encode(msgPCPPing, in.cfg.KeyBlobSize), nil)
+		in.Stats.PCPRefreshes++
+	}
+}
+
+func (in *Instance) handlePCP(kind uint8, m *pcpMsg) {
+	if in.stopped || !in.checkPassport(m.Passport, m.From.ID) {
+		return
+	}
+	if kind == msgPCPPing {
+		resp := pcpMsg{Group: in.grp, Passport: in.passport, Seq: m.Seq, From: in.r.SelfEntry()}
+		in.r.w.Send(m.From.Dest(), resp.encode(msgPCPPong, in.cfg.KeyBlobSize), nil)
+		// A ping from a pooled member refreshes our copy of its entry.
+		if st, ok := in.pcp[m.From.ID]; ok {
+			st.entry = m.From
+			st.lastOK = in.sim.Now()
+		}
+		return
+	}
+	if st, ok := in.pcp[m.From.ID]; ok {
+		st.entry = m.From
+		st.lastOK = in.sim.Now()
+	}
+}
+
+// SelfEntry returns this member's current private-view entry (fresh
+// helper set included), for applications that ship their own
+// coordinates in queries (§V-G).
+func (in *Instance) SelfEntry() Entry { return in.r.SelfEntry() }
+
+// Config returns the instance's effective configuration.
+func (in *Instance) Config() Config { return in.cfg }
+
+// Sim returns the simulator driving this instance's node.
+func (in *Instance) Sim() *simnet.Sim { return in.sim }

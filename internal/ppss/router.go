@@ -1,0 +1,298 @@
+package ppss
+
+import (
+	"errors"
+	"fmt"
+
+	"whisper/internal/crypt"
+	"whisper/internal/identity"
+	"whisper/internal/simnet"
+	"whisper/internal/wcl"
+	"whisper/internal/wire"
+)
+
+// RouterStats counts node-level PPSS events.
+type RouterStats struct {
+	UnknownGroupDrops uint64
+	MalformedDrops    uint64
+	JoinsSent         uint64
+	JoinsSucceeded    uint64
+	JoinsFailed       uint64
+}
+
+// Router owns a node's PPSS state: one Instance per private group the
+// node belongs to, demultiplexed from the single WCL receive hook.
+// Messages for groups the node is not a member of are dropped silently
+// — a node never reveals, even by an error reply, whether it knows a
+// group (§IV-A).
+type Router struct {
+	w   *wcl.WCL
+	sim *simnet.Sim
+	cfg Config
+
+	instances map[GroupID]*Instance
+	joins     map[GroupID]*joinWaiter
+
+	// Stats exposes counters.
+	Stats RouterStats
+}
+
+type joinWaiter struct {
+	done  func(*Instance, error)
+	timer *simnet.Timer
+}
+
+// NewRouter attaches PPSS routing to a WCL, taking over its OnReceive
+// hook. cfg provides the defaults for all instances on this node.
+func NewRouter(w *wcl.WCL, cfg Config) *Router {
+	r := &Router{
+		w:         w,
+		sim:       w.Node().Sim(),
+		cfg:       cfg.withDefaults(),
+		instances: make(map[GroupID]*Instance),
+		joins:     make(map[GroupID]*joinWaiter),
+	}
+	w.OnReceive = r.handle
+	return r
+}
+
+// WCL returns the underlying communication layer.
+func (r *Router) WCL() *wcl.WCL { return r.w }
+
+// Node ID shorthand.
+func (r *Router) id() identity.NodeID { return r.w.Node().ID() }
+
+// cpu returns the node's crypto meter (shared with the WCL, as Table II
+// accounts both together).
+func (r *Router) cpu() *crypt.CPUMeter { return r.w.CPU() }
+
+// Instances returns the groups this node currently belongs to.
+func (r *Router) Instances() []*Instance {
+	out := make([]*Instance, 0, len(r.instances))
+	for _, inst := range r.instances {
+		out = append(out, inst)
+	}
+	return out
+}
+
+// Instance returns the instance for a group, or nil.
+func (r *Router) Instance(g GroupID) *Instance { return r.instances[g] }
+
+// SelfEntry builds the node's current private-view entry: identity,
+// public key, and Π helper P-nodes drawn from the connection backlog
+// with their sampled keys (§IV-B).
+func (r *Router) SelfEntry() Entry {
+	node := r.w.Node()
+	d := node.SelfDescriptor()
+	e := Entry{
+		ID:      d.ID,
+		IsPub:   d.Public,
+		Contact: d.Contact,
+		PubKey:  node.Identity().Public(),
+	}
+	if !d.Public {
+		for _, be := range r.w.Backlog().Publics() {
+			key := node.Keys().Get(be.Desc.ID)
+			if key == nil {
+				continue
+			}
+			e.Helpers = append(e.Helpers, wcl.Helper{ID: be.Desc.ID, Endpoint: be.Desc.Contact, Key: key})
+			if len(e.Helpers) >= r.cfg.MinHelpers {
+				break
+			}
+		}
+	}
+	return e
+}
+
+// CreateGroup makes this node the founding leader of a new group: it
+// generates the group key pair and issues itself a passport.
+func (r *Router) CreateGroup(name string) (*Instance, error) {
+	g := GroupIDFromName(name)
+	if r.instances[g] != nil {
+		return nil, fmt.Errorf("ppss: already a member of group %q", name)
+	}
+	groupKey, err := NewGroupKey(r.cfg.GroupKeyBits)
+	if err != nil {
+		return nil, err
+	}
+	history := NewKeyHistory(&groupKey.PublicKey)
+	passport, err := IssuePassport(r.cpu(), groupKey, g, r.id(), 0)
+	if err != nil {
+		return nil, err
+	}
+	inst := newInstance(r, g, name, history, passport)
+	inst.groupPriv = groupKey
+	inst.leaderID = r.id()
+	inst.lastHB = r.sim.Now()
+	r.instances[g] = inst
+	inst.start()
+	return inst, nil
+}
+
+// Join requests admission to a group through entryPoint (a leader whose
+// coordinates arrived with the invitation), presenting accr. done is
+// invoked with the live instance or an error.
+func (r *Router) Join(name string, accr Accreditation, entryPoint Entry, done func(*Instance, error)) {
+	g := GroupIDFromName(name)
+	if g != accr.Group {
+		done(nil, fmt.Errorf("ppss: accreditation is for %v, not %q", accr.Group, name))
+		return
+	}
+	if r.instances[g] != nil {
+		done(nil, fmt.Errorf("ppss: already a member of %q", name))
+		return
+	}
+	if r.joins[g] != nil {
+		done(nil, fmt.Errorf("ppss: join to %q already in progress", name))
+		return
+	}
+	r.Stats.JoinsSent++
+	m := joinReq{Group: g, Accr: accr, From: r.SelfEntry()}
+	waiter := &joinWaiter{done: done}
+	waiter.timer = r.sim.After(r.cfg.JoinTimeout, func() {
+		if r.joins[g] == waiter {
+			delete(r.joins, g)
+			r.Stats.JoinsFailed++
+			done(nil, errors.New("ppss: join timed out"))
+		}
+	})
+	r.joins[g] = waiter
+	r.w.Send(entryPoint.Dest(), m.encode(r.cfg.KeyBlobSize), func(res wcl.Result) {
+		if res.Outcome == wcl.Failed {
+			if r.joins[g] == waiter {
+				delete(r.joins, g)
+				waiter.timer.Cancel()
+				r.Stats.JoinsFailed++
+				done(nil, fmt.Errorf("ppss: cannot reach entry point: %w", wcl.ErrNoPath))
+			}
+		}
+	})
+}
+
+// Leave stops the group instance and forgets its state.
+func (r *Router) Leave(g GroupID) {
+	if inst := r.instances[g]; inst != nil {
+		inst.stop()
+		delete(r.instances, g)
+	}
+}
+
+// Close stops all instances (node shutdown).
+func (r *Router) Close() {
+	for g := range r.instances {
+		r.Leave(g)
+	}
+	for g, wtr := range r.joins {
+		wtr.timer.Cancel()
+		delete(r.joins, g)
+	}
+}
+
+// handle is the WCL receive hook: dispatch by kind and group.
+func (r *Router) handle(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	rd := wire.NewReader(payload)
+	kind := rd.U8()
+	switch kind {
+	case msgJoinReq:
+		m, err := decodeJoinReq(rd, r.cfg.KeyBlobSize)
+		if err != nil {
+			r.Stats.MalformedDrops++
+			return
+		}
+		if inst := r.instances[m.Group]; inst != nil {
+			inst.handleJoinReq(m)
+		} else {
+			r.Stats.UnknownGroupDrops++
+		}
+	case msgJoinResp:
+		m, err := decodeJoinResp(rd, r.cfg.KeyBlobSize)
+		if err != nil {
+			r.Stats.MalformedDrops++
+			return
+		}
+		r.completeJoin(m)
+	case msgShuffleReq, msgShuffleResp:
+		m, err := decodeShuffleMsg(rd, r.cfg.KeyBlobSize)
+		if err != nil {
+			r.Stats.MalformedDrops++
+			return
+		}
+		inst := r.instances[m.Group]
+		if inst == nil {
+			r.Stats.UnknownGroupDrops++
+			return
+		}
+		if kind == msgShuffleReq {
+			inst.handleShuffleReq(m)
+		} else {
+			inst.handleShuffleResp(m)
+		}
+	case msgApp:
+		m, err := decodeAppMsg(rd, r.cfg.KeyBlobSize)
+		if err != nil {
+			r.Stats.MalformedDrops++
+			return
+		}
+		if inst := r.instances[m.Group]; inst != nil {
+			inst.handleApp(m)
+		} else {
+			r.Stats.UnknownGroupDrops++
+		}
+	case msgPCPPing, msgPCPPong:
+		m, err := decodePCPMsg(rd, r.cfg.KeyBlobSize)
+		if err != nil {
+			r.Stats.MalformedDrops++
+			return
+		}
+		if inst := r.instances[m.Group]; inst != nil {
+			inst.handlePCP(kind, m)
+		} else {
+			r.Stats.UnknownGroupDrops++
+		}
+	default:
+		r.Stats.MalformedDrops++
+	}
+}
+
+// completeJoin finalizes a pending join with the leader's response.
+func (r *Router) completeJoin(m *joinResp) {
+	waiter := r.joins[m.Group]
+	if waiter == nil {
+		return
+	}
+	delete(r.joins, m.Group)
+	waiter.timer.Cancel()
+	if m.Passport.IsZero() || len(m.History) == 0 || m.History[0] == nil {
+		r.Stats.JoinsFailed++
+		waiter.done(nil, errors.New("ppss: malformed join response"))
+		return
+	}
+	history := NewKeyHistory(m.History[0])
+	for _, k := range m.History[1:] {
+		if k != nil {
+			history.Append(k)
+		}
+	}
+	if err := m.Passport.Verify(r.cpu(), m.Group, history); err != nil || m.Passport.Member != r.id() {
+		r.Stats.JoinsFailed++
+		waiter.done(nil, ErrBadPassport)
+		return
+	}
+	inst := newInstance(r, m.Group, "", history, m.Passport)
+	inst.leaderID = m.Leader.ID
+	inst.lastHB = r.sim.Now()
+	inst.view.Insert(m.Leader, 0)
+	for _, e := range m.Entries {
+		if e.Val.ID != r.id() {
+			inst.view.Insert(e.Val, e.Age)
+		}
+	}
+	r.instances[m.Group] = inst
+	inst.start()
+	r.Stats.JoinsSucceeded++
+	waiter.done(inst, nil)
+}

@@ -1,0 +1,482 @@
+// Package pss implements the data structures and policies of a
+// gossip-based peer sampling service (Jelasity et al., "Gossip-based
+// peer sampling"): aged partial views, the healer exchange strategy
+// used by the paper (partner = oldest entry, retention = freshest
+// entries), and the Π-biased truncation of WHISPER §III-B that keeps a
+// minimum number of public nodes in every view.
+//
+// The package is transport-agnostic and generic over the entry payload:
+// the Nylon layer instantiates it with NAT-aware descriptors, and the
+// PPSS instantiates it with private-group entries carrying public keys
+// and helper sets. All functions are pure or operate on local state, so
+// the protocol logic is exhaustively unit-testable without a network.
+package pss
+
+import (
+	"math/rand"
+	"sort"
+
+	"whisper/internal/identity"
+)
+
+// Item is the payload of a view entry.
+type Item interface {
+	// Key returns the node identifier this entry points to.
+	Key() identity.NodeID
+	// IsPublic reports whether the node is a P-node (directly
+	// reachable, no NAT).
+	IsPublic() bool
+}
+
+// MaxAge saturates entry ages, preventing wrap-around in very long runs.
+const MaxAge = 1<<16 - 1
+
+// Entry is one aged element of a view.
+type Entry[T Item] struct {
+	Val T
+	Age uint16
+}
+
+// View is a bounded partial view of the network.
+type View[T Item] struct {
+	capacity int
+	entries  []Entry[T]
+}
+
+// NewView creates an empty view bounded to capacity entries.
+func NewView[T Item](capacity int) *View[T] {
+	if capacity <= 0 {
+		panic("pss: view capacity must be positive")
+	}
+	return &View[T]{capacity: capacity}
+}
+
+// Capacity returns the view bound.
+func (v *View[T]) Capacity() int { return v.capacity }
+
+// Len returns the current number of entries.
+func (v *View[T]) Len() int { return len(v.entries) }
+
+// Entries returns a copy of the view content.
+func (v *View[T]) Entries() []Entry[T] {
+	return append([]Entry[T](nil), v.entries...)
+}
+
+// Values returns the payloads of all entries.
+func (v *View[T]) Values() []T {
+	out := make([]T, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.Val
+	}
+	return out
+}
+
+// IDs returns the identifiers of all entries.
+func (v *View[T]) IDs() []identity.NodeID {
+	out := make([]identity.NodeID, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.Val.Key()
+	}
+	return out
+}
+
+// Contains reports whether id is in the view.
+func (v *View[T]) Contains(id identity.NodeID) bool {
+	_, ok := v.Get(id)
+	return ok
+}
+
+// Get returns the entry for id.
+func (v *View[T]) Get(id identity.NodeID) (Entry[T], bool) {
+	for _, e := range v.entries {
+		if e.Val.Key() == id {
+			return e, true
+		}
+	}
+	return Entry[T]{}, false
+}
+
+// Remove deletes id from the view, reporting whether it was present.
+// Used when a peer is detected as failed (§II-B membership management).
+func (v *View[T]) Remove(id identity.NodeID) bool {
+	for i, e := range v.entries {
+		if e.Val.Key() == id {
+			v.entries = append(v.entries[:i], v.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds or refreshes an entry, keeping the lower age if the node
+// is already present. If the view is full and id is new, the oldest
+// entry is evicted. Used at bootstrap and when learning peers outside a
+// shuffle.
+func (v *View[T]) Insert(val T, age uint16) {
+	for i := range v.entries {
+		if v.entries[i].Val.Key() == val.Key() {
+			if age <= v.entries[i].Age {
+				v.entries[i] = Entry[T]{Val: val, Age: age}
+			}
+			return
+		}
+	}
+	if len(v.entries) >= v.capacity {
+		oldest := 0
+		for i, e := range v.entries {
+			if e.Age > v.entries[oldest].Age {
+				oldest = i
+			}
+			_ = e
+		}
+		v.entries = append(v.entries[:oldest], v.entries[oldest+1:]...)
+	}
+	v.entries = append(v.entries, Entry[T]{Val: val, Age: age})
+}
+
+// AgeAll increments every entry's age (start of a gossip cycle).
+func (v *View[T]) AgeAll() {
+	for i := range v.entries {
+		if v.entries[i].Age < MaxAge {
+			v.entries[i].Age++
+		}
+	}
+}
+
+// Oldest returns the entry with the highest age — the exchange partner
+// under the healer strategy. ok is false for an empty view.
+func (v *View[T]) Oldest() (Entry[T], bool) {
+	if len(v.entries) == 0 {
+		return Entry[T]{}, false
+	}
+	best := 0
+	for i, e := range v.entries {
+		if e.Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	return v.entries[best], true
+}
+
+// Sample returns up to n distinct random entries, excluding any entry
+// whose key is in exclude.
+func (v *View[T]) Sample(rng *rand.Rand, n int, exclude ...identity.NodeID) []Entry[T] {
+	skip := make(map[identity.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	candidates := make([]Entry[T], 0, len(v.entries))
+	for _, e := range v.entries {
+		if !skip[e.Val.Key()] {
+			candidates = append(candidates, e)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > n {
+		candidates = candidates[:n]
+	}
+	return candidates
+}
+
+// Random returns one uniformly random entry (the getPeer() of the PSS
+// API). ok is false for an empty view.
+func (v *View[T]) Random(rng *rand.Rand) (Entry[T], bool) {
+	if len(v.entries) == 0 {
+		return Entry[T]{}, false
+	}
+	return v.entries[rng.Intn(len(v.entries))], true
+}
+
+// PublicCount returns the number of P-node entries.
+func (v *View[T]) PublicCount() int {
+	n := 0
+	for _, e := range v.entries {
+		if e.Val.IsPublic() {
+			n++
+		}
+	}
+	return n
+}
+
+// Publics returns the P-node entries.
+func (v *View[T]) Publics() []Entry[T] {
+	var out []Entry[T]
+	for _, e := range v.entries {
+		if e.Val.IsPublic() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Replace overwrites the view with entries, truncating to capacity.
+func (v *View[T]) Replace(entries []Entry[T]) {
+	if len(entries) > v.capacity {
+		entries = entries[:v.capacity]
+	}
+	v.entries = append(v.entries[:0], entries...)
+}
+
+// SelectOpts parameterizes the post-exchange truncation policy.
+type SelectOpts struct {
+	// Capacity is the view size c.
+	Capacity int
+	// Self is the local node's ID; entries pointing to it are dropped.
+	Self identity.NodeID
+	// MinPublic is Π: the minimum number of P-node entries to retain,
+	// overriding the age-based policy if necessary (§III-B-1). Zero
+	// disables the bias (the paper's unmodified baseline).
+	MinPublic int
+	// CapExcessPublic additionally discards the oldest P-nodes above
+	// the Π threshold in favour of fresher coverage of N-nodes. The
+	// paper describes this second bias for settings where Π exceeds the
+	// network's P-node share; it is off by default and exercised by the
+	// ablation benchmarks.
+	CapExcessPublic bool
+}
+
+// Select implements the healer truncation: merge current and received
+// entries, drop self-references, deduplicate keeping the freshest copy
+// of each node, keep the Capacity entries with the lowest ages, then
+// apply the Π bias. The input order breaks age ties (stable), so pass
+// the local view first for the conventional behaviour.
+func Select[T Item](merged []Entry[T], o SelectOpts) []Entry[T] {
+	if o.Capacity <= 0 {
+		panic("pss: Select with non-positive capacity")
+	}
+	// Deduplicate, keeping the freshest entry per node.
+	best := make(map[identity.NodeID]int, len(merged))
+	var uniq []Entry[T]
+	for _, e := range merged {
+		id := e.Val.Key()
+		if id == o.Self {
+			continue
+		}
+		if i, ok := best[id]; ok {
+			if e.Age < uniq[i].Age {
+				uniq[i] = e
+			}
+			continue
+		}
+		best[id] = len(uniq)
+		uniq = append(uniq, e)
+	}
+	// Freshest first; stable keeps input precedence on ties.
+	sort.SliceStable(uniq, func(i, j int) bool { return uniq[i].Age < uniq[j].Age })
+	kept := uniq
+	var excluded []Entry[T]
+	if len(uniq) > o.Capacity {
+		kept = uniq[:o.Capacity]
+		excluded = uniq[o.Capacity:]
+	}
+	kept = append([]Entry[T](nil), kept...)
+	if o.MinPublic <= 0 {
+		return kept
+	}
+
+	// Bias 1: enforce at least Π P-nodes, swapping in the freshest
+	// excluded P-nodes for the oldest kept N-nodes.
+	pubs := countPublic(kept)
+	for pubs < o.MinPublic {
+		pi := -1
+		for i, e := range excluded {
+			if e.Val.IsPublic() {
+				pi = i
+				break // excluded is age-sorted: first P is freshest
+			}
+		}
+		if pi < 0 {
+			break // no P-nodes available at all
+		}
+		ni := -1
+		for i := len(kept) - 1; i >= 0; i-- {
+			if !kept[i].Val.IsPublic() {
+				ni = i
+				break // oldest N-node
+			}
+		}
+		if ni < 0 {
+			if len(kept) < o.Capacity {
+				kept = append(kept, excluded[pi])
+				excluded = append(excluded[:pi], excluded[pi+1:]...)
+				pubs++
+				continue
+			}
+			break
+		}
+		kept[ni], excluded[pi] = excluded[pi], kept[ni]
+		sortEntries(kept)
+		sortEntries(excluded)
+		pubs++
+	}
+
+	// Bias 2 (optional): discard the oldest P-nodes above the quota in
+	// favour of the freshest excluded N-nodes.
+	if o.CapExcessPublic {
+		for countPublic(kept) > o.MinPublic {
+			ni := -1
+			for i, e := range excluded {
+				if !e.Val.IsPublic() {
+					ni = i
+					break
+				}
+			}
+			if ni < 0 {
+				break
+			}
+			pi := -1
+			for i := len(kept) - 1; i >= 0; i-- {
+				if kept[i].Val.IsPublic() {
+					pi = i
+					break
+				}
+			}
+			if pi < 0 {
+				break
+			}
+			kept[pi], excluded[ni] = excluded[ni], kept[pi]
+			sortEntries(kept)
+			sortEntries(excluded)
+		}
+	}
+	return kept
+}
+
+// MergeCyclon applies a received shuffle buffer to the view using
+// Cyclon-style swapping (Voulgaris et al., the protocol Nylon builds
+// on): received entries first fill empty slots, then replace the
+// entries that were sent in the same exchange, and are dropped
+// otherwise — except that, following the healer leaning of the paper, a
+// received entry may also replace a strictly older entry when no sent
+// slot remains. Duplicates keep the fresher copy. Finally the Π bias of
+// SelectOpts is enforced exactly as in Select, considering the P-nodes
+// of both the previous view and the received buffer.
+//
+// sent must be the buffer this node shipped in the exchange (its own
+// descriptor may be included; it is ignored since it never sits in the
+// view). Swapping — rather than union-and-keep-freshest — is what keeps
+// the overlay's clustering coefficient in the random-graph regime
+// (Fig 5's baseline).
+func MergeCyclon[T Item](view *View[T], sent, received []Entry[T], o SelectOpts) {
+	if o.Capacity <= 0 {
+		panic("pss: MergeCyclon with non-positive capacity")
+	}
+	// Entries we may overwrite: the ones we sent that are still present.
+	replaceable := make([]identity.NodeID, 0, len(sent))
+	for _, s := range sent {
+		id := s.Val.Key()
+		if id != o.Self && view.Contains(id) {
+			replaceable = append(replaceable, id)
+		}
+	}
+	evicted := make([]Entry[T], 0, 4)
+	for _, r := range received {
+		id := r.Val.Key()
+		if id == o.Self {
+			continue
+		}
+		if i := view.index(id); i >= 0 {
+			if r.Age < view.entries[i].Age {
+				view.entries[i] = r
+			}
+			continue
+		}
+		if view.Len() < o.Capacity {
+			view.entries = append(view.entries, r)
+			continue
+		}
+		if len(replaceable) > 0 {
+			victim := replaceable[0]
+			replaceable = replaceable[1:]
+			if i := view.index(victim); i >= 0 {
+				evicted = append(evicted, view.entries[i])
+				view.entries[i] = r
+				continue
+			}
+		}
+		// Healer fallback: replace the oldest entry if strictly older.
+		oi := view.oldestIndex()
+		if oi >= 0 && view.entries[oi].Age > r.Age {
+			evicted = append(evicted, view.entries[oi])
+			view.entries[oi] = r
+		}
+		// Otherwise the received entry is dropped.
+	}
+	if o.MinPublic <= 0 {
+		return
+	}
+	// Π bias: candidates are P-nodes from the received buffer and the
+	// entries this merge evicted, freshest first.
+	var candidates []Entry[T]
+	for _, e := range received {
+		if e.Val.IsPublic() && e.Val.Key() != o.Self && !view.Contains(e.Val.Key()) {
+			candidates = append(candidates, e)
+		}
+	}
+	for _, e := range evicted {
+		if e.Val.IsPublic() && !view.Contains(e.Val.Key()) {
+			candidates = append(candidates, e)
+		}
+	}
+	sortEntries(candidates)
+	for view.PublicCount() < o.MinPublic && len(candidates) > 0 {
+		c := candidates[0]
+		candidates = candidates[1:]
+		if view.Contains(c.Val.Key()) {
+			continue
+		}
+		if view.Len() < o.Capacity {
+			view.entries = append(view.entries, c)
+			continue
+		}
+		// Replace the oldest N-node.
+		ni, age := -1, -1
+		for i, e := range view.entries {
+			if !e.Val.IsPublic() && int(e.Age) > age {
+				ni, age = i, int(e.Age)
+			}
+		}
+		if ni < 0 {
+			break
+		}
+		view.entries[ni] = c
+	}
+}
+
+func (v *View[T]) index(id identity.NodeID) int {
+	for i, e := range v.entries {
+		if e.Val.Key() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (v *View[T]) oldestIndex() int {
+	if len(v.entries) == 0 {
+		return -1
+	}
+	best := 0
+	for i, e := range v.entries {
+		if e.Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	return best
+}
+
+func countPublic[T Item](entries []Entry[T]) int {
+	n := 0
+	for _, e := range entries {
+		if e.Val.IsPublic() {
+			n++
+		}
+	}
+	return n
+}
+
+func sortEntries[T Item](entries []Entry[T]) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Age < entries[j].Age })
+}

@@ -1,0 +1,665 @@
+package pss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whisper/internal/graph"
+	"whisper/internal/identity"
+)
+
+type item struct {
+	id  identity.NodeID
+	pub bool
+}
+
+func (i item) Key() identity.NodeID { return i.id }
+func (i item) IsPublic() bool       { return i.pub }
+
+func e(id identity.NodeID, pub bool, age uint16) Entry[item] {
+	return Entry[item]{Val: item{id: id, pub: pub}, Age: age}
+}
+
+func TestViewInsertAndDedup(t *testing.T) {
+	v := NewView[item](3)
+	v.Insert(item{id: 1}, 5)
+	v.Insert(item{id: 2}, 1)
+	v.Insert(item{id: 1}, 2) // fresher copy replaces
+	if v.Len() != 2 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	got, _ := v.Get(1)
+	if got.Age != 2 {
+		t.Fatalf("age = %d, want 2 (fresher kept)", got.Age)
+	}
+	v.Insert(item{id: 1}, 9) // staler copy ignored
+	got, _ = v.Get(1)
+	if got.Age != 2 {
+		t.Fatalf("stale insert overwrote: age = %d", got.Age)
+	}
+}
+
+func TestViewInsertEvictsOldest(t *testing.T) {
+	v := NewView[item](2)
+	v.Insert(item{id: 1}, 9)
+	v.Insert(item{id: 2}, 1)
+	v.Insert(item{id: 3}, 0)
+	if v.Len() != 2 || v.Contains(1) {
+		t.Fatalf("oldest not evicted: %v", v.IDs())
+	}
+	if !v.Contains(2) || !v.Contains(3) {
+		t.Fatalf("wrong eviction: %v", v.IDs())
+	}
+}
+
+func TestViewAgeAllSaturates(t *testing.T) {
+	v := NewView[item](2)
+	v.Insert(item{id: 1}, MaxAge-1)
+	v.AgeAll()
+	v.AgeAll()
+	got, _ := v.Get(1)
+	if got.Age != MaxAge {
+		t.Fatalf("age = %d, want saturation at %d", got.Age, MaxAge)
+	}
+}
+
+func TestViewOldestIsPartner(t *testing.T) {
+	v := NewView[item](5)
+	if _, ok := v.Oldest(); ok {
+		t.Fatal("empty view returned a partner")
+	}
+	v.Insert(item{id: 1}, 3)
+	v.Insert(item{id: 2}, 7)
+	v.Insert(item{id: 3}, 5)
+	got, ok := v.Oldest()
+	if !ok || got.Val.Key() != 2 {
+		t.Fatalf("oldest = %v", got.Val.Key())
+	}
+}
+
+func TestViewRemove(t *testing.T) {
+	v := NewView[item](5)
+	v.Insert(item{id: 1}, 0)
+	if !v.Remove(1) || v.Remove(1) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if v.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestViewSampleExcludes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewView[item](10)
+	for i := 1; i <= 10; i++ {
+		v.Insert(item{id: identity.NodeID(i)}, 0)
+	}
+	s := v.Sample(rng, 5, 3, 7)
+	if len(s) != 5 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := map[identity.NodeID]bool{}
+	for _, entry := range s {
+		id := entry.Val.Key()
+		if id == 3 || id == 7 {
+			t.Fatal("excluded node sampled")
+		}
+		if seen[id] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[id] = true
+	}
+	// Request more than available.
+	all := v.Sample(rng, 100)
+	if len(all) != 10 {
+		t.Fatalf("oversample = %d", len(all))
+	}
+}
+
+func TestViewRandomAndPublics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := NewView[item](4)
+	if _, ok := v.Random(rng); ok {
+		t.Fatal("empty Random returned an entry")
+	}
+	v.Insert(item{id: 1, pub: true}, 0)
+	v.Insert(item{id: 2}, 0)
+	v.Insert(item{id: 3, pub: true}, 0)
+	if v.PublicCount() != 2 || len(v.Publics()) != 2 {
+		t.Fatalf("public count = %d", v.PublicCount())
+	}
+	if _, ok := v.Random(rng); !ok {
+		t.Fatal("Random failed")
+	}
+}
+
+func TestSelectKeepsFreshest(t *testing.T) {
+	merged := []Entry[item]{e(1, false, 5), e(2, false, 1), e(3, false, 3), e(4, false, 2)}
+	out := Select(merged, SelectOpts{Capacity: 2, Self: 99})
+	if len(out) != 2 || out[0].Val.Key() != 2 || out[1].Val.Key() != 4 {
+		t.Fatalf("kept %v", out)
+	}
+}
+
+func TestSelectDropsSelfAndDedups(t *testing.T) {
+	merged := []Entry[item]{e(7, false, 4), e(1, false, 9), e(1, false, 2), e(7, false, 1)}
+	out := Select(merged, SelectOpts{Capacity: 10, Self: 7})
+	if len(out) != 1 || out[0].Val.Key() != 1 || out[0].Age != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestSelectQuotaForcesPublics(t *testing.T) {
+	// Unbiased selection would keep the four freshest N-nodes; quota 2
+	// must pull the freshest P-nodes in, evicting the oldest N-nodes.
+	merged := []Entry[item]{
+		e(1, false, 0), e(2, false, 1), e(3, false, 2), e(4, false, 3),
+		e(10, true, 5), e(11, true, 7), e(12, true, 9),
+	}
+	out := Select(merged, SelectOpts{Capacity: 4, Self: 99, MinPublic: 2})
+	pubs := 0
+	ids := map[identity.NodeID]bool{}
+	for _, entry := range out {
+		ids[entry.Val.Key()] = true
+		if entry.Val.IsPublic() {
+			pubs++
+		}
+	}
+	if pubs != 2 {
+		t.Fatalf("pubs = %d, want 2; out = %v", pubs, out)
+	}
+	if !ids[10] || !ids[11] {
+		t.Fatalf("freshest P-nodes not selected: %v", out)
+	}
+	if !ids[1] || !ids[2] {
+		t.Fatalf("freshest N-nodes evicted: %v", out)
+	}
+}
+
+func TestSelectQuotaUnsatisfiable(t *testing.T) {
+	merged := []Entry[item]{e(1, false, 0), e(2, false, 1)}
+	out := Select(merged, SelectOpts{Capacity: 2, Self: 99, MinPublic: 3})
+	if len(out) != 2 {
+		t.Fatalf("unsatisfiable quota broke selection: %v", out)
+	}
+}
+
+func TestSelectQuotaFillsUnderCapacity(t *testing.T) {
+	// View smaller than capacity: quota should append the P-node, not
+	// swap anything out.
+	merged := []Entry[item]{e(1, true, 9)}
+	out := Select(merged, SelectOpts{Capacity: 4, Self: 99, MinPublic: 1})
+	if len(out) != 1 || !out[0].Val.IsPublic() {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestSelectCapExcessPublic(t *testing.T) {
+	merged := []Entry[item]{
+		e(10, true, 0), e(11, true, 1), e(12, true, 2), e(13, true, 3),
+		e(1, false, 4), e(2, false, 5),
+	}
+	out := Select(merged, SelectOpts{Capacity: 4, Self: 99, MinPublic: 1, CapExcessPublic: true})
+	pubs := 0
+	for _, entry := range out {
+		if entry.Val.IsPublic() {
+			pubs++
+		}
+	}
+	// Only two N-nodes exist, so the cap can reduce P-nodes to 2 at best.
+	if pubs != 2 {
+		t.Fatalf("cap bias kept %d P-nodes, want 2 (limited by N supply): %v", pubs, out)
+	}
+	// Without the cap, all four P-nodes (freshest) stay.
+	out2 := Select(merged, SelectOpts{Capacity: 4, Self: 99, MinPublic: 1})
+	pubs = 0
+	for _, entry := range out2 {
+		if entry.Val.IsPublic() {
+			pubs++
+		}
+	}
+	if pubs != 4 {
+		t.Fatalf("uncapped selection altered: %v", out2)
+	}
+}
+
+// Property: Select never exceeds capacity, never emits duplicates or
+// self, and satisfies the quota whenever enough P-nodes exist in the
+// merged input.
+func TestPropertySelectInvariants(t *testing.T) {
+	f := func(seed int64, capacity8, quota8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int(capacity8%10) + 1
+		quota := int(quota8 % 5)
+		n := rng.Intn(40)
+		merged := make([]Entry[item], 0, n)
+		pubsIn := 0
+		for i := 0; i < n; i++ {
+			pub := rng.Intn(3) == 0
+			if pub {
+				pubsIn++
+			}
+			merged = append(merged, e(identity.NodeID(rng.Intn(20)+1), pub, uint16(rng.Intn(50))))
+		}
+		out := Select(merged, SelectOpts{Capacity: capacity, Self: 5, MinPublic: quota})
+		if len(out) > capacity {
+			return false
+		}
+		seen := map[identity.NodeID]bool{}
+		pubsOut := 0
+		for _, entry := range out {
+			id := entry.Val.Key()
+			if id == 5 || seen[id] {
+				return false
+			}
+			seen[id] = true
+			if entry.Val.IsPublic() {
+				pubsOut++
+			}
+		}
+		// Quota check: count distinct non-self P-node IDs available.
+		distinctP := map[identity.NodeID]bool{}
+		distinct := map[identity.NodeID]bool{}
+		for _, entry := range merged {
+			if entry.Val.Key() == 5 {
+				continue
+			}
+			distinct[entry.Val.Key()] = true
+			if entry.Val.IsPublic() {
+				distinctP[entry.Val.Key()] = true
+			}
+		}
+		// An ID may appear both as P and N copies in hostile input; skip
+		// the quota assertion in that case (undefined publicness).
+		ambiguous := false
+		kinds := map[identity.NodeID]map[bool]bool{}
+		for _, entry := range merged {
+			id := entry.Val.Key()
+			if kinds[id] == nil {
+				kinds[id] = map[bool]bool{}
+			}
+			kinds[id][entry.Val.IsPublic()] = true
+			if len(kinds[id]) > 1 {
+				ambiguous = true
+			}
+		}
+		if !ambiguous {
+			want := quota
+			if len(distinctP) < want {
+				want = len(distinctP)
+			}
+			if space := capacity; space < want {
+				want = space
+			}
+			if pubsOut < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCyclonFillsEmptySlots(t *testing.T) {
+	v := NewView[item](4)
+	v.Insert(item{id: 1}, 2)
+	MergeCyclon(v, nil, []Entry[item]{e(2, false, 0), e(3, false, 1)}, SelectOpts{Capacity: 4, Self: 9})
+	if v.Len() != 3 || !v.Contains(2) || !v.Contains(3) {
+		t.Fatalf("view = %v", v.IDs())
+	}
+}
+
+func TestMergeCyclonSwapsSentEntries(t *testing.T) {
+	v := NewView[item](2)
+	v.Insert(item{id: 1}, 2)
+	v.Insert(item{id: 2}, 3)
+	sent := []Entry[item]{e(1, false, 2)}
+	MergeCyclon(v, sent, []Entry[item]{e(5, false, 9)}, SelectOpts{Capacity: 2, Self: 9})
+	if !v.Contains(5) || v.Contains(1) {
+		t.Fatalf("sent entry not swapped: %v", v.IDs())
+	}
+	if !v.Contains(2) {
+		t.Fatal("unsent entry was evicted")
+	}
+}
+
+func TestMergeCyclonHealerFallback(t *testing.T) {
+	// Full view, nothing sent: a received entry only replaces a
+	// strictly older one.
+	v := NewView[item](2)
+	v.Insert(item{id: 1}, 10)
+	v.Insert(item{id: 2}, 1)
+	MergeCyclon(v, nil, []Entry[item]{e(5, false, 3)}, SelectOpts{Capacity: 2, Self: 9})
+	if !v.Contains(5) || v.Contains(1) {
+		t.Fatalf("oldest not replaced: %v", v.IDs())
+	}
+	// A received entry older than everything is dropped.
+	MergeCyclon(v, nil, []Entry[item]{e(6, false, 50)}, SelectOpts{Capacity: 2, Self: 9})
+	if v.Contains(6) {
+		t.Fatal("stale received entry inserted")
+	}
+}
+
+func TestMergeCyclonDuplicateKeepsFresher(t *testing.T) {
+	v := NewView[item](2)
+	v.Insert(item{id: 1}, 5)
+	MergeCyclon(v, nil, []Entry[item]{e(1, false, 2)}, SelectOpts{Capacity: 2, Self: 9})
+	got, _ := v.Get(1)
+	if got.Age != 2 {
+		t.Fatalf("age = %d, want 2", got.Age)
+	}
+	MergeCyclon(v, nil, []Entry[item]{e(1, false, 7)}, SelectOpts{Capacity: 2, Self: 9})
+	got, _ = v.Get(1)
+	if got.Age != 2 {
+		t.Fatalf("stale duplicate won: age = %d", got.Age)
+	}
+}
+
+func TestMergeCyclonIgnoresSelf(t *testing.T) {
+	v := NewView[item](2)
+	MergeCyclon(v, nil, []Entry[item]{e(9, false, 0)}, SelectOpts{Capacity: 2, Self: 9})
+	if v.Len() != 0 {
+		t.Fatal("self inserted into own view")
+	}
+}
+
+func TestMergeCyclonQuota(t *testing.T) {
+	// Full view of N-nodes; received P-node beyond swap capacity must
+	// still enter via the Π bias, replacing the oldest N-node.
+	v := NewView[item](3)
+	v.Insert(item{id: 1}, 4)
+	v.Insert(item{id: 2}, 1)
+	v.Insert(item{id: 3}, 8)
+	MergeCyclon(v, nil, []Entry[item]{e(10, true, 30)}, SelectOpts{Capacity: 3, Self: 9, MinPublic: 1})
+	if !v.Contains(10) {
+		t.Fatalf("quota did not force P-node in: %v", v.IDs())
+	}
+	if v.Contains(3) {
+		t.Fatal("quota should have replaced the oldest N-node (3)")
+	}
+	if v.PublicCount() != 1 {
+		t.Fatalf("public count = %d", v.PublicCount())
+	}
+}
+
+// gossipNet drives a transport-less PSS network: each round, every node
+// performs one healer push-pull exchange by direct function calls. This
+// validates the protocol policies independently of NAT and messaging.
+type gossipNet struct {
+	rng   *rand.Rand
+	nodes map[identity.NodeID]*gossipNode
+	order []identity.NodeID
+	opts  SelectOpts
+}
+
+type gossipNode struct {
+	self item
+	view *View[item]
+}
+
+func newGossipNet(n int, c int, pubFrac float64, minPublic int, seed int64) *gossipNet {
+	g := &gossipNet{
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[identity.NodeID]*gossipNode, n),
+	}
+	g.opts = SelectOpts{Capacity: c, MinPublic: minPublic}
+	ids := make([]identity.NodeID, n)
+	for i := 0; i < n; i++ {
+		id := identity.NodeID(i + 1)
+		ids[i] = id
+		g.nodes[id] = &gossipNode{
+			self: item{id: id, pub: g.rng.Float64() < pubFrac},
+			view: NewView[item](c),
+		}
+		g.order = append(g.order, id)
+	}
+	// Bootstrap: ring + a random link, like a tracker handing out peers.
+	for i, id := range ids {
+		nd := g.nodes[id]
+		nd.view.Insert(g.nodes[ids[(i+1)%n]].self, 0)
+		nd.view.Insert(g.nodes[ids[g.rng.Intn(n)]].self, 0)
+	}
+	return g
+}
+
+const exchangeSize = 5
+
+// round performs one Cyclon-with-ages cycle: each node (in random
+// order) contacts its oldest entry, swaps buffers, and both sides merge
+// with MergeCyclon under the configured Π bias.
+func (g *gossipNet) round() {
+	g.rng.Shuffle(len(g.order), func(i, j int) { g.order[i], g.order[j] = g.order[j], g.order[i] })
+	for _, id := range g.order {
+		a := g.nodes[id]
+		a.view.AgeAll()
+		partner, ok := a.view.Oldest()
+		if !ok {
+			continue
+		}
+		b, alive := g.nodes[partner.Val.Key()]
+		if !alive {
+			a.view.Remove(partner.Val.Key())
+			continue
+		}
+		// Active side removes the partner (its slot is refilled by the
+		// response) and ships self (age 0) plus a sample.
+		a.view.Remove(partner.Val.Key())
+		req := append([]Entry[item]{{Val: a.self}}, a.view.Sample(g.rng, exchangeSize-1)...)
+		// Passive side replies with a sample excluding the requester.
+		resp := b.view.Sample(g.rng, exchangeSize, id)
+		bo := g.opts
+		bo.Self = b.self.id
+		MergeCyclon(b.view, resp, req, bo)
+		ao := g.opts
+		ao.Self = a.self.id
+		MergeCyclon(a.view, req, resp, ao)
+	}
+}
+
+func (g *gossipNet) graph() graph.Directed {
+	out := make(graph.Directed, len(g.nodes))
+	for id, nd := range g.nodes {
+		out[id] = nd.view.IDs()
+	}
+	return out
+}
+
+func TestGossipConvergesToRandomGraph(t *testing.T) {
+	g := newGossipNet(300, 10, 0.3, 0, 10)
+	for i := 0; i < 40; i++ {
+		g.round()
+	}
+	gr := g.graph()
+	if !gr.WeaklyConnected() {
+		t.Fatal("overlay disconnected")
+	}
+	cc := gr.ClusteringCoefficients()
+	var sum float64
+	for _, v := range cc {
+		sum += v
+	}
+	if avg := sum / float64(len(cc)); avg > 0.15 {
+		t.Fatalf("avg clustering %.3f, want < 0.15 (random-graph regime)", avg)
+	}
+	// In-degree balance: no node should dominate.
+	in := gr.InDegrees()
+	maxIn := 0
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn > 45 {
+		t.Fatalf("max in-degree %d, want bounded (c=10)", maxIn)
+	}
+}
+
+func TestGossipBiasMaintainsQuota(t *testing.T) {
+	const quota = 3
+	g := newGossipNet(300, 10, 0.3, quota, 11)
+	for i := 0; i < 40; i++ {
+		g.round()
+	}
+	violations := 0
+	for _, nd := range g.nodes {
+		if nd.view.PublicCount() < quota {
+			violations++
+		}
+	}
+	// Transient dips are possible right after an exchange, but with 30%
+	// P-nodes the quota should essentially always hold.
+	if violations > len(g.nodes)/100 {
+		t.Fatalf("%d/%d views below Π=%d", violations, len(g.nodes), quota)
+	}
+}
+
+func TestGossipUnbiasedViolatesQuotaSometimes(t *testing.T) {
+	// Sanity check that the biased result above is not vacuous: without
+	// the bias, a noticeable share of views has < 3 P-nodes.
+	g := newGossipNet(300, 10, 0.3, 0, 11)
+	for i := 0; i < 40; i++ {
+		g.round()
+	}
+	below := 0
+	for _, nd := range g.nodes {
+		if nd.view.PublicCount() < 3 {
+			below++
+		}
+	}
+	if below == 0 {
+		t.Fatal("unbiased PSS never dips below 3 P-nodes; bias test proves nothing")
+	}
+}
+
+func TestGossipHealsDeadNodes(t *testing.T) {
+	g := newGossipNet(200, 10, 0.3, 0, 12)
+	for i := 0; i < 20; i++ {
+		g.round()
+	}
+	// Kill 20 nodes: entries pointing to them must disappear from all
+	// live views within a bounded number of cycles (healer property).
+	dead := map[identity.NodeID]bool{}
+	for id := identity.NodeID(1); id <= 20; id++ {
+		dead[id] = true
+		delete(g.nodes, id)
+	}
+	g.order = g.order[:0]
+	for id := range g.nodes {
+		g.order = append(g.order, id)
+	}
+	for i := 0; i < 30; i++ {
+		g.round()
+	}
+	for id, nd := range g.nodes {
+		for _, ref := range nd.view.IDs() {
+			if dead[ref] {
+				t.Fatalf("node %v still references dead node %v after 30 cycles", id, ref)
+			}
+		}
+	}
+	if !g.graph().WeaklyConnected() {
+		t.Fatal("overlay disconnected after churn")
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	merged := make([]Entry[item], 20)
+	for i := range merged {
+		merged[i] = e(identity.NodeID(i+1), rng.Intn(3) == 0, uint16(rng.Intn(30)))
+	}
+	opts := SelectOpts{Capacity: 10, Self: 99, MinPublic: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Select(merged, opts)
+	}
+}
+
+func BenchmarkGossipRound300Nodes(b *testing.B) {
+	g := newGossipNet(300, 10, 0.3, 3, 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.round()
+	}
+}
+
+// Property: MergeCyclon never exceeds capacity, never duplicates, never
+// inserts self, and (given enough P-node candidates) satisfies the
+// quota — for arbitrary view states, sent buffers and received buffers.
+func TestPropertyMergeCyclonInvariants(t *testing.T) {
+	f := func(seed int64, cap8, quota8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int(cap8%8) + 2
+		quota := int(quota8 % 4)
+		v := NewView[item](capacity)
+		// publicness must be a stable function of the ID for the quota
+		// invariant to be well-defined.
+		isPub := func(id identity.NodeID) bool { return id%3 == 0 }
+		mk := func() Entry[item] {
+			id := identity.NodeID(rng.Intn(25) + 1)
+			return Entry[item]{Val: item{id: id, pub: isPub(id)}, Age: uint16(rng.Intn(40))}
+		}
+		for i := 0; i < rng.Intn(capacity+1); i++ {
+			e := mk()
+			if e.Val.Key() == 5 {
+				continue // Insert is a bootstrap API; callers filter self
+			}
+			v.Insert(e.Val, e.Age)
+		}
+		opts := SelectOpts{Capacity: capacity, Self: 5, MinPublic: quota}
+		for round := 0; round < 6; round++ {
+			var sent, received []Entry[item]
+			for i := 0; i < rng.Intn(6); i++ {
+				sent = append(sent, mk())
+			}
+			for i := 0; i < rng.Intn(6); i++ {
+				received = append(received, mk())
+			}
+			before := map[identity.NodeID]bool{}
+			for _, id := range v.IDs() {
+				before[id] = true
+			}
+			MergeCyclon(v, sent, received, opts)
+			if v.Len() > capacity {
+				return false
+			}
+			seen := map[identity.NodeID]bool{}
+			for _, id := range v.IDs() {
+				if id == 5 || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			// Quota: if enough distinct P-nodes existed among the prior
+			// view and the received buffer, it must be satisfied.
+			distinctP := map[identity.NodeID]bool{}
+			for id := range before {
+				if isPub(id) {
+					distinctP[id] = true
+				}
+			}
+			for _, e := range received {
+				if e.Val.IsPublic() && e.Val.Key() != 5 {
+					distinctP[e.Val.Key()] = true
+				}
+			}
+			want := quota
+			if len(distinctP) < want {
+				want = len(distinctP)
+			}
+			if capacity < want {
+				want = capacity
+			}
+			if v.PublicCount() < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(14))}); err != nil {
+		t.Fatal(err)
+	}
+}

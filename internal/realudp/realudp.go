@@ -1,0 +1,192 @@
+// Package realudp runs WHISPER's confidential-forwarding core — the
+// wire encoding of package wire and the onion construction/peeling of
+// package crypt — over real UDP sockets, demonstrating that the
+// protocol layers are not bound to the virtual-time emulator. It
+// provides exactly what a mix needs: receive a datagram, peel one onion
+// layer, forward to the next hop's real address, or deliver at the
+// exit; and what a source needs: build an onion over a path of real
+// endpoints and launch it.
+//
+// This is a transport demonstration, not a full deployment: the gossip
+// layers (Nylon, PPSS) drive their timers through the simulator and are
+// exercised there. The packet format here mirrors the WCL's forward
+// framing with string addresses in the hop blobs.
+package realudp
+
+import (
+	"context"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"whisper/internal/crypt"
+	"whisper/internal/wire"
+)
+
+// maxDatagram bounds reads; onions over a few hops with 1024-bit
+// layers fit comfortably.
+const maxDatagram = 64 * 1024
+
+const (
+	tagForward uint8 = 1
+)
+
+// Peer is one UDP endpoint participating in onion forwarding.
+type Peer struct {
+	conn *net.UDPConn
+	key  *rsa.PrivateKey
+
+	// OnDeliver receives exit payloads (set before Run).
+	OnDeliver func(payload []byte)
+
+	mu      sync.Mutex
+	peels   int
+	deliver int
+}
+
+// Listen binds a peer to addr ("127.0.0.1:0" for an ephemeral port).
+func Listen(addr string, key *rsa.PrivateKey) (*Peer, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("realudp: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("realudp: %w", err)
+	}
+	return &Peer{conn: conn, key: key}, nil
+}
+
+// Addr returns the bound address (with the resolved port).
+func (p *Peer) Addr() string { return p.conn.LocalAddr().String() }
+
+// Public returns the peer's public key.
+func (p *Peer) Public() *rsa.PublicKey { return &p.key.PublicKey }
+
+// Stats reports how many layers this peer peeled and payloads it
+// delivered.
+func (p *Peer) Stats() (peels, delivered int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peels, p.deliver
+}
+
+// Run reads and processes datagrams until ctx is cancelled. It blocks;
+// run it in a goroutine and cancel the context to stop. The socket is
+// closed on return.
+func (p *Peer) Run(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.conn.Close() // unblocks the read loop
+		case <-done:
+		}
+	}()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // cancelled
+			}
+			return fmt.Errorf("realudp: read: %w", err)
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		p.handle(payload)
+	}
+}
+
+// handle processes one datagram: peel, then forward or deliver.
+func (p *Peer) handle(payload []byte) {
+	r := wire.NewReader(payload)
+	if r.U8() != tagForward {
+		return
+	}
+	onion := r.Bytes32()
+	content := r.Bytes32()
+	if r.Err() != nil {
+		return
+	}
+	next, inner, exit, err := crypt.Peel(nil, p.key, onion)
+	if err != nil {
+		return // not addressed to us, or corrupted: drop silently
+	}
+	p.mu.Lock()
+	p.peels++
+	p.mu.Unlock()
+	if exit {
+		// inner is the content key.
+		pt, err := crypt.OpenSym(nil, inner, content)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.deliver++
+		cb := p.OnDeliver
+		p.mu.Unlock()
+		if cb != nil {
+			cb(pt)
+		}
+		return
+	}
+	// next is the successor's "host:port" address.
+	addr, err := net.ResolveUDPAddr("udp", string(next))
+	if err != nil {
+		return
+	}
+	fwd := encodeForward(inner, content)
+	_, _ = p.conn.WriteToUDP(fwd, addr)
+}
+
+func encodeForward(onion, content []byte) []byte {
+	w := wire.NewWriter(16 + len(onion) + len(content))
+	w.U8(tagForward)
+	w.Bytes32(onion)
+	w.Bytes32(content)
+	return w.Bytes()
+}
+
+// Hop names one node of a real onion path.
+type Hop struct {
+	Addr string
+	Pub  *rsa.PublicKey
+}
+
+// SendOnion builds the layered message for the path (first mix first,
+// destination last) and launches it from this peer: the content is
+// sealed under a fresh key, each layer addresses its successor by UDP
+// address, and the first datagram goes to path[0].
+func (p *Peer) SendOnion(path []Hop, payload []byte) error {
+	if len(path) < 2 {
+		return errors.New("realudp: a confidential path needs at least one mix and a destination")
+	}
+	k, err := crypt.NewSymKey()
+	if err != nil {
+		return err
+	}
+	content, err := crypt.SealSym(nil, k, payload)
+	if err != nil {
+		return err
+	}
+	hops := make([]crypt.Hop, len(path))
+	for i, h := range path {
+		hops[i] = crypt.Hop{Pub: h.Pub, Addr: []byte(h.Addr)}
+	}
+	onion, err := crypt.BuildOnion(nil, hops, k)
+	if err != nil {
+		return err
+	}
+	addr, err := net.ResolveUDPAddr("udp", path[0].Addr)
+	if err != nil {
+		return err
+	}
+	if _, err := p.conn.WriteToUDP(encodeForward(onion, content), addr); err != nil {
+		return fmt.Errorf("realudp: send: %w", err)
+	}
+	return nil
+}

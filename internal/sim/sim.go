@@ -1,0 +1,308 @@
+// Package sim assembles complete WHISPER networks on the emulated
+// substrate: it creates nodes with the paper's NAT distribution (70%
+// behind NATs, evenly split across the four device types), wires the
+// protocol stack, and provides the churn and measurement plumbing the
+// experiment harness and the integration tests share.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"whisper/internal/core"
+	"whisper/internal/graph"
+	"whisper/internal/identity"
+	"whisper/internal/nat"
+	"whisper/internal/netem"
+	"whisper/internal/nylon"
+	"whisper/internal/ppss"
+	"whisper/internal/simnet"
+	"whisper/internal/wcl"
+)
+
+// Options configures a World.
+type Options struct {
+	// Seed drives all randomness of the run.
+	Seed int64
+	// N is the initial node count.
+	N int
+	// NATRatio is the fraction of N-nodes (paper: 0.7). NAT types are
+	// split evenly among the four emulated kinds.
+	NATRatio float64
+	// Model is the latency/loss model (default netem.Cluster{}).
+	Model netem.LatencyModel
+	// Nylon configures the PSS layer of every node.
+	Nylon nylon.Config
+	// KeyPool provides RSA keys; nil generates a fresh pool of
+	// PoolSize keys at identity.DefaultKeyBits.
+	KeyPool *identity.Pool
+	// PoolSize is the size of the generated pool when KeyPool is nil
+	// (default 64; sims share keys round-robin, see identity.Pool).
+	PoolSize int
+	// BootstrapPublics is how many random P-node descriptors seed each
+	// node's view, emulating a tracker (default 3).
+	BootstrapPublics int
+	// NATLease overrides the NAT association lease (default
+	// nat.DefaultLease).
+	NATLease time.Duration
+	// WCL, when non-nil, attaches a Whisper communication layer to
+	// every node (forces Nylon key sampling on).
+	WCL *wcl.Config
+	// PPSS, when non-nil, attaches a private peer sampling router to
+	// every node (requires WCL; a default WCL config is used if WCL is
+	// nil).
+	PPSS *ppss.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 100
+	}
+	if o.Model == nil {
+		o.Model = netem.Cluster{}
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 64
+	}
+	if o.BootstrapPublics == 0 {
+		o.BootstrapPublics = 3
+	}
+	if o.PPSS != nil && o.WCL == nil {
+		o.WCL = &wcl.Config{}
+	}
+	if o.WCL != nil {
+		o.Nylon.KeySampling = true
+	}
+	return o
+}
+
+// Node bundles one simulated node's stack and bookkeeping.
+type Node struct {
+	Nylon *nylon.Node
+	WCL   *wcl.WCL     // nil unless Options.WCL is set
+	PPSS  *ppss.Router // nil unless Options.PPSS is set
+	Dev   *nat.Device  // nil for P-nodes
+	Type  nat.Type
+	// Ext carries application state attached by StackBuilder users.
+	Ext map[string]any
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() identity.NodeID { return n.Nylon.ID() }
+
+// Public reports whether the node is a P-node.
+func (n *Node) Public() bool { return n.Type == nat.None }
+
+// World is a running simulated network.
+type World struct {
+	Opts  Options
+	Sim   *simnet.Sim
+	Net   *netem.Network
+	Nodes []*Node
+
+	byID   map[identity.NodeID]*Node
+	pool   *identity.Pool
+	nextID uint64
+	nextIP uint32
+	// StackBuilder, when set, augments a freshly created node with the
+	// upper layers (WCL, PPSS); used by the full-stack harness.
+	StackBuilder func(n *Node)
+}
+
+// NewWorld builds the network but does not start gossip; call StartAll
+// (or Start on individual nodes) from time zero of the simulation.
+func NewWorld(opts Options) (*World, error) {
+	opts = opts.withDefaults()
+	s := simnet.New(opts.Seed)
+	w := &World{
+		Opts:   opts,
+		Sim:    s,
+		Net:    netem.New(s, opts.Model),
+		byID:   make(map[identity.NodeID]*Node, opts.N),
+		pool:   opts.KeyPool,
+		nextIP: 100, // leave room for infrastructure addresses
+	}
+	if w.pool == nil {
+		pool, err := identity.NewPool(opts.PoolSize, identity.DefaultKeyBits)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building key pool: %w", err)
+		}
+		w.pool = pool
+	}
+	// Create the whole initial population first, then bootstrap: the
+	// tracker can only hand out P-nodes that exist.
+	for i := 0; i < opts.N; i++ {
+		w.create()
+	}
+	for _, n := range w.Nodes {
+		w.bootstrap(n)
+	}
+	return w, nil
+}
+
+// natTypeFor deals NAT types, interleaving P- and N-nodes so that any
+// prefix of the population approximates NATRatio, with the four device
+// types split evenly among N-nodes (§V-A).
+func (w *World) natTypeFor(i uint64) nat.Type {
+	r := w.Opts.NATRatio
+	if r <= 0 {
+		return nat.None
+	}
+	// Node i is NATted iff the integer part of (i+1)*r advances.
+	before := uint64(float64(i) * r)
+	after := uint64(float64(i+1) * r)
+	if after == before {
+		return nat.None
+	}
+	return nat.EmulatedTypes[after%uint64(len(nat.EmulatedTypes))]
+}
+
+// Spawn creates and bootstraps a new node, returning it. Used for churn
+// arrivals; the caller starts it (or StartAll does).
+func (w *World) Spawn() *Node {
+	n := w.create()
+	w.bootstrap(n)
+	return n
+}
+
+// create instantiates a node without bootstrapping it.
+func (w *World) create() *Node {
+	w.nextID++
+	id := identity.NodeID(w.nextID)
+	typ := w.natTypeFor(w.nextID - 1)
+	ident := w.pool.Identity(id)
+
+	cfg := core.Config{Nylon: w.Opts.Nylon, WCL: w.Opts.WCL, PPSS: w.Opts.PPSS}
+	var addr netem.Endpoint
+	var dev *nat.Device
+	w.nextIP++
+	if typ == nat.None {
+		addr = netem.Endpoint{IP: netem.IP(w.nextIP), Port: 1}
+	} else {
+		dev = nat.NewDevice(w.Net, typ, netem.IP(w.nextIP), w.Opts.NATLease)
+		addr = netem.Endpoint{IP: netem.PrivateBase + netem.IP(w.nextID), Port: 1}
+	}
+	st, err := core.NewStack(w.Net, ident, typ, addr, dev, cfg)
+	if err != nil {
+		// Key sampling is forced on by the stack; any error here is a
+		// programming bug, not an environmental condition.
+		panic(fmt.Sprintf("sim: building stack: %v", err))
+	}
+	node := &Node{Nylon: st.Nylon, WCL: st.WCL, PPSS: st.PPSS, Dev: dev, Type: typ}
+	w.Nodes = append(w.Nodes, node)
+	w.byID[id] = node
+	if w.StackBuilder != nil {
+		w.StackBuilder(node)
+	}
+	return node
+}
+
+// bootstrap seeds the node's view with random live P-nodes (tracker
+// model: only publicly reachable nodes are useful before any route
+// exists).
+func (w *World) bootstrap(node *Node) {
+	pubs := w.LivePublics()
+	rng := w.Sim.Rand()
+	rng.Shuffle(len(pubs), func(i, j int) { pubs[i], pubs[j] = pubs[j], pubs[i] })
+	var ds []nylon.Descriptor
+	for _, p := range pubs {
+		if p == node {
+			continue
+		}
+		ds = append(ds, p.Nylon.SelfDescriptor())
+		if len(ds) >= w.Opts.BootstrapPublics {
+			break
+		}
+	}
+	node.Nylon.Bootstrap(ds)
+}
+
+// StartAll starts gossip on every live node.
+func (w *World) StartAll() {
+	for _, n := range w.Nodes {
+		if !n.Nylon.Stopped() {
+			n.Nylon.Start()
+		}
+	}
+}
+
+// Get returns the node with the given ID, or nil.
+func (w *World) Get(id identity.NodeID) *Node {
+	n := w.byID[id]
+	if n == nil || n.Nylon.Stopped() {
+		return nil
+	}
+	return n
+}
+
+// Live returns all running nodes.
+func (w *World) Live() []*Node {
+	var out []*Node
+	for _, n := range w.Nodes {
+		if !n.Nylon.Stopped() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LivePublics returns all running P-nodes.
+func (w *World) LivePublics() []*Node {
+	var out []*Node
+	for _, n := range w.Live() {
+		if n.Public() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LiveNatted returns all running N-nodes.
+func (w *World) LiveNatted() []*Node {
+	var out []*Node
+	for _, n := range w.Live() {
+		if !n.Public() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Kill stops a node abruptly (churn departure).
+func (w *World) Kill(n *Node) {
+	if n.PPSS != nil {
+		n.PPSS.Close()
+	}
+	n.Nylon.Stop()
+}
+
+// KillRandom stops count random live nodes.
+func (w *World) KillRandom(count int) []*Node {
+	live := w.Live()
+	rng := w.Sim.Rand()
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	if count > len(live) {
+		count = len(live)
+	}
+	killed := live[:count]
+	for _, n := range killed {
+		w.Kill(n)
+	}
+	return killed
+}
+
+// Graph snapshots the PSS overlay of all live nodes.
+func (w *World) Graph() graph.Directed {
+	g := make(graph.Directed)
+	for _, n := range w.Live() {
+		g[n.ID()] = n.Nylon.ViewIDs()
+	}
+	return g
+}
+
+// ResetMeters zeroes all bandwidth meters (per-cycle measurements).
+func (w *World) ResetMeters() {
+	for _, n := range w.Live() {
+		n.Nylon.Meter().Reset()
+	}
+}

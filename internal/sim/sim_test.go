@@ -1,0 +1,138 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/nat"
+	"whisper/internal/ppss"
+	"whisper/internal/sim"
+	"whisper/internal/wcl"
+)
+
+func TestNATDistribution(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{Seed: 1, N: 400, NATRatio: 0.7, KeyPool: identity.TestPool(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[nat.Type]int{}
+	for _, n := range w.Nodes {
+		counts[n.Type]++
+	}
+	pubs := counts[nat.None]
+	if pubs < 100 || pubs > 140 {
+		t.Fatalf("public nodes = %d, want ~120 (30%% of 400)", pubs)
+	}
+	// The four NAT types are split evenly.
+	for _, typ := range nat.EmulatedTypes {
+		if c := counts[typ]; c < 50 || c > 90 {
+			t.Fatalf("%v count = %d, want ~70", typ, c)
+		}
+	}
+	// Any prefix approximates the ratio (interleaving, not blocks).
+	prefixPubs := 0
+	for _, n := range w.Nodes[:40] {
+		if n.Public() {
+			prefixPubs++
+		}
+	}
+	if prefixPubs < 6 || prefixPubs > 20 {
+		t.Fatalf("prefix publics = %d/40, distribution not interleaved", prefixPubs)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, uint64) {
+		w, err := sim.NewWorld(sim.Options{Seed: 7, N: 80, NATRatio: 0.7, KeyPool: identity.TestPool(16)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.StartAll()
+		w.Sim.RunUntil(3 * time.Minute)
+		var shuffles, relays uint64
+		for _, n := range w.Live() {
+			shuffles += n.Nylon.Stats.ShufflesCompleted
+			relays += n.Nylon.Stats.RelaysForwarded
+		}
+		return shuffles, relays
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+	if s1 == 0 {
+		t.Fatal("no shuffles at all")
+	}
+}
+
+func TestStackAssembly(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{
+		Seed: 2, N: 30, NATRatio: 0.5,
+		KeyPool: identity.TestPool(16),
+		WCL:     &wcl.Config{MinPublic: 2},
+		PPSS:    &ppss.Config{KeyBlobSize: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range w.Nodes {
+		if n.WCL == nil || n.PPSS == nil {
+			t.Fatal("stack layers missing")
+		}
+		if !n.Nylon.Config().KeySampling {
+			t.Fatal("WCL requires key sampling but it is off")
+		}
+	}
+}
+
+func TestSpawnAndKill(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{Seed: 3, N: 40, NATRatio: 0.7, KeyPool: identity.TestPool(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(time.Minute)
+
+	n := w.Spawn()
+	if w.Get(n.ID()) != n {
+		t.Fatal("spawned node not registered")
+	}
+	if len(w.Live()) != 41 {
+		t.Fatalf("live = %d", len(w.Live()))
+	}
+	killed := w.KillRandom(5)
+	if len(killed) != 5 || len(w.Live()) != 36 {
+		t.Fatalf("kill accounting wrong: %d live", len(w.Live()))
+	}
+	for _, k := range killed {
+		if w.Get(k.ID()) != nil {
+			t.Fatal("killed node still returned by Get")
+		}
+	}
+	// Meters reset works on the survivors.
+	w.Sim.RunFor(time.Minute)
+	w.ResetMeters()
+	for _, node := range w.Live() {
+		if node.Nylon.Meter().UpBytes != 0 {
+			t.Fatal("ResetMeters incomplete")
+		}
+	}
+}
+
+func TestGraphSnapshot(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{Seed: 4, N: 60, NATRatio: 0.7, KeyPool: identity.TestPool(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+	g := w.Graph()
+	if len(g) != 60 {
+		t.Fatalf("graph nodes = %d", len(g))
+	}
+	if !g.WeaklyConnected() {
+		t.Fatal("converged world disconnected")
+	}
+}

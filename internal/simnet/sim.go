@@ -1,0 +1,234 @@
+// Package simnet provides a deterministic discrete-event simulation
+// engine: a virtual clock, an event scheduler, timers and tickers, and a
+// seeded random source. All WHISPER protocol experiments run on top of
+// this engine so that a (seed, configuration) pair fully determines the
+// outcome of a run.
+//
+// The engine is single-threaded by design: events execute sequentially
+// in (time, insertion) order. Protocol handlers therefore never need
+// locks, which mirrors the actor-per-node execution model of the SPLAY
+// framework used in the paper.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulator with a virtual clock.
+//
+// The zero value is not usable; create instances with New.
+type Sim struct {
+	now     time.Duration
+	epoch   time.Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	running bool
+
+	// Executed counts events dispatched so far (diagnostic).
+	executed uint64
+}
+
+// New returns a simulator whose random source is seeded with seed and
+// whose virtual clock starts at a fixed epoch (2011-01-01 UTC, the year
+// of the paper) plus zero.
+func New(seed int64) *Sim {
+	return &Sim{
+		epoch: time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time as an offset from the start of
+// the simulation.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Time returns the current virtual time as an absolute instant.
+func (s *Sim) Time() time.Time { return s.epoch.Add(s.now) }
+
+// Rand returns the simulation's deterministic random source. It must
+// only be used from within event callbacks (or before Run), never from
+// other goroutines.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have been dispatched so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Timer is a handle to a scheduled event. Cancel prevents the callback
+// from running if it has not run yet.
+type Timer struct {
+	ev *event
+}
+
+// Cancel stops the timer. It is safe to call on an already-fired or
+// already-cancelled timer, and safe to call on a nil Timer.
+func (t *Timer) Cancel() {
+	if t == nil || t.ev == nil {
+		return
+	}
+	t.ev.fn = nil
+}
+
+// Stopped reports whether the timer was cancelled or has fired.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.fn == nil }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (or present) runs the callback at the current time but strictly
+// after the currently-executing event returns.
+func (s *Sim) At(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("simnet: nil callback")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Ticker repeatedly invokes a callback with a fixed period, optionally
+// jittered. Cancel it with Stop.
+type Ticker struct {
+	s        *Sim
+	period   time.Duration
+	jitter   time.Duration
+	fn       func()
+	t        *Timer
+	stopped  bool
+	lastFire time.Duration
+}
+
+// Every schedules fn to run every period of virtual time. The first
+// firing happens after one period. A ticker holds only one outstanding
+// timer at a time.
+func (s *Sim) Every(period time.Duration, fn func()) *Ticker {
+	return s.EveryJitter(period, 0, fn)
+}
+
+// EveryJitter is Every with a uniform jitter in [0, jitter) added to
+// each period, which desynchronises node cycles like real deployments.
+func (s *Sim) EveryJitter(period, jitter time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simnet: non-positive ticker period %v", period))
+	}
+	tk := &Ticker{s: s, period: period, jitter: jitter, fn: fn}
+	tk.schedule()
+	return tk
+}
+
+func (tk *Ticker) schedule() {
+	d := tk.period
+	if tk.jitter > 0 {
+		d += time.Duration(tk.s.rng.Int63n(int64(tk.jitter)))
+	}
+	tk.t = tk.s.After(d, func() {
+		if tk.stopped {
+			return
+		}
+		tk.lastFire = tk.s.now
+		tk.fn()
+		if !tk.stopped {
+			tk.schedule()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times and on nil.
+func (tk *Ticker) Stop() {
+	if tk == nil || tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.t.Cancel()
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	s.run(-1)
+}
+
+// RunUntil executes events with timestamps <= t and then advances the
+// clock to exactly t.
+func (s *Sim) RunUntil(t time.Duration) {
+	s.run(t)
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from the current clock.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Stop makes the current Run/RunUntil call return after the current
+// event completes. The simulation may be resumed afterwards.
+func (s *Sim) Stop() { s.stopped = true }
+
+func (s *Sim) run(until time.Duration) {
+	if s.running {
+		panic("simnet: re-entrant Run")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.events) > 0 && !s.stopped {
+		ev := s.events[0]
+		if until >= 0 && ev.at > until {
+			return
+		}
+		heap.Pop(&s.events)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		s.executed++
+		fn()
+	}
+}
+
+// Pending reports the number of events currently queued, including
+// cancelled ones not yet reaped.
+func (s *Sim) Pending() int { return len(s.events) }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,280 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulingInPast(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(time.Second, func() {
+		// Schedule at an absolute time in the past: must run "now".
+		s.At(0, func() {
+			ran = true
+			if s.Now() != time.Second {
+				t.Errorf("past event ran at %v, want 1s", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.After(time.Second, func() { ran = true })
+	tm.Cancel()
+	if !tm.Stopped() {
+		t.Fatal("cancelled timer not Stopped")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled timer fired")
+	}
+	// Cancel is idempotent and nil-safe.
+	tm.Cancel()
+	var nilT *Timer
+	nilT.Cancel()
+	if !nilT.Stopped() {
+		t.Fatal("nil timer should report Stopped")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(time.Second, func() { fired++ })
+	s.After(3*time.Second, func() { fired++ })
+	s.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+	s.RunFor(2 * time.Second)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	n := 0
+	tk := s.Every(10*time.Second, func() { n++ })
+	s.RunUntil(45 * time.Second)
+	if n != 4 {
+		t.Fatalf("ticks = %d, want 4", n)
+	}
+	tk.Stop()
+	s.RunUntil(2 * time.Minute)
+	if n != 4 {
+		t.Fatalf("ticks after Stop = %d, want 4", n)
+	}
+	tk.Stop() // idempotent
+	var nilTk *Ticker
+	nilTk.Stop() // nil-safe
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestTickerJitterWithinBounds(t *testing.T) {
+	s := New(42)
+	var gaps []time.Duration
+	last := time.Duration(0)
+	s.EveryJitter(10*time.Second, 2*time.Second, func() {
+		gaps = append(gaps, s.Now()-last)
+		last = s.Now()
+	})
+	s.RunUntil(5 * time.Minute)
+	if len(gaps) < 10 {
+		t.Fatalf("too few ticks: %d", len(gaps))
+	}
+	for _, g := range gaps {
+		if g < 10*time.Second || g >= 12*time.Second {
+			t.Fatalf("gap %v outside [10s,12s)", g)
+		}
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Every(time.Second, func() {
+		n++
+		if n == 5 {
+			s.Stop()
+		}
+	})
+	s.Run()
+	if n != 5 {
+		t.Fatalf("events after Stop: n = %d, want 5", n)
+	}
+	// Resumable after Stop.
+	s.RunUntil(s.Now() + 2*time.Second)
+	if n != 7 {
+		t.Fatalf("resume failed: n = %d, want 7", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []time.Duration {
+		s := New(seed)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			s.After(time.Duration(s.Rand().Intn(1000))*time.Millisecond, func() {
+				out = append(out, s.Now())
+				if s.Rand().Intn(2) == 0 {
+					s.After(time.Duration(s.Rand().Intn(100))*time.Millisecond, func() {
+						out = append(out, s.Now())
+					})
+				}
+			})
+		}
+		s.Run()
+		return out
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+// Property: for any batch of schedule offsets, events fire in
+// non-decreasing time order and the clock ends at the max offset.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := New(3)
+		var fired []time.Duration
+		var max time.Duration
+		for _, o := range offsets {
+			d := time.Duration(o) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochTime(t *testing.T) {
+	s := New(1)
+	base := s.Time()
+	s.After(time.Hour, func() {})
+	s.Run()
+	if got := s.Time().Sub(base); got != time.Hour {
+		t.Fatalf("Time advanced %v, want 1h", got)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	s := New(1)
+	s.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		s.Run()
+	})
+	s.Run()
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if s.Pending() > 10000 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

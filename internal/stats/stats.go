@@ -1,0 +1,219 @@
+// Package stats provides the summary statistics used by the evaluation
+// harness: empirical CDFs (Figs 5, 7, 9), percentile stacks (Fig 8) and
+// mean/err summaries (Fig 6, Tables I/II), plus fixed-width table
+// rendering for terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max, Sum float64
+}
+
+// Summarize computes a Summary of values. An empty input yields a zero
+// Summary.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of values using
+// linear interpolation. values need not be sorted.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentiles computes several percentiles in one sort.
+func Percentiles(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // fraction of samples <= Value, in (0,1]
+}
+
+// CDF returns the empirical distribution of values as sorted points.
+// Duplicate values are merged into a single step.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Fraction = float64(i+1) / n
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt returns the fraction of samples <= x for a CDF produced by CDF.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	frac := 0.0
+	for _, p := range cdf {
+		if p.Value > x {
+			break
+		}
+		frac = p.Fraction
+	}
+	return frac
+}
+
+// SampleCDF reduces a CDF to at most n evenly spaced points for
+// printing, always keeping the last point.
+func SampleCDF(cdf []CDFPoint, n int) []CDFPoint {
+	if len(cdf) <= n || n < 2 {
+		return cdf
+	}
+	out := make([]CDFPoint, 0, n)
+	step := float64(len(cdf)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, cdf[int(math.Round(float64(i)*step))])
+	}
+	return out
+}
+
+// Stack is a stacked-percentile snapshot, the representation used by
+// Fig 8 ("stacked percentiles with shades of grey").
+type Stack struct {
+	P5, P25, P50, P75, P90 float64
+}
+
+// StackOf computes the five standard percentiles of values.
+func StackOf(values []float64) Stack {
+	ps := Percentiles(values, 5, 25, 50, 75, 90)
+	return Stack{P5: ps[0], P25: ps[1], P50: ps[2], P75: ps[3], P90: ps[4]}
+}
+
+func (s Stack) String() string {
+	return fmt.Sprintf("p5=%.2f p25=%.2f p50=%.2f p75=%.2f p90=%.2f", s.P5, s.P25, s.P50, s.P75, s.P90)
+}
+
+// Table renders aligned columns for terminal output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

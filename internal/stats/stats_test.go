@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Fatalf("summary: %+v", s)
+	}
+	// Sample std of this classic dataset is ~2.138.
+	if math.Abs(s.Std-2.1380899) > 1e-6 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary: %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("interpolated median = %v, want 15", got)
+	}
+}
+
+func TestPercentilesMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	got := Percentiles(vals, 5, 50, 95)
+	for i, p := range []float64{5, 50, 95} {
+		if got[i] != Percentile(vals, p) {
+			t.Fatalf("Percentiles[%d] diverges from Percentile", i)
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2, 2})
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(cdf) != len(want) {
+		t.Fatalf("cdf = %v", cdf)
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Fatalf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if CDFAt(cdf, 1.5) != 0.25 || CDFAt(cdf, 2) != 0.75 || CDFAt(cdf, 99) != 1 || CDFAt(cdf, 0) != 0 {
+		t.Fatal("CDFAt lookup wrong")
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	cdf := CDF(vals)
+	s := SampleCDF(cdf, 10)
+	if len(s) != 10 {
+		t.Fatalf("sampled to %d points, want 10", len(s))
+	}
+	if s[len(s)-1] != cdf[len(cdf)-1] {
+		t.Fatal("last point not preserved")
+	}
+	if got := SampleCDF(cdf, 5000); len(got) != len(cdf) {
+		t.Fatal("oversampling should return input")
+	}
+}
+
+// Property: the CDF is monotone in both coordinates and ends at 1.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		cdf := CDF(vals)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].Fraction == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(vals, pa), Percentile(vals, pb)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return va <= vb && va >= sorted[0] && vb <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackOf(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	s := StackOf(vals)
+	if s.P50 != 50.5 {
+		t.Fatalf("median = %v", s.P50)
+	}
+	if !(s.P5 < s.P25 && s.P25 < s.P50 && s.P50 < s.P75 && s.P75 < s.P90) {
+		t.Fatalf("stack not ordered: %+v", s)
+	}
+	if !strings.Contains(s.String(), "p50=50.50") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 3.14159)
+	tb.Row("b", 10)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "3.14") {
+		t.Fatalf("table content:\n%s", out)
+	}
+	// Columns aligned: all lines same prefix width up to separator.
+	if len(lines[1]) < len("name") {
+		t.Fatal("separator too short")
+	}
+}

@@ -1,0 +1,218 @@
+package tchord_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/ppss"
+	"whisper/internal/sim"
+	"whisper/internal/tchord"
+)
+
+func TestIDsDeterministicAndSpread(t *testing.T) {
+	seen := map[tchord.ChordID]bool{}
+	for i := identity.NodeID(1); i <= 200; i++ {
+		id := tchord.IDOf(i)
+		if id != tchord.IDOf(i) {
+			t.Fatal("IDOf not deterministic")
+		}
+		seen[id] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("chord ID collisions: %d unique", len(seen))
+	}
+	if tchord.KeyID("a") == tchord.KeyID("b") {
+		t.Fatal("key hash collision")
+	}
+}
+
+// buildRing creates a converged private group running T-Chord.
+func buildRing(t testing.TB, seed int64, worldN, groupN int) (*sim.World, []*tchord.Node) {
+	t.Helper()
+	w, err := sim.NewWorld(sim.Options{
+		Seed:     seed,
+		N:        worldN,
+		NATRatio: 0.7,
+		KeyPool:  identity.TestPool(64),
+		PPSS: &ppss.Config{
+			Cycle:       30 * time.Second,
+			RespTimeout: 15 * time.Second,
+			JoinTimeout: 20 * time.Second,
+			KeyBlobSize: 256,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+
+	members := w.Live()[:groupN]
+	leaderInst, err := members[0].PPSS.CreateGroup("index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ppss.GroupIDFromName("index")
+	joined := 1
+	for _, m := range members[1:] {
+		var tryJoin func(attempt int)
+		m := m
+		tryJoin = func(attempt int) {
+			accr, entry, err := leaderInst.Invite(m.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.PPSS.Join("index", accr, entry, func(_ *ppss.Instance, err error) {
+				if err != nil {
+					if attempt < 3 {
+						tryJoin(attempt + 1)
+						return
+					}
+					t.Errorf("join failed: %v", err)
+					return
+				}
+				joined++
+			})
+		}
+		tryJoin(1)
+		w.Sim.RunFor(5 * time.Second)
+	}
+	w.Sim.RunFor(2 * time.Minute)
+	if joined != groupN {
+		t.Fatalf("only %d/%d joined", joined, groupN)
+	}
+	// Let private views populate before bootstrapping the ring.
+	w.Sim.RunFor(5 * time.Minute)
+
+	var ring []*tchord.Node
+	for _, m := range members {
+		inst := m.PPSS.Instance(g)
+		node := tchord.New(inst, tchord.Config{Cycle: 30 * time.Second, PinRing: true})
+		node.Start()
+		ring = append(ring, node)
+	}
+	// T-Chord converges in a few cycles (§V-G).
+	w.Sim.RunFor(12 * time.Minute)
+	return w, ring
+}
+
+func TestRingConverges(t *testing.T) {
+	_, ring := buildRing(t, 41, 80, 20)
+
+	// Expected ring: members sorted by ChordID.
+	sorted := append([]*tchord.Node(nil), ring...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	next := map[tchord.ChordID]tchord.ChordID{}
+	for i, n := range sorted {
+		next[n.ID()] = sorted[(i+1)%len(sorted)].ID()
+	}
+	correct := 0
+	for _, n := range ring {
+		succ, ok := n.Successor()
+		if !ok {
+			continue
+		}
+		if tchord.IDOf(succ.ID) == next[n.ID()] {
+			correct++
+		}
+	}
+	if correct < len(ring)*9/10 {
+		t.Fatalf("only %d/%d nodes have the correct successor", correct, len(ring))
+	}
+}
+
+func TestLookupsResolveToOwners(t *testing.T) {
+	w, ring := buildRing(t, 42, 80, 20)
+
+	sorted := append([]*tchord.Node(nil), ring...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	ownerOf := func(key tchord.ChordID) tchord.ChordID {
+		// The owner is the first node clockwise from the key.
+		for _, n := range sorted {
+			if n.ID() >= key {
+				return n.ID()
+			}
+		}
+		return sorted[0].ID() // wrap around
+	}
+
+	const queries = 40
+	completed, correct := 0, 0
+	maxHops := 0
+	for i := 0; i < queries; i++ {
+		src := ring[i%len(ring)]
+		key := tchord.KeyID(string(rune('a'+i)) + "-key")
+		want := ownerOf(key)
+		src.Lookup(key, func(res tchord.LookupResult) {
+			if res.Err != nil {
+				return
+			}
+			completed++
+			if tchord.IDOf(res.Owner.ID) == want {
+				correct++
+			}
+			if res.Hops > maxHops {
+				maxHops = res.Hops
+			}
+		})
+		w.Sim.RunFor(5 * time.Second)
+	}
+	w.Sim.RunFor(2 * time.Minute)
+
+	if completed < queries*85/100 {
+		t.Fatalf("only %d/%d lookups completed", completed, queries)
+	}
+	if correct < completed*9/10 {
+		t.Fatalf("only %d/%d completed lookups found the true owner", correct, completed)
+	}
+	if maxHops > 10 {
+		t.Fatalf("max hops %d for a 20-node ring (greedy routing broken?)", maxHops)
+	}
+}
+
+func TestPrivateIndexPutGet(t *testing.T) {
+	w, ring := buildRing(t, 43, 80, 16)
+
+	putDone := false
+	ring[0].Put("sensitive-location", []byte("shelf 42, row 7"), func(res tchord.LookupResult) {
+		putDone = res.Err == nil
+	})
+	w.Sim.RunFor(3 * time.Minute)
+	if !putDone {
+		t.Fatal("Put did not complete")
+	}
+	// Any other member can retrieve it.
+	var got []byte
+	found := false
+	ring[7].Get("sensitive-location", func(res tchord.LookupResult) {
+		got, found = res.Value, res.Found
+	})
+	w.Sim.RunFor(3 * time.Minute)
+	if !found || string(got) != "shelf 42, row 7" {
+		t.Fatalf("Get = %q found=%v", got, found)
+	}
+	// Missing keys report not-found.
+	missOK := false
+	ring[3].Get("never-stored", func(res tchord.LookupResult) {
+		missOK = res.Err == nil && !res.Found
+	})
+	w.Sim.RunFor(3 * time.Minute)
+	if !missOK {
+		t.Fatal("missing key did not report clean not-found")
+	}
+}
+
+func TestRingPinsPersistentPaths(t *testing.T) {
+	_, ring := buildRing(t, 44, 80, 16)
+	pinned := 0
+	for _, n := range ring {
+		if len(n.Instance().PersistentIDs()) > 0 {
+			pinned++
+		}
+	}
+	if pinned < len(ring)*8/10 {
+		t.Fatalf("only %d/%d nodes pinned ring links in the PCP", pinned, len(ring))
+	}
+}

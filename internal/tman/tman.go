@@ -1,0 +1,132 @@
+// Package tman implements the T-Man gossip-based overlay construction
+// framework (Jelasity, Montresor and Babaoglu, the paper's [12]): nodes
+// converge to a target topology defined purely by a ranking function,
+// by repeatedly exchanging views with neighbours and keeping the
+// best-ranked descriptors. T-Chord (package tchord) instantiates it
+// with ring-distance ranking to build a Chord overlay inside a private
+// group, the application of §V-G.
+//
+// The package is transport-agnostic: the embedding protocol moves the
+// buffers (over the PPSS in WHISPER), tman only maintains the ranked
+// view. All operations are deterministic given the inputs, which makes
+// the convergence properties directly testable.
+package tman
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Ranker orders candidate descriptors by desirability relative to a
+// base node: Less(base, x, y) reports whether x is a strictly better
+// neighbour of base than y.
+type Ranker[D any] interface {
+	Less(base, x, y D) bool
+	// Equal identifies descriptors for deduplication.
+	Equal(x, y D) bool
+}
+
+// View is the ranked neighbour set of one node.
+type View[D any] struct {
+	self    D
+	ranker  Ranker[D]
+	size    int
+	entries []D
+}
+
+// New creates a T-Man view for self, bounded to size entries, ranked by
+// ranker.
+func New[D any](self D, size int, ranker Ranker[D]) *View[D] {
+	if size <= 0 {
+		panic("tman: view size must be positive")
+	}
+	return &View[D]{self: self, ranker: ranker, size: size}
+}
+
+// Self returns the view's own descriptor.
+func (v *View[D]) Self() D { return v.self }
+
+// SetSelf updates the own descriptor (e.g. refreshed helper sets).
+func (v *View[D]) SetSelf(self D) { v.self = self }
+
+// Entries returns the current neighbours, best first.
+func (v *View[D]) Entries() []D { return append([]D(nil), v.entries...) }
+
+// Len returns the number of neighbours.
+func (v *View[D]) Len() int { return len(v.entries) }
+
+// Merge folds candidate descriptors into the view, keeping the
+// best-ranked size entries. Self and duplicates are dropped (duplicates
+// keep the most recently merged copy, so refreshed coordinates win).
+// It reports whether the view changed.
+func (v *View[D]) Merge(candidates ...D) bool {
+	changed := false
+	for _, c := range candidates {
+		if v.ranker.Equal(c, v.self) {
+			continue
+		}
+		if i := v.index(c); i >= 0 {
+			v.entries[i] = c // refresh coordinates
+			continue
+		}
+		v.entries = append(v.entries, c)
+		changed = true
+	}
+	sort.SliceStable(v.entries, func(i, j int) bool {
+		return v.ranker.Less(v.self, v.entries[i], v.entries[j])
+	})
+	if len(v.entries) > v.size {
+		v.entries = v.entries[:v.size]
+	}
+	return changed
+}
+
+// Remove drops a descriptor (failed neighbour), reporting presence.
+func (v *View[D]) Remove(d D) bool {
+	if i := v.index(d); i >= 0 {
+		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+		return true
+	}
+	return false
+}
+
+func (v *View[D]) index(d D) int {
+	for i, e := range v.entries {
+		if v.ranker.Equal(e, d) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Buffer returns the gossip buffer for an exchange: self plus the
+// current neighbours (T-Man ships its whole small view).
+func (v *View[D]) Buffer() []D {
+	out := make([]D, 0, len(v.entries)+1)
+	out = append(out, v.self)
+	out = append(out, v.entries...)
+	return out
+}
+
+// SelectPartner picks the exchange partner: a random entry among the
+// psi best-ranked neighbours (T-Man's parameter ψ balances convergence
+// speed against load). ok is false for an empty view.
+func (v *View[D]) SelectPartner(rng *rand.Rand, psi int) (D, bool) {
+	var zero D
+	if len(v.entries) == 0 {
+		return zero, false
+	}
+	if psi <= 0 || psi > len(v.entries) {
+		psi = len(v.entries)
+	}
+	return v.entries[rng.Intn(psi)], true
+}
+
+// Best returns the top-ranked neighbour.
+func (v *View[D]) Best() (D, bool) {
+	var zero D
+	if len(v.entries) == 0 {
+		return zero, false
+	}
+	return v.entries[0], true
+}

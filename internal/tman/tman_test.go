@@ -1,0 +1,148 @@
+package tman
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// lineRanker builds a "sorted line" topology: prefer numerically closer
+// values — the classic T-Man example.
+type lineRanker struct{}
+
+func (lineRanker) Less(base, x, y int) bool {
+	dx, dy := abs(x-base), abs(y-base)
+	return dx < dy
+}
+func (lineRanker) Equal(x, y int) bool { return x == y }
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func TestMergeKeepsBestRanked(t *testing.T) {
+	v := New(50, 3, lineRanker{})
+	v.Merge(10, 49, 90, 52, 51)
+	got := v.Entries()
+	want := []int{49, 51, 52} // distances 1,1,2 — order among ties stable
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	sort.Ints(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entries = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeDropsSelfAndDuplicates(t *testing.T) {
+	v := New(5, 4, lineRanker{})
+	v.Merge(5, 6, 6, 7)
+	if v.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (self and dup dropped)", v.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	v := New(0, 4, lineRanker{})
+	v.Merge(1, 2)
+	if !v.Remove(1) || v.Remove(1) {
+		t.Fatal("Remove semantics")
+	}
+	if v.Len() != 1 {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestBufferIncludesSelf(t *testing.T) {
+	v := New(9, 4, lineRanker{})
+	v.Merge(1, 2)
+	buf := v.Buffer()
+	if len(buf) != 3 || buf[0] != 9 {
+		t.Fatalf("buffer = %v", buf)
+	}
+}
+
+func TestSelectPartnerPsi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(0, 10, lineRanker{})
+	v.Merge(1, 2, 3, 4, 5, 6, 7, 8)
+	for i := 0; i < 50; i++ {
+		p, ok := v.SelectPartner(rng, 2)
+		if !ok || p > 2 {
+			t.Fatalf("partner %d outside ψ=2 best", p)
+		}
+	}
+	if _, ok := New(0, 3, lineRanker{}).SelectPartner(rng, 1); ok {
+		t.Fatal("empty view yielded a partner")
+	}
+}
+
+// Convergence test: n nodes on a ring of integers converge to knowing
+// their true nearest neighbours after O(log n) exchange rounds — the
+// core T-Man claim.
+func TestLineTopologyConverges(t *testing.T) {
+	const n, k = 128, 4
+	rng := rand.New(rand.NewSource(2))
+	views := make([]*View[int], n)
+	for i := range views {
+		views[i] = New(i, k, lineRanker{})
+	}
+	// Random initial graph.
+	for i := range views {
+		for j := 0; j < k; j++ {
+			views[i].Merge(rng.Intn(n))
+		}
+	}
+	for round := 0; round < 20; round++ {
+		for i := range views {
+			// T-Man also folds in a random peer from the PSS each cycle,
+			// which is what prevents the ranking from getting stuck in a
+			// local optimum (the PPSS plays this role in WHISPER).
+			views[i].Merge(rng.Intn(n))
+			p, ok := views[i].SelectPartner(rng, 3)
+			if !ok {
+				continue
+			}
+			// Push-pull buffer exchange.
+			bi, bp := views[i].Buffer(), views[p].Buffer()
+			views[i].Merge(bp...)
+			views[p].Merge(bi...)
+		}
+	}
+	// Every node must know its immediate neighbours.
+	bad := 0
+	for i, v := range views {
+		has := map[int]bool{}
+		for _, e := range v.Entries() {
+			has[e] = true
+		}
+		for _, want := range []int{i - 1, i + 1} {
+			if want < 0 || want >= n {
+				continue
+			}
+			if !has[want] {
+				bad++
+			}
+		}
+	}
+	if bad > n/20 {
+		t.Fatalf("%d missing immediate-neighbour links after 20 rounds", bad)
+	}
+}
+
+func TestBest(t *testing.T) {
+	v := New(10, 3, lineRanker{})
+	if _, ok := v.Best(); ok {
+		t.Fatal("empty Best")
+	}
+	v.Merge(15, 11, 20)
+	best, ok := v.Best()
+	if !ok || best != 11 {
+		t.Fatalf("Best = %d", best)
+	}
+}

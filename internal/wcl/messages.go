@@ -1,0 +1,119 @@
+package wcl
+
+import (
+	"fmt"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/wire"
+)
+
+// WCL message tags (inside nylon MsgApp payloads).
+const (
+	msgForward uint8 = iota + 1
+	msgAck
+)
+
+// forwardMsg carries an onion and its content one WCL hop. The clear
+// fields expose only what the receiving hop inherently knows: who the
+// previous hop is (From) and how to send back to it (ViaPath, the nylon
+// relays the hop transmission used) — needed so acknowledgements can
+// retrace the path. No hop ever sees both endpoints: From is always the
+// immediate neighbour, and the next hop is inside the onion.
+type forwardMsg struct {
+	PathID  uint64
+	From    identity.NodeID
+	ViaPath []identity.NodeID
+	Onion   []byte
+	Content []byte
+}
+
+func (m *forwardMsg) encode() []byte {
+	w := wire.NewWriter(32 + len(m.Onion) + len(m.Content))
+	w.U8(msgForward)
+	w.U64(m.PathID)
+	w.U64(uint64(m.From))
+	w.U8(uint8(len(m.ViaPath)))
+	for _, id := range m.ViaPath {
+		w.U64(uint64(id))
+	}
+	w.Bytes32(m.Onion)
+	w.Bytes32(m.Content)
+	return w.Bytes()
+}
+
+func decodeForward(r *wire.Reader) (*forwardMsg, error) {
+	m := &forwardMsg{}
+	m.PathID = r.U64()
+	m.From = identity.NodeID(r.U64())
+	n := int(r.U8())
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		m.ViaPath = append(m.ViaPath, identity.NodeID(r.U64()))
+	}
+	m.Onion = r.Bytes32()
+	m.Content = r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wcl: decoding forward: %w", err)
+	}
+	return m, nil
+}
+
+func encodeAck(pathID uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(msgAck)
+	w.U64(pathID)
+	return w.Bytes()
+}
+
+// Hop addressing blobs embedded inside onion layers. A mix learns its
+// successor either as a raw endpoint (the next-to-last hop B, a P-node
+// reachable without any setup) or as a node ID (the destination D,
+// reachable through the warm route B keeps from their recent gossip).
+const (
+	addrByEndpoint uint8 = 1
+	addrByID       uint8 = 2
+)
+
+func encodeAddrEndpoint(ep netem.Endpoint, id identity.NodeID) []byte {
+	w := wire.NewWriter(15)
+	w.U8(addrByEndpoint)
+	w.U32(uint32(ep.IP))
+	w.U16(ep.Port)
+	w.U64(uint64(id))
+	return w.Bytes()
+}
+
+func encodeAddrID(id identity.NodeID) []byte {
+	w := wire.NewWriter(9)
+	w.U8(addrByID)
+	w.U64(uint64(id))
+	return w.Bytes()
+}
+
+type hopAddr struct {
+	kind uint8
+	ep   netem.Endpoint
+	id   identity.NodeID
+}
+
+func decodeHopAddr(blob []byte) (hopAddr, error) {
+	r := wire.NewReader(blob)
+	var a hopAddr
+	a.kind = r.U8()
+	switch a.kind {
+	case addrByEndpoint:
+		a.ep = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+		a.id = identity.NodeID(r.U64())
+	case addrByID:
+		a.id = identity.NodeID(r.U64())
+	default:
+		return a, fmt.Errorf("wcl: unknown hop address kind %d", a.kind)
+	}
+	if err := r.Err(); err != nil {
+		return a, fmt.Errorf("wcl: decoding hop address: %w", err)
+	}
+	return a, nil
+}

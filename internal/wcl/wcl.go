@@ -1,0 +1,671 @@
+package wcl
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"whisper/internal/crypt"
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/nylon"
+	"whisper/internal/simnet"
+	"whisper/internal/wire"
+)
+
+// Config parameterizes the WCL.
+type Config struct {
+	// MinPublic is Π: the minimum number of P-nodes the connection
+	// backlog maintains (paper default 3).
+	MinPublic int
+	// Mixes is the number of mixes on each onion path (default 2, the
+	// paper's S → A → B → D). Using f mixes tolerates f−1 colluding
+	// nodes (§III, footnote 2); the extra middle mixes are P-nodes from
+	// the backlog, addressed directly by endpoint.
+	Mixes int
+	// PathTimeout is how long the source waits for the end-to-end
+	// acknowledgement before retrying with an alternative path.
+	PathTimeout time.Duration
+	// MaxAttempts bounds path attempts per send (default 1+Π: the first
+	// try plus Π retries, per the paper's footnote 3).
+	MaxAttempts int
+	// AckTTL bounds how long hops remember backward-routing state.
+	AckTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinPublic == 0 {
+		c.MinPublic = 3
+	}
+	if c.Mixes == 0 {
+		c.Mixes = 2
+	}
+	if c.Mixes < 2 {
+		c.Mixes = 2 // fewer than two mixes cannot hide both endpoints
+	}
+	if c.PathTimeout == 0 {
+		c.PathTimeout = 5 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 1 + c.MinPublic
+	}
+	if c.AckTTL == 0 {
+		c.AckTTL = time.Minute
+	}
+	return c
+}
+
+// Helper identifies a P-node that can act as the next-to-last mix
+// towards a destination (it holds a warm route to it).
+type Helper struct {
+	ID       identity.NodeID
+	Endpoint netem.Endpoint
+	Key      *rsa.PublicKey
+}
+
+// Dest is everything the source needs to open a confidential route:
+// the destination's identity and public key, plus Π helper P-nodes for
+// NATted destinations. The PPSS ships this information inside private
+// view entries (§IV-B).
+type Dest struct {
+	ID  identity.NodeID
+	Key *rsa.PublicKey
+	// Endpoint is the destination's public address when it is a P-node:
+	// the next-to-last mix can then address it directly, with no
+	// pre-established association.
+	Endpoint netem.Endpoint
+	Helpers  []Helper
+}
+
+// Outcome classifies how a confidential send ended (Table I's columns).
+type Outcome int
+
+const (
+	// Success: the first constructed path delivered and acknowledged.
+	Success Outcome = iota
+	// AltSuccess: the first path failed but an alternative succeeded.
+	AltSuccess
+	// Failed: no path delivered within the attempt budget.
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case AltSuccess:
+		return "alt-success"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result reports the fate of one confidential send.
+type Result struct {
+	Outcome Outcome
+	// NoAlternative is set on failures that ended because no untried
+	// (mix, helper) combination remained — Table I's "No alt." column.
+	NoAlternative bool
+	// Attempts is the number of paths constructed.
+	Attempts int
+	// MixesTried / HelpersTried count distinct first/second mixes used.
+	MixesTried   int
+	HelpersTried int
+	// Elapsed is the time from Send to the final outcome.
+	Elapsed time.Duration
+}
+
+// Stats aggregates send outcomes and hop-level events.
+type Stats struct {
+	Sent            uint64
+	FirstTrySuccess uint64
+	AltSuccess      uint64
+	Failed          uint64
+	NoAltFailed     uint64
+	MixesTriedSum   uint64
+	HelpersTriedSum uint64
+	Delivered       uint64
+	ForwardsPeeled  uint64
+	PeelErrors      uint64
+	DropNoContact   uint64
+	AcksForwarded   uint64
+	KeyRequests     uint64
+}
+
+// Tracer observes path events for the delay-breakdown experiments
+// (Fig 7). All callbacks run inside simulation events.
+type Tracer interface {
+	// PathBuilt reports the wall-clock cost of constructing the onion.
+	PathBuilt(pathID uint64, d time.Duration)
+	// Peeled reports the wall-clock cost of one hop's layer decryption.
+	Peeled(pathID uint64, d time.Duration)
+	// Delivered fires at the destination after content decryption.
+	Delivered(pathID uint64)
+}
+
+// ErrNoPath is reported (inside Result) when no usable path exists.
+var ErrNoPath = errors.New("wcl: no usable path")
+
+type ackEntry struct {
+	fromID  identity.NodeID
+	via     []identity.NodeID // reverse relay chain ([] = direct)
+	direct  netem.Endpoint
+	expires time.Duration
+}
+
+type pendingSend struct {
+	pathID   uint64
+	dest     Dest
+	content  []byte // AES-GCM under k
+	key      []byte // k
+	payload  []byte
+	start    time.Duration
+	attempts int
+	triedA   map[identity.NodeID]bool
+	triedB   map[identity.NodeID]bool
+	timer    *simnet.Timer
+	done     func(Result)
+}
+
+// WCL is the Whisper communication layer of one node.
+type WCL struct {
+	node *nylon.Node
+	cfg  Config
+	sim  *simnet.Sim
+	cb   *Backlog
+	cpu  *crypt.CPUMeter
+
+	pending     map[uint64]*pendingSend
+	ackState    map[uint64]ackEntry
+	pendingKeys map[identity.NodeID]time.Duration // request time, for expiry
+
+	// OnReceive delivers decrypted payloads at the destination.
+	OnReceive func(payload []byte)
+	// OnResult, if set, observes the outcome of every send together
+	// with its destination. The evaluation harness uses it to apply the
+	// paper's accounting (footnote 3: failures of the destination node
+	// itself are not WCL route failures).
+	OnResult func(dest identity.NodeID, r Result)
+	// Tracer, when set, observes path events.
+	Tracer Tracer
+	// Stats exposes counters.
+	Stats Stats
+}
+
+// New attaches a WCL to a Nylon node. The node must run with key
+// sampling enabled: onion layers need the public keys of the backlog
+// members. New takes over the node's OnExchange, OnKeyExchange and
+// AppHandler hooks.
+func New(node *nylon.Node, cfg Config) (*WCL, error) {
+	if !node.Config().KeySampling {
+		return nil, errors.New("wcl: nylon key sampling must be enabled")
+	}
+	cfg = cfg.withDefaults()
+	w := &WCL{
+		node:        node,
+		cfg:         cfg,
+		sim:         node.Sim(),
+		cb:          NewBacklog(2 * node.Config().ViewSize),
+		cpu:         &crypt.CPUMeter{},
+		pending:     make(map[uint64]*pendingSend),
+		ackState:    make(map[uint64]ackEntry),
+		pendingKeys: make(map[identity.NodeID]time.Duration),
+	}
+	node.OnExchange = w.onExchange
+	node.OnKeyExchange = w.onKeyExchange
+	node.AppHandler = w.handleApp
+	return w, nil
+}
+
+// Node returns the underlying Nylon node.
+func (w *WCL) Node() *nylon.Node { return w.node }
+
+// Backlog returns the connection backlog (for inspection).
+func (w *WCL) Backlog() *Backlog { return w.cb }
+
+// CPU returns the node's crypto cost meter (Table II data).
+func (w *WCL) CPU() *crypt.CPUMeter { return w.cpu }
+
+// Config returns the effective configuration.
+func (w *WCL) Config() Config { return w.cfg }
+
+// onExchange feeds the connection backlog from successful gossip
+// exchanges and tops up its P-node quota (§III-A).
+func (w *WCL) onExchange(ev nylon.ExchangeEvent) {
+	w.cb.Insert(ev.Peer, w.sim.Now())
+	w.topUpPublics()
+}
+
+// onKeyExchange completes an explicit P-node key exchange: the path is
+// verified and the key is known, so the node enters the backlog.
+func (w *WCL) onKeyExchange(peer nylon.Descriptor) {
+	delete(w.pendingKeys, peer.ID)
+	w.cb.Insert(peer, w.sim.Now())
+}
+
+// topUpPublics enforces the Π P-node minimum in the backlog by
+// contacting P-nodes from the PSS view with an explicit key exchange.
+// Outstanding requests expire after a grace period so that unanswered
+// ones (the P-node died) do not suppress the quota forever.
+func (w *WCL) topUpPublics() {
+	const keyRequestGrace = 30 * time.Second
+	now := w.sim.Now()
+	for id, at := range w.pendingKeys {
+		if now-at > keyRequestGrace {
+			delete(w.pendingKeys, id)
+		}
+	}
+	deficit := w.cfg.MinPublic - w.cb.PublicCount() - len(w.pendingKeys)
+	if deficit <= 0 {
+		return
+	}
+	for _, e := range w.node.View() {
+		if deficit <= 0 {
+			break
+		}
+		d := e.Val
+		if !d.Public || w.cb.Contains(d.ID) || d.ID == w.node.ID() {
+			continue
+		}
+		if _, outstanding := w.pendingKeys[d.ID]; outstanding {
+			continue
+		}
+		if err := w.node.RequestKey(d); err != nil {
+			continue
+		}
+		w.Stats.KeyRequests++
+		w.pendingKeys[d.ID] = now
+		deficit--
+	}
+}
+
+// Send opens a confidential one-way route to dest and delivers payload
+// over it. done (optional) receives the final Result. Content privacy
+// comes from the AES encryption under a fresh key k; relationship
+// anonymity from the onion path S → A → B → dest.
+func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
+	w.Stats.Sent++
+	if dest.Key == nil {
+		w.finishResult(&pendingSend{done: done, start: w.sim.Now()}, Failed, true)
+		return
+	}
+	k, err := crypt.NewSymKey()
+	if err != nil {
+		w.finishResult(&pendingSend{done: done, start: w.sim.Now()}, Failed, true)
+		return
+	}
+	content, err := crypt.SealSym(w.cpu, k, payload)
+	if err != nil {
+		w.finishResult(&pendingSend{done: done, start: w.sim.Now()}, Failed, true)
+		return
+	}
+	st := &pendingSend{
+		pathID:  w.sim.Rand().Uint64(),
+		dest:    dest,
+		content: content,
+		key:     k,
+		payload: payload,
+		start:   w.sim.Now(),
+		triedA:  make(map[identity.NodeID]bool),
+		triedB:  make(map[identity.NodeID]bool),
+		done:    done,
+	}
+	w.pending[st.pathID] = st
+	w.attempt(st)
+}
+
+// pickMixes chooses an untried (A, B) pair plus any extra middle
+// mixes: A from the connection backlog (any node with a known key), B
+// from the destination's helper set (or, for destinations that are
+// themselves P-nodes, any P-node of the backlog), middles from the
+// backlog's P-nodes. Returns false when no untried combination remains.
+func (w *WCL) pickMixes(st *pendingSend) (a nylon.Descriptor, middles []Helper, b Helper, ok bool) {
+	rng := w.sim.Rand()
+	exclude := map[identity.NodeID]bool{w.node.ID(): true, st.dest.ID: true}
+
+	helpers := st.dest.Helpers
+	if len(helpers) == 0 {
+		// P-node destination: any backlog P-node with a known key works.
+		for _, e := range w.cb.Publics() {
+			if key := w.node.Keys().Get(e.Desc.ID); key != nil {
+				helpers = append(helpers, Helper{ID: e.Desc.ID, Endpoint: e.Desc.Contact, Key: key})
+			}
+		}
+	}
+	var bs []Helper
+	for _, h := range helpers {
+		if h.Key != nil && !st.triedB[h.ID] && !exclude[h.ID] {
+			bs = append(bs, h)
+		}
+	}
+	// First mix: random entry from the freshest half of the backlog
+	// (the most recently opened routes are the most likely to still be
+	// warm under churn) with a known key. Prefer untried; fall back to
+	// a previously tried A when fresh helpers remain, then to the
+	// stale half.
+	pickA := func(tried map[identity.NodeID]bool) (nylon.Descriptor, bool) {
+		var fresh, stale []nylon.Descriptor
+		entries := w.cb.Entries() // newest first
+		for i, e := range entries {
+			d := e.Desc
+			if exclude[d.ID] || (tried != nil && tried[d.ID]) {
+				continue
+			}
+			if w.node.Keys().Get(d.ID) == nil {
+				continue
+			}
+			if i < (len(entries)+1)/2 {
+				fresh = append(fresh, d)
+			} else {
+				stale = append(stale, d)
+			}
+		}
+		if len(fresh) > 0 {
+			return fresh[rng.Intn(len(fresh))], true
+		}
+		if len(stale) > 0 {
+			return stale[rng.Intn(len(stale))], true
+		}
+		return nylon.Descriptor{}, false
+	}
+
+	if len(bs) == 0 {
+		return a, nil, b, false
+	}
+	b = bs[rng.Intn(len(bs))]
+	if a, ok = pickA(st.triedA); !ok {
+		a, ok = pickA(nil) // reuse a tried A with a fresh B
+	}
+	if ok && a.ID == b.ID {
+		// Avoid A == B; try to find another A.
+		for _, e := range w.cb.Entries() {
+			if e.Desc.ID != b.ID && !exclude[e.Desc.ID] && w.node.Keys().Get(e.Desc.ID) != nil {
+				a = e.Desc
+				break
+			}
+		}
+		if a.ID == b.ID {
+			return a, nil, b, false
+		}
+	}
+	if !ok {
+		return a, nil, b, false
+	}
+	// Extra middle mixes for longer paths: P-nodes from the backlog,
+	// distinct from everything already on the path.
+	if extra := w.cfg.Mixes - 2; extra > 0 {
+		used := map[identity.NodeID]bool{a.ID: true, b.ID: true, st.dest.ID: true, w.node.ID(): true}
+		for _, e := range w.cb.Publics() {
+			if len(middles) == extra {
+				break
+			}
+			d := e.Desc
+			if used[d.ID] || d.Contact.IsZero() {
+				continue
+			}
+			key := w.node.Keys().Get(d.ID)
+			if key == nil {
+				continue
+			}
+			used[d.ID] = true
+			middles = append(middles, Helper{ID: d.ID, Endpoint: d.Contact, Key: key})
+		}
+		if len(middles) < extra {
+			return a, nil, b, false // not enough distinct P-nodes yet
+		}
+		rng.Shuffle(len(middles), func(i, j int) { middles[i], middles[j] = middles[j], middles[i] })
+	}
+	return a, middles, b, true
+}
+
+// attempt constructs and launches one onion path for st.
+func (w *WCL) attempt(st *pendingSend) {
+	a, middles, b, ok := w.pickMixes(st)
+	if !ok {
+		w.finishResult(st, Failed, true)
+		return
+	}
+	st.attempts++
+	st.triedA[a.ID] = true
+	st.triedB[b.ID] = true
+
+	aKey := w.node.Keys().Get(a.ID)
+	dAddr := encodeAddrID(st.dest.ID)
+	if !st.dest.Endpoint.IsZero() {
+		dAddr = encodeAddrEndpoint(st.dest.Endpoint, st.dest.ID)
+	}
+	hops := make([]crypt.Hop, 0, w.cfg.Mixes+1)
+	hops = append(hops, crypt.Hop{Pub: aKey})
+	for _, m := range middles {
+		hops = append(hops, crypt.Hop{Pub: m.Key, Addr: encodeAddrEndpoint(m.Endpoint, m.ID)})
+	}
+	hops = append(hops, crypt.Hop{Pub: b.Key, Addr: encodeAddrEndpoint(b.Endpoint, b.ID)})
+	hops = append(hops, crypt.Hop{Pub: st.dest.Key, Addr: dAddr})
+	start := time.Now()
+	onion, err := crypt.BuildOnion(w.cpu, hops, st.key)
+	if w.Tracer != nil {
+		w.Tracer.PathBuilt(st.pathID, time.Since(start))
+	}
+	if err != nil {
+		w.retry(st)
+		return
+	}
+	via, routable := w.node.RouteTo(a)
+	if !routable {
+		w.retry(st)
+		return
+	}
+	fwd := forwardMsg{PathID: st.pathID, From: w.node.ID(), ViaPath: via, Onion: onion, Content: st.content}
+	w.node.SendAppVia(a, via, fwd.encode())
+	st.timer = w.sim.After(w.cfg.PathTimeout, func() {
+		if _, live := w.pending[st.pathID]; live {
+			w.retry(st)
+		}
+	})
+}
+
+// retry tries the next alternative or gives up.
+func (w *WCL) retry(st *pendingSend) {
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	if st.attempts >= w.cfg.MaxAttempts {
+		w.finishResult(st, Failed, false)
+		return
+	}
+	w.attempt(st)
+}
+
+func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	delete(w.pending, st.pathID)
+	switch {
+	case outcome == Success:
+		w.Stats.FirstTrySuccess++
+	case outcome == AltSuccess:
+		w.Stats.AltSuccess++
+	default:
+		w.Stats.Failed++
+		if noAlt {
+			w.Stats.NoAltFailed++
+		}
+	}
+	w.Stats.MixesTriedSum += uint64(len(st.triedA))
+	w.Stats.HelpersTriedSum += uint64(len(st.triedB))
+	r := Result{
+		Outcome:       outcome,
+		NoAlternative: noAlt,
+		Attempts:      st.attempts,
+		MixesTried:    len(st.triedA),
+		HelpersTried:  len(st.triedB),
+		Elapsed:       w.sim.Now() - st.start,
+	}
+	if w.OnResult != nil {
+		w.OnResult(st.dest.ID, r)
+	}
+	if st.done != nil {
+		st.done(r)
+	}
+}
+
+// handleApp dispatches WCL messages arriving over nylon.
+func (w *WCL) handleApp(src netem.Endpoint, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	r := wire.NewReader(payload)
+	switch r.U8() {
+	case msgForward:
+		m, err := decodeForward(r)
+		if err != nil {
+			return
+		}
+		w.handleForward(src, m)
+	case msgAck:
+		pathID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		w.handleAck(pathID)
+	}
+}
+
+// handleForward peels one onion layer and forwards, or delivers when
+// this node is the destination.
+func (w *WCL) handleForward(src netem.Endpoint, m *forwardMsg) {
+	start := time.Now()
+	next, inner, exit, err := crypt.Peel(w.cpu, w.node.Identity().Key, m.Onion)
+	peelTime := time.Since(start)
+	if w.Tracer != nil {
+		w.Tracer.Peeled(m.PathID, peelTime)
+	}
+	if err != nil {
+		w.Stats.PeelErrors++
+		return
+	}
+	w.Stats.ForwardsPeeled++
+	// Remember how to route the acknowledgement backwards.
+	w.pruneAckState()
+	w.ackState[m.PathID] = ackEntry{
+		fromID:  m.From,
+		via:     reverseIDs(m.ViaPath),
+		direct:  src,
+		expires: w.sim.Now() + w.cfg.AckTTL,
+	}
+	if exit {
+		// inner is the content key k.
+		pt, err := crypt.OpenSym(w.cpu, inner, m.Content)
+		if err != nil {
+			w.Stats.PeelErrors++
+			return
+		}
+		w.Stats.Delivered++
+		if w.Tracer != nil {
+			w.Tracer.Delivered(m.PathID)
+		}
+		if w.OnReceive != nil {
+			w.OnReceive(pt)
+		}
+		w.sendAckBack(m.PathID)
+		return
+	}
+	addr, err := decodeHopAddr(next)
+	if err != nil {
+		w.Stats.PeelErrors++
+		return
+	}
+	fwd := forwardMsg{PathID: m.PathID, From: w.node.ID(), Onion: inner, Content: m.Content}
+	switch addr.kind {
+	case addrByEndpoint:
+		// The A→B hop: B is a P-node, no setup needed.
+		w.node.SendAppDirect(addr.ep, fwd.encode())
+	case addrByID:
+		// The B→D hop: rides the warm route from B's recent gossip
+		// exchange with D. If the direct association has gone cold, any
+		// route B's PSS view still knows (the Nylon invariant) is used
+		// as a fallback.
+		d := nylon.Descriptor{ID: addr.id}
+		via, ok := w.node.RouteTo(d)
+		if !ok {
+			// The backlog remembers the relay route of the gossip
+			// exchange that made this node a helper for the target.
+			for _, be := range w.cb.Entries() {
+				if be.Desc.ID == addr.id {
+					d = be.Desc
+					via, ok = w.node.RouteTo(d)
+					break
+				}
+			}
+		}
+		if !ok {
+			if vd, have := w.node.ViewDescriptor(addr.id); have {
+				d = vd
+				via, ok = w.node.RouteTo(d)
+			}
+		}
+		if !ok {
+			w.Stats.DropNoContact++
+			return
+		}
+		fwd.ViaPath = via
+		w.node.SendAppVia(d, via, fwd.encode())
+	}
+}
+
+// handleAck resolves a pending send or forwards the acknowledgement one
+// hop backwards.
+func (w *WCL) handleAck(pathID uint64) {
+	if st, ok := w.pending[pathID]; ok {
+		outcome := Success
+		if st.attempts > 1 {
+			outcome = AltSuccess
+		}
+		w.finishResult(st, outcome, false)
+		return
+	}
+	w.sendAckBack(pathID)
+}
+
+func (w *WCL) sendAckBack(pathID uint64) {
+	st, ok := w.ackState[pathID]
+	if !ok || w.sim.Now() > st.expires {
+		return
+	}
+	w.Stats.AcksForwarded++
+	ack := encodeAck(pathID)
+	if len(st.via) == 0 {
+		w.node.SendAppDirect(st.direct, ack)
+		return
+	}
+	w.node.SendAppVia(nylon.Descriptor{ID: st.fromID}, st.via, ack)
+}
+
+// pruneAckState drops expired backward-routing entries; called on
+// insertion so the map stays bounded without a dedicated timer.
+func (w *WCL) pruneAckState() {
+	if len(w.ackState) < 512 {
+		return
+	}
+	now := w.sim.Now()
+	for id, e := range w.ackState {
+		if now > e.expires {
+			delete(w.ackState, id)
+		}
+	}
+}
+
+func reverseIDs(ids []identity.NodeID) []identity.NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]identity.NodeID, len(ids))
+	for i, id := range ids {
+		out[len(ids)-1-i] = id
+	}
+	return out
+}

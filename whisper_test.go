@@ -1,0 +1,275 @@
+package whisper_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"whisper"
+)
+
+// newTestNetwork builds a small converged network through the public
+// API only.
+func newTestNetwork(t *testing.T, seed int64, nodes int) *whisper.Network {
+	t.Helper()
+	net, err := whisper.NewNetwork(whisper.Options{
+		Nodes:      nodes,
+		Seed:       seed,
+		GroupCycle: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(4 * time.Minute)
+	return net
+}
+
+func TestPublicAPILifecycle(t *testing.T) {
+	net := newTestNetwork(t, 51, 80)
+	nodes := net.Nodes()
+	alice, bob, carol := nodes[0], nodes[1], nodes[2]
+
+	room, err := alice.CreateGroup("reading-club")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !room.IsLeader() || room.Name() != "reading-club" {
+		t.Fatal("creator should lead the group")
+	}
+
+	// Invitation travels out of band as a token.
+	inv, err := room.Invite(bob.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := inv.String()
+	if len(token) == 0 || strings.ContainsAny(token, " \n") {
+		t.Fatalf("token not chat-safe: %q", token)
+	}
+	parsed, err := whisper.ParseInvitation(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.For() != bob.ID() || parsed.GroupName() != "reading-club" {
+		t.Fatal("token round trip lost fields")
+	}
+
+	var bobRoom *whisper.Group
+	bob.Join(parsed, func(g *whisper.Group, err error) {
+		if err != nil {
+			t.Errorf("bob join: %v", err)
+			return
+		}
+		bobRoom = g
+	})
+	net.Run(time.Minute)
+	if bobRoom == nil {
+		t.Fatal("bob never joined")
+	}
+	if bobRoom.IsLeader() {
+		t.Fatal("joiner must not be a leader")
+	}
+
+	// Carol joins too, via a fresh invitation.
+	inv2, _ := room.Invite(carol.ID())
+	var carolRoom *whisper.Group
+	carol.Join(inv2, func(g *whisper.Group, err error) { carolRoom = g })
+	net.Run(8 * time.Minute) // a few private gossip cycles
+	if carolRoom == nil {
+		t.Fatal("carol never joined")
+	}
+
+	// Members see each other through private views, nobody else.
+	ids := map[whisper.NodeID]bool{alice.ID(): true, bob.ID(): true, carol.ID(): true}
+	for _, m := range bobRoom.Members() {
+		if !ids[m.ID] {
+			t.Fatalf("non-member %v in private view", m.ID)
+		}
+	}
+
+	// Confidential messaging.
+	var got string
+	var from whisper.NodeID
+	bobRoom.OnMessage(func(m whisper.Member, payload []byte) {
+		got, from = string(payload), m.ID
+	})
+	peer, ok := carolRoom.GetPeer()
+	if !ok {
+		t.Fatal("carol has empty view")
+	}
+	// Find bob in carol's view if present; otherwise message whoever is
+	// there (all are members).
+	for _, m := range carolRoom.Members() {
+		if m.ID == bob.ID() {
+			peer = m
+		}
+	}
+	if peer.ID != bob.ID() {
+		t.Skip("bob not yet in carol's view at this seed")
+	}
+	sendErr := make(chan error, 1)
+	carolRoom.Send(peer, []byte("chapter 7 tonight"), func(err error) { sendErr <- err })
+	net.Run(time.Minute)
+	select {
+	case err := <-sendErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatal("send callback never fired")
+	}
+	if got != "chapter 7 tonight" || from != carol.ID() {
+		t.Fatalf("got %q from %v", got, from)
+	}
+}
+
+func TestInvitationTamperRejected(t *testing.T) {
+	if _, err := whisper.ParseInvitation("!!not-base64!!"); err == nil {
+		t.Fatal("garbage token accepted")
+	}
+	if _, err := whisper.ParseInvitation("aGVsbG8="); err == nil {
+		t.Fatal("truncated token accepted")
+	}
+}
+
+func TestNodeChurnThroughAPI(t *testing.T) {
+	net := newTestNetwork(t, 52, 60)
+	before := len(net.Nodes())
+	n := net.AddNode()
+	if net.Node(n.ID()) == nil {
+		t.Fatal("AddNode not registered")
+	}
+	if len(net.Nodes()) != before+1 {
+		t.Fatal("population wrong after AddNode")
+	}
+	n.Leave()
+	if net.Node(n.ID()) != nil {
+		t.Fatal("left node still listed")
+	}
+	// The rest of the network keeps going.
+	net.Run(2 * time.Minute)
+	up, down := net.Nodes()[0].Bandwidth()
+	if up == 0 || down == 0 {
+		t.Fatal("network went silent")
+	}
+}
+
+func TestPrivateDHTThroughAPI(t *testing.T) {
+	net := newTestNetwork(t, 53, 80)
+	nodes := net.Nodes()
+	members := nodes[:12]
+	room, err := members[0].CreateGroup("index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []*whisper.Group{room}
+	for _, m := range members[1:] {
+		inv, err := room.Invite(m.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Join(inv, func(g *whisper.Group, err error) {
+			if err == nil {
+				groups = append(groups, g)
+			}
+		})
+		net.Run(10 * time.Second)
+	}
+	net.Run(8 * time.Minute)
+	if len(groups) < 10 {
+		t.Fatalf("only %d/%d joined", len(groups), len(members))
+	}
+
+	var dhts []*whisper.DHT
+	for _, g := range groups {
+		dhts = append(dhts, g.NewDHT())
+	}
+	net.Run(10 * time.Minute) // ring convergence
+
+	ready := 0
+	for _, d := range dhts {
+		if d.Ready() {
+			ready++
+		}
+	}
+	if ready < len(dhts)*8/10 {
+		t.Fatalf("only %d/%d DHT nodes ready", ready, len(dhts))
+	}
+
+	putOK := false
+	dhts[0].Put("meeting-point", []byte("pier 39"), func(r whisper.LookupResult, err error) {
+		putOK = err == nil
+	})
+	net.Run(3 * time.Minute)
+	if !putOK {
+		t.Fatal("Put failed")
+	}
+	var got []byte
+	found := false
+	dhts[5].Get("meeting-point", func(r whisper.LookupResult, err error) {
+		if err == nil {
+			got, found = r.Value, r.Found
+		}
+	})
+	net.Run(3 * time.Minute)
+	if !found || string(got) != "pier 39" {
+		t.Fatalf("Get = %q found=%v", got, found)
+	}
+}
+
+func TestBroadcastAndSizeThroughAPI(t *testing.T) {
+	net := newTestNetwork(t, 54, 80)
+	nodes := net.Nodes()
+	members := nodes[:10]
+	room, err := members[0].CreateGroup("assembly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []*whisper.Group{room}
+	for _, m := range members[1:] {
+		inv, _ := room.Invite(m.ID())
+		m.Join(inv, func(g *whisper.Group, err error) {
+			if err == nil {
+				groups = append(groups, g)
+			}
+		})
+		net.Run(10 * time.Second)
+	}
+	net.Run(8 * time.Minute)
+	if len(groups) < 9 {
+		t.Fatalf("only %d joined", len(groups))
+	}
+
+	heard := 0
+	var bcs []*whisper.Broadcast
+	for _, g := range groups {
+		b := g.NewBroadcast()
+		b.OnDeliver(func(origin whisper.NodeID, payload []byte) {
+			if string(payload) == "rally" {
+				heard++
+			}
+		})
+		bcs = append(bcs, b)
+	}
+	// Every member participates in the counting protocol; we read the
+	// estimate from one of them.
+	var ests []*whisper.SizeEstimator
+	for _, g := range groups {
+		ests = append(ests, g.NewSizeEstimator(8*time.Minute))
+	}
+	est := ests[1]
+	bcs[0].Publish([]byte("rally"))
+	net.Run(3 * time.Minute)
+	if heard < len(groups)*8/10 {
+		t.Fatalf("broadcast heard by %d/%d members", heard, len(groups))
+	}
+
+	net.Run(15 * time.Minute)
+	size, ok := est.Estimate()
+	if !ok || size < float64(len(groups))/2 || size > float64(len(groups))*2 {
+		t.Fatalf("size estimate %.1f (ok=%v), group is %d", size, ok, len(groups))
+	}
+	for _, e := range ests {
+		e.Stop()
+	}
+}
