@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"whisper/internal/exp"
@@ -25,10 +26,12 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 2011, "random seed for all experiments")
-		scale  = flag.Float64("scale", 1.0, "scale factor for node counts and windows (1.0 = paper scale)")
-		outRaw = flag.String("out", "", "also write results to this file")
-		check  = flag.Bool("check", true, "run shape checks against the paper's qualitative findings")
+		seed     = flag.Int64("seed", 2011, "random seed for all experiments")
+		scale    = flag.Float64("scale", 1.0, "scale factor for node counts and windows (1.0 = paper scale)")
+		outRaw   = flag.String("out", "", "also write results to this file")
+		check    = flag.Bool("check", true, "run shape checks against the paper's qualitative findings")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment (1 = sequential, matching the pre-harness output byte for byte)")
+		benchOut = flag.String("benchjson", "", "write machine-readable per-run timings to this JSON file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|ablate|all>\n")
@@ -49,7 +52,10 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	r := runner{seed: *seed, scale: *scale, out: out, check: *check}
+	if *benchOut != "" {
+		exp.BenchSink = &exp.BenchLog{}
+	}
+	r := runner{seed: *seed, scale: *scale, out: out, check: *check, parallel: *par}
 	name := flag.Arg(0)
 	start := time.Now()
 	if err := r.run(name); err != nil {
@@ -57,6 +63,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(out, "\n[%s completed in %v]\n", name, time.Since(start).Round(time.Second))
+	if exp.BenchSink != nil {
+		exp.BenchSink.Record(exp.RunStat{
+			Name:   "total/" + name,
+			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		if err := exp.BenchSink.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "whisper-exp: writing bench json:", err)
+			os.Exit(1)
+		}
+	}
 	if r.violations > 0 {
 		fmt.Fprintf(out, "%d shape violation(s) — see above\n", r.violations)
 		os.Exit(3)
@@ -68,6 +84,7 @@ type runner struct {
 	scale      float64
 	out        io.Writer
 	check      bool
+	parallel   int
 	violations int
 }
 
@@ -133,9 +150,10 @@ func (r *runner) run(name string) error {
 
 func (r *runner) fig5() error {
 	res, err := exp.Fig5(exp.Fig5Config{
-		Seed:    r.seed,
-		N:       r.n(1000),
-		Runtime: r.dur(10 * time.Minute),
+		Seed:     r.seed,
+		N:        r.n(1000),
+		Runtime:  r.dur(10 * time.Minute),
+		Parallel: r.parallel,
 	})
 	if err != nil {
 		return err
@@ -147,10 +165,11 @@ func (r *runner) fig5() error {
 
 func (r *runner) fig6() error {
 	rows, err := exp.Fig6(exp.Fig6Config{
-		Seed:    r.seed,
-		N:       r.n(1000),
-		Warmup:  r.dur(5 * time.Minute),
-		Measure: r.dur(5 * time.Minute),
+		Seed:     r.seed,
+		N:        r.n(1000),
+		Warmup:   r.dur(5 * time.Minute),
+		Measure:  r.dur(5 * time.Minute),
+		Parallel: r.parallel,
 	})
 	if err != nil {
 		return err
@@ -162,11 +181,12 @@ func (r *runner) fig6() error {
 
 func (r *runner) table1() error {
 	rows, err := exp.Table1(exp.Table1Config{
-		Seed:   r.seed,
-		N:      r.n(1000),
-		Groups: r.n(1000) / 50,
-		Warmup: r.dur(10 * time.Minute),
-		Window: r.dur(15 * time.Minute),
+		Seed:     r.seed,
+		N:        r.n(1000),
+		Groups:   r.n(1000) / 50,
+		Warmup:   r.dur(10 * time.Minute),
+		Window:   r.dur(15 * time.Minute),
+		Parallel: r.parallel,
 	})
 	if err != nil {
 		return err
@@ -177,23 +197,25 @@ func (r *runner) table1() error {
 }
 
 func (r *runner) fig7() error {
-	var results []exp.Fig7Result
+	var cfgs []exp.Fig7Config
 	for _, env := range []exp.Env{exp.PlanetLab, exp.Cluster} {
 		base := 1000
 		if env == exp.PlanetLab {
 			base = 400
 		}
-		res, err := exp.Fig7(exp.Fig7Config{
+		cfgs = append(cfgs, exp.Fig7Config{
 			Seed:      r.seed,
 			N:         r.n(base),
+			Env:       env,
 			Exchanges: int(1500 * r.scale),
 			Warmup:    r.dur(10 * time.Minute),
 			MaxRun:    r.dur(30 * time.Minute),
-		}, env)
-		if err != nil {
-			return err
-		}
-		results = append(results, res)
+			Parallel:  r.parallel,
+		})
+	}
+	results, err := exp.Fig7Runs(cfgs)
+	if err != nil {
+		return err
 	}
 	exp.PrintFig7(r.out, results)
 	r.report(exp.Fig7ShapeCheck(results))
@@ -226,6 +248,7 @@ func (r *runner) fig8() error {
 		GroupsPerNode: groups,
 		Warmup:        r.dur(10 * time.Minute),
 		Measure:       r.dur(10 * time.Minute),
+		Parallel:      r.parallel,
 	})
 	if err != nil {
 		return err
@@ -237,10 +260,11 @@ func (r *runner) fig8() error {
 
 func (r *runner) ablate() error {
 	rows, err := exp.Ablations(exp.AblateConfig{
-		Seed:    r.seed,
-		N:       r.n(300),
-		Warmup:  r.dur(10 * time.Minute),
-		Measure: r.dur(8 * time.Minute),
+		Seed:     r.seed,
+		N:        r.n(300),
+		Warmup:   r.dur(10 * time.Minute),
+		Measure:  r.dur(8 * time.Minute),
+		Parallel: r.parallel,
 	})
 	if err != nil {
 		return err

@@ -8,17 +8,22 @@
 //	whisper-sim -n 500 -groups 10 -duration 30m
 //	whisper-sim -n 1000 -churn "from 300s to 1200s const churn 1% each 60s" -duration 25m
 //	whisper-sim -n 400 -env planetlab -pi 2 -duration 20m
+//	whisper-sim -n 300 -runs 8 -parallel 4   # 8 replicas at seeds 1..8
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"whisper/internal/churn"
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
+	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
@@ -37,37 +42,92 @@ func main() {
 		script   = flag.String("churn", "", "inline churn script (SPLAY syntax)")
 		file     = flag.String("churn-file", "", "churn script file")
 		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
+		runs     = flag.Int("runs", 1, "replicas to run at seeds seed..seed+runs-1")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = sequential)")
 	)
 	flag.Parse()
 
-	var model netem.LatencyModel = netem.Cluster{}
-	if *env == "planetlab" {
-		model = netem.DefaultPlanetLab()
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*script = string(raw)
 	}
-	opts := sim.Options{
-		Seed:     *seed,
-		N:        *n,
-		NATRatio: *natRatio,
-		Model:    model,
-		Nylon:    nylon.Config{MinPublic: *pi, KeyBlobSize: *keyBlob},
+
+	cfg := scenario{
+		n: *n, natRatio: *natRatio, pi: *pi, groups: *groups,
+		duration: *duration, env: *env, script: *script, keyBlob: *keyBlob,
 	}
-	if *groups > 0 {
-		opts.WCL = &wcl.Config{MinPublic: *pi}
-		opts.PPSS = &ppss.Config{MinHelpers: *pi, KeyBlobSize: *keyBlob}
+	if *runs <= 1 {
+		// Single scenario: stream to stdout as it runs, exactly like the
+		// pre-replica harness.
+		if err := cfg.run(os.Stdout, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
-	fmt.Printf("building %d nodes (%.0f%% NATted, Π=%d, %s)...\n", *n, *natRatio*100, *pi, *env)
-	w, err := sim.NewWorld(opts)
+	// Replicas are independent sims; buffer each run's output and print
+	// them in seed order once all workers join.
+	outs, err := parallel.Map(parallel.Workers(*par), *runs, func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "=== replica %d (seed %d) ===\n", i, *seed+int64(i))
+		if err := cfg.run(&buf, *seed+int64(i)); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	for _, out := range outs {
+		os.Stdout.Write(out)
+	}
+}
+
+// scenario is one whisper-sim configuration, runnable at any seed.
+type scenario struct {
+	n        int
+	natRatio float64
+	pi       int
+	groups   int
+	duration time.Duration
+	env      string
+	script   string
+	keyBlob  int
+}
+
+func (c scenario) run(out io.Writer, seed int64) error {
+	var model netem.LatencyModel = netem.Cluster{}
+	if c.env == "planetlab" {
+		model = netem.DefaultPlanetLab()
+	}
+	opts := sim.Options{
+		Seed:     seed,
+		N:        c.n,
+		NATRatio: c.natRatio,
+		Model:    model,
+		Nylon:    nylon.Config{MinPublic: c.pi, KeyBlobSize: c.keyBlob},
+	}
+	if c.groups > 0 {
+		opts.WCL = &wcl.Config{MinPublic: c.pi}
+		opts.PPSS = &ppss.Config{MinHelpers: c.pi, KeyBlobSize: c.keyBlob}
+	}
+	fmt.Fprintf(out, "building %d nodes (%.0f%% NATted, Π=%d, %s)...\n", c.n, c.natRatio*100, c.pi, c.env)
+	w, err := sim.NewWorld(opts)
+	if err != nil {
+		return err
 	}
 	w.StartAll()
 	w.Sim.RunUntil(4 * time.Minute)
 
 	var leaders []*ppss.Instance
-	if *groups > 0 {
+	if c.groups > 0 {
 		pubs := w.LivePublics()
-		for i := 0; i < *groups && i < len(pubs); i++ {
+		for i := 0; i < c.groups && i < len(pubs); i++ {
 			inst, err := pubs[i].PPSS.CreateGroup(fmt.Sprintf("group-%d", i))
 			if err == nil {
 				leaders = append(leaders, inst)
@@ -87,22 +147,13 @@ func main() {
 			node.PPSS.Join(fmt.Sprintf("group-%d", (gi-1)%len(leaders)), accr, entry, nil2)
 			w.Sim.RunFor(time.Second)
 		}
-		fmt.Printf("%d private groups formed\n", len(leaders))
+		fmt.Fprintf(out, "%d private groups formed\n", len(leaders))
 	}
 
-	if *file != "" {
-		raw, err := os.ReadFile(*file)
+	if c.script != "" {
+		plan, err := churn.Parse(c.script)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		*script = string(raw)
-	}
-	if *script != "" {
-		plan, err := churn.Parse(*script)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		rng := w.Sim.Rand()
 		plan.Run(w.Sim, churn.Actions{
@@ -128,21 +179,22 @@ func main() {
 					}
 				}
 			},
-			Stop: func() { fmt.Println("[churn script: stop]") },
+			Stop: func() { fmt.Fprintln(out, "[churn script: stop]") },
 		})
-		fmt.Println("churn script scheduled")
+		fmt.Fprintln(out, "churn script scheduled")
 	}
 
-	w.Sim.RunUntil(*duration)
-	report(w)
+	w.Sim.RunUntil(c.duration)
+	report(out, w)
+	return nil
 }
 
 func nil2(*ppss.Instance, error) {}
 
-func report(w *sim.World) {
-	fmt.Printf("\n=== report at t=%v ===\n", w.Sim.Now())
+func report(out io.Writer, w *sim.World) {
+	fmt.Fprintf(out, "\n=== report at t=%v ===\n", w.Sim.Now())
 	live := w.Live()
-	fmt.Printf("live nodes: %d (%d public, %d NATted)\n", len(live), len(w.LivePublics()), len(w.LiveNatted()))
+	fmt.Fprintf(out, "live nodes: %d (%d public, %d NATted)\n", len(live), len(w.LivePublics()), len(w.LiveNatted()))
 
 	g := w.Graph()
 	cc := g.ClusteringCoefficients()
@@ -150,7 +202,7 @@ func report(w *sim.World) {
 	for _, v := range cc {
 		ccVals = append(ccVals, v)
 	}
-	fmt.Printf("overlay: connected=%v, avg clustering=%.4f\n", g.WeaklyConnected(), stats.Summarize(ccVals).Mean)
+	fmt.Fprintf(out, "overlay: connected=%v, avg clustering=%.4f\n", g.WeaklyConnected(), stats.Summarize(ccVals).Mean)
 
 	var nyl nylon.Stats
 	for _, node := range live {
@@ -160,7 +212,7 @@ func report(w *sim.World) {
 		nyl.RelaysForwarded += s.RelaysForwarded
 		nyl.PunchSuccesses += s.PunchSuccesses
 	}
-	fmt.Printf("PSS: %d shuffles completed, %d timed out, %d relayed forwards, %d punches\n",
+	fmt.Fprintf(out, "PSS: %d shuffles completed, %d timed out, %d relayed forwards, %d punches\n",
 		nyl.ShufflesCompleted, nyl.ShufflesTimedOut, nyl.RelaysForwarded, nyl.PunchSuccesses)
 
 	var wst wcl.Stats
@@ -180,7 +232,7 @@ func report(w *sim.World) {
 	if haveWCL {
 		total := wst.FirstTrySuccess + wst.AltSuccess + wst.Failed
 		if total > 0 {
-			fmt.Printf("WCL: %d routes (%.1f%% first try, %.1f%% via alternative, %.1f%% failed), %d deliveries\n",
+			fmt.Fprintf(out, "WCL: %d routes (%.1f%% first try, %.1f%% via alternative, %.1f%% failed), %d deliveries\n",
 				total,
 				100*float64(wst.FirstTrySuccess)/float64(total),
 				100*float64(wst.AltSuccess)/float64(total),
@@ -196,6 +248,6 @@ func report(w *sim.World) {
 		up = append(up, m.UpKB()/mins)
 		down = append(down, m.DownKB()/mins)
 	}
-	fmt.Printf("bandwidth per node: up %s KB/min, down %s KB/min\n",
+	fmt.Fprintf(out, "bandwidth per node: up %s KB/min, down %s KB/min\n",
 		stats.StackOf(up).String(), stats.StackOf(down).String())
 }

@@ -1,0 +1,68 @@
+package crypt
+
+import "testing"
+
+// TestSymAllocs pins the allocation behavior of symmetric seal/open
+// with a cached AEAD: one allocation per operation (the output buffer).
+// Rebuilding the AES cipher schedule and GCM tables per call — the
+// pre-cache behavior — costs several additional allocations and shows
+// up immediately here.
+func TestSymAllocs(t *testing.T) {
+	key, err := NewSymKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 512)
+	ct, err := SealSym(nil, key, pt) // warm the AEAD cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := SealSym(nil, key, pt); err != nil {
+			t.Fatal(err)
+		}
+	}); sealAllocs > 2 {
+		t.Errorf("SealSym allocates %.1f times per op, want <= 2", sealAllocs)
+	}
+	if openAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := OpenSym(nil, key, ct); err != nil {
+			t.Fatal(err)
+		}
+	}); openAllocs > 2 {
+		t.Errorf("OpenSym allocates %.1f times per op, want <= 2", openAllocs)
+	}
+}
+
+// TestKeyCacheAllocs pins the memoized key plumbing: marshaling and
+// fingerprinting a key already seen must not re-derive the DER.
+func TestKeyCacheAllocs(t *testing.T) {
+	k := keys(1)[0]
+	pub := &k.PublicKey
+	MarshalPublicKey(pub)
+	KeyFingerprint(pub)
+	if allocs := testing.AllocsPerRun(100, func() {
+		MarshalPublicKey(pub)
+		KeyFingerprint(pub)
+	}); allocs > 0 {
+		t.Errorf("cached marshal+fingerprint allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestUnmarshalInterning verifies that parsing the same DER twice
+// returns one shared key instance (which is what makes the
+// pointer-keyed fingerprint cache effective on the receive path).
+func TestUnmarshalInterning(t *testing.T) {
+	k := keys(1)[0]
+	der := MarshalPublicKey(&k.PublicKey)
+	a, err := UnmarshalPublicKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalPublicKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical DER parsed to distinct instances")
+	}
+}

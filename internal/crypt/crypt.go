@@ -18,6 +18,7 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"hash"
 	"time"
 
 	"whisper/internal/wire"
@@ -90,27 +91,39 @@ func newGCM(key []byte) (cipher.AEAD, error) {
 
 // SealSym encrypts plaintext under the symmetric key (nonce || AES-GCM
 // ciphertext). This implements the content encryption with the random
-// key k of §III-A.
+// key k of §III-A. Content keys recur across the messages of a stream,
+// so the AEAD instance is cached per key.
 func SealSym(m *CPUMeter, key, plaintext []byte) ([]byte, error) {
 	defer m.chargeAES(time.Now())
-	gcm, err := newGCM(key)
+	gcm, err := cachedGCM(key)
 	if err != nil {
 		return nil, err
 	}
-	nonce := make([]byte, gcm.NonceSize())
-	if _, err := rand.Read(nonce); err != nil {
+	return sealWith(gcm, plaintext)
+}
+
+// sealWith seals plaintext with a single output allocation sized for
+// nonce, ciphertext and tag.
+func sealWith(gcm cipher.AEAD, plaintext []byte) ([]byte, error) {
+	n := gcm.NonceSize()
+	buf := make([]byte, n, n+len(plaintext)+gcm.Overhead())
+	if _, err := rand.Read(buf); err != nil {
 		return nil, fmt.Errorf("crypt: nonce: %w", err)
 	}
-	return gcm.Seal(nonce, nonce, plaintext, nil), nil
+	return gcm.Seal(buf, buf, plaintext, nil), nil
 }
 
 // OpenSym decrypts a SealSym ciphertext.
 func OpenSym(m *CPUMeter, key, ct []byte) ([]byte, error) {
 	defer m.chargeAES(time.Now())
-	gcm, err := newGCM(key)
+	gcm, err := cachedGCM(key)
 	if err != nil {
 		return nil, err
 	}
+	return openWith(gcm, ct)
+}
+
+func openWith(gcm cipher.AEAD, ct []byte) ([]byte, error) {
 	if len(ct) < gcm.NonceSize() {
 		return nil, ErrDecrypt
 	}
@@ -129,8 +142,10 @@ func Seal(m *CPUMeter, pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	h := sha256Pool.Get().(hash.Hash)
 	start := time.Now()
-	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, key, nil)
+	wrapped, err := rsa.EncryptOAEP(h, rand.Reader, pub, key, nil)
+	sha256Pool.Put(h)
 	if m != nil {
 		m.RSA += time.Since(start)
 		m.RSAEncs++
@@ -138,7 +153,14 @@ func Seal(m *CPUMeter, pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("crypt: OAEP encrypt: %w", err)
 	}
-	body, err := SealSym(m, key, plaintext)
+	// The key is fresh and sealed exactly once: bypass the AEAD cache.
+	aesStart := time.Now()
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	body, err := sealWith(gcm, plaintext)
+	m.chargeAES(aesStart)
 	if err != nil {
 		return nil, err
 	}
@@ -156,8 +178,10 @@ func Open(m *CPUMeter, priv *rsa.PrivateKey, ct []byte) ([]byte, error) {
 	if r.Err() != nil || len(wrapped) == 0 {
 		return nil, ErrDecrypt
 	}
+	h := sha256Pool.Get().(hash.Hash)
 	start := time.Now()
-	key, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, priv, wrapped, nil)
+	key, err := rsa.DecryptOAEP(h, rand.Reader, priv, wrapped, nil)
+	sha256Pool.Put(h)
 	if m != nil {
 		m.RSA += time.Since(start)
 		m.RSADecs++
@@ -165,7 +189,15 @@ func Open(m *CPUMeter, priv *rsa.PrivateKey, ct []byte) ([]byte, error) {
 	if err != nil {
 		return nil, ErrDecrypt
 	}
-	return OpenSym(m, key, body)
+	// One-shot layer key: bypass the AEAD cache (see Seal).
+	aesStart := time.Now()
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := openWith(gcm, body)
+	m.chargeAES(aesStart)
+	return pt, err
 }
 
 // Sign produces a PKCS#1 v1.5 signature over SHA-256(msg).
@@ -201,34 +233,75 @@ func Verify(m *CPUMeter, pub *rsa.PublicKey, msg, sig []byte) error {
 	return nil
 }
 
-// MarshalPublicKey serializes a public key to PKIX DER.
+// MarshalPublicKey serializes a public key to PKIX DER. Results are
+// memoized per key instance; the returned slice is shared and must be
+// treated as read-only.
 func MarshalPublicKey(pub *rsa.PublicKey) []byte {
+	derCache.Lock()
+	der, ok := derCache.m[pub]
+	derCache.Unlock()
+	if ok {
+		return der
+	}
 	der, err := x509.MarshalPKIXPublicKey(pub)
 	if err != nil {
 		// Only possible for malformed in-memory keys: programmer error.
 		panic(fmt.Sprintf("crypt: marshaling public key: %v", err))
 	}
+	derCache.Lock()
+	if len(derCache.m) >= keyCacheMax {
+		derCache.m = make(map[*rsa.PublicKey][]byte, 64)
+	}
+	derCache.m[pub] = der
+	derCache.Unlock()
 	return der
 }
 
-// UnmarshalPublicKey parses a PKIX DER RSA public key.
+// UnmarshalPublicKey parses a PKIX DER RSA public key. Identical DER
+// inputs return one shared, interned key instance; callers must not
+// modify it.
 func UnmarshalPublicKey(der []byte) (*rsa.PublicKey, error) {
+	parseCache.Lock()
+	pub, ok := parseCache.m[string(der)]
+	parseCache.Unlock()
+	if ok {
+		return pub, nil
+	}
 	k, err := x509.ParsePKIXPublicKey(der)
 	if err != nil {
 		return nil, fmt.Errorf("crypt: parsing public key: %w", err)
 	}
-	pub, ok := k.(*rsa.PublicKey)
+	pub, ok = k.(*rsa.PublicKey)
 	if !ok {
 		return nil, fmt.Errorf("crypt: not an RSA public key: %T", k)
 	}
+	parseCache.Lock()
+	if len(parseCache.m) >= keyCacheMax {
+		parseCache.m = make(map[string]*rsa.PublicKey, 64)
+	}
+	parseCache.m[string(der)] = pub
+	parseCache.Unlock()
 	return pub, nil
 }
 
 // KeyFingerprint returns a short stable digest of a public key, used as
-// a map key and in logs.
+// a map key and in logs. Fingerprints are memoized per key instance
+// (the old implementation re-marshaled the key to PKIX DER and hashed
+// it on every call).
 func KeyFingerprint(pub *rsa.PublicKey) [8]byte {
+	fpCache.Lock()
+	fp, ok := fpCache.m[pub]
+	fpCache.Unlock()
+	if ok {
+		return fp
+	}
 	h := sha256.Sum256(MarshalPublicKey(pub))
-	var fp [8]byte
 	copy(fp[:], h[:8])
+	fpCache.Lock()
+	if len(fpCache.m) >= keyCacheMax {
+		fpCache.m = make(map[*rsa.PublicKey][8]byte, 64)
+	}
+	fpCache.m[pub] = fp
+	fpCache.Unlock()
 	return fp
 }

@@ -31,7 +31,10 @@ func BuildOnion(m *CPUMeter, hops []Hop, final []byte) ([]byte, error) {
 		return nil, fmt.Errorf("crypt: empty onion path")
 	}
 	last := hops[len(hops)-1]
-	w := wire.NewWriter(4 + len(final))
+	// One scratch writer assembles every layer: Seal consumes the
+	// plaintext before returning, so the buffer can be reset and reused
+	// as the onion grows instead of allocating per layer.
+	w := wire.NewWriter(256 + len(final))
 	w.Bytes16(nil) // ⊥: this hop is the destination
 	w.Bytes32(final)
 	blob, err := Seal(m, last.Pub, w.Bytes())
@@ -39,7 +42,7 @@ func BuildOnion(m *CPUMeter, hops []Hop, final []byte) ([]byte, error) {
 		return nil, fmt.Errorf("crypt: sealing destination layer: %w", err)
 	}
 	for i := len(hops) - 2; i >= 0; i-- {
-		w := wire.NewWriter(4 + len(hops[i+1].Addr) + len(blob))
+		w.Reset()
 		w.Bytes16(hops[i+1].Addr)
 		w.Bytes32(blob)
 		blob, err = Seal(m, hops[i].Pub, w.Bytes())

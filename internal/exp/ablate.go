@@ -5,7 +5,9 @@ import (
 	"io"
 	"time"
 
+	"whisper/internal/identity"
 	"whisper/internal/nylon"
+	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
@@ -22,6 +24,9 @@ type AblateConfig struct {
 	Warmup  time.Duration
 	Measure time.Duration
 	KeyBlob int
+	// Parallel bounds the worker pool running the independent variant
+	// runs (<= 0: one worker per CPU; 1: sequential).
+	Parallel int
 }
 
 func (c AblateConfig) withDefaults() AblateConfig {
@@ -51,64 +56,69 @@ type AblationRow struct {
 	Order   []string // metric print order
 }
 
-// Ablations runs all four studies and returns one row per variant.
+// Ablations runs all four studies — flattened into one job per variant
+// so the worker pool sees every independent run — and returns one row
+// per variant in the sequential harness's order (lease tcp/udp,
+// punching default/relay-only, bias quota/cap, mixes 2/3).
 func Ablations(cfg AblateConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []AblationRow
-	for _, f := range []func(AblateConfig) ([]AblationRow, error){
-		ablateLease, ablatePunching, ablateBiasCap, ablateMixCount,
-	} {
-		r, err := f(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+	type job func(AblateConfig, *identity.Pool) (AblationRow, error)
+	jobs := []job{
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateLease(c, p, 0) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateLease(c, p, 1) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablatePunching(c, p, 0) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablatePunching(c, p, 1) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateBiasCap(c, p, 0) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateBiasCap(c, p, 1) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateMixCount(c, p, 0) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateMixCount(c, p, 1) },
 	}
-	return rows, nil
+	workers := parallel.Workers(cfg.Parallel)
+	return parallel.Map(workers, len(jobs), func(i int) (AblationRow, error) {
+		return jobs[i](cfg, runPool(workers, i))
+	})
 }
 
 // ablateLease compares TCP-style 24 h NAT association rules (the
 // paper's RFC 5382 setting, our default) with UDP-style 5-minute rules:
 // warm routes decay before view entries rotate, so first-try route
 // success collapses.
-func ablateLease(cfg AblateConfig) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, v := range []struct {
+func ablateLease(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, error) {
+	v := []struct {
 		name  string
 		lease time.Duration
 		ttl   time.Duration
 	}{
 		{"tcp-24h (default)", 0, 0},
 		{"udp-5min", 5 * time.Minute, 4 * time.Minute},
-	} {
-		w, err := sim.NewWorld(sim.Options{
-			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: keyPool,
-			NATLease: v.lease,
-			Nylon:    nylon.Config{ContactTTL: v.ttl},
-			WCL:      &wcl.Config{MinPublic: 3},
-			PPSS:     &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.StartAll()
-		w.Sim.RunUntil(4 * time.Minute)
-		formGroups(w, cfg.Groups, 1)
-		w.Sim.RunUntil(cfg.Warmup)
-		before := aggregateWCL(w)
-		w.Sim.RunFor(cfg.Measure)
-		after := aggregateWCL(w)
-		routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
-			before.FirstTrySuccess - before.AltSuccess - before.Failed)
-		first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
-		row := AblationRow{
-			Study: "nat-lease", Variant: v.name,
-			Metrics: map[string]float64{"first-try %": pct(first, routes), "routes": routes},
-			Order:   []string{"first-try %", "routes"},
-		}
-		rows = append(rows, row)
+	}[vi]
+	start := time.Now()
+	w, err := sim.NewWorld(sim.Options{
+		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: pool,
+		NATLease: v.lease,
+		Nylon:    nylon.Config{ContactTTL: v.ttl},
+		WCL:      &wcl.Config{MinPublic: 3},
+		PPSS:     &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+	})
+	if err != nil {
+		return AblationRow{}, err
 	}
-	return rows, nil
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+	formGroups(w, cfg.Groups, 1)
+	w.Sim.RunUntil(cfg.Warmup)
+	before := aggregateWCL(w)
+	w.Sim.RunFor(cfg.Measure)
+	after := aggregateWCL(w)
+	routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
+		before.FirstTrySuccess - before.AltSuccess - before.Failed)
+	first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
+	recordRun("ablate/nat-lease/"+v.name, start, w)
+	return AblationRow{
+		Study: "nat-lease", Variant: v.name,
+		Metrics: map[string]float64{"first-try %": pct(first, routes), "routes": routes},
+		Order:   []string{"first-try %", "routes"},
+	}, nil
 }
 
 // ablatePunching compares the default traversal (hole punching where
@@ -118,148 +128,145 @@ func ablateLease(cfg AblateConfig) ([]AblationRow, error) {
 // does), so the discriminating effect of punching is the pool of direct
 // N↔N associations it leaves behind — the warm routes that the WCL's
 // backlog and persistent paths then reuse.
-func ablatePunching(cfg AblateConfig) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, v := range []struct {
+func ablatePunching(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, error) {
+	v := []struct {
 		name    string
 		disable bool
 	}{
 		{"punching (default)", false},
 		{"relay-only", true},
-	} {
-		w, err := sim.NewWorld(sim.Options{
-			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: keyPool,
-			Nylon: nylon.Config{DisablePunch: v.disable, MinPublic: 3},
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.StartAll()
-		w.Sim.RunUntil(cfg.Warmup)
-		var punches uint64
-		var contacts, nnContacts []float64
-		for _, n := range w.Live() {
-			punches += n.Nylon.Stats.PunchSuccesses
-			ids := n.Nylon.ContactIDs()
-			contacts = append(contacts, float64(len(ids)))
-			nn := 0
-			if !n.Public() {
-				for _, id := range ids {
-					if peer := w.Get(id); peer != nil && !peer.Public() {
-						nn++
-					}
-				}
-				nnContacts = append(nnContacts, float64(nn))
-			}
-		}
-		rows = append(rows, AblationRow{
-			Study: "nat-traversal", Variant: v.name,
-			Metrics: map[string]float64{
-				"punches":          float64(punches),
-				"contacts/node":    stats.Summarize(contacts).Mean,
-				"N-N directs/node": stats.Summarize(nnContacts).Mean,
-			},
-			Order: []string{"punches", "contacts/node", "N-N directs/node"},
-		})
+	}[vi]
+	start := time.Now()
+	w, err := sim.NewWorld(sim.Options{
+		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: pool,
+		Nylon: nylon.Config{DisablePunch: v.disable, MinPublic: 3},
+	})
+	if err != nil {
+		return AblationRow{}, err
 	}
-	return rows, nil
+	w.StartAll()
+	w.Sim.RunUntil(cfg.Warmup)
+	var punches uint64
+	var contacts, nnContacts []float64
+	for _, n := range w.Live() {
+		punches += n.Nylon.Stats.PunchSuccesses
+		ids := n.Nylon.ContactIDs()
+		contacts = append(contacts, float64(len(ids)))
+		nn := 0
+		if !n.Public() {
+			for _, id := range ids {
+				if peer := w.Get(id); peer != nil && !peer.Public() {
+					nn++
+				}
+			}
+			nnContacts = append(nnContacts, float64(nn))
+		}
+	}
+	recordRun("ablate/nat-traversal/"+v.name, start, w)
+	return AblationRow{
+		Study: "nat-traversal", Variant: v.name,
+		Metrics: map[string]float64{
+			"punches":          float64(punches),
+			"contacts/node":    stats.Summarize(contacts).Mean,
+			"N-N directs/node": stats.Summarize(nnContacts).Mean,
+		},
+		Order: []string{"punches", "contacts/node", "N-N directs/node"},
+	}, nil
 }
 
 // ablateBiasCap exercises the paper's second bias in its intended
 // regime — Π higher than the network's P-node share (§III-B-1's example
 // of Π=3 with only 10% P-nodes) — with and without discarding excess
 // P-nodes first.
-func ablateBiasCap(cfg AblateConfig) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, v := range []struct {
+func ablateBiasCap(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, error) {
+	v := []struct {
 		name string
 		cap  bool
 	}{
 		{"min-quota only", false},
 		{"min-quota + cap", true},
-	} {
-		w, err := sim.NewWorld(sim.Options{
-			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.9, KeyPool: keyPool,
-			Nylon: nylon.Config{MinPublic: 3, CapExcessPublic: v.cap},
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.StartAll()
-		w.Sim.RunUntil(cfg.Warmup)
-		in := w.Graph().InDegrees()
-		var pIn []float64
-		quotaOK := 0
-		for _, n := range w.Live() {
-			if n.Public() {
-				pIn = append(pIn, float64(in[n.ID()]))
-			}
-			pubs := 0
-			for _, e := range n.Nylon.View() {
-				if e.Val.Public {
-					pubs++
-				}
-			}
-			if pubs >= 3 {
-				quotaOK++
-			}
-		}
-		s := stats.Summarize(pIn)
-		rows = append(rows, AblationRow{
-			Study: "view-bias", Variant: v.name,
-			Metrics: map[string]float64{
-				"P in-deg mean": s.Mean,
-				"P in-deg max":  s.Max,
-				"quota-ok %":    pct(float64(quotaOK), float64(len(w.Live()))),
-			},
-			Order: []string{"P in-deg mean", "P in-deg max", "quota-ok %"},
-		})
+	}[vi]
+	start := time.Now()
+	w, err := sim.NewWorld(sim.Options{
+		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.9, KeyPool: pool,
+		Nylon: nylon.Config{MinPublic: 3, CapExcessPublic: v.cap},
+	})
+	if err != nil {
+		return AblationRow{}, err
 	}
-	return rows, nil
+	w.StartAll()
+	w.Sim.RunUntil(cfg.Warmup)
+	in := w.Graph().InDegrees()
+	var pIn []float64
+	quotaOK := 0
+	for _, n := range w.Live() {
+		if n.Public() {
+			pIn = append(pIn, float64(in[n.ID()]))
+		}
+		pubs := 0
+		for _, e := range n.Nylon.View() {
+			if e.Val.Public {
+				pubs++
+			}
+		}
+		if pubs >= 3 {
+			quotaOK++
+		}
+	}
+	s := stats.Summarize(pIn)
+	recordRun("ablate/view-bias/"+v.name, start, w)
+	return AblationRow{
+		Study: "view-bias", Variant: v.name,
+		Metrics: map[string]float64{
+			"P in-deg mean": s.Mean,
+			"P in-deg max":  s.Max,
+			"quota-ok %":    pct(float64(quotaOK), float64(len(w.Live()))),
+		},
+		Order: []string{"P in-deg mean", "P in-deg max", "quota-ok %"},
+	}, nil
 }
 
 // ablateMixCount compares 2-mix paths (the paper's default) with 3-mix
 // paths (collusion resistance per footnote 2): success stays high, the
 // cost is one more RSA layer and hop of latency.
-func ablateMixCount(cfg AblateConfig) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, mixes := range []int{2, 3} {
-		w, err := sim.NewWorld(sim.Options{
-			Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: keyPool,
-			WCL:  &wcl.Config{MinPublic: 3, Mixes: mixes},
-			PPSS: &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.StartAll()
-		w.Sim.RunUntil(4 * time.Minute)
-		formGroups(w, cfg.Groups, 1)
-		w.Sim.RunUntil(cfg.Warmup)
-
-		var rtts []time.Duration
-		for _, n := range w.Live() {
-			for _, inst := range n.PPSS.Instances() {
-				inst.OnExchangeRTT = func(rtt time.Duration) { rtts = append(rtts, rtt) }
-			}
-		}
-		before := aggregateWCL(w)
-		w.Sim.RunFor(cfg.Measure)
-		after := aggregateWCL(w)
-		routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
-			before.FirstTrySuccess - before.AltSuccess - before.Failed)
-		first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
-		rtt := stats.Percentile(durationsToSeconds(rtts), 50)
-		rows = append(rows, AblationRow{
-			Study: "mix-count", Variant: fmt.Sprintf("%d mixes", mixes),
-			Metrics: map[string]float64{
-				"first-try %":  pct(first, routes),
-				"rtt p50 (ms)": rtt * 1000,
-			},
-			Order: []string{"first-try %", "rtt p50 (ms)"},
-		})
+func ablateMixCount(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, error) {
+	mixes := []int{2, 3}[vi]
+	start := time.Now()
+	w, err := sim.NewWorld(sim.Options{
+		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: pool,
+		WCL:  &wcl.Config{MinPublic: 3, Mixes: mixes},
+		PPSS: &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+	})
+	if err != nil {
+		return AblationRow{}, err
 	}
-	return rows, nil
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+	formGroups(w, cfg.Groups, 1)
+	w.Sim.RunUntil(cfg.Warmup)
+
+	var rtts []time.Duration
+	for _, n := range w.Live() {
+		for _, inst := range n.PPSS.Instances() {
+			inst.OnExchangeRTT = func(rtt time.Duration) { rtts = append(rtts, rtt) }
+		}
+	}
+	before := aggregateWCL(w)
+	w.Sim.RunFor(cfg.Measure)
+	after := aggregateWCL(w)
+	routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
+		before.FirstTrySuccess - before.AltSuccess - before.Failed)
+	first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
+	rtt := stats.Percentile(durationsToSeconds(rtts), 50)
+	recordRun(fmt.Sprintf("ablate/mix-count/%d mixes", mixes), start, w)
+	return AblationRow{
+		Study: "mix-count", Variant: fmt.Sprintf("%d mixes", mixes),
+		Metrics: map[string]float64{
+			"first-try %":  pct(first, routes),
+			"rtt p50 (ms)": rtt * 1000,
+		},
+		Order: []string{"first-try %", "rtt p50 (ms)"},
+	}, nil
 }
 
 // PrintAblations renders the ablation table.

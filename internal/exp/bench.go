@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"whisper/internal/crypt"
+	"whisper/internal/sim"
+)
+
+// RunStat is one machine-readable timing record: a single simulation
+// run (or an experiment total) with its wall-clock cost, event
+// throughput, and merged crypto CPU meters. The whisper-exp -benchjson
+// flag writes these so successive PRs have a performance trajectory to
+// compare against (BENCH_whisper.json in the repository root).
+type RunStat struct {
+	Name         string  `json:"name"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	VirtualSec   float64 `json:"virtual_sec,omitempty"`
+	AESms        float64 `json:"cpu_aes_ms,omitempty"`
+	RSAms        float64 `json:"cpu_rsa_ms,omitempty"`
+	AESOps       uint64  `json:"aes_ops,omitempty"`
+	RSAEncs      uint64  `json:"rsa_encs,omitempty"`
+	RSADecs      uint64  `json:"rsa_decs,omitempty"`
+	Signs        uint64  `json:"signs,omitempty"`
+	Verifys      uint64  `json:"verifys,omitempty"`
+}
+
+// BenchLog collects RunStats from concurrent experiment runs. The
+// zero value is ready to use; all methods are safe for concurrent use.
+type BenchLog struct {
+	mu   sync.Mutex
+	runs []RunStat
+}
+
+// Record appends one stat.
+func (b *BenchLog) Record(st RunStat) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.runs = append(b.runs, st)
+	b.mu.Unlock()
+}
+
+// Runs returns a copy of the recorded stats sorted by name, so the
+// JSON output is stable regardless of worker scheduling.
+func (b *BenchLog) Runs() []RunStat {
+	b.mu.Lock()
+	out := make([]RunStat, len(b.runs))
+	copy(out, b.runs)
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON writes the log to path as an indented JSON document.
+func (b *BenchLog) WriteJSON(path string) error {
+	doc := struct {
+		Schema string    `json:"schema"`
+		Runs   []RunStat `json:"runs"`
+	}{Schema: "whisper-bench/v1", Runs: b.Runs()}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchSink, when non-nil, receives a RunStat for every simulation run
+// the experiments execute. whisper-exp points it at a BenchLog when
+// -benchjson is set; it is nil (and recording free) otherwise.
+var BenchSink *BenchLog
+
+// recordRun merges one finished run's meters into the bench sink.
+func recordRun(name string, start time.Time, w *sim.World) {
+	if BenchSink == nil {
+		return
+	}
+	wall := time.Since(start)
+	cpu := w.CPUTotal()
+	st := RunStat{
+		Name:       name,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		Events:     w.Sim.Executed(),
+		VirtualSec: w.Sim.Now().Seconds(),
+		AESms:      float64(cpu.AES.Microseconds()) / 1000,
+		RSAms:      float64(cpu.RSA.Microseconds()) / 1000,
+		AESOps:     cpu.AESOps,
+		RSAEncs:    cpu.RSAEncs,
+		RSADecs:    cpu.RSADecs,
+		Signs:      cpu.Signs,
+		Verifys:    cpu.Verifys,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		st.EventsPerSec = float64(st.Events) / secs
+	}
+	BenchSink.Record(st)
+}
+
+// mergeCPU is a convenience for tests: the summed meters of runs.
+func mergeCPU(ms []crypt.CPUMeter) crypt.CPUMeter {
+	var out crypt.CPUMeter
+	for _, m := range ms {
+		out.Add(m)
+	}
+	return out
+}

@@ -48,6 +48,21 @@ func (e Env) Model() netem.LatencyModel {
 // RSA key generation each time.
 var keyPool = identity.TestPool(64)
 
+// runPool returns the key pool for run i of an experiment executing
+// with the given worker count. The sequential path keeps the shared
+// pool and its historical cursor (so -parallel 1 output is
+// byte-identical to the sequential harness); concurrent runs each take
+// an independent view whose draws depend only on the run index, never
+// on sibling runs or scheduling. Key assignment does not influence
+// protocol behavior — the pool deals shared moduli round-robin either
+// way — so per-run results are identical across worker counts.
+func runPool(workers, i int) *identity.Pool {
+	if workers <= 1 {
+		return keyPool
+	}
+	return keyPool.View(i)
+}
+
 // groupSet tracks the private groups of an experiment world.
 type groupSet struct {
 	w       *sim.World
@@ -75,6 +90,9 @@ func formGroups(w *sim.World, count, groupsPerNode int) *groupSet {
 		gs.names = append(gs.names, name)
 		gs.leaders = append(gs.leaders, inst)
 		gs.members[inst.Group()] = append(gs.members[inst.Group()], leaders[i%len(leaders)])
+	}
+	if len(gs.names) == 0 {
+		return gs // zero groups requested (tiny -scale runs)
 	}
 	rng := w.Sim.Rand()
 	for _, n := range w.Live() {

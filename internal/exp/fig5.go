@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whisper/internal/nylon"
+	"whisper/internal/parallel"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
 )
@@ -22,6 +23,9 @@ type Fig5Config struct {
 	Env      Env
 	// CapExcessPublic exercises the second bias (ablation).
 	CapExcessPublic bool
+	// Parallel bounds the worker pool running the independent Π runs
+	// (<= 0: one worker per CPU; 1: sequential).
+	Parallel int
 }
 
 func (c Fig5Config) withDefaults() Fig5Config {
@@ -56,17 +60,20 @@ type Fig5Result struct {
 	Nodes         int
 }
 
-// Fig5 runs the biased PSS for each Π and snapshots overlay quality.
+// Fig5 runs the biased PSS for each Π — the runs are independent, so
+// they execute on the worker pool — and snapshots overlay quality.
 func Fig5(cfg Fig5Config) ([]Fig5Result, error) {
 	cfg = cfg.withDefaults()
-	var out []Fig5Result
-	for _, pi := range cfg.PiValues {
+	workers := parallel.Workers(cfg.Parallel)
+	return parallel.Map(workers, len(cfg.PiValues), func(i int) (Fig5Result, error) {
+		pi := cfg.PiValues[i]
+		start := time.Now()
 		w, err := sim.NewWorld(sim.Options{
 			Seed:     cfg.Seed + int64(pi),
 			N:        cfg.N,
 			NATRatio: cfg.NATRatio,
 			Model:    cfg.Env.Model(),
-			KeyPool:  keyPool,
+			KeyPool:  runPool(workers, i),
 			Nylon: nylon.Config{
 				ViewSize:        cfg.ViewSize,
 				MinPublic:       pi,
@@ -74,13 +81,14 @@ func Fig5(cfg Fig5Config) ([]Fig5Result, error) {
 			},
 		})
 		if err != nil {
-			return nil, err
+			return Fig5Result{}, err
 		}
 		w.StartAll()
 		w.Sim.RunUntil(cfg.Runtime)
-		out = append(out, snapshotFig5(w, pi))
-	}
-	return out, nil
+		res := snapshotFig5(w, pi)
+		recordRun(fmt.Sprintf("fig5/pi=%d", pi), start, w)
+		return res, nil
+	})
 }
 
 func snapshotFig5(w *sim.World, pi int) Fig5Result {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whisper/internal/nylon"
+	"whisper/internal/parallel"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
 )
@@ -26,6 +27,9 @@ type Fig6Config struct {
 	PiValues    []int
 	KeyBlobSize int // paper: 1 KB keys
 	Env         Env
+	// Parallel bounds the worker pool running the independent
+	// ratio×setup runs (<= 0: one worker per CPU; 1: sequential).
+	Parallel int
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -75,54 +79,67 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 	for _, pi := range cfg.PiValues {
 		setups = append(setups, setup{fmt.Sprintf("Pi=%d+KS", pi), pi, true})
 	}
-	var rows []Fig6Row
+	// Flatten ratio×setup into one job list (ratio outer, setup inner —
+	// the sequential harness's nesting order) so the worker pool sees
+	// every independent run.
+	type job struct {
+		ratio float64
+		st    setup
+	}
+	var jobs []job
 	for _, ratio := range cfg.Ratios {
 		for _, st := range setups {
-			w, err := sim.NewWorld(sim.Options{
-				Seed:     cfg.Seed,
-				N:        cfg.N,
-				NATRatio: ratio,
-				Model:    cfg.Env.Model(),
-				KeyPool:  keyPool,
-				Nylon: nylon.Config{
-					Cycle:       cfg.Cycle,
-					MinPublic:   st.pi,
-					KeySampling: st.keys,
-					KeyBlobSize: cfg.KeyBlobSize,
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			w.StartAll()
-			w.Sim.RunUntil(cfg.Warmup)
-			w.ResetMeters()
-			w.Sim.RunFor(cfg.Measure)
-
-			cycles := float64(cfg.Measure) / float64(cfg.Cycle)
-			var nUp, nDown, pUp, pDown []float64
-			for _, n := range w.Live() {
-				m := n.Nylon.Meter()
-				up, down := m.UpKB()/cycles, m.DownKB()/cycles
-				if n.Public() {
-					pUp = append(pUp, up)
-					pDown = append(pDown, down)
-				} else {
-					nUp = append(nUp, up)
-					nDown = append(nDown, down)
-				}
-			}
-			rows = append(rows, Fig6Row{
-				Config:   st.label,
-				NATRatio: ratio,
-				NUpKB:    stats.Summarize(nUp).Mean,
-				NDownKB:  stats.Summarize(nDown).Mean,
-				PUpKB:    stats.Summarize(pUp).Mean,
-				PDownKB:  stats.Summarize(pDown).Mean,
-			})
+			jobs = append(jobs, job{ratio, st})
 		}
 	}
-	return rows, nil
+	workers := parallel.Workers(cfg.Parallel)
+	return parallel.Map(workers, len(jobs), func(i int) (Fig6Row, error) {
+		ratio, st := jobs[i].ratio, jobs[i].st
+		start := time.Now()
+		w, err := sim.NewWorld(sim.Options{
+			Seed:     cfg.Seed,
+			N:        cfg.N,
+			NATRatio: ratio,
+			Model:    cfg.Env.Model(),
+			KeyPool:  runPool(workers, i),
+			Nylon: nylon.Config{
+				Cycle:       cfg.Cycle,
+				MinPublic:   st.pi,
+				KeySampling: st.keys,
+				KeyBlobSize: cfg.KeyBlobSize,
+			},
+		})
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		w.StartAll()
+		w.Sim.RunUntil(cfg.Warmup)
+		w.ResetMeters()
+		w.Sim.RunFor(cfg.Measure)
+
+		cycles := float64(cfg.Measure) / float64(cfg.Cycle)
+		var nUp, nDown, pUp, pDown []float64
+		for _, n := range w.Live() {
+			m := n.Nylon.Meter()
+			up, down := m.UpKB()/cycles, m.DownKB()/cycles
+			if n.Public() {
+				pUp = append(pUp, up)
+				pDown = append(pDown, down)
+			} else {
+				nUp = append(nUp, up)
+				nDown = append(nDown, down)
+			}
+		}
+		recordRun(fmt.Sprintf("fig6/ratio=%.1f/%s", ratio, st.label), start, w)
+		return Fig6Row{
+			Config:   st.label,
+			NATRatio: ratio,
+			NUpKB:    stats.Summarize(nUp).Mean,
+			NDownKB:  stats.Summarize(nDown).Mean,
+			PUpKB:    stats.Summarize(pUp).Mean,
+			PDownKB:  stats.Summarize(pDown).Mean,
+		}, nil
+	})
 }
 
 // PrintFig6 renders the bandwidth table.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"time"
 
+	"whisper/internal/identity"
+	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
@@ -25,6 +27,9 @@ type Fig7Config struct {
 	MaxRun    time.Duration // budget after warmup
 	PPSS      ppss.Config
 	KeyBlob   int
+	// Parallel bounds the worker pool when several configs run through
+	// Fig7Runs (<= 0: one worker per CPU; 1: sequential).
+	Parallel int
 }
 
 func (c Fig7Config) withDefaults(env Env) Fig7Config {
@@ -75,9 +80,28 @@ func (t *tracer) PathBuilt(_ uint64, d time.Duration) { t.builds = append(t.buil
 func (t *tracer) Peeled(_ uint64, d time.Duration)    { t.peels = append(t.peels, d) }
 func (t *tracer) Delivered(_ uint64)                  {}
 
-// Fig7 measures the breakdown on one environment.
+// Fig7 measures the breakdown on one environment (sequentially, on the
+// shared key pool). Fig7Runs fans several environments out to the
+// worker pool.
 func Fig7(cfg Fig7Config, env Env) (Fig7Result, error) {
+	return fig7Run(cfg, env, keyPool)
+}
+
+// Fig7Runs measures the breakdown for every config concurrently; the
+// worker count comes from the first config's Parallel field.
+func Fig7Runs(cfgs []Fig7Config) ([]Fig7Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	workers := parallel.Workers(cfgs[0].Parallel)
+	return parallel.Map(workers, len(cfgs), func(i int) (Fig7Result, error) {
+		return fig7Run(cfgs[i], cfgs[i].Env, runPool(workers, i))
+	})
+}
+
+func fig7Run(cfg Fig7Config, env Env, pool *identity.Pool) (Fig7Result, error) {
 	cfg = cfg.withDefaults(env)
+	start := time.Now()
 	pcfg := cfg.PPSS
 	if pcfg.KeyBlobSize == 0 {
 		pcfg.KeyBlobSize = cfg.KeyBlob
@@ -87,7 +111,7 @@ func Fig7(cfg Fig7Config, env Env) (Fig7Result, error) {
 		N:        cfg.N,
 		NATRatio: 0.7,
 		Model:    env.Model(),
-		KeyPool:  keyPool,
+		KeyPool:  pool,
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &pcfg,
 	})
@@ -123,6 +147,7 @@ func Fig7(cfg Fig7Config, env Env) (Fig7Result, error) {
 	res.BuildCDF = stats.CDF(durationsToSeconds(tr.builds))
 	res.PeelCDF = stats.CDF(durationsToSeconds(tr.peels))
 	res.RTTMedian = stats.Percentile(rttS, 50)
+	recordRun(fmt.Sprintf("fig7/%s", env), start, w)
 	return res, nil
 }
 

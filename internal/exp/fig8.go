@@ -5,6 +5,8 @@ import (
 	"io"
 	"time"
 
+	"whisper/internal/identity"
+	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
@@ -24,6 +26,10 @@ type Fig8Config struct {
 	Measure       time.Duration
 	PPSS          ppss.Config
 	KeyBlob       int
+	// Parallel bounds the worker pool running the independent
+	// subscriptions-per-node runs (<= 0: one worker per CPU; 1:
+	// sequential).
+	Parallel int
 }
 
 func (c Fig8Config) withDefaults() Fig8Config {
@@ -57,21 +63,17 @@ type Fig8Row struct {
 	MeanSubscribed float64     // achieved subscriptions per node
 }
 
-// Fig8 sweeps the number of groups per node and measures bandwidth.
+// Fig8 sweeps the number of groups per node, one worker per count.
 func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Fig8Row
-	for _, g := range cfg.GroupsPerNode {
-		row, err := fig8Run(cfg, g)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	workers := parallel.Workers(cfg.Parallel)
+	return parallel.Map(workers, len(cfg.GroupsPerNode), func(i int) (Fig8Row, error) {
+		return fig8Run(cfg, cfg.GroupsPerNode[i], runPool(workers, i))
+	})
 }
 
-func fig8Run(cfg Fig8Config, groupsPerNode int) (Fig8Row, error) {
+func fig8Run(cfg Fig8Config, groupsPerNode int, pool *identity.Pool) (Fig8Row, error) {
+	start := time.Now()
 	pcfg := cfg.PPSS
 	if pcfg.KeyBlobSize == 0 {
 		pcfg.KeyBlobSize = cfg.KeyBlob
@@ -81,7 +83,7 @@ func fig8Run(cfg Fig8Config, groupsPerNode int) (Fig8Row, error) {
 		N:        cfg.N,
 		NATRatio: 0.7,
 		Model:    PlanetLab.Model(),
-		KeyPool:  keyPool,
+		KeyPool:  pool,
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &pcfg,
 	})
@@ -112,6 +114,7 @@ func fig8Run(cfg Fig8Config, groupsPerNode int) (Fig8Row, error) {
 			subs += len(n.PPSS.Instances())
 		}
 	}
+	recordRun(fmt.Sprintf("fig8/groups=%d", groupsPerNode), start, w)
 	return Fig8Row{
 		GroupsPerNode:  groupsPerNode,
 		PUp:            stats.StackOf(pUp),

@@ -65,6 +65,7 @@ type Fig9Result struct {
 // Fig9 builds the private index and routes the queries.
 func Fig9(cfg Fig9Config) (Fig9Result, error) {
 	cfg = cfg.withDefaults()
+	wallStart := time.Now()
 	pcfg := cfg.PPSS
 	if pcfg.KeyBlobSize == 0 {
 		pcfg.KeyBlobSize = cfg.KeyBlob
@@ -151,6 +152,7 @@ func Fig9(cfg Fig9Config) (Fig9Result, error) {
 	res.DelayCDF = stats.CDF(delays)
 	res.MedianDelay = stats.Percentile(delays, 50)
 	res.RingCorrect = ringCorrectness(ring)
+	recordRun("fig9", wallStart, w)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"whisper/internal/churn"
 	"whisper/internal/identity"
+	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
@@ -27,6 +28,9 @@ type Table1Config struct {
 	Env     Env
 	PPSS    ppss.Config
 	KeyBlob int
+	// Parallel bounds the worker pool running the independent per-rate
+	// runs (<= 0: one worker per CPU; 1: sequential).
+	Parallel int
 }
 
 func (c Table1Config) withDefaults() Table1Config {
@@ -66,21 +70,17 @@ type Table1Row struct {
 	Routes     uint64
 }
 
-// Table1 runs the churn experiment for each rate.
+// Table1 runs the churn experiment for each rate, one worker per rate.
 func Table1(cfg Table1Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Table1Row
-	for _, rate := range cfg.Rates {
-		row, err := table1Run(cfg, rate)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	workers := parallel.Workers(cfg.Parallel)
+	return parallel.Map(workers, len(cfg.Rates), func(i int) (Table1Row, error) {
+		return table1Run(cfg, cfg.Rates[i], runPool(workers, i))
+	})
 }
 
-func table1Run(cfg Table1Config, rate float64) (Table1Row, error) {
+func table1Run(cfg Table1Config, rate float64, pool *identity.Pool) (Table1Row, error) {
+	start := time.Now()
 	pcfg := cfg.PPSS
 	if pcfg.KeyBlobSize == 0 {
 		pcfg.KeyBlobSize = cfg.KeyBlob
@@ -93,7 +93,7 @@ func table1Run(cfg Table1Config, rate float64) (Table1Row, error) {
 		N:        cfg.N,
 		NATRatio: 0.7,
 		Model:    cfg.Env.Model(),
-		KeyPool:  keyPool,
+		KeyPool:  pool,
 		WCL:      &wcl.Config{MinPublic: cfg.Pi},
 		PPSS:     &pcfg,
 	})
@@ -205,6 +205,7 @@ func table1Run(cfg Table1Config, rate float64) (Table1Row, error) {
 	w.Sim.RunFor(cfg.Window)
 	measuring = false
 
+	recordRun(fmt.Sprintf("table1/rate=%.1f", rate), start, w)
 	if tally.routes == 0 {
 		return Table1Row{RatePct: rate}, nil
 	}

@@ -70,6 +70,7 @@ type Table2Result struct {
 // wall-clock crypto cost per node per cycle.
 func Table2(cfg Table2Config) (Table2Result, error) {
 	cfg = cfg.withDefaults()
+	start := time.Now()
 	pcfg := cfg.PPSS
 	if pcfg.KeyBlobSize == 0 {
 		pcfg.KeyBlobSize = cfg.KeyBlob
@@ -153,6 +154,7 @@ func Table2(cfg Table2Config) (Table2Result, error) {
 	if nRow.RSADecs > 0 {
 		res.RSADecsRatio = pRow.RSADecs / nRow.RSADecs
 	}
+	recordRun("table2", start, w)
 	return res, nil
 }
 

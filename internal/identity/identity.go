@@ -46,6 +46,10 @@ func New(id NodeID, bits int) (*Identity, error) {
 	if err != nil {
 		return nil, fmt.Errorf("identity: generating %d-bit key: %w", bits, err)
 	}
+	// CRT precomputation makes every private-key operation (the RSA
+	// decryptions that dominate Table II) several times faster; do it
+	// once at generation rather than lazily on first use.
+	key.Precompute()
 	return &Identity{ID: id, Key: key}, nil
 }
 
@@ -78,6 +82,7 @@ func NewPool(n, bits int) (*Pool, error) {
 		if err != nil {
 			return nil, fmt.Errorf("identity: pool key %d: %w", i, err)
 		}
+		k.Precompute()
 		p.keys[i] = k
 	}
 	return p, nil
@@ -96,6 +101,17 @@ func (p *Pool) Next() *rsa.PrivateKey {
 // Identity builds an identity for id using the next pooled key.
 func (p *Pool) Identity(id NodeID) *Identity {
 	return &Identity{ID: id, Key: p.Next()}
+}
+
+// View returns an independent cursor over the same keys, starting at
+// the given offset. Concurrent simulation runs each take a view so that
+// key dealing stays deterministic per run (a run's draws depend only on
+// its own offset, never on sibling runs) and involves no shared state.
+func (p *Pool) View(offset int) *Pool {
+	if offset < 0 {
+		offset = 0
+	}
+	return &Pool{keys: p.keys, next: offset % len(p.keys)}
 }
 
 // RandomID draws a non-nil NodeID from rng.

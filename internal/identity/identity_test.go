@@ -1,6 +1,7 @@
 package identity
 
 import (
+	"crypto/rsa"
 	"math/rand"
 	"testing"
 )
@@ -68,6 +69,57 @@ func TestTestKeysCacheGrowsAndReuses(t *testing.T) {
 	}
 	if len(b) != 4 {
 		t.Fatalf("len = %d", len(b))
+	}
+}
+
+// precomputed reports whether the CRT acceleration values of a private
+// key are populated (Precompute ran).
+func precomputed(k *rsa.PrivateKey) bool {
+	return k.Precomputed.Dp != nil && k.Precomputed.Dq != nil && k.Precomputed.Qinv != nil
+}
+
+func TestKeysArePrecomputed(t *testing.T) {
+	id, err := New(11, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !precomputed(id.Key) {
+		t.Error("New: CRT values not precomputed")
+	}
+	p, err := NewPool(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !precomputed(p.Next()) {
+		t.Error("NewPool: CRT values not precomputed")
+	}
+	for i, k := range TestKeys(2) {
+		if !precomputed(k) {
+			t.Errorf("TestKeys[%d]: CRT values not precomputed", i)
+		}
+	}
+}
+
+func TestPoolViewIndependentCursor(t *testing.T) {
+	p := TestPool(3)
+	if got := p.View(1).Next(); got != p.keys[1] {
+		t.Fatal("view did not start at its offset")
+	}
+	before := p.next
+	v := p.View(0)
+	v.Next()
+	v.Next()
+	if p.next != before {
+		t.Fatal("view draws advanced the parent cursor")
+	}
+	if &v.keys[0] != &p.keys[0] {
+		t.Fatal("view copied the key slice")
+	}
+	if got := p.View(7).next; got != 7%3 {
+		t.Fatalf("View(7).next = %d, want %d", got, 7%3)
+	}
+	if got := p.View(-2).next; got != 0 {
+		t.Fatalf("View(-2).next = %d, want 0", got)
 	}
 }
 

@@ -25,6 +25,7 @@ func TestKeys(n int) []*rsa.PrivateKey {
 		if err != nil {
 			panic("identity: test key generation failed: " + err.Error())
 		}
+		k.Precompute()
 		testKeyCache.keys = append(testKeyCache.keys, k)
 	}
 	return testKeyCache.keys[:n]

@@ -1,0 +1,81 @@
+// Package parallel provides a bounded worker pool for running
+// independent (config, seed) simulation runs concurrently. Each
+// experiment run owns a private simnet.Sim, so per-run determinism is
+// untouched by concurrency; output ordering is made stable by
+// collecting results by index.
+//
+// Map's single-worker path executes runs sequentially in the caller's
+// goroutine, in index order, which keeps `-parallel 1` byte-identical
+// to the historical sequential harness.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) using at most workers concurrent
+// goroutines and returns the results collected by index. With
+// workers <= 1 (or n < 2) the calls happen sequentially in the caller's
+// goroutine, in order, and the first error aborts the remaining runs.
+// With more workers, every run is attempted and the error of the
+// lowest-indexed failing run is returned alongside the partial results.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers = Workers(workers); workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out[:i], err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map without per-run results.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		got, err := Map(workers, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(_, 0) = %v, %v", got, err)
+	}
+}
+
+func TestMapSequentialAbortsOnError(t *testing.T) {
+	var calls int32
+	boom := errors.New("boom")
+	_, err := Map(1, 10, func(i int) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("sequential Map ran %d calls after error, want 4", calls)
+	}
+}
+
+func TestMapParallelReportsLowestIndexedError(t *testing.T) {
+	_, err := Map(4, 8, func(i int) (int, error) {
+		if i == 2 || i == 6 {
+			return 0, fmt.Errorf("run %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "run 2 failed" {
+		t.Fatalf("err = %v, want run 2's error", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	_, err := Map(workers, 50, func(i int) (int, error) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		atomic.AddInt32(&cur, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent runs, cap is %d", peak, workers)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	if err := ForEach(4, 100, func(i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

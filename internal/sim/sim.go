@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"whisper/internal/core"
+	"whisper/internal/crypt"
 	"whisper/internal/graph"
 	"whisper/internal/identity"
 	"whisper/internal/nat"
@@ -305,4 +306,18 @@ func (w *World) ResetMeters() {
 	for _, n := range w.Live() {
 		n.Nylon.Meter().Reset()
 	}
+}
+
+// CPUTotal merges the crypto CPU meters of every node ever created in
+// this world (dead nodes included — their work happened). The parallel
+// experiment harness merges these per-run totals after joining its
+// workers, so concurrent runs account CPU exactly like sequential ones.
+func (w *World) CPUTotal() crypt.CPUMeter {
+	var total crypt.CPUMeter
+	for _, n := range w.Nodes {
+		if n.WCL != nil {
+			total.Add(*n.WCL.CPU())
+		}
+	}
+	return total
 }

@@ -31,6 +31,16 @@ type Sim struct {
 
 	// Executed counts events dispatched so far (diagnostic).
 	executed uint64
+
+	// cancelled counts dead events still sitting in the heap; when they
+	// outnumber the live ones the heap is compacted (retry- and
+	// route-maintenance-heavy runs otherwise drag a long tail of dead
+	// timers through every sift).
+	cancelled int
+	// free recycles event structs. The simulator is single-threaded, so
+	// a plain stack beats sync.Pool; generation tags on events keep
+	// stale Timer handles from touching a recycled slot.
+	free []*event
 }
 
 // New returns a simulator whose random source is seeded with seed and
@@ -61,7 +71,9 @@ func (s *Sim) Executed() uint64 { return s.executed }
 // Timer is a handle to a scheduled event. Cancel prevents the callback
 // from running if it has not run yet.
 type Timer struct {
-	ev *event
+	s   *Sim
+	ev  *event
+	gen uint64
 }
 
 // Cancel stops the timer. It is safe to call on an already-fired or
@@ -70,11 +82,58 @@ func (t *Timer) Cancel() {
 	if t == nil || t.ev == nil {
 		return
 	}
-	t.ev.fn = nil
+	if t.ev.gen == t.gen && t.ev.fn != nil {
+		t.ev.fn = nil
+		t.s.cancelled++
+		t.s.maybeCompact()
+	}
+	t.ev = nil
 }
 
 // Stopped reports whether the timer was cancelled or has fired.
-func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.fn == nil }
+func (t *Timer) Stopped() bool {
+	return t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.fn == nil
+}
+
+// alloc takes an event from the free stack or allocates a fresh one.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release recycles an event that left the heap. Bumping the generation
+// invalidates every Timer handle still pointing at it.
+func (s *Sim) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
+}
+
+// maybeCompact drops cancelled events once they outnumber the live
+// ones, rebuilding the heap in one O(n) pass.
+func (s *Sim) maybeCompact() {
+	if len(s.events) < 64 || s.cancelled*2 <= len(s.events) {
+		return
+	}
+	live := s.events[:0]
+	for _, ev := range s.events {
+		if ev.fn != nil {
+			live = append(live, ev)
+		} else {
+			s.release(ev)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	heap.Init(&s.events)
+	s.cancelled = 0
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (or present) runs the callback at the current time but strictly
@@ -86,10 +145,11 @@ func (s *Sim) At(at time.Duration, fn func()) *Timer {
 	if at < s.now {
 		at = s.now
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn = at, s.seq, fn
 	s.seq++
 	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from the current virtual time.
@@ -190,26 +250,33 @@ func (s *Sim) run(until time.Duration) {
 			return
 		}
 		heap.Pop(&s.events)
-		if ev.fn == nil { // cancelled
+		if ev.fn == nil { // cancelled: drop and recycle
+			s.cancelled--
+			s.release(ev)
 			continue
 		}
 		if ev.at > s.now {
 			s.now = ev.at
 		}
 		fn := ev.fn
-		ev.fn = nil
+		s.release(ev)
 		s.executed++
 		fn()
 	}
 }
 
 // Pending reports the number of events currently queued, including
-// cancelled ones not yet reaped.
+// cancelled ones not yet compacted away.
 func (s *Sim) Pending() int { return len(s.events) }
+
+// Cancelled reports how many dead events are still in the heap
+// (diagnostic; compaction keeps this below half of Pending).
+func (s *Sim) Cancelled() int { return s.cancelled }
 
 type event struct {
 	at  time.Duration
 	seq uint64
+	gen uint64
 	fn  func()
 }
 

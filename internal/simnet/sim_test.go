@@ -267,6 +267,95 @@ func TestReentrantRunPanics(t *testing.T) {
 	s.Run()
 }
 
+func TestCancelledTimersAreCompacted(t *testing.T) {
+	s := New(1)
+	// Many cancel/reschedule cycles, the pattern of retry and
+	// route-maintenance timers: schedule far-future work, cancel it,
+	// replace it. Dead events must not accumulate in the heap.
+	var live []*Timer
+	for cycle := 0; cycle < 100; cycle++ {
+		for i := 0; i < 100; i++ {
+			live = append(live, s.After(time.Hour, func() {}))
+		}
+		for _, tm := range live {
+			tm.Cancel()
+		}
+		live = live[:0]
+	}
+	if s.Pending() > 10000/2+100 {
+		t.Fatalf("heap holds %d events after cancelling all 10000", s.Pending())
+	}
+	if s.Cancelled()*2 > s.Pending() && s.Pending() >= 64 {
+		t.Fatalf("cancelled events (%d) exceed half the heap (%d)", s.Cancelled(), s.Pending())
+	}
+	fired := 0
+	s.After(time.Minute, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("live timer fired %d times, want 1", fired)
+	}
+	if s.Pending() != 0 || s.Cancelled() != 0 {
+		t.Fatalf("after Run: pending=%d cancelled=%d, want 0/0", s.Pending(), s.Cancelled())
+	}
+}
+
+func TestCancelledTimersDroppedOnPop(t *testing.T) {
+	s := New(1)
+	var tms []*Timer
+	for i := 0; i < 10; i++ {
+		tms = append(tms, s.After(time.Duration(i)*time.Second, func() {}))
+	}
+	for _, tm := range tms[:5] {
+		tm.Cancel()
+	}
+	if got := s.Cancelled(); got != 5 {
+		t.Fatalf("Cancelled = %d, want 5", got)
+	}
+	s.Run()
+	if s.Cancelled() != 0 {
+		t.Fatalf("Cancelled = %d after Run, want 0", s.Cancelled())
+	}
+}
+
+func TestRecycledEventNotCancellableViaStaleHandle(t *testing.T) {
+	s := New(1)
+	// Fire a timer, then schedule another one: the second may reuse the
+	// first one's recycled event. The stale handle must neither cancel
+	// nor report on the new event.
+	t1 := s.After(time.Second, func() {})
+	s.Run()
+	if !t1.Stopped() {
+		t.Fatal("fired timer not Stopped")
+	}
+	ran := false
+	t2 := s.After(time.Second, func() { ran = true })
+	t1.Cancel() // must be a no-op on t2's (possibly recycled) event
+	if t2.Stopped() {
+		t.Fatal("stale Cancel stopped the new timer")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("new timer did not fire after stale Cancel")
+	}
+}
+
+func TestCancelRescheduleCycleKeepsStateBounded(t *testing.T) {
+	s := New(1)
+	// A single logical retry timer rescheduled 50,000 times must not
+	// grow the heap or the free list without bound.
+	var tm *Timer
+	for i := 0; i < 50000; i++ {
+		tm.Cancel()
+		tm = s.After(time.Hour, func() {})
+	}
+	if s.Pending() > 1000 {
+		t.Fatalf("heap grew to %d events for one logical timer", s.Pending())
+	}
+	if len(s.free) > 100000 {
+		t.Fatalf("free list grew to %d", len(s.free))
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	s := New(1)
 	b.ReportAllocs()

@@ -1,0 +1,60 @@
+package wire
+
+import "testing"
+
+// TestRoundTripAllocs pins the allocation behavior of the encode/decode
+// hot path: a writer reused via Reset and a stack-scoped reader must
+// complete a full round-trip without heap allocations. Every protocol
+// message in the system flows through this path, so a regression here
+// multiplies across millions of simulated exchanges.
+func TestRoundTripAllocs(t *testing.T) {
+	payload := make([]byte, 64)
+	w := NewWriter(256)
+	allocs := testing.AllocsPerRun(200, func() {
+		w.Reset()
+		w.U8(1)
+		w.U16(2)
+		w.U32(3)
+		w.U64(4)
+		w.Bool(true)
+		w.Bytes16(payload)
+		w.Bytes32(payload)
+		w.Raw(payload)
+		r := NewReader(w.Bytes())
+		r.U8()
+		r.U16()
+		r.U32()
+		r.U64()
+		r.Bool()
+		r.Bytes16()
+		r.Bytes32()
+		r.Raw(len(payload))
+		if r.Close() != nil {
+			t.Fatal("round-trip failed")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("round-trip allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(16)
+	w.U32(7)
+	first := w.Bytes()
+	if len(first) != 4 {
+		t.Fatalf("len = %d", len(first))
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.U16(9)
+	if got := w.Bytes(); len(got) != 2 {
+		t.Fatalf("len after reuse = %d", len(got))
+	}
+	// Reset keeps the backing buffer: no growth for same-size reuse.
+	if &first[0] != &w.Bytes()[0] {
+		t.Error("Reset reallocated the backing buffer")
+	}
+}

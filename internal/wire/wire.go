@@ -34,8 +34,15 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
 }
 
-// Bytes returns the encoded message. The writer must not be used after.
+// Bytes returns the encoded message. The writer must not be used after,
+// except through Reset.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset empties the writer while keeping its backing buffer, so one
+// writer can assemble many messages without reallocating. Slices handed
+// out by Bytes are overwritten by subsequent writes; callers reusing a
+// writer must be done with the previous message first.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Len returns the current encoded size.
 func (w *Writer) Len() int { return len(w.buf) }
