@@ -1,0 +1,162 @@
+// Command whisper-node runs one full WHISPER stack — Nylon peer
+// sampling, the Whisper communication layer, and the PPSS private
+// group router — on a real UDP socket, joining an overlay of other
+// whisper-node processes. It is the deployment face of the same code
+// the emulator drives: core.NewStack wired to transport/udp instead of
+// transport/simnet.
+//
+// Overlay addressing: every node is named by a small overlay IP (its
+// -id, by convention) and the transport maps overlay endpoints to real
+// socket addresses — statically for the peers given on the command
+// line, dynamically for everyone learned through gossip traffic.
+//
+// A three-node overlay on one machine:
+//
+//	whisper-node -id 1 -listen 127.0.0.1:9001
+//	whisper-node -id 2 -listen 127.0.0.1:9002 -peer 1=127.0.0.1:9001
+//	whisper-node -id 3 -listen 127.0.0.1:9003 -peer 1=127.0.0.1:9001 -peer 2=127.0.0.1:9002
+//
+// With -group the node founds a private group at startup (becoming its
+// leader). Joining a group requires an accreditation delivered
+// out-of-band (§IV-A of the paper); the library call for that is
+// ppss.Router.Join — see the loopback integration test in
+// internal/transport/udp for the full exchange.
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"whisper/internal/core"
+	"whisper/internal/identity"
+	"whisper/internal/nat"
+	"whisper/internal/nylon"
+	"whisper/internal/ppss"
+	"whisper/internal/transport"
+	"whisper/internal/transport/udp"
+	"whisper/internal/wcl"
+)
+
+// peerFlag accumulates repeated -peer id=host:port mappings.
+type peerFlag struct {
+	ids   []identity.NodeID
+	addrs []string
+}
+
+func (p *peerFlag) String() string { return fmt.Sprint(p.addrs) }
+
+func (p *peerFlag) Set(v string) error {
+	idStr, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want id=host:port, got %q", v)
+	}
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil || id == 0 {
+		return fmt.Errorf("bad peer id %q", idStr)
+	}
+	p.ids = append(p.ids, identity.NodeID(id))
+	p.addrs = append(p.addrs, addr)
+	return nil
+}
+
+func main() {
+	var peers peerFlag
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
+		id      = flag.Uint64("id", 0, "node ID (doubles as the overlay IP; required)")
+		cycle   = flag.Duration("cycle", 10*time.Second, "Nylon gossip period")
+		group   = flag.String("group", "", "found a private group with this name at startup")
+		keyBits = flag.Int("keybits", identity.DefaultKeyBits, "RSA modulus size")
+		stats   = flag.Duration("stats", 30*time.Second, "stats logging period (0 = off)")
+		seed    = flag.Int64("seed", 1, "protocol randomness seed")
+	)
+	flag.Var(&peers, "peer", "bootstrap peer as id=host:port (repeatable)")
+	flag.Parse()
+	if *id == 0 {
+		fmt.Fprintln(os.Stderr, "whisper-node: -id is required (a nonzero overlay node ID)")
+		os.Exit(2)
+	}
+
+	key, err := rsa.GenerateKey(rand.Reader, *keyBits)
+	if err != nil {
+		log.Fatalf("whisper-node: generating identity key: %v", err)
+	}
+	ident := &identity.Identity{ID: identity.NodeID(*id), Key: key}
+
+	tr, err := udp.New(*listen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	self := transport.Endpoint{IP: transport.IP(*id), Port: 1}
+	st, err := core.NewStack(tr, ident, nat.None, self, nil, core.Config{
+		Nylon: nylon.Config{Cycle: *cycle},
+		WCL:   &wcl.Config{},
+		PPSS:  &ppss.Config{},
+	})
+	if err != nil {
+		log.Fatalf("whisper-node: assembling stack: %v", err)
+	}
+
+	// Seed the address book and the gossip view from the -peer list
+	// (the role a tracker or invitation plays in the paper).
+	var boot []nylon.Descriptor
+	for i, pid := range peers.ids {
+		ep := transport.Endpoint{IP: transport.IP(pid), Port: 1}
+		if err := tr.AddPeer(ep, peers.addrs[i]); err != nil {
+			log.Fatal(err)
+		}
+		boot = append(boot, nylon.Descriptor{ID: pid, Public: true, Contact: ep})
+	}
+	st.Nylon.Bootstrap(boot)
+	st.Start()
+	tr.Start()
+	log.Printf("whisper-node %d listening on %s (overlay %v), %d bootstrap peers",
+		*id, tr.LocalAddr(), self, len(boot))
+
+	if *group != "" {
+		var inst *ppss.Instance
+		var gerr error
+		tr.Do(func() {
+			inst, gerr = st.PPSS.CreateGroup(*group)
+			if gerr == nil {
+				inst.OnMessage = func(from ppss.Entry, payload []byte) {
+					log.Printf("group %q: confidential message from %v: %s", *group, from.ID, payload)
+				}
+			}
+		})
+		if gerr != nil {
+			log.Fatalf("whisper-node: founding group %q: %v", *group, gerr)
+		}
+		log.Printf("founded private group %q (this node is leader)", *group)
+	}
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				tr.Do(func() {
+					m := st.Nylon.Meter().Snapshot()
+					log.Printf("view=%d backlog-publics=%d up=%.1fKB down=%.1fKB unrouted=%d",
+						len(st.Nylon.ViewIDs()), len(st.WCL.Backlog().Publics()),
+						m.UpKB(), m.DownKB(), tr.Unrouted())
+				})
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("whisper-node %d shutting down", *id)
+	tr.Do(st.Stop)
+}

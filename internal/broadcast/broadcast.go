@@ -17,7 +17,7 @@ import (
 
 	"whisper/internal/identity"
 	"whisper/internal/ppss"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -60,7 +60,7 @@ type Stats struct {
 // Broadcaster is the per-member dissemination endpoint of one group.
 type Broadcaster struct {
 	inst *ppss.Instance
-	sim  *simnet.Sim
+	rt   transport.Transport
 	cfg  Config
 
 	seen  map[uint64]struct{}
@@ -78,7 +78,7 @@ type Broadcaster struct {
 func New(inst *ppss.Instance, cfg Config) *Broadcaster {
 	b := &Broadcaster{
 		inst: inst,
-		sim:  inst.Sim(),
+		rt:   inst.Runtime(),
 		cfg:  cfg.withDefaults(),
 		seen: make(map[uint64]struct{}),
 	}
@@ -89,7 +89,7 @@ func New(inst *ppss.Instance, cfg Config) *Broadcaster {
 // Publish disseminates payload to the whole group. The publisher
 // delivers to itself immediately.
 func (b *Broadcaster) Publish(payload []byte) {
-	id := b.sim.Rand().Uint64()
+	id := b.rt.Rand().Uint64()
 	b.Stats.Published++
 	b.remember(id)
 	b.Stats.Delivered++

@@ -10,9 +10,9 @@ import (
 
 	"whisper/internal/identity"
 	"whisper/internal/nat"
-	"whisper/internal/netem"
 	"whisper/internal/nylon"
 	"whisper/internal/ppss"
+	"whisper/internal/transport"
 	"whisper/internal/wcl"
 )
 
@@ -36,16 +36,17 @@ type Stack struct {
 }
 
 // NewStack builds and wires the stack on the given attachment point.
-// For NATted nodes pass the device and a private address; for public
-// nodes pass dev nil and a public address.
-func NewStack(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr netem.Endpoint, dev *nat.Device, cfg Config) (*Stack, error) {
+// The transport may be either substrate (emulated or real UDP). For
+// NATted nodes (emulated substrate only) pass the device and a private
+// address; for public nodes pass dev nil and a public address.
+func NewStack(rt transport.Transport, ident *identity.Identity, typ nat.Type, addr transport.Endpoint, dev *nat.Device, cfg Config) (*Stack, error) {
 	if cfg.PPSS != nil && cfg.WCL == nil {
 		cfg.WCL = &wcl.Config{}
 	}
 	if cfg.WCL != nil {
 		cfg.Nylon.KeySampling = true
 	}
-	st := &Stack{Nylon: nylon.NewNode(nw, ident, typ, addr, dev, cfg.Nylon)}
+	st := &Stack{Nylon: nylon.NewNode(rt, ident, typ, addr, dev, cfg.Nylon)}
 	if cfg.WCL != nil {
 		layer, err := wcl.New(st.Nylon, *cfg.WCL)
 		if err != nil {

@@ -9,18 +9,21 @@ import (
 	"whisper/internal/netem"
 	"whisper/internal/ppss"
 	"whisper/internal/simnet"
+	simtr "whisper/internal/transport/simnet"
+	"whisper/internal/transport/udp"
 	"whisper/internal/wcl"
 )
 
-func testEnv() (*simnet.Sim, *netem.Network) {
+func testEnv() (*simnet.Sim, *netem.Network, *simtr.Transport) {
 	s := simnet.New(1)
-	return s, netem.New(s, netem.Fixed{})
+	nw := netem.New(s, netem.Fixed{})
+	return s, nw, simtr.New(s, nw)
 }
 
 func TestStackPSSOnly(t *testing.T) {
-	_, nw := testEnv()
+	_, _, rt := testEnv()
 	ident := identity.TestPool(4).Identity(1)
-	st, err := NewStack(nw, ident, nat.None, netem.Endpoint{IP: 5, Port: 1}, nil, Config{})
+	st, err := NewStack(rt, ident, nat.None, netem.Endpoint{IP: 5, Port: 1}, nil, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,9 +41,9 @@ func TestStackPSSOnly(t *testing.T) {
 }
 
 func TestStackWCLImpliesKeySampling(t *testing.T) {
-	_, nw := testEnv()
+	_, _, rt := testEnv()
 	ident := identity.TestPool(4).Identity(2)
-	st, err := NewStack(nw, ident, nat.None, netem.Endpoint{IP: 6, Port: 1}, nil,
+	st, err := NewStack(rt, ident, nat.None, netem.Endpoint{IP: 6, Port: 1}, nil,
 		Config{WCL: &wcl.Config{}})
 	if err != nil {
 		t.Fatal(err)
@@ -54,9 +57,9 @@ func TestStackWCLImpliesKeySampling(t *testing.T) {
 }
 
 func TestStackPPSSImpliesWCL(t *testing.T) {
-	_, nw := testEnv()
+	_, _, rt := testEnv()
 	ident := identity.TestPool(4).Identity(3)
-	st, err := NewStack(nw, ident, nat.None, netem.Endpoint{IP: 7, Port: 1}, nil,
+	st, err := NewStack(rt, ident, nat.None, netem.Endpoint{IP: 7, Port: 1}, nil,
 		Config{PPSS: &ppss.Config{KeyBlobSize: 128}})
 	if err != nil {
 		t.Fatal(err)
@@ -75,10 +78,10 @@ func TestStackPPSSImpliesWCL(t *testing.T) {
 }
 
 func TestStackNATtedNode(t *testing.T) {
-	sim, nw := testEnv()
+	sim, nw, rt := testEnv()
 	ident := identity.TestPool(4).Identity(4)
 	dev := nat.NewDevice(nw, nat.FullCone, 8, 0)
-	st, err := NewStack(nw, ident, nat.FullCone,
+	st, err := NewStack(rt, ident, nat.FullCone,
 		netem.Endpoint{IP: netem.PrivateBase + 1, Port: 1}, dev, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -89,4 +92,70 @@ func TestStackNATtedNode(t *testing.T) {
 	st.Start()
 	sim.RunUntil(time.Minute)
 	st.Stop()
+}
+
+// The config-validation rules are transport-independent; run them over
+// the real-UDP transport too, proving stack assembly is not bound to
+// the emulator.
+
+func testUDP(t *testing.T) *udp.Transport {
+	t.Helper()
+	tr, err := udp.New("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func TestStackPPSSImpliesWCLOverUDP(t *testing.T) {
+	tr := testUDP(t)
+	ident := identity.TestPool(4).Identity(3)
+	st, err := NewStack(tr, ident, nat.None, netem.Endpoint{IP: 7, Port: 1}, nil,
+		Config{PPSS: &ppss.Config{KeyBlobSize: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WCL == nil || st.PPSS == nil {
+		t.Fatal("PPSS config must imply the WCL layer")
+	}
+	if !st.Nylon.Config().KeySampling {
+		t.Fatal("key sampling not forced on under the UDP transport")
+	}
+	st.Stop()
+}
+
+func TestStackWCLImpliesKeySamplingOverUDP(t *testing.T) {
+	tr := testUDP(t)
+	ident := identity.TestPool(4).Identity(2)
+	st, err := NewStack(tr, ident, nat.None, netem.Endpoint{IP: 6, Port: 1}, nil,
+		Config{WCL: &wcl.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WCL == nil {
+		t.Fatal("WCL not attached")
+	}
+	if !st.Nylon.Config().KeySampling {
+		t.Fatal("key sampling not forced on for WCL")
+	}
+	st.Stop()
+}
+
+func TestStackPSSOnlyOverUDP(t *testing.T) {
+	tr := testUDP(t)
+	ident := identity.TestPool(4).Identity(1)
+	st, err := NewStack(tr, ident, nat.None, netem.Endpoint{IP: 5, Port: 1}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WCL != nil || st.PPSS != nil {
+		t.Fatal("upper layers attached without being configured")
+	}
+	tr.Start()
+	tr.Do(st.Start)
+	tr.Do(st.Stop)
+	if !st.Nylon.Stopped() {
+		t.Fatal("Stop did not stop the node")
+	}
 }

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden files with current output")
+
+// TestFig5Golden pins the exact output of a small Figure 5 run at a
+// fixed seed against a golden file generated before the transport
+// refactor. The simulated substrate promises event-for-event
+// determinism; any change to protocol logic, the scheduler, RNG
+// consumption order, or the transport/simnet adapter that shifts even
+// one event shows up here as a byte-level diff.
+//
+// Regenerate (only after an intentional behavior change) with:
+//
+//	go test ./internal/exp -run TestFig5Golden -update-golden
+func TestFig5Golden(t *testing.T) {
+	res, err := Fig5(Fig5Config{
+		Seed:     42,
+		N:        60,
+		NATRatio: 0.7,
+		Runtime:  2 * time.Minute,
+		PiValues: []int{0, 2},
+		Parallel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintFig5(&sb, res)
+	got := sb.String()
+
+	const path = "testdata/fig5_seed42.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("fig5 output diverged from golden at line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("fig5 output diverged from golden (length mismatch)")
+}

@@ -8,69 +8,58 @@
 // to hosts on private IPs behind it. Bandwidth is metered at the Port
 // boundary — the interface a protocol stack uses — so relay traffic is
 // charged to the relay node, mirroring how the paper accounts load.
+//
+// The address, datagram, metering and port primitives are owned by
+// package transport (they are substrate-independent); this package
+// re-exports them under their historical names and adds what is
+// genuinely emulation-specific: the latency/loss models and the Network
+// router driven by the virtual clock. Network implements the datagram
+// plane of transport.Transport; transport/simnet completes it with the
+// simnet scheduling plane.
 package netem
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
 	"whisper/internal/simnet"
+	"whisper/internal/transport"
 )
 
-// IP is a compact network address. Addresses below PrivateBase are
-// public; addresses at or above it are private (behind a NAT).
-type IP uint32
+// IP is a compact network address; see transport.IP.
+type IP = transport.IP
 
-// PrivateBase is the first private IP. The split lets assertions and
-// debug output distinguish P-node interfaces from N-node interfaces.
-const PrivateBase IP = 1 << 24
-
-// Public reports whether the address is publicly routable.
-func (ip IP) Public() bool { return ip < PrivateBase }
-
-func (ip IP) String() string {
-	if ip.Public() {
-		return fmt.Sprintf("P%d", uint32(ip))
-	}
-	return fmt.Sprintf("n%d", uint32(ip-PrivateBase))
-}
+// PrivateBase is the first private IP.
+const PrivateBase = transport.PrivateBase
 
 // Endpoint is an (IP, port) pair, the address of a datagram socket.
-type Endpoint struct {
-	IP   IP
-	Port uint16
-}
-
-func (e Endpoint) String() string { return fmt.Sprintf("%v:%d", e.IP, e.Port) }
-
-// IsZero reports whether the endpoint is unset.
-func (e Endpoint) IsZero() bool { return e == Endpoint{} }
+type Endpoint = transport.Endpoint
 
 // Datagram is a single unreliable message.
-type Datagram struct {
-	Src     Endpoint
-	Dst     Endpoint
-	Payload []byte
-}
-
-// WireSize returns the bytes the datagram occupies on the wire,
-// including the emulated IP+UDP header overhead.
-func (d Datagram) WireSize() int { return len(d.Payload) + HeaderOverhead }
+type Datagram = transport.Datagram
 
 // HeaderOverhead is the per-datagram header cost (IPv4 20 + UDP 8).
-const HeaderOverhead = 28
+const HeaderOverhead = transport.HeaderOverhead
 
 // Handler receives datagrams addressed to an attached IP.
-type Handler interface {
-	HandleDatagram(dg Datagram)
-}
+type Handler = transport.Handler
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(Datagram)
+type HandlerFunc = transport.HandlerFunc
 
-// HandleDatagram calls f(dg).
-func (f HandlerFunc) HandleDatagram(dg Datagram) { f(dg) }
+// Meter accumulates bandwidth usage at a node's network boundary.
+type Meter = transport.Meter
+
+// Uplink is the sending side of a node's attachment to the network.
+type Uplink = transport.Uplink
+
+// Port is the datagram socket a protocol stack uses.
+type Port = transport.Port
+
+// NewPort creates a port bound to local, sending through uplink.
+func NewPort(local Endpoint, uplink Uplink, meter *Meter) *Port {
+	return transport.NewPort(local, uplink, meter)
+}
 
 // LatencyModel determines one-way delay and loss probability between two
 // public interfaces.

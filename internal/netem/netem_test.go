@@ -18,12 +18,12 @@ func TestSendDeliversWithDelay(t *testing.T) {
 		gotAt = s.Now()
 		got = dg
 	}))
-	n.Send(Datagram{Src: Endpoint{1, 10}, Dst: Endpoint{2, 20}, Payload: []byte("hi")})
+	n.Send(Datagram{Src: Endpoint{IP: 1, Port: 10}, Dst: Endpoint{IP: 2, Port: 20}, Payload: []byte("hi")})
 	s.Run()
 	if gotAt != 5*time.Millisecond {
 		t.Fatalf("delivered at %v, want 5ms", gotAt)
 	}
-	if string(got.Payload) != "hi" || got.Src != (Endpoint{1, 10}) {
+	if string(got.Payload) != "hi" || got.Src != (Endpoint{IP: 1, Port: 10}) {
 		t.Fatalf("wrong datagram: %+v", got)
 	}
 }
@@ -31,7 +31,7 @@ func TestSendDeliversWithDelay(t *testing.T) {
 func TestSendToDetachedIsDropped(t *testing.T) {
 	s := simnet.New(1)
 	n := New(s, Fixed{})
-	n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{9, 9}})
+	n.Send(Datagram{Src: Endpoint{IP: 1, Port: 1}, Dst: Endpoint{IP: 9, Port: 9}})
 	s.Run()
 	sent, dropped := n.Stats()
 	if sent != 1 || dropped != 1 {
@@ -44,7 +44,7 @@ func TestDetachMidFlight(t *testing.T) {
 	n := New(s, Fixed{D: time.Second})
 	delivered := false
 	n.Attach(2, HandlerFunc(func(Datagram) { delivered = true }))
-	n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{2, 1}})
+	n.Send(Datagram{Src: Endpoint{IP: 1, Port: 1}, Dst: Endpoint{IP: 2, Port: 1}})
 	s.After(500*time.Millisecond, func() { n.Detach(2) })
 	s.Run()
 	if delivered {
@@ -59,7 +59,7 @@ func TestLossyModelDropsApproximately(t *testing.T) {
 	n.Attach(2, HandlerFunc(func(Datagram) { received++ }))
 	const total = 2000
 	for i := 0; i < total; i++ {
-		n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{2, 1}})
+		n.Send(Datagram{Src: Endpoint{IP: 1, Port: 1}, Dst: Endpoint{IP: 2, Port: 1}})
 	}
 	s.Run()
 	if received < total/2-150 || received > total/2+150 {
@@ -147,14 +147,14 @@ func TestPortMetering(t *testing.T) {
 	s := simnet.New(1)
 	n := New(s, Fixed{})
 	var ma, mb Meter
-	pa := NewPort(Endpoint{1, 1}, DirectUplink{n}, &ma)
-	pb := NewPort(Endpoint{2, 1}, DirectUplink{n}, &mb)
+	pa := NewPort(Endpoint{IP: 1, Port: 1}, DirectUplink{n}, &ma)
+	pb := NewPort(Endpoint{IP: 2, Port: 1}, DirectUplink{n}, &mb)
 	n.Attach(1, pa)
 	n.Attach(2, pb)
 	var received []byte
 	pb.SetHandler(func(dg Datagram) { received = dg.Payload })
 	payload := make([]byte, 100)
-	pa.Send(Endpoint{2, 1}, payload)
+	pa.Send(Endpoint{IP: 2, Port: 1}, payload)
 	s.Run()
 	if received == nil {
 		t.Fatal("payload not delivered")
@@ -179,13 +179,13 @@ func TestPortClose(t *testing.T) {
 	s := simnet.New(1)
 	n := New(s, Fixed{})
 	var m Meter
-	p := NewPort(Endpoint{1, 1}, DirectUplink{n}, &m)
+	p := NewPort(Endpoint{IP: 1, Port: 1}, DirectUplink{n}, &m)
 	n.Attach(1, p)
 	got := 0
 	p.SetHandler(func(Datagram) { got++ })
 	p.Close()
-	p.Send(Endpoint{2, 1}, []byte("x"))
-	p.HandleDatagram(Datagram{Src: Endpoint{2, 1}, Dst: Endpoint{1, 1}})
+	p.Send(Endpoint{IP: 2, Port: 1}, []byte("x"))
+	p.HandleDatagram(Datagram{Src: Endpoint{IP: 2, Port: 1}, Dst: Endpoint{IP: 1, Port: 1}})
 	s.Run()
 	if got != 0 || m.UpBytes != 0 || m.DownBytes != 0 {
 		t.Fatalf("closed port still active: got=%d meter=%+v", got, m)
@@ -208,7 +208,7 @@ func BenchmarkNetworkSendDeliver(b *testing.B) {
 	payload := make([]byte, 256)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		n.Send(Datagram{Src: Endpoint{1, 1}, Dst: Endpoint{2, 1}, Payload: payload})
+		n.Send(Datagram{Src: Endpoint{IP: 1, Port: 1}, Dst: Endpoint{IP: 2, Port: 1}, Payload: payload})
 		if s.Pending() > 8192 {
 			s.Run()
 		}

@@ -1,124 +1,8 @@
 package netem
 
-import "time"
-
-// Meter accumulates bandwidth usage at a node's network boundary.
-// Experiments snapshot and reset meters once per protocol cycle to
-// obtain per-cycle figures (the unit used throughout the paper's
-// evaluation).
-type Meter struct {
-	UpBytes   uint64
-	DownBytes uint64
-	UpMsgs    uint64
-	DownMsgs  uint64
-}
-
-// AddUp records an outbound datagram of the given wire size.
-func (m *Meter) AddUp(size int) {
-	if m == nil {
-		return
-	}
-	m.UpBytes += uint64(size)
-	m.UpMsgs++
-}
-
-// AddDown records an inbound datagram of the given wire size.
-func (m *Meter) AddDown(size int) {
-	if m == nil {
-		return
-	}
-	m.DownBytes += uint64(size)
-	m.DownMsgs++
-}
-
-// Snapshot returns the current counters.
-func (m *Meter) Snapshot() Meter { return *m }
-
-// Reset zeroes all counters.
-func (m *Meter) Reset() { *m = Meter{} }
-
-// UpKB returns the upload volume in kilobytes (1 KB = 1024 B).
-func (m *Meter) UpKB() float64 { return float64(m.UpBytes) / 1024 }
-
-// DownKB returns the download volume in kilobytes.
-func (m *Meter) DownKB() float64 { return float64(m.DownBytes) / 1024 }
-
-// Uplink is the sending side of a node's attachment to the network:
-// either a direct public interface or a NAT device's inside interface.
-type Uplink interface {
-	// Send transmits a datagram whose Src must be the node's own
-	// endpoint.
-	Send(dg Datagram)
-}
-
-// Port is the datagram socket a protocol stack uses. It wires together
-// the node's local endpoint, its uplink, inbound dispatch, and the
-// bandwidth meter. It implements Handler for the inbound direction.
-type Port struct {
-	local   Endpoint
-	uplink  Uplink
-	meter   *Meter
-	handler func(Datagram)
-	closed  bool
-
-	// CPU accumulates virtual processing cost if the experiment charges
-	// explicit per-message CPU time; unused by default.
-	CPU time.Duration
-}
-
-// NewPort creates a port bound to local, sending through uplink. The
-// meter may be nil to disable accounting.
-func NewPort(local Endpoint, uplink Uplink, meter *Meter) *Port {
-	if uplink == nil {
-		panic("netem: NewPort with nil uplink")
-	}
-	return &Port{local: local, uplink: uplink, meter: meter}
-}
-
-// Local returns the port's bound endpoint (private for N-nodes).
-func (p *Port) Local() Endpoint { return p.local }
-
-// Meter returns the port's bandwidth meter (may be nil).
-func (p *Port) Meter() *Meter { return p.meter }
-
-// SetHandler installs the inbound datagram callback.
-func (p *Port) SetHandler(fn func(Datagram)) { p.handler = fn }
-
-// Close makes the port drop all further traffic in both directions,
-// emulating a crashed or departed node.
-func (p *Port) Close() { p.closed = true }
-
-// Closed reports whether the port was closed.
-func (p *Port) Closed() bool { return p.closed }
-
-// Send transmits payload to dst and meters the upload.
-func (p *Port) Send(dst Endpoint, payload []byte) {
-	if p.closed {
-		return
-	}
-	if dst.IsZero() {
-		// A zero destination indicates a stale or malformed address
-		// (possibly from hostile input); drop rather than panic.
-		return
-	}
-	dg := Datagram{Src: p.local, Dst: dst, Payload: payload}
-	p.meter.AddUp(dg.WireSize())
-	p.uplink.Send(dg)
-}
-
-// HandleDatagram implements Handler: meters the download and dispatches
-// to the installed handler.
-func (p *Port) HandleDatagram(dg Datagram) {
-	if p.closed {
-		return
-	}
-	p.meter.AddDown(dg.WireSize())
-	if p.handler != nil {
-		p.handler(dg)
-	}
-}
-
-// DirectUplink sends straight into the network; used by public nodes.
+// DirectUplink sends straight into the network; used by public nodes
+// attached to the emulator without going through the transport/simnet
+// adapter (NAT tests, infrastructure endpoints).
 type DirectUplink struct {
 	Net *Network
 }

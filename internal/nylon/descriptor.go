@@ -16,7 +16,7 @@ package nylon
 
 import (
 	"whisper/internal/identity"
-	"whisper/internal/netem"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -32,7 +32,7 @@ type Descriptor struct {
 	// Contact is the endpoint to send to: the node's own address for
 	// P-nodes, its NAT's external endpoint for N-nodes (meaningful only
 	// to peers the NAT will let through; relays are the general path).
-	Contact netem.Endpoint
+	Contact transport.Endpoint
 	// Route is the rendezvous chain to traverse for N-nodes: the local
 	// node must have a live contact for Route[0], Route[0] for Route[1],
 	// and so on; the last relay has a live contact for ID. Empty means
@@ -67,7 +67,7 @@ func decodeDescriptor(r *wire.Reader) Descriptor {
 	var d Descriptor
 	d.ID = identity.NodeID(r.U64())
 	d.Public = r.Bool()
-	d.Contact = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+	d.Contact = transport.Endpoint{IP: transport.IP(r.U32()), Port: r.U16()}
 	n := int(r.U8())
 	if n > 16 { // hostile input guard; genuine routes are ≤ MaxRoute
 		n = 16

@@ -9,6 +9,7 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/netem"
 	"whisper/internal/simnet"
+	simtr "whisper/internal/transport/simnet"
 	"whisper/internal/wire"
 )
 
@@ -18,7 +19,7 @@ func newBareNode(t testing.TB) *Node {
 	s := simnet.New(1)
 	nw := netem.New(s, netem.Fixed{})
 	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
-	return NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil, Config{KeySampling: true, KeyBlobSize: 256})
+	return NewNode(simtr.New(s, nw), ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil, Config{KeySampling: true, KeyBlobSize: 256})
 }
 
 // TestDispatchNeverPanicsOnGarbage feeds arbitrary datagrams into the
@@ -113,7 +114,7 @@ func TestContactTTLExpiry(t *testing.T) {
 	s := simnet.New(1)
 	nw := netem.New(s, netem.Fixed{})
 	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
-	n := NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
+	n := NewNode(simtr.New(s, nw), ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
 		Config{ContactTTL: time.Minute})
 	n.learnContact(2, netem.Endpoint{IP: 9, Port: 9}, false) // NATted peer
 	n.learnContact(3, netem.Endpoint{IP: 8, Port: 8}, true)  // public peer

@@ -6,7 +6,7 @@ import (
 
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
-	"whisper/internal/netem"
+	"whisper/internal/transport"
 	"whisper/internal/pss"
 	"whisper/internal/wire"
 )
@@ -150,7 +150,7 @@ func decodeRelay(r *wire.Reader) (*relayMsg, error) {
 
 // echoResp carries the externally observed endpoint back to an N-node
 // (STUN-style discovery against a P-node).
-func encodeEchoResp(observed netem.Endpoint) []byte {
+func encodeEchoResp(observed transport.Endpoint) []byte {
 	w := wire.NewWriter(8)
 	w.U8(msgEchoResp)
 	w.U32(uint32(observed.IP))
@@ -162,7 +162,7 @@ func encodeEchoResp(observed netem.Endpoint) []byte {
 // advertised external endpoint.
 type punchReq struct {
 	From identity.NodeID
-	Ext  netem.Endpoint
+	Ext  transport.Endpoint
 	Path []identity.NodeID // path for the reverse punch request, if any
 }
 
@@ -179,7 +179,7 @@ func (m *punchReq) encode() []byte {
 func decodePunchReq(r *wire.Reader) (*punchReq, error) {
 	m := &punchReq{}
 	m.From = identity.NodeID(r.U64())
-	m.Ext = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+	m.Ext = transport.Endpoint{IP: transport.IP(r.U32()), Port: r.U16()}
 	m.Path = decodePath(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("nylon: decoding punch request: %w", err)

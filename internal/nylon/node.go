@@ -6,9 +6,8 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/nat"
-	"whisper/internal/netem"
 	"whisper/internal/pss"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -102,16 +101,15 @@ type pendingShuffle struct {
 	partner Descriptor
 	path    []identity.NodeID
 	sent    []pss.Entry[Descriptor]
-	timer   *simnet.Timer
+	timer   transport.Timer
 }
 
 // Node is one Nylon PSS participant.
 type Node struct {
 	cfg   Config
-	sim   *simnet.Sim
-	net   *netem.Network
+	rt    transport.Transport
 	ident *identity.Identity
-	port  *netem.Port
+	port  *transport.Port
 	typ   nat.Type
 	dev   *nat.Device
 
@@ -121,9 +119,9 @@ type Node struct {
 	pending  map[uint32]*pendingShuffle
 	seq      uint32
 
-	selfExt   netem.Endpoint
+	selfExt   transport.Endpoint
 	selfExtAt time.Duration
-	ticker    *simnet.Ticker
+	ticker    transport.Ticker
 	stopped   bool
 
 	// OnExchange, if set, is invoked after every successful exchange.
@@ -132,22 +130,24 @@ type Node struct {
 	// with a P-node completes (the WCL inserts it into the CB then).
 	OnKeyExchange func(peer Descriptor)
 	// AppHandler receives MsgApp payloads for the layer above.
-	AppHandler func(src netem.Endpoint, payload []byte)
+	AppHandler func(src transport.Endpoint, payload []byte)
 
 	// Stats exposes protocol counters.
 	Stats Stats
 }
 
-// NewNode wires a node to the network. For N-nodes pass the NAT device
-// and a private addr; for P-nodes pass dev nil and a public addr. The
-// node registers itself with the network (or device) immediately but
+// NewNode wires a node to a transport (the emulated substrate or real
+// UDP sockets — the node never knows which). For N-nodes pass the NAT
+// device and a private addr; for P-nodes pass dev nil and a public
+// addr. NAT devices exist only on the emulated substrate: the device
+// must be attached to the same underlying network as rt. The node
+// registers itself with the transport (or device) immediately but
 // gossips only after Start.
-func NewNode(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr netem.Endpoint, dev *nat.Device, cfg Config) *Node {
+func NewNode(rt transport.Transport, ident *identity.Identity, typ nat.Type, addr transport.Endpoint, dev *nat.Device, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
 		cfg:      cfg,
-		sim:      nw.Sim(),
-		net:      nw,
+		rt:       rt,
 		ident:    ident,
 		typ:      typ,
 		dev:      dev,
@@ -156,7 +156,7 @@ func NewNode(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr net
 		contacts: make(map[identity.NodeID]*contact),
 		pending:  make(map[uint32]*pendingShuffle),
 	}
-	meter := &netem.Meter{}
+	meter := &transport.Meter{}
 	if typ == nat.None {
 		if dev != nil {
 			panic("nylon: public node with a NAT device")
@@ -164,8 +164,8 @@ func NewNode(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr net
 		if !addr.IP.Public() {
 			panic("nylon: public node with private address")
 		}
-		n.port = netem.NewPort(addr, netem.DirectUplink{Net: nw}, meter)
-		nw.Attach(addr.IP, n.port)
+		n.port = transport.NewPort(addr, rt, meter)
+		rt.Attach(addr.IP, n.port)
 		n.selfExt = addr
 	} else {
 		if dev == nil {
@@ -174,7 +174,7 @@ func NewNode(nw *netem.Network, ident *identity.Identity, typ nat.Type, addr net
 		if addr.IP.Public() {
 			panic("nylon: NATted node with public address")
 		}
-		n.port = netem.NewPort(addr, dev, meter)
+		n.port = transport.NewPort(addr, dev, meter)
 		dev.AttachInside(addr.IP, n.port)
 	}
 	n.port.SetHandler(n.dispatch)
@@ -194,10 +194,10 @@ func (n *Node) NATType() nat.Type { return n.typ }
 func (n *Node) Public() bool { return n.typ == nat.None }
 
 // Addr returns the node's own (possibly private) bound endpoint.
-func (n *Node) Addr() netem.Endpoint { return n.port.Local() }
+func (n *Node) Addr() transport.Endpoint { return n.port.Local() }
 
 // Meter returns the node's bandwidth meter.
-func (n *Node) Meter() *netem.Meter { return n.port.Meter() }
+func (n *Node) Meter() *transport.Meter { return n.port.Meter() }
 
 // Keys returns the public-key sampling store.
 func (n *Node) Keys() *keyss.Store { return n.keys }
@@ -214,7 +214,7 @@ func (n *Node) Config() Config { return n.cfg }
 // GetPeer returns one uniformly random peer from the view — the
 // getPeer() of the PSS API (Fig 1). ok is false if the view is empty.
 func (n *Node) GetPeer() (Descriptor, bool) {
-	e, ok := n.view.Random(n.sim.Rand())
+	e, ok := n.view.Random(n.rt.Rand())
 	return e.Val, ok
 }
 
@@ -241,7 +241,7 @@ func (n *Node) Start() {
 	if n.ticker != nil || n.stopped {
 		return
 	}
-	n.ticker = n.sim.EveryJitter(n.cfg.Cycle, n.cfg.Jitter, n.cycle)
+	n.ticker = n.rt.EveryJitter(n.cfg.Cycle, n.cfg.Jitter, n.cycle)
 }
 
 // Stop halts the node abruptly (crash-stop, as the churn model
@@ -260,7 +260,7 @@ func (n *Node) Stop() {
 	}
 	n.port.Close()
 	if n.typ == nat.None {
-		n.net.Detach(n.port.Local().IP)
+		n.rt.Detach(n.port.Local().IP)
 	} else {
 		n.dev.DetachInside(n.port.Local().IP)
 		n.dev.Close()
@@ -300,7 +300,7 @@ func (n *Node) cycle() {
 		n.Stats.ShufflesViaRelays++
 	}
 	p := &pendingShuffle{partner: partner.Val, path: path, sent: sent}
-	p.timer = n.sim.After(n.cfg.ShuffleTimeout, func() {
+	p.timer = n.rt.After(n.cfg.ShuffleTimeout, func() {
 		if _, live := n.pending[seq]; live {
 			delete(n.pending, seq)
 			n.Stats.ShufflesTimedOut++
@@ -314,7 +314,7 @@ func (n *Node) cycle() {
 // sample, excluding the partner.
 func (n *Node) makeBuffer(partner identity.NodeID) []pss.Entry[Descriptor] {
 	buf := []pss.Entry[Descriptor]{{Val: n.SelfDescriptor()}}
-	buf = append(buf, n.view.Sample(n.sim.Rand(), n.cfg.ExchangeSize-1, partner)...)
+	buf = append(buf, n.view.Sample(n.rt.Rand(), n.cfg.ExchangeSize-1, partner)...)
 	return buf
 }
 
@@ -375,7 +375,7 @@ func (n *Node) selectOpts() pss.SelectOpts {
 }
 
 // dispatch routes one inbound datagram to its handler.
-func (n *Node) dispatch(dg netem.Datagram) {
+func (n *Node) dispatch(dg transport.Datagram) {
 	if n.stopped || len(dg.Payload) == 0 {
 		return
 	}
@@ -409,7 +409,7 @@ func (n *Node) dispatch(dg netem.Datagram) {
 	}
 }
 
-func (n *Node) handleShuffleReq(src netem.Endpoint, r *wire.Reader) {
+func (n *Node) handleShuffleReq(src transport.Endpoint, r *wire.Reader) {
 	req, err := decodeShuffle(r, n.cfg.KeyBlobSize)
 	if err != nil {
 		return
@@ -424,7 +424,7 @@ func (n *Node) handleShuffleReq(src netem.Endpoint, r *wire.Reader) {
 	received := n.adjustReceived(req.Entries, reverse)
 
 	// Reply with our own buffer before merging (Cyclon).
-	sent := n.view.Sample(n.sim.Rand(), n.cfg.ExchangeSize, req.From.ID)
+	sent := n.view.Sample(n.rt.Rand(), n.cfg.ExchangeSize, req.From.ID)
 	resp := shuffleMsg{Seq: req.Seq, From: n.SelfDescriptor(), Path: req.Path, Entries: n.shipEntries(sent)}
 	if n.cfg.KeySampling {
 		resp.Key = n.ident.Public()
@@ -444,7 +444,7 @@ func (n *Node) handleShuffleReq(src netem.Endpoint, r *wire.Reader) {
 	n.maybePunch(peer, reverse)
 }
 
-func (n *Node) handleShuffleResp(src netem.Endpoint, r *wire.Reader) {
+func (n *Node) handleShuffleResp(src transport.Endpoint, r *wire.Reader) {
 	resp, err := decodeShuffle(r, n.cfg.KeyBlobSize)
 	if err != nil {
 		return
@@ -483,6 +483,6 @@ func reversePath(path []identity.NodeID) []identity.NodeID {
 	return out
 }
 
-// Sim returns the simulator driving this node, for layers that need
-// timers and randomness.
-func (n *Node) Sim() *simnet.Sim { return n.sim }
+// Runtime returns the transport driving this node, for layers that
+// need timers and randomness.
+func (n *Node) Runtime() transport.Transport { return n.rt }

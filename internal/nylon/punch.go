@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"whisper/internal/identity"
-	"whisper/internal/netem"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -25,7 +25,7 @@ func (n *Node) maybeDiscoverExternal() {
 	if n.Public() {
 		return
 	}
-	if !n.selfExt.IsZero() && n.sim.Now()-n.selfExtAt < n.cfg.ContactTTL/2 {
+	if !n.selfExt.IsZero() && n.rt.Now()-n.selfExtAt < n.cfg.ContactTTL/2 {
 		return
 	}
 	target, ok := n.randomPublicPeer()
@@ -39,8 +39,8 @@ func (n *Node) maybeDiscoverExternal() {
 
 // randomPublicPeer picks the endpoint of a usable P-node: preferably a
 // live contact, otherwise a P-node from the view.
-func (n *Node) randomPublicPeer() (netem.Endpoint, bool) {
-	var candidates []netem.Endpoint
+func (n *Node) randomPublicPeer() (transport.Endpoint, bool) {
+	var candidates []transport.Endpoint
 	for id, c := range n.contacts {
 		if c.public {
 			if ep, ok := n.contactEndpoint(id); ok {
@@ -56,18 +56,18 @@ func (n *Node) randomPublicPeer() (netem.Endpoint, bool) {
 		}
 	}
 	if len(candidates) == 0 {
-		return netem.Endpoint{}, false
+		return transport.Endpoint{}, false
 	}
-	return candidates[n.sim.Rand().Intn(len(candidates))], true
+	return candidates[n.rt.Rand().Intn(len(candidates))], true
 }
 
 func (n *Node) handleEchoResp(r *wire.Reader) {
-	ep := netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+	ep := transport.Endpoint{IP: transport.IP(r.U32()), Port: r.U16()}
 	if r.Err() != nil {
 		return
 	}
 	n.selfExt = ep
-	n.selfExtAt = n.sim.Now()
+	n.selfExtAt = n.rt.Now()
 	n.Stats.EchoUpdates++
 }
 
@@ -100,7 +100,7 @@ func (n *Node) handlePunchReq(r *wire.Reader) {
 		delay := time.Duration(i) * probeSpacing
 		ext := m.Ext
 		from := m.From
-		n.sim.After(delay, func() {
+		n.rt.After(delay, func() {
 			if n.stopped || n.usableContact(from) {
 				return
 			}
@@ -109,7 +109,7 @@ func (n *Node) handlePunchReq(r *wire.Reader) {
 	}
 }
 
-func (n *Node) handlePunchProbe(src netem.Endpoint, r *wire.Reader) {
+func (n *Node) handlePunchProbe(src transport.Endpoint, r *wire.Reader) {
 	from := identity.NodeID(r.U64())
 	if r.Err() != nil || from == identity.Nil {
 		return
@@ -123,7 +123,7 @@ func (n *Node) handlePunchProbe(src netem.Endpoint, r *wire.Reader) {
 	n.port.Send(src, encodeIDMsg(msgProbeAck, n.ident.ID))
 }
 
-func (n *Node) handleProbeAck(src netem.Endpoint, r *wire.Reader) {
+func (n *Node) handleProbeAck(src transport.Endpoint, r *wire.Reader) {
 	from := identity.NodeID(r.U64())
 	if r.Err() != nil || from == identity.Nil {
 		return

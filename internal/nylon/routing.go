@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"whisper/internal/identity"
-	"whisper/internal/netem"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -19,7 +19,7 @@ var ErrNoRoute = errors.New("nylon: no usable route")
 // from it (which bounds how long its NAT association rules keep our
 // traffic flowing).
 type contact struct {
-	ep     netem.Endpoint
+	ep     transport.Endpoint
 	public bool
 	lastIn time.Duration // virtual time of last direct inbound datagram
 	// route is the last known relay chain to the node, for peers whose
@@ -31,7 +31,7 @@ type contact struct {
 }
 
 // learnContact records that a datagram arrived directly from id via ep.
-func (n *Node) learnContact(id identity.NodeID, ep netem.Endpoint, public bool) {
+func (n *Node) learnContact(id identity.NodeID, ep transport.Endpoint, public bool) {
 	if id == n.ident.ID || ep.IsZero() {
 		return
 	}
@@ -42,7 +42,7 @@ func (n *Node) learnContact(id identity.NodeID, ep netem.Endpoint, public bool) 
 	}
 	c.ep = ep
 	c.public = public
-	c.lastIn = n.sim.Now()
+	c.lastIn = n.rt.Now()
 }
 
 // learnRoute records a working relay chain to id, learned from a
@@ -57,7 +57,7 @@ func (n *Node) learnRoute(id identity.NodeID, route []identity.NodeID) {
 		n.contacts[id] = c
 	}
 	c.route = append(c.route[:0], route...)
-	c.routeAt = n.sim.Now()
+	c.routeAt = n.rt.Now()
 }
 
 // storedRoute returns a remembered relay chain to id whose first relay
@@ -67,7 +67,7 @@ func (n *Node) storedRoute(id identity.NodeID) ([]identity.NodeID, bool) {
 	if !ok || len(c.route) == 0 {
 		return nil, false
 	}
-	if n.sim.Now()-c.routeAt > n.cfg.ContactTTL {
+	if n.rt.Now()-c.routeAt > n.cfg.ContactTTL {
 		return nil, false
 	}
 	if !n.usableContact(c.route[0]) {
@@ -85,20 +85,20 @@ func (n *Node) usableContact(id identity.NodeID) bool {
 	return ok
 }
 
-func (n *Node) contactEndpoint(id identity.NodeID) (netem.Endpoint, bool) {
+func (n *Node) contactEndpoint(id identity.NodeID) (transport.Endpoint, bool) {
 	c, ok := n.contacts[id]
 	if !ok || c.ep.IsZero() {
 		// Entries created by learnRoute alone carry no direct endpoint.
-		return netem.Endpoint{}, false
+		return transport.Endpoint{}, false
 	}
-	age := n.sim.Now() - c.lastIn
+	age := n.rt.Now() - c.lastIn
 	ttl := n.cfg.ContactTTL
 	if c.public {
 		// No NAT on their side; allow a longer liveness window.
 		ttl *= 4
 	}
 	if age > ttl {
-		return netem.Endpoint{}, false
+		return transport.Endpoint{}, false
 	}
 	return c.ep, true
 }
@@ -164,7 +164,7 @@ func (n *Node) send(msg []byte, d Descriptor, path []identity.NodeID) {
 // handleRelay forwards (or delivers) a relayed message. Relays learn
 // nothing about the content: at the WCL layer the inner payload is an
 // onion-encrypted blob.
-func (n *Node) handleRelay(src netem.Endpoint, r *wire.Reader) {
+func (n *Node) handleRelay(src transport.Endpoint, r *wire.Reader) {
 	m, err := decodeRelay(r)
 	if err != nil {
 		return
@@ -172,7 +172,7 @@ func (n *Node) handleRelay(src netem.Endpoint, r *wire.Reader) {
 	if len(m.Path) == 0 && m.Final == n.ident.ID {
 		// Terminal delivery to self: dispatch the inner message as if it
 		// had arrived directly (src stays the last relay's endpoint).
-		n.dispatch(netem.Datagram{Src: src, Dst: n.port.Local(), Payload: m.Inner})
+		n.dispatch(transport.Datagram{Src: src, Dst: n.port.Local(), Payload: m.Inner})
 		return
 	}
 	n.Stats.RelaysForwarded++
@@ -213,7 +213,7 @@ func (n *Node) SendApp(d Descriptor, payload []byte) error {
 // SendAppDirect sends an application payload straight to an endpoint.
 // Mixes use it for the A→B hop, whose target is a P-node addressed
 // inside the onion layer.
-func (n *Node) SendAppDirect(ep netem.Endpoint, payload []byte) {
+func (n *Node) SendAppDirect(ep transport.Endpoint, payload []byte) {
 	n.port.Send(ep, encodeApp(payload))
 }
 
@@ -232,7 +232,7 @@ func (n *Node) RequestKey(d Descriptor) error {
 	return nil
 }
 
-func (n *Node) handleKeyMsg(src netem.Endpoint, r *wire.Reader, isReq bool) {
+func (n *Node) handleKeyMsg(src transport.Endpoint, r *wire.Reader, isReq bool) {
 	m, err := decodeKeyMsg(r, n.cfg.KeyBlobSize)
 	if err != nil {
 		return

@@ -36,17 +36,17 @@ func proposalValue(g GroupID, id identity.NodeID) uint64 {
 func (in *Instance) extras() extras {
 	x := extras{Epoch: in.history.Epoch()}
 	if in.IsLeader() {
-		in.lastHB = in.sim.Now()
+		in.lastHB = in.rt.Now()
 		x.HBAge = 0
 	} else {
-		x.HBAge = in.sim.Now() - in.lastHB
+		x.HBAge = in.rt.Now() - in.lastHB
 	}
 	if in.election != nil {
 		x.Proposal = in.election.proposal
 		p := in.election.proposer
 		x.Proposer = &p
 	}
-	if in.announce != nil && in.sim.Now()-in.announced < in.cfg.AnnounceFor {
+	if in.announce != nil && in.rt.Now()-in.announced < in.cfg.AnnounceFor {
 		x.Announce = in.announce
 	}
 	return x
@@ -60,11 +60,11 @@ func (in *Instance) absorbExtras(x extras) {
 	}
 	// Heartbeat freshness propagates epidemically: the peer heard from
 	// the leader x.HBAge ago.
-	theirHB := in.sim.Now() - x.HBAge
+	theirHB := in.rt.Now() - x.HBAge
 	if theirHB > in.lastHB {
 		in.lastHB = theirHB
 		// Fresh leader signal cancels a pending election.
-		if in.election != nil && in.sim.Now()-in.lastHB < in.cfg.HeartbeatTimeout/2 {
+		if in.election != nil && in.rt.Now()-in.lastHB < in.cfg.HeartbeatTimeout/2 {
 			in.election = nil
 		}
 	}
@@ -72,10 +72,10 @@ func (in *Instance) absorbExtras(x extras) {
 	if x.Proposal != 0 && x.Proposer != nil {
 		if in.election == nil {
 			// Join an election already in progress.
-			if in.sim.Now()-in.lastHB > in.cfg.HeartbeatTimeout/2 {
+			if in.rt.Now()-in.lastHB > in.cfg.HeartbeatTimeout/2 {
 				in.election = &electionState{
-					started:    in.sim.Now(),
-					lastChange: in.sim.Now(),
+					started:    in.rt.Now(),
+					lastChange: in.rt.Now(),
 					proposal:   proposalValue(in.grp, in.r.id()),
 					proposer:   in.r.SelfEntry(),
 				}
@@ -85,7 +85,7 @@ func (in *Instance) absorbExtras(x extras) {
 		if in.election != nil && x.Proposal > in.election.proposal {
 			in.election.proposal = x.Proposal
 			in.election.proposer = *x.Proposer
-			in.election.lastChange = in.sim.Now()
+			in.election.lastChange = in.rt.Now()
 		}
 	}
 }
@@ -93,7 +93,7 @@ func (in *Instance) absorbExtras(x extras) {
 // tickElection runs once per PPSS cycle: start an election when the
 // leader went silent, resolve it after the aggregation window.
 func (in *Instance) tickElection() {
-	now := in.sim.Now()
+	now := in.rt.Now()
 	if in.IsLeader() {
 		in.lastHB = now
 		return
@@ -152,9 +152,9 @@ func (in *Instance) becomeLeader() {
 	in.history.Append(&newKey.PublicKey)
 	in.groupPriv = newKey
 	in.leaderID = in.r.id()
-	in.lastHB = in.sim.Now()
+	in.lastHB = in.rt.Now()
 	in.announce = ann
-	in.announced = in.sim.Now()
+	in.announced = in.rt.Now()
 	in.Stats.BecameLeader++
 	// Re-issue own passport under the new epoch.
 	if p, err := IssuePassport(in.r.cpu(), newKey, in.grp, in.r.id(), newEpoch); err == nil {
@@ -182,9 +182,9 @@ func (in *Instance) acceptAnnounce(a *keyAnnounce) {
 	}
 	in.history.Append(a.NewKey)
 	in.leaderID = a.Leader.Member
-	in.lastHB = in.sim.Now()
+	in.lastHB = in.rt.Now()
 	in.election = nil
 	in.announce = a // keep spreading it
-	in.announced = in.sim.Now()
+	in.announced = in.rt.Now()
 	in.Stats.AnnouncesAccepted++
 }

@@ -5,7 +5,7 @@ import (
 
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
-	"whisper/internal/netem"
+	"whisper/internal/transport"
 	"whisper/internal/wcl"
 	"whisper/internal/wire"
 )
@@ -18,7 +18,7 @@ import (
 type Entry struct {
 	ID      identity.NodeID
 	IsPub   bool
-	Contact netem.Endpoint // meaningful for P-node members
+	Contact transport.Endpoint // meaningful for P-node members
 	PubKey  *rsa.PublicKey
 	Helpers []wcl.Helper
 }
@@ -58,7 +58,7 @@ func decodeEntry(r *wire.Reader, keyBlob int) Entry {
 	var e Entry
 	e.ID = identity.NodeID(r.U64())
 	e.IsPub = r.Bool()
-	e.Contact = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+	e.Contact = transport.Endpoint{IP: transport.IP(r.U32()), Port: r.U16()}
 	e.PubKey = keyss.DecodeKey(r, keyBlob)
 	n := int(r.U8())
 	if n > 8 {
@@ -67,7 +67,7 @@ func decodeEntry(r *wire.Reader, keyBlob int) Entry {
 	for i := 0; i < n; i++ {
 		var h wcl.Helper
 		h.ID = identity.NodeID(r.U64())
-		h.Endpoint = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+		h.Endpoint = transport.Endpoint{IP: transport.IP(r.U32()), Port: r.U16()}
 		h.Key = keyss.DecodeKey(r, keyBlob)
 		e.Helpers = append(e.Helpers, h)
 	}

@@ -9,6 +9,7 @@ import (
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
 	"whisper/internal/simnet"
+	simtr "whisper/internal/transport/simnet"
 	"whisper/internal/wcl"
 )
 
@@ -17,7 +18,7 @@ func newBareRouter(t testing.TB) *Router {
 	s := simnet.New(1)
 	nw := netem.New(s, netem.Fixed{})
 	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
-	node := nylon.NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
+	node := nylon.NewNode(simtr.New(s, nw), ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
 		nylon.Config{KeySampling: true, KeyBlobSize: 256})
 	w, err := wcl.New(node, wcl.Config{})
 	if err != nil {
@@ -137,7 +138,7 @@ func TestPCPDropsDeadMembers(t *testing.T) {
 		t.Fatal("member not pooled")
 	}
 	// No pong will ever arrive; advance past the eviction horizon.
-	r.sim.RunUntil(5 * inst.Config().PCPRefresh * 2)
+	r.rt.(*simtr.Transport).Sim().RunUntil(5 * inst.Config().PCPRefresh * 2)
 	if len(inst.PersistentIDs()) != 0 {
 		t.Fatal("dead member never evicted from the pool")
 	}

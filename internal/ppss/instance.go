@@ -9,7 +9,7 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/pss"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/wcl"
 )
 
@@ -107,7 +107,7 @@ type pendingExchange struct {
 	partner Entry
 	sent    []pss.Entry[Entry]
 	started time.Duration
-	timer   *simnet.Timer
+	timer   transport.Timer
 }
 
 type electionState struct {
@@ -130,7 +130,7 @@ type pcpState struct {
 type Instance struct {
 	r    *Router
 	cfg  Config
-	sim  *simnet.Sim
+	rt   transport.Transport
 	grp  GroupID
 	name string
 
@@ -149,8 +149,8 @@ type Instance struct {
 	seq     uint32
 	pcp     map[identity.NodeID]*pcpState
 
-	ticker    *simnet.Ticker
-	pcpTicker *simnet.Ticker
+	ticker    transport.Ticker
+	pcpTicker transport.Ticker
 	stopped   bool
 
 	// OnMessage delivers application payloads with the sender's entry,
@@ -174,7 +174,7 @@ func newInstance(r *Router, g GroupID, name string, history *KeyHistory, passpor
 	return &Instance{
 		r:        r,
 		cfg:      r.cfg,
-		sim:      r.sim,
+		rt:       r.rt,
 		grp:      g,
 		name:     name,
 		history:  history,
@@ -209,7 +209,7 @@ func (in *Instance) ViewIDs() []identity.NodeID { return in.view.IDs() }
 // GetPeer returns a uniformly random private-view entry — the getPeer()
 // of the PPSS API (Fig 1).
 func (in *Instance) GetPeer() (Entry, bool) {
-	e, ok := in.view.Random(in.sim.Rand())
+	e, ok := in.view.Random(in.rt.Rand())
 	return e.Val, ok
 }
 
@@ -226,8 +226,8 @@ func (in *Instance) Lookup(id identity.NodeID) (Entry, bool) {
 }
 
 func (in *Instance) start() {
-	in.ticker = in.sim.EveryJitter(in.cfg.Cycle, in.cfg.Jitter, in.cycle)
-	in.pcpTicker = in.sim.EveryJitter(in.cfg.PCPRefresh, in.cfg.PCPRefresh/4, in.refreshPCP)
+	in.ticker = in.rt.EveryJitter(in.cfg.Cycle, in.cfg.Jitter, in.cycle)
+	in.pcpTicker = in.rt.EveryJitter(in.cfg.PCPRefresh, in.cfg.PCPRefresh/4, in.refreshPCP)
 }
 
 func (in *Instance) stop() {
@@ -270,8 +270,8 @@ func (in *Instance) cycle() {
 		Extras:   in.extras(),
 	}
 	in.Stats.ExchangesInitiated++
-	p := &pendingExchange{partner: partner.Val, sent: sent, started: in.sim.Now()}
-	p.timer = in.sim.After(in.cfg.RespTimeout, func() {
+	p := &pendingExchange{partner: partner.Val, sent: sent, started: in.rt.Now()}
+	p.timer = in.rt.After(in.cfg.RespTimeout, func() {
 		if in.pending[seq] == p {
 			delete(in.pending, seq)
 			in.Stats.ExchangesTimedOut++
@@ -291,7 +291,7 @@ func (in *Instance) cycle() {
 // buffer assembles the shuffle buffer: self (age 0) plus a sample.
 func (in *Instance) buffer(exclude identity.NodeID) []pss.Entry[Entry] {
 	buf := []pss.Entry[Entry]{{Val: in.r.SelfEntry()}}
-	buf = append(buf, in.view.Sample(in.sim.Rand(), in.cfg.ExchangeSize-1, exclude)...)
+	buf = append(buf, in.view.Sample(in.rt.Rand(), in.cfg.ExchangeSize-1, exclude)...)
 	return buf
 }
 
@@ -320,7 +320,7 @@ func (in *Instance) handleShuffleReq(m *shuffleMsg) {
 		return
 	}
 	in.absorbExtras(m.Extras)
-	sent := in.view.Sample(in.sim.Rand(), in.cfg.ExchangeSize, m.From.ID)
+	sent := in.view.Sample(in.rt.Rand(), in.cfg.ExchangeSize, m.From.ID)
 	resp := shuffleMsg{
 		Group:    in.grp,
 		Passport: in.passport,
@@ -354,7 +354,7 @@ func (in *Instance) handleShuffleResp(m *shuffleMsg) {
 	pss.MergeCyclon(in.view, p.sent, m.Entries, in.selectOpts())
 	in.Stats.ExchangesCompleted++
 	if in.OnExchangeRTT != nil {
-		in.OnExchangeRTT(in.sim.Now() - p.started)
+		in.OnExchangeRTT(in.rt.Now() - p.started)
 	}
 }
 
@@ -379,7 +379,7 @@ func (in *Instance) handleJoinReq(m *joinReq) {
 		Passport: passport,
 		History:  in.historyKeys(),
 		Leader:   in.r.SelfEntry(),
-		Entries:  in.view.Sample(in.sim.Rand(), in.cfg.ExchangeSize, m.From.ID),
+		Entries:  in.view.Sample(in.rt.Rand(), in.cfg.ExchangeSize, m.From.ID),
 	}
 	in.r.w.Send(m.From.Dest(), resp.encode(in.cfg.KeyBlobSize), nil)
 	in.view.Insert(m.From, 0)
@@ -476,7 +476,7 @@ func (in *Instance) MakePersistent(e Entry) {
 		st.entry = e
 		return
 	}
-	in.pcp[e.ID] = &pcpState{entry: e, since: in.sim.Now(), lastOK: in.sim.Now()}
+	in.pcp[e.ID] = &pcpState{entry: e, since: in.rt.Now(), lastOK: in.rt.Now()}
 }
 
 // DropPersistent removes a member from the pool.
@@ -499,7 +499,7 @@ func (in *Instance) refreshPCP() {
 	if in.stopped {
 		return
 	}
-	now := in.sim.Now()
+	now := in.rt.Now()
 	for id, st := range in.pcp {
 		if now-st.lastOK > 4*in.cfg.PCPRefresh {
 			delete(in.pcp, id)
@@ -523,13 +523,13 @@ func (in *Instance) handlePCP(kind uint8, m *pcpMsg) {
 		// A ping from a pooled member refreshes our copy of its entry.
 		if st, ok := in.pcp[m.From.ID]; ok {
 			st.entry = m.From
-			st.lastOK = in.sim.Now()
+			st.lastOK = in.rt.Now()
 		}
 		return
 	}
 	if st, ok := in.pcp[m.From.ID]; ok {
 		st.entry = m.From
-		st.lastOK = in.sim.Now()
+		st.lastOK = in.rt.Now()
 	}
 }
 
@@ -542,4 +542,4 @@ func (in *Instance) SelfEntry() Entry { return in.r.SelfEntry() }
 func (in *Instance) Config() Config { return in.cfg }
 
 // Sim returns the simulator driving this instance's node.
-func (in *Instance) Sim() *simnet.Sim { return in.sim }
+func (in *Instance) Runtime() transport.Transport { return in.rt }

@@ -6,7 +6,7 @@ import (
 
 	"whisper/internal/crypt"
 	"whisper/internal/identity"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/wcl"
 	"whisper/internal/wire"
 )
@@ -27,7 +27,7 @@ type RouterStats struct {
 // group (§IV-A).
 type Router struct {
 	w   *wcl.WCL
-	sim *simnet.Sim
+	rt transport.Transport
 	cfg Config
 
 	instances map[GroupID]*Instance
@@ -39,7 +39,7 @@ type Router struct {
 
 type joinWaiter struct {
 	done  func(*Instance, error)
-	timer *simnet.Timer
+	timer transport.Timer
 }
 
 // NewRouter attaches PPSS routing to a WCL, taking over its OnReceive
@@ -47,7 +47,7 @@ type joinWaiter struct {
 func NewRouter(w *wcl.WCL, cfg Config) *Router {
 	r := &Router{
 		w:         w,
-		sim:       w.Node().Sim(),
+		rt:        w.Node().Runtime(),
 		cfg:       cfg.withDefaults(),
 		instances: make(map[GroupID]*Instance),
 		joins:     make(map[GroupID]*joinWaiter),
@@ -124,7 +124,7 @@ func (r *Router) CreateGroup(name string) (*Instance, error) {
 	inst := newInstance(r, g, name, history, passport)
 	inst.groupPriv = groupKey
 	inst.leaderID = r.id()
-	inst.lastHB = r.sim.Now()
+	inst.lastHB = r.rt.Now()
 	r.instances[g] = inst
 	inst.start()
 	return inst, nil
@@ -150,7 +150,7 @@ func (r *Router) Join(name string, accr Accreditation, entryPoint Entry, done fu
 	r.Stats.JoinsSent++
 	m := joinReq{Group: g, Accr: accr, From: r.SelfEntry()}
 	waiter := &joinWaiter{done: done}
-	waiter.timer = r.sim.After(r.cfg.JoinTimeout, func() {
+	waiter.timer = r.rt.After(r.cfg.JoinTimeout, func() {
 		if r.joins[g] == waiter {
 			delete(r.joins, g)
 			r.Stats.JoinsFailed++
@@ -284,7 +284,7 @@ func (r *Router) completeJoin(m *joinResp) {
 	}
 	inst := newInstance(r, m.Group, "", history, m.Passport)
 	inst.leaderID = m.Leader.ID
-	inst.lastHB = r.sim.Now()
+	inst.lastHB = r.rt.Now()
 	inst.view.Insert(m.Leader, 0)
 	for _, e := range m.Entries {
 		if e.Val.ID != r.id() {

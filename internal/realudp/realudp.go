@@ -1,16 +1,17 @@
 // Package realudp runs WHISPER's confidential-forwarding core — the
 // wire encoding of package wire and the onion construction/peeling of
-// package crypt — over real UDP sockets, demonstrating that the
-// protocol layers are not bound to the virtual-time emulator. It
-// provides exactly what a mix needs: receive a datagram, peel one onion
-// layer, forward to the next hop's real address, or deliver at the
-// exit; and what a source needs: build an onion over a path of real
-// endpoints and launch it.
+// package crypt — over real UDP sockets. It provides exactly what a
+// mix needs: receive a datagram, peel one onion layer, forward to the
+// next hop's real address, or deliver at the exit; and what a source
+// needs: build an onion over a path of real endpoints and launch it.
 //
-// This is a transport demonstration, not a full deployment: the gossip
-// layers (Nylon, PPSS) drive their timers through the simulator and are
-// exercised there. The packet format here mirrors the WCL's forward
-// framing with string addresses in the hop blobs.
+// The socket and dispatch machinery lives in transport/udp — the same
+// transport the full stack (Nylon, WCL, PPSS) runs over outside the
+// emulator; see cmd/whisper-node. This package is a thin peer-level
+// surface over that transport's raw-datagram path, kept for callers
+// that want onion forwarding between explicit socket addresses without
+// the overlay addressing layer. The packet format mirrors the WCL's
+// forward framing with string addresses in the hop blobs.
 package realudp
 
 import (
@@ -22,12 +23,9 @@ import (
 	"sync"
 
 	"whisper/internal/crypt"
+	"whisper/internal/transport/udp"
 	"whisper/internal/wire"
 )
-
-// maxDatagram bounds reads; onions over a few hops with 1024-bit
-// layers fit comfortably.
-const maxDatagram = 64 * 1024
 
 const (
 	tagForward uint8 = 1
@@ -35,8 +33,8 @@ const (
 
 // Peer is one UDP endpoint participating in onion forwarding.
 type Peer struct {
-	conn *net.UDPConn
-	key  *rsa.PrivateKey
+	tr  *udp.Transport
+	key *rsa.PrivateKey
 
 	// OnDeliver receives exit payloads (set before Run).
 	OnDeliver func(payload []byte)
@@ -48,19 +46,19 @@ type Peer struct {
 
 // Listen binds a peer to addr ("127.0.0.1:0" for an ephemeral port).
 func Listen(addr string, key *rsa.PrivateKey) (*Peer, error) {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	tr, err := udp.New(addr, 0)
 	if err != nil {
 		return nil, fmt.Errorf("realudp: %w", err)
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("realudp: %w", err)
-	}
-	return &Peer{conn: conn, key: key}, nil
+	p := &Peer{tr: tr, key: key}
+	tr.SetRawHandler(func(payload []byte, from *net.UDPAddr) {
+		p.handle(payload)
+	})
+	return p, nil
 }
 
 // Addr returns the bound address (with the resolved port).
-func (p *Peer) Addr() string { return p.conn.LocalAddr().String() }
+func (p *Peer) Addr() string { return p.tr.LocalAddr().String() }
 
 // Public returns the peer's public key.
 func (p *Peer) Public() *rsa.PublicKey { return &p.key.PublicKey }
@@ -73,35 +71,18 @@ func (p *Peer) Stats() (peels, delivered int) {
 	return p.peels, p.deliver
 }
 
-// Run reads and processes datagrams until ctx is cancelled. It blocks;
-// run it in a goroutine and cancel the context to stop. The socket is
-// closed on return.
+// Run processes datagrams until ctx is cancelled. It blocks; run it in
+// a goroutine and cancel the context to stop. The socket is closed on
+// return.
 func (p *Peer) Run(ctx context.Context) error {
-	done := make(chan struct{})
-	defer close(done)
-	go func() {
-		select {
-		case <-ctx.Done():
-			p.conn.Close() // unblocks the read loop
-		case <-done:
-		}
-	}()
-	buf := make([]byte, maxDatagram)
-	for {
-		n, _, err := p.conn.ReadFromUDP(buf)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil // cancelled
-			}
-			return fmt.Errorf("realudp: read: %w", err)
-		}
-		payload := make([]byte, n)
-		copy(payload, buf[:n])
-		p.handle(payload)
-	}
+	p.tr.Start()
+	<-ctx.Done()
+	p.tr.Close()
+	return nil
 }
 
-// handle processes one datagram: peel, then forward or deliver.
+// handle processes one datagram on the transport's dispatch goroutine:
+// peel, then forward or deliver.
 func (p *Peer) handle(payload []byte) {
 	r := wire.NewReader(payload)
 	if r.U8() != tagForward {
@@ -139,8 +120,7 @@ func (p *Peer) handle(payload []byte) {
 	if err != nil {
 		return
 	}
-	fwd := encodeForward(inner, content)
-	_, _ = p.conn.WriteToUDP(fwd, addr)
+	_ = p.tr.SendRaw(addr, encodeForward(inner, content))
 }
 
 func encodeForward(onion, content []byte) []byte {
@@ -185,7 +165,7 @@ func (p *Peer) SendOnion(path []Hop, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := p.conn.WriteToUDP(encodeForward(onion, content), addr); err != nil {
+	if err := p.tr.SendRaw(addr, encodeForward(onion, content)); err != nil {
 		return fmt.Errorf("realudp: send: %w", err)
 	}
 	return nil

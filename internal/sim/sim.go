@@ -18,6 +18,7 @@ import (
 	"whisper/internal/nylon"
 	"whisper/internal/ppss"
 	"whisper/internal/simnet"
+	simtr "whisper/internal/transport/simnet"
 	"whisper/internal/wcl"
 )
 
@@ -99,6 +100,8 @@ type World struct {
 	Opts  Options
 	Sim   *simnet.Sim
 	Net   *netem.Network
+	// Rt is the transport adapter the stacks are wired through.
+	Rt    *simtr.Transport
 	Nodes []*Node
 
 	byID   map[identity.NodeID]*Node
@@ -115,10 +118,12 @@ type World struct {
 func NewWorld(opts Options) (*World, error) {
 	opts = opts.withDefaults()
 	s := simnet.New(opts.Seed)
+	nw := netem.New(s, opts.Model)
 	w := &World{
 		Opts:   opts,
 		Sim:    s,
-		Net:    netem.New(s, opts.Model),
+		Net:    nw,
+		Rt:     simtr.New(s, nw),
 		byID:   make(map[identity.NodeID]*Node, opts.N),
 		pool:   opts.KeyPool,
 		nextIP: 100, // leave room for infrastructure addresses
@@ -183,7 +188,7 @@ func (w *World) create() *Node {
 		dev = nat.NewDevice(w.Net, typ, netem.IP(w.nextIP), w.Opts.NATLease)
 		addr = netem.Endpoint{IP: netem.PrivateBase + netem.IP(w.nextID), Port: 1}
 	}
-	st, err := core.NewStack(w.Net, ident, typ, addr, dev, cfg)
+	st, err := core.NewStack(w.Rt, ident, typ, addr, dev, cfg)
 	if err != nil {
 		// Key sampling is forced on by the stack; any error here is a
 		// programming bug, not an environmental condition.

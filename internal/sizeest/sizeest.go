@@ -13,7 +13,7 @@ import (
 
 	"whisper/internal/aggregate"
 	"whisper/internal/ppss"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -42,13 +42,13 @@ func (c Config) withDefaults() Config {
 // Estimator runs the counting protocol for one group member.
 type Estimator struct {
 	inst *ppss.Instance
-	sim  *simnet.Sim
+	rt   transport.Transport
 	cfg  Config
 
 	state    *aggregate.State
 	epoch    uint64
 	lastGood float64
-	ticker   *simnet.Ticker
+	ticker   transport.Ticker
 	stopped  bool
 
 	// Exchanges counts completed pairwise averaging steps.
@@ -60,12 +60,12 @@ type Estimator struct {
 func New(inst *ppss.Instance, cfg Config) *Estimator {
 	e := &Estimator{
 		inst: inst,
-		sim:  inst.Sim(),
+		rt:   inst.Runtime(),
 		cfg:  cfg.withDefaults(),
 	}
 	e.restart()
 	inst.Subscribe(Tag, e.handle)
-	e.ticker = e.sim.EveryJitter(e.cfg.Cycle, e.cfg.Cycle/2, e.cycle)
+	e.ticker = e.rt.EveryJitter(e.cfg.Cycle, e.cfg.Cycle/2, e.cycle)
 	return e
 }
 
@@ -102,7 +102,7 @@ func (e *Estimator) currentEstimate() float64 {
 // epochOf derives the global epoch number from virtual time, so all
 // members restart in loose synchrony without coordination.
 func (e *Estimator) epochOf() uint64 {
-	return uint64(e.sim.Now() / e.cfg.Epoch)
+	return uint64(e.rt.Now() / e.cfg.Epoch)
 }
 
 // restart begins a new epoch: the leader seeds 1, everyone else 0.

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"whisper/internal/ppss"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/tman"
 	"whisper/internal/wcl"
 	"whisper/internal/wire"
@@ -56,7 +56,7 @@ func (c Config) withDefaults() Config {
 // Node is one T-Chord participant inside a private group.
 type Node struct {
 	inst *ppss.Instance
-	sim  *simnet.Sim
+	rt   transport.Transport
 	cfg  Config
 	cid  ChordID
 
@@ -67,7 +67,7 @@ type Node struct {
 
 	pending map[uint64]*pendingLookup
 	qid     uint64
-	ticker  *simnet.Ticker
+	ticker  transport.Ticker
 	stopped bool
 
 	// Stats exposes counters.
@@ -83,7 +83,7 @@ type pendingLookup struct {
 	key      ChordID
 	qid      uint64
 	start    time.Duration
-	timer    *simnet.Timer
+	timer    transport.Timer
 	done     func(LookupResult)
 	attempts int
 	op       uint8
@@ -99,7 +99,7 @@ func New(inst *ppss.Instance, cfg Config) *Node {
 	self := peerOf(inst.SelfEntry())
 	n := &Node{
 		inst:    inst,
-		sim:     instSim(inst),
+		rt:      instRuntime(inst),
 		cfg:     cfg,
 		cid:     self.CID,
 		succ:    tman.New(self, cfg.Successors, succRanker{}),
@@ -115,7 +115,7 @@ func New(inst *ppss.Instance, cfg Config) *Node {
 }
 
 // instSim extracts the simulator driving the instance's node.
-func instSim(inst *ppss.Instance) *simnet.Sim { return inst.Sim() }
+func instRuntime(inst *ppss.Instance) transport.Transport { return inst.Runtime() }
 
 // ID returns the node's ring position.
 func (n *Node) ID() ChordID { return n.cid }
@@ -152,7 +152,7 @@ func (n *Node) Start() {
 	if n.ticker != nil || n.stopped {
 		return
 	}
-	n.ticker = n.sim.EveryJitter(n.cfg.Cycle, n.cfg.Jitter, n.cycle)
+	n.ticker = n.rt.EveryJitter(n.cfg.Cycle, n.cfg.Jitter, n.cycle)
 }
 
 // Stop halts the node.
@@ -181,9 +181,9 @@ func (n *Node) cycle() {
 	if e, ok := n.inst.GetPeer(); ok {
 		n.merge(peerOf(e))
 	}
-	partner, ok := n.succ.SelectPartner(n.sim.Rand(), n.cfg.Psi)
+	partner, ok := n.succ.SelectPartner(n.rt.Rand(), n.cfg.Psi)
 	if !ok {
-		if partner, ok = n.pred.SelectPartner(n.sim.Rand(), n.cfg.Psi); !ok {
+		if partner, ok = n.pred.SelectPartner(n.rt.Rand(), n.cfg.Psi); !ok {
 			return
 		}
 	}
@@ -294,7 +294,7 @@ func (n *Node) Get(key string, done func(LookupResult)) {
 
 func (n *Node) lookup(key ChordID, op uint8, skey string, value []byte, done func(LookupResult)) {
 	n.Stats.LookupsStarted++
-	n.startAttempt(&pendingLookup{key: key, start: n.sim.Now(), done: done,
+	n.startAttempt(&pendingLookup{key: key, start: n.rt.Now(), done: done,
 		op: op, skey: skey, value: value})
 }
 
@@ -317,7 +317,7 @@ func (n *Node) startAttempt(pl *pendingLookup) {
 		pl.qid = n.qid
 	}
 	qid := pl.qid
-	pl.timer = n.sim.After(n.cfg.LookupTimeout, func() {
+	pl.timer = n.rt.After(n.cfg.LookupTimeout, func() {
 		if n.pending[qid] != pl {
 			return
 		}

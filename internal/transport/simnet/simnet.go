@@ -1,0 +1,71 @@
+// Package simnet adapts the deterministic discrete-event substrate —
+// the virtual clock and scheduler of internal/simnet plus the emulated
+// network of internal/netem — to the transport.Transport interface.
+//
+// The adapter is a zero-behavior shim: every method forwards directly
+// to the underlying engine, so a protocol stack assembled over it is
+// event-for-event (and therefore byte-for-byte, at a fixed seed)
+// identical to one wired to the engine types directly. The golden-file
+// regression test in internal/exp holds this property in place.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"whisper/internal/netem"
+	"whisper/internal/simnet"
+	"whisper/internal/transport"
+)
+
+// Transport drives protocol stacks on the emulated substrate.
+type Transport struct {
+	sim *simnet.Sim
+	net *netem.Network
+}
+
+// New wraps an existing simulator and emulated network. Both must share
+// the same virtual clock (netem.New enforces this by construction).
+func New(sim *simnet.Sim, net *netem.Network) *Transport {
+	if sim == nil || net == nil {
+		panic("transport/simnet: nil engine")
+	}
+	if net.Sim() != sim {
+		panic("transport/simnet: network driven by a different simulator")
+	}
+	return &Transport{sim: sim, net: net}
+}
+
+// Sim exposes the underlying simulator (experiment harness use: Run,
+// RunUntil, churn scripting).
+func (t *Transport) Sim() *simnet.Sim { return t.sim }
+
+// Net exposes the underlying emulated network (NAT devices, taps).
+func (t *Transport) Net() *netem.Network { return t.net }
+
+// Now implements transport.Transport.
+func (t *Transport) Now() time.Duration { return t.sim.Now() }
+
+// After implements transport.Transport.
+func (t *Transport) After(d time.Duration, fn func()) transport.Timer {
+	return t.sim.After(d, fn)
+}
+
+// EveryJitter implements transport.Transport.
+func (t *Transport) EveryJitter(period, jitter time.Duration, fn func()) transport.Ticker {
+	return t.sim.EveryJitter(period, jitter, fn)
+}
+
+// Rand implements transport.Transport.
+func (t *Transport) Rand() *rand.Rand { return t.sim.Rand() }
+
+// Send implements transport.Transport.
+func (t *Transport) Send(dg transport.Datagram) { t.net.Send(dg) }
+
+// Attach implements transport.Transport.
+func (t *Transport) Attach(ip transport.IP, h transport.Handler) { t.net.Attach(ip, h) }
+
+// Detach implements transport.Transport.
+func (t *Transport) Detach(ip transport.IP) { t.net.Detach(ip) }
+
+var _ transport.Transport = (*Transport)(nil)

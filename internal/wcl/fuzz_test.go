@@ -10,6 +10,7 @@ import (
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
 	"whisper/internal/simnet"
+	simtr "whisper/internal/transport/simnet"
 )
 
 func newBareWCL(t testing.TB) *WCL {
@@ -17,7 +18,7 @@ func newBareWCL(t testing.TB) *WCL {
 	s := simnet.New(1)
 	nw := netem.New(s, netem.Fixed{})
 	ident := &identity.Identity{ID: 1, Key: identity.TestKeys(1)[0]}
-	node := nylon.NewNode(nw, ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
+	node := nylon.NewNode(simtr.New(s, nw), ident, 0, netem.Endpoint{IP: 5, Port: 1}, nil,
 		nylon.Config{KeySampling: true, KeyBlobSize: 256})
 	w, err := New(node, Config{})
 	if err != nil {

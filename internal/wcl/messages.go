@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"whisper/internal/identity"
-	"whisper/internal/netem"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -77,7 +77,7 @@ const (
 	addrByID       uint8 = 2
 )
 
-func encodeAddrEndpoint(ep netem.Endpoint, id identity.NodeID) []byte {
+func encodeAddrEndpoint(ep transport.Endpoint, id identity.NodeID) []byte {
 	w := wire.NewWriter(15)
 	w.U8(addrByEndpoint)
 	w.U32(uint32(ep.IP))
@@ -95,7 +95,7 @@ func encodeAddrID(id identity.NodeID) []byte {
 
 type hopAddr struct {
 	kind uint8
-	ep   netem.Endpoint
+	ep   transport.Endpoint
 	id   identity.NodeID
 }
 
@@ -105,7 +105,7 @@ func decodeHopAddr(blob []byte) (hopAddr, error) {
 	a.kind = r.U8()
 	switch a.kind {
 	case addrByEndpoint:
-		a.ep = netem.Endpoint{IP: netem.IP(r.U32()), Port: r.U16()}
+		a.ep = transport.Endpoint{IP: transport.IP(r.U32()), Port: r.U16()}
 		a.id = identity.NodeID(r.U64())
 	case addrByID:
 		a.id = identity.NodeID(r.U64())

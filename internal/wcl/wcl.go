@@ -8,9 +8,8 @@ import (
 
 	"whisper/internal/crypt"
 	"whisper/internal/identity"
-	"whisper/internal/netem"
 	"whisper/internal/nylon"
-	"whisper/internal/simnet"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 
@@ -60,7 +59,7 @@ func (c Config) withDefaults() Config {
 // towards a destination (it holds a warm route to it).
 type Helper struct {
 	ID       identity.NodeID
-	Endpoint netem.Endpoint
+	Endpoint transport.Endpoint
 	Key      *rsa.PublicKey
 }
 
@@ -74,7 +73,7 @@ type Dest struct {
 	// Endpoint is the destination's public address when it is a P-node:
 	// the next-to-last mix can then address it directly, with no
 	// pre-established association.
-	Endpoint netem.Endpoint
+	Endpoint transport.Endpoint
 	Helpers  []Helper
 }
 
@@ -152,7 +151,7 @@ var ErrNoPath = errors.New("wcl: no usable path")
 type ackEntry struct {
 	fromID  identity.NodeID
 	via     []identity.NodeID // reverse relay chain ([] = direct)
-	direct  netem.Endpoint
+	direct  transport.Endpoint
 	expires time.Duration
 }
 
@@ -166,7 +165,7 @@ type pendingSend struct {
 	attempts int
 	triedA   map[identity.NodeID]bool
 	triedB   map[identity.NodeID]bool
-	timer    *simnet.Timer
+	timer    transport.Timer
 	done     func(Result)
 }
 
@@ -174,7 +173,7 @@ type pendingSend struct {
 type WCL struct {
 	node *nylon.Node
 	cfg  Config
-	sim  *simnet.Sim
+	rt   transport.Transport
 	cb   *Backlog
 	cpu  *crypt.CPUMeter
 
@@ -207,7 +206,7 @@ func New(node *nylon.Node, cfg Config) (*WCL, error) {
 	w := &WCL{
 		node:        node,
 		cfg:         cfg,
-		sim:         node.Sim(),
+		rt:          node.Runtime(),
 		cb:          NewBacklog(2 * node.Config().ViewSize),
 		cpu:         &crypt.CPUMeter{},
 		pending:     make(map[uint64]*pendingSend),
@@ -235,7 +234,7 @@ func (w *WCL) Config() Config { return w.cfg }
 // onExchange feeds the connection backlog from successful gossip
 // exchanges and tops up its P-node quota (§III-A).
 func (w *WCL) onExchange(ev nylon.ExchangeEvent) {
-	w.cb.Insert(ev.Peer, w.sim.Now())
+	w.cb.Insert(ev.Peer, w.rt.Now())
 	w.topUpPublics()
 }
 
@@ -243,7 +242,7 @@ func (w *WCL) onExchange(ev nylon.ExchangeEvent) {
 // verified and the key is known, so the node enters the backlog.
 func (w *WCL) onKeyExchange(peer nylon.Descriptor) {
 	delete(w.pendingKeys, peer.ID)
-	w.cb.Insert(peer, w.sim.Now())
+	w.cb.Insert(peer, w.rt.Now())
 }
 
 // topUpPublics enforces the Π P-node minimum in the backlog by
@@ -252,7 +251,7 @@ func (w *WCL) onKeyExchange(peer nylon.Descriptor) {
 // ones (the P-node died) do not suppress the quota forever.
 func (w *WCL) topUpPublics() {
 	const keyRequestGrace = 30 * time.Second
-	now := w.sim.Now()
+	now := w.rt.Now()
 	for id, at := range w.pendingKeys {
 		if now-at > keyRequestGrace {
 			delete(w.pendingKeys, id)
@@ -289,26 +288,26 @@ func (w *WCL) topUpPublics() {
 func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
 	w.Stats.Sent++
 	if dest.Key == nil {
-		w.finishResult(&pendingSend{done: done, start: w.sim.Now()}, Failed, true)
+		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
 		return
 	}
 	k, err := crypt.NewSymKey()
 	if err != nil {
-		w.finishResult(&pendingSend{done: done, start: w.sim.Now()}, Failed, true)
+		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
 		return
 	}
 	content, err := crypt.SealSym(w.cpu, k, payload)
 	if err != nil {
-		w.finishResult(&pendingSend{done: done, start: w.sim.Now()}, Failed, true)
+		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
 		return
 	}
 	st := &pendingSend{
-		pathID:  w.sim.Rand().Uint64(),
+		pathID:  w.rt.Rand().Uint64(),
 		dest:    dest,
 		content: content,
 		key:     k,
 		payload: payload,
-		start:   w.sim.Now(),
+		start:   w.rt.Now(),
 		triedA:  make(map[identity.NodeID]bool),
 		triedB:  make(map[identity.NodeID]bool),
 		done:    done,
@@ -323,7 +322,7 @@ func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
 // themselves P-nodes, any P-node of the backlog), middles from the
 // backlog's P-nodes. Returns false when no untried combination remains.
 func (w *WCL) pickMixes(st *pendingSend) (a nylon.Descriptor, middles []Helper, b Helper, ok bool) {
-	rng := w.sim.Rand()
+	rng := w.rt.Rand()
 	exclude := map[identity.NodeID]bool{w.node.ID(): true, st.dest.ID: true}
 
 	helpers := st.dest.Helpers
@@ -460,7 +459,7 @@ func (w *WCL) attempt(st *pendingSend) {
 	}
 	fwd := forwardMsg{PathID: st.pathID, From: w.node.ID(), ViaPath: via, Onion: onion, Content: st.content}
 	w.node.SendAppVia(a, via, fwd.encode())
-	st.timer = w.sim.After(w.cfg.PathTimeout, func() {
+	st.timer = w.rt.After(w.cfg.PathTimeout, func() {
 		if _, live := w.pending[st.pathID]; live {
 			w.retry(st)
 		}
@@ -503,7 +502,7 @@ func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
 		Attempts:      st.attempts,
 		MixesTried:    len(st.triedA),
 		HelpersTried:  len(st.triedB),
-		Elapsed:       w.sim.Now() - st.start,
+		Elapsed:       w.rt.Now() - st.start,
 	}
 	if w.OnResult != nil {
 		w.OnResult(st.dest.ID, r)
@@ -514,7 +513,7 @@ func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
 }
 
 // handleApp dispatches WCL messages arriving over nylon.
-func (w *WCL) handleApp(src netem.Endpoint, payload []byte) {
+func (w *WCL) handleApp(src transport.Endpoint, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
@@ -537,7 +536,7 @@ func (w *WCL) handleApp(src netem.Endpoint, payload []byte) {
 
 // handleForward peels one onion layer and forwards, or delivers when
 // this node is the destination.
-func (w *WCL) handleForward(src netem.Endpoint, m *forwardMsg) {
+func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 	start := time.Now()
 	next, inner, exit, err := crypt.Peel(w.cpu, w.node.Identity().Key, m.Onion)
 	peelTime := time.Since(start)
@@ -555,7 +554,7 @@ func (w *WCL) handleForward(src netem.Endpoint, m *forwardMsg) {
 		fromID:  m.From,
 		via:     reverseIDs(m.ViaPath),
 		direct:  src,
-		expires: w.sim.Now() + w.cfg.AckTTL,
+		expires: w.rt.Now() + w.cfg.AckTTL,
 	}
 	if exit {
 		// inner is the content key k.
@@ -633,7 +632,7 @@ func (w *WCL) handleAck(pathID uint64) {
 
 func (w *WCL) sendAckBack(pathID uint64) {
 	st, ok := w.ackState[pathID]
-	if !ok || w.sim.Now() > st.expires {
+	if !ok || w.rt.Now() > st.expires {
 		return
 	}
 	w.Stats.AcksForwarded++
@@ -651,7 +650,7 @@ func (w *WCL) pruneAckState() {
 	if len(w.ackState) < 512 {
 		return
 	}
-	now := w.sim.Now()
+	now := w.rt.Now()
 	for id, e := range w.ackState {
 		if now > e.expires {
 			delete(w.ackState, id)
