@@ -44,6 +44,13 @@ func main() {
 		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
 		runs     = flag.Int("runs", 1, "replicas to run at seeds seed..seed+runs-1")
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = sequential)")
+
+		faultDup     = flag.Float64("fault-dup", 0, "per-datagram duplication probability")
+		faultReorder = flag.Float64("fault-reorder", 0, "per-datagram reordering probability")
+		faultJitter  = flag.Duration("fault-reorder-jitter", 100*time.Millisecond, "reordering extra-delay window")
+		faultBurstP  = flag.Float64("fault-burst-p", 0, "Gilbert-Elliott P(Good→Bad); 0 disables burst loss")
+		faultBurstR  = flag.Float64("fault-burst-r", 0.25, "Gilbert-Elliott P(Bad→Good)")
+		faultBurstL  = flag.Float64("fault-burst-loss", 1, "drop probability in the Bad state")
 	)
 	flag.Parse()
 
@@ -59,6 +66,18 @@ func main() {
 	cfg := scenario{
 		n: *n, natRatio: *natRatio, pi: *pi, groups: *groups,
 		duration: *duration, env: *env, script: *script, keyBlob: *keyBlob,
+	}
+	if *faultDup > 0 || *faultReorder > 0 || *faultBurstP > 0 {
+		cfg.faults = &netem.FaultModel{
+			DupProb:       *faultDup,
+			ReorderProb:   *faultReorder,
+			ReorderJitter: *faultJitter,
+		}
+		if *faultBurstP > 0 {
+			cfg.faults.Burst = &netem.GilbertElliott{
+				PGoodBad: *faultBurstP, PBadGood: *faultBurstR, LossBad: *faultBurstL,
+			}
+		}
 	}
 	if *runs <= 1 {
 		// Single scenario: stream to stdout as it runs, exactly like the
@@ -98,6 +117,7 @@ type scenario struct {
 	env      string
 	script   string
 	keyBlob  int
+	faults   *netem.FaultModel
 }
 
 func (c scenario) run(out io.Writer, seed int64) error {
@@ -110,6 +130,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		N:        c.n,
 		NATRatio: c.natRatio,
 		Model:    model,
+		Faults:   c.faults,
 		Nylon:    nylon.Config{MinPublic: c.pi, KeyBlobSize: c.keyBlob},
 	}
 	if c.groups > 0 {
@@ -250,4 +271,10 @@ func report(out io.Writer, w *sim.World) {
 	}
 	fmt.Fprintf(out, "bandwidth per node: up %s KB/min, down %s KB/min\n",
 		stats.StackOf(up).String(), stats.StackOf(down).String())
+
+	if w.Net.Faults() != nil {
+		fs := w.Net.FaultStats()
+		fmt.Fprintf(out, "faults injected: %d duplicated, %d reordered, %d burst-dropped, %d partitioned\n",
+			fs.Duplicated, fs.Reordered, fs.BurstDropped, fs.Partitioned)
+	}
 }

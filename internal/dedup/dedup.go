@@ -1,0 +1,62 @@
+// Package dedup provides a small bounded seen-set with LRU eviction,
+// used by protocol layers to make message handling idempotent under
+// network duplication and replay: the WCL remembers recently seen
+// forwards and delivered path IDs, the PPSS remembers served exchange
+// sequence numbers. The bound keeps memory constant under adversarial
+// traffic; eviction of old entries is safe because a duplicate older
+// than the window is indistinguishable from a fresh message anyway
+// (exactly-once within the window, at-most-window-late otherwise).
+package dedup
+
+import "container/list"
+
+// Seen is a bounded set of comparable keys with least-recently-used
+// eviction. The zero value is not usable; construct with New. Not safe
+// for concurrent use — callers run on a serialized dispatch context,
+// per the transport execution contract.
+type Seen[K comparable] struct {
+	cap int
+	ll  *list.List // front = most recently seen
+	m   map[K]*list.Element
+}
+
+// New creates a seen-set bounded to cap entries.
+func New[K comparable](cap int) *Seen[K] {
+	if cap <= 0 {
+		panic("dedup: capacity must be positive")
+	}
+	return &Seen[K]{cap: cap, ll: list.New(), m: make(map[K]*list.Element, cap)}
+}
+
+// Len returns the current number of remembered keys.
+func (s *Seen[K]) Len() int { return len(s.m) }
+
+// Cap returns the bound.
+func (s *Seen[K]) Cap() int { return s.cap }
+
+// Contains reports whether k was seen within the window, refreshing its
+// recency when present.
+func (s *Seen[K]) Contains(k K) bool {
+	e, ok := s.m[k]
+	if ok {
+		s.ll.MoveToFront(e)
+	}
+	return ok
+}
+
+// Add remembers k, reporting whether it was already present (a
+// duplicate). The least recently seen key is evicted when the bound is
+// exceeded.
+func (s *Seen[K]) Add(k K) bool {
+	if e, ok := s.m[k]; ok {
+		s.ll.MoveToFront(e)
+		return true
+	}
+	s.m[k] = s.ll.PushFront(k)
+	if len(s.m) > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(K))
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package dedup
+
+import "testing"
+
+func TestAddAndContains(t *testing.T) {
+	s := New[uint64](4)
+	if s.Add(1) {
+		t.Fatal("fresh key reported as duplicate")
+	}
+	if !s.Add(1) {
+		t.Fatal("repeated key not reported as duplicate")
+	}
+	if !s.Contains(1) || s.Contains(2) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 1 || s.Cap() != 4 {
+		t.Fatalf("Len=%d Cap=%d", s.Len(), s.Cap())
+	}
+}
+
+func TestEvictsLeastRecent(t *testing.T) {
+	s := New[int](3)
+	s.Add(1)
+	s.Add(2)
+	s.Add(3)
+	s.Contains(1) // refresh 1: the LRU is now 2
+	s.Add(4)      // evicts 2
+	if s.Contains(2) {
+		t.Fatal("least-recently-seen key survived eviction")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if !s.Contains(k) {
+			t.Fatalf("key %d wrongly evicted", k)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestAddRefreshesRecency(t *testing.T) {
+	s := New[int](2)
+	s.Add(1)
+	s.Add(2)
+	s.Add(1) // duplicate: refresh, making 2 the LRU
+	s.Add(3) // evicts 2
+	if s.Contains(2) || !s.Contains(1) || !s.Contains(3) {
+		t.Fatal("Add did not refresh recency of a duplicate")
+	}
+}
+
+func TestBoundHolds(t *testing.T) {
+	s := New[int](16)
+	for i := 0; i < 1000; i++ {
+		s.Add(i)
+	}
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", s.Len())
+	}
+}

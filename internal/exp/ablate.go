@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whisper/internal/identity"
+	"whisper/internal/netem"
 	"whisper/internal/nylon"
 	"whisper/internal/parallel"
 	"whisper/internal/ppss"
@@ -56,10 +57,13 @@ type AblationRow struct {
 	Order   []string // metric print order
 }
 
-// Ablations runs all four studies — flattened into one job per variant
+// Ablations runs all five studies — flattened into one job per variant
 // so the worker pool sees every independent run — and returns one row
 // per variant in the sequential harness's order (lease tcp/udp,
-// punching default/relay-only, bias quota/cap, mixes 2/3).
+// punching default/relay-only, bias quota/cap, mixes 2/3, faults
+// none/dup+reorder/burst). New variants append at the end so existing
+// jobs keep their key-pool view indices and results stay reproducible
+// across versions.
 func Ablations(cfg AblateConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	type job func(AblateConfig, *identity.Pool) (AblationRow, error)
@@ -72,6 +76,9 @@ func Ablations(cfg AblateConfig) ([]AblationRow, error) {
 		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateBiasCap(c, p, 1) },
 		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateMixCount(c, p, 0) },
 		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateMixCount(c, p, 1) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateFaults(c, p, 0) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateFaults(c, p, 1) },
+		func(c AblateConfig, p *identity.Pool) (AblationRow, error) { return ablateFaults(c, p, 2) },
 	}
 	workers := parallel.Workers(cfg.Parallel)
 	return parallel.Map(workers, len(jobs), func(i int) (AblationRow, error) {
@@ -269,6 +276,83 @@ func ablateMixCount(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow,
 	}, nil
 }
 
+// deliveryCounter is a wcl.Tracer that detects duplicate deliveries:
+// Delivered must fire at most once per path, whatever the network does.
+type deliveryCounter struct {
+	counts map[uint64]int
+	dups   int
+}
+
+func (d *deliveryCounter) PathBuilt(uint64, time.Duration) {}
+func (d *deliveryCounter) Peeled(uint64, time.Duration)    {}
+func (d *deliveryCounter) Delivered(pathID uint64) {
+	d.counts[pathID]++
+	if d.counts[pathID] > 1 {
+		d.dups++
+	}
+}
+
+// ablateFaults measures confidential-route success under the netem
+// fault layer: duplication plus reordering (middlebox pathologies) and
+// Gilbert-Elliott burst loss. The claim under test is graceful
+// degradation — the retry machinery absorbs the faults, success does
+// not collapse — with strictly exactly-once delivery: a duplicated
+// forward must never reach the application twice.
+func ablateFaults(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, error) {
+	v := []struct {
+		name   string
+		faults *netem.FaultModel
+	}{
+		{"none (baseline)", nil},
+		{"dup 5% + reorder", &netem.FaultModel{
+			DupProb: 0.05, ReorderProb: 0.25, ReorderJitter: 200 * time.Millisecond,
+		}},
+		{"burst loss", &netem.FaultModel{
+			Burst: &netem.GilbertElliott{PGoodBad: 0.02, PBadGood: 0.3, LossBad: 0.6},
+		}},
+	}[vi]
+	start := time.Now()
+	w, err := sim.NewWorld(sim.Options{
+		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: pool,
+		Faults: v.faults,
+		WCL:    &wcl.Config{MinPublic: 3},
+		PPSS:   &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+	})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	tracer := &deliveryCounter{counts: map[uint64]int{}}
+	for _, n := range w.Nodes {
+		n.WCL.Tracer = tracer
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+	formGroups(w, cfg.Groups, 1)
+	w.Sim.RunUntil(cfg.Warmup)
+	before := aggregateWCL(w)
+	w.Sim.RunFor(cfg.Measure)
+	after := aggregateWCL(w)
+	routes := float64(after.FirstTrySuccess + after.AltSuccess + after.Failed -
+		before.FirstTrySuccess - before.AltSuccess - before.Failed)
+	ok := float64(after.FirstTrySuccess + after.AltSuccess -
+		before.FirstTrySuccess - before.AltSuccess)
+	first := float64(after.FirstTrySuccess - before.FirstTrySuccess)
+	suppressed := float64(after.DupForwards + after.DupDeliveries -
+		before.DupForwards - before.DupDeliveries)
+	recordRun("ablate/faults/"+v.name, start, w)
+	return AblationRow{
+		Study: "faults", Variant: v.name,
+		Metrics: map[string]float64{
+			"ok %":            pct(ok, routes),
+			"first-try %":     pct(first, routes),
+			"routes":          routes,
+			"dup deliveries":  float64(tracer.dups),
+			"dups suppressed": suppressed,
+		},
+		Order: []string{"ok %", "first-try %", "routes", "dup deliveries", "dups suppressed"},
+	}, nil
+}
+
 // PrintAblations renders the ablation table.
 func PrintAblations(out io.Writer, rows []AblationRow) {
 	fmt.Fprintln(out, "== Ablations: design-choice studies ==")
@@ -314,6 +398,28 @@ func AblationShapeCheck(rows []AblationRow) []string {
 	if m2, m3 := byKey["mix-count/2 mixes"], byKey["mix-count/3 mixes"]; m2.Metrics != nil && m3.Metrics != nil {
 		if m3.Metrics["first-try %"] < 50 {
 			bad = append(bad, "3-mix paths mostly fail")
+		}
+	}
+	base := byKey["faults/none (baseline)"]
+	dup := byKey["faults/dup 5% + reorder"]
+	burst := byKey["faults/burst loss"]
+	if base.Metrics != nil && dup.Metrics != nil && burst.Metrics != nil {
+		for _, r := range []AblationRow{base, dup, burst} {
+			if r.Metrics["dup deliveries"] != 0 {
+				bad = append(bad, "duplicate application delivery under faults/"+r.Variant)
+			}
+		}
+		if dup.Metrics["ok %"] < 60 {
+			bad = append(bad, "route success collapses under duplication+reordering")
+		}
+		if burst.Metrics["ok %"] < 50 {
+			bad = append(bad, "route success collapses under burst loss")
+		}
+		if dup.Metrics["dups suppressed"] == 0 {
+			bad = append(bad, "duplication variant suppressed no duplicate forwards")
+		}
+		if base.Metrics["dups suppressed"] != 0 {
+			bad = append(bad, "baseline reports suppressed duplicates without a fault model")
 		}
 	}
 	return bad

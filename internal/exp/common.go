@@ -155,6 +155,8 @@ func aggregateWCL(w *sim.World) wcl.Stats {
 		out.ForwardsPeeled += s.ForwardsPeeled
 		out.PeelErrors += s.PeelErrors
 		out.DropNoContact += s.DropNoContact
+		out.DupForwards += s.DupForwards
+		out.DupDeliveries += s.DupDeliveries
 	}
 	return out
 }

@@ -153,8 +153,8 @@ func TestAblationsShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 8 { // 4 studies × 2 variants
-		t.Fatalf("rows = %d, want 8", len(rows))
+	if len(rows) != 11 { // 4 studies × 2 variants + faults × 3
+		t.Fatalf("rows = %d, want 11", len(rows))
 	}
 	for _, v := range AblationShapeCheck(rows) {
 		t.Error(v)

@@ -12,8 +12,9 @@
 // The address, datagram, metering and port primitives are owned by
 // package transport (they are substrate-independent); this package
 // re-exports them under their historical names and adds what is
-// genuinely emulation-specific: the latency/loss models and the Network
-// router driven by the virtual clock. Network implements the datagram
+// genuinely emulation-specific: the latency/loss models, the
+// fault-injection layer (FaultModel), and the Network router driven by
+// the virtual clock. Network implements the datagram
 // plane of transport.Transport; transport/simnet completes it with the
 // simnet scheduling plane.
 package netem
@@ -72,7 +73,9 @@ type LatencyModel interface {
 }
 
 // Network routes datagrams between attached handlers with model-driven
-// latency and loss. All methods must be called from simulation events.
+// latency and loss, optionally composed with a FaultModel (duplication,
+// reordering, burst loss, partitions — see faults.go). All methods must
+// be called from simulation events.
 type Network struct {
 	sim     *simnet.Sim
 	model   LatencyModel
@@ -80,6 +83,10 @@ type Network struct {
 	tap     func(Datagram)
 	dropped uint64
 	sent    uint64
+
+	faults *FaultModel
+	burst  map[[2]IP]bool // Gilbert-Elliott per-directed-link state
+	fstats FaultStats
 }
 
 // New creates a network using the given latency model.
@@ -120,18 +127,42 @@ func (n *Network) SetTap(tap func(Datagram)) { n.tap = tap }
 
 // Send routes dg through the emulated network. The datagram is
 // delivered asynchronously after the model's latency, or dropped per the
-// model's loss probability. Payload ownership passes to the network.
+// model's loss probability; an installed FaultModel may additionally
+// drop it (partition, burst loss), duplicate it, or delay one copy past
+// later traffic. Payload ownership passes to the network. With no fault
+// model installed the random-draw sequence and event schedule are
+// identical to the pre-fault-layer network.
 func (n *Network) Send(dg Datagram) {
 	n.sent++
 	if n.tap != nil {
 		n.tap(dg)
 	}
 	rng := n.sim.Rand()
+	if n.faults != nil && n.faultDrop(rng, dg.Src.IP, dg.Dst.IP) {
+		n.dropped++
+		return
+	}
 	if p := n.model.LossProb(dg.Src.IP, dg.Dst.IP); p > 0 && rng.Float64() < p {
 		n.dropped++
 		return
 	}
+	n.deliver(rng, dg)
+	if f := n.faults; f != nil && f.DupProb > 0 && rng.Float64() < f.DupProb {
+		n.fstats.Duplicated++
+		dup := dg
+		dup.Payload = append([]byte(nil), dg.Payload...)
+		n.deliver(rng, dup)
+	}
+}
+
+// deliver schedules one copy of dg after the model's latency, plus the
+// fault model's reordering jitter for an unlucky subset.
+func (n *Network) deliver(rng *rand.Rand, dg Datagram) {
 	delay := n.model.Delay(rng, dg.Src.IP, dg.Dst.IP, dg.WireSize())
+	if f := n.faults; f != nil && f.ReorderProb > 0 && rng.Float64() < f.ReorderProb {
+		n.fstats.Reordered++
+		delay += time.Duration(rng.Int63n(int64(f.reorderJitter())))
+	}
 	n.sim.After(delay, func() {
 		h, ok := n.hosts[dg.Dst.IP]
 		if !ok {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"whisper/internal/dedup"
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/pss"
@@ -101,6 +102,16 @@ type InstanceStats struct {
 	AppDelivered       uint64
 	PCPRefreshes       uint64
 	PCPDropped         uint64
+	// DupExchangesDropped counts shuffle requests whose (sender, seq)
+	// was already served — a duplicated or replayed exchange that, if
+	// processed again, would double-apply its view entries.
+	DupExchangesDropped uint64
+}
+
+// exchangeKey identifies one shuffle request for replay suppression.
+type exchangeKey struct {
+	from identity.NodeID
+	seq  uint32
 }
 
 type pendingExchange struct {
@@ -148,6 +159,11 @@ type Instance struct {
 	pending map[uint32]*pendingExchange
 	seq     uint32
 	pcp     map[identity.NodeID]*pcpState
+	// served remembers recently answered shuffle requests by (sender,
+	// seq), making the serving side idempotent: a duplicated request is
+	// not merged into the view a second time. The response side is
+	// already idempotent through the pending map.
+	served *dedup.Seen[exchangeKey]
 
 	ticker    transport.Ticker
 	pcpTicker transport.Ticker
@@ -182,6 +198,7 @@ func newInstance(r *Router, g GroupID, name string, history *KeyHistory, passpor
 		view:     pss.NewView[Entry](r.cfg.ViewSize),
 		pending:  make(map[uint32]*pendingExchange),
 		pcp:      make(map[identity.NodeID]*pcpState),
+		served:   dedup.New[exchangeKey](512),
 	}
 }
 
@@ -317,6 +334,13 @@ func (in *Instance) handleShuffleReq(m *shuffleMsg) {
 		in.acceptAnnounce(m.Extras.Announce)
 	}
 	if !in.checkPassport(m.Passport, m.From.ID) {
+		return
+	}
+	// A replayed or duplicated request must not be merged twice: the
+	// second merge would re-insert entries the first exchange already
+	// traded away, skewing the view towards the replayed sample.
+	if in.served.Add(exchangeKey{from: m.From.ID, seq: m.Seq}) {
+		in.Stats.DupExchangesDropped++
 		return
 	}
 	in.absorbExtras(m.Extras)

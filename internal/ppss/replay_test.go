@@ -1,0 +1,67 @@
+package ppss
+
+import (
+	"fmt"
+	"testing"
+
+	"whisper/internal/identity"
+	"whisper/internal/pss"
+)
+
+// TestReplayedShuffleReqNotDoubleApplied: a shuffle request carries a
+// valid passport, so a replayed (or network-duplicated) copy passes
+// every authentication check — but serving it again would merge the
+// replayed sample into the view a second time. The instance must treat
+// (sender, seq) as served-once.
+func TestReplayedShuffleReqNotDoubleApplied(t *testing.T) {
+	r := newBareRouter(t)
+	inst, err := r.CreateGroup("replay-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passport, err := IssuePassport(nil, inst.groupPriv, inst.Group(), 42, inst.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := identity.TestKeys(3)
+	var entries []pss.Entry[Entry]
+	for i, k := range keys {
+		entries = append(entries, pss.Entry[Entry]{Val: Entry{
+			ID:     identity.NodeID(100 + i),
+			IsPub:  true,
+			PubKey: &k.PublicKey,
+		}})
+	}
+	m := shuffleMsg{
+		Group:    inst.Group(),
+		Passport: passport,
+		Seq:      9,
+		From:     Entry{ID: 42, IsPub: true, PubKey: &identity.TestKeys(1)[0].PublicKey},
+		Entries:  entries,
+	}
+	wire := m.encode(msgShuffleReq, r.cfg.KeyBlobSize)
+
+	r.handle(wire)
+	if inst.Stats.ExchangesServed != 1 {
+		t.Fatalf("ExchangesServed = %d after first request", inst.Stats.ExchangesServed)
+	}
+	snapshot := fmt.Sprint(inst.View())
+
+	r.handle(wire) // exact replay
+	if inst.Stats.ExchangesServed != 1 {
+		t.Fatalf("replay was served: ExchangesServed = %d", inst.Stats.ExchangesServed)
+	}
+	if inst.Stats.DupExchangesDropped != 1 {
+		t.Fatalf("DupExchangesDropped = %d, want 1", inst.Stats.DupExchangesDropped)
+	}
+	if got := fmt.Sprint(inst.View()); got != snapshot {
+		t.Fatalf("replay changed the private view:\n before: %s\n after:  %s", snapshot, got)
+	}
+
+	// A genuinely new exchange from the same member still goes through.
+	m.Seq = 10
+	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
+	if inst.Stats.ExchangesServed != 2 {
+		t.Fatalf("fresh seq blocked: ExchangesServed = %d", inst.Stats.ExchangesServed)
+	}
+}

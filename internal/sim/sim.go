@@ -33,6 +33,10 @@ type Options struct {
 	NATRatio float64
 	// Model is the latency/loss model (default netem.Cluster{}).
 	Model netem.LatencyModel
+	// Faults, when non-nil, composes duplication, reordering, burst
+	// loss and partitions on top of Model (see netem.FaultModel). Nil
+	// keeps the network byte-identical to the pre-fault-layer world.
+	Faults *netem.FaultModel
 	// Nylon configures the PSS layer of every node.
 	Nylon nylon.Config
 	// KeyPool provides RSA keys; nil generates a fresh pool of
@@ -119,6 +123,9 @@ func NewWorld(opts Options) (*World, error) {
 	opts = opts.withDefaults()
 	s := simnet.New(opts.Seed)
 	nw := netem.New(s, opts.Model)
+	if opts.Faults != nil {
+		nw.SetFaults(opts.Faults)
+	}
 	w := &World{
 		Opts:   opts,
 		Sim:    s,

@@ -43,6 +43,13 @@ func (t *Transport) Sim() *simnet.Sim { return t.sim }
 // Net exposes the underlying emulated network (NAT devices, taps).
 func (t *Transport) Net() *netem.Network { return t.net }
 
+// SetFaults installs (or removes, with nil) a fault-injection model on
+// the underlying network. A nil model keeps the adapter zero-behavior.
+func (t *Transport) SetFaults(fm *netem.FaultModel) { t.net.SetFaults(fm) }
+
+// FaultStats reports the underlying network's fault-injection totals.
+func (t *Transport) FaultStats() netem.FaultStats { return t.net.FaultStats() }
+
 // Now implements transport.Transport.
 func (t *Transport) Now() time.Duration { return t.sim.Now() }
 

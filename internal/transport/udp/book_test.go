@@ -1,0 +1,117 @@
+package udp
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"whisper/internal/transport"
+)
+
+// encap builds an encapsulated packet as a remote peer would send it.
+func encap(src, dst transport.Endpoint, payload []byte) []byte {
+	buf := make([]byte, encapLen+len(payload))
+	buf[0] = encapMagic
+	buf[1] = encapVersion
+	binary.BigEndian.PutUint32(buf[2:], uint32(src.IP))
+	binary.BigEndian.PutUint16(buf[6:], src.Port)
+	binary.BigEndian.PutUint32(buf[8:], uint32(dst.IP))
+	binary.BigEndian.PutUint16(buf[12:], dst.Port)
+	copy(buf[encapLen:], payload)
+	return buf
+}
+
+func addrN(n int) *net.UDPAddr {
+	return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 10000 + n}
+}
+
+func TestLearnedBookBounded(t *testing.T) {
+	tr := newT(t)
+	tr.SetMaxLearned(8)
+	dst := transport.Endpoint{IP: 1, Port: 1}
+	for i := 0; i < 100; i++ {
+		src := transport.Endpoint{IP: transport.IP(100 + i), Port: 1}
+		tr.dispatch(encap(src, dst, nil), addrN(i))
+	}
+	seeded, learned := tr.BookSize()
+	if seeded != 0 || learned != 8 {
+		t.Fatalf("BookSize = (%d seeded, %d learned), want (0, 8)", seeded, learned)
+	}
+	// The survivors are the 8 most recently heard-from peers.
+	for i := 92; i < 100; i++ {
+		if tr.book[transport.Endpoint{IP: transport.IP(100 + i), Port: 1}] == nil {
+			t.Fatalf("recently learned peer %d was evicted", i)
+		}
+	}
+	if tr.book[transport.Endpoint{IP: 100, Port: 1}] != nil {
+		t.Fatal("oldest learned peer survived past the bound")
+	}
+}
+
+func TestSeededEntriesNeverEvicted(t *testing.T) {
+	tr := newT(t)
+	tr.SetMaxLearned(4)
+	seededEP := transport.Endpoint{IP: 7, Port: 7}
+	if err := tr.AddPeer(seededEP, "127.0.0.1:9999"); err != nil {
+		t.Fatal(err)
+	}
+	dst := transport.Endpoint{IP: 1, Port: 1}
+	for i := 0; i < 50; i++ {
+		src := transport.Endpoint{IP: transport.IP(100 + i), Port: 1}
+		tr.dispatch(encap(src, dst, nil), addrN(i))
+	}
+	seeded, learned := tr.BookSize()
+	if seeded != 1 || learned != 4 {
+		t.Fatalf("BookSize = (%d seeded, %d learned), want (1, 4)", seeded, learned)
+	}
+	e := tr.book[seededEP]
+	if e == nil || !e.seeded || e.addr.Port != 9999 {
+		t.Fatal("seeded entry lost or corrupted by learned-entry churn")
+	}
+}
+
+func TestLearnRefreshesRecencyAndAddress(t *testing.T) {
+	tr := newT(t)
+	tr.SetMaxLearned(2)
+	dst := transport.Endpoint{IP: 1, Port: 1}
+	epA := transport.Endpoint{IP: 100, Port: 1}
+	epB := transport.Endpoint{IP: 101, Port: 1}
+	epC := transport.Endpoint{IP: 102, Port: 1}
+	tr.dispatch(encap(epA, dst, nil), addrN(0))
+	tr.dispatch(encap(epB, dst, nil), addrN(1))
+	tr.dispatch(encap(epA, dst, nil), addrN(5)) // refresh A, new real address
+	tr.dispatch(encap(epC, dst, nil), addrN(2)) // evicts B, the LRU
+	if tr.book[epB] != nil {
+		t.Fatal("refreshed entry was evicted instead of the LRU")
+	}
+	if e := tr.book[epA]; e == nil || e.addr.Port != 10005 {
+		t.Fatal("re-learning did not update the real address")
+	}
+}
+
+func TestSeededPromotionLeavesLRU(t *testing.T) {
+	tr := newT(t)
+	tr.SetMaxLearned(2)
+	dst := transport.Endpoint{IP: 1, Port: 1}
+	ep := transport.Endpoint{IP: 100, Port: 1}
+	tr.dispatch(encap(ep, dst, nil), addrN(0))
+	if err := tr.AddPeer(ep, "127.0.0.1:9999"); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the learned side; the promoted entry must not be displaced.
+	for i := 1; i <= 5; i++ {
+		tr.dispatch(encap(transport.Endpoint{IP: transport.IP(100 + i), Port: 1}, dst, nil), addrN(i))
+	}
+	seeded, learned := tr.BookSize()
+	if seeded != 1 || learned != 2 {
+		t.Fatalf("BookSize = (%d seeded, %d learned), want (1, 2)", seeded, learned)
+	}
+	if e := tr.book[ep]; e == nil || !e.seeded {
+		t.Fatal("promoted entry evicted with the learned pool")
+	}
+	// Packets from a seeded peer must not re-enter it into the LRU.
+	tr.dispatch(encap(ep, dst, nil), addrN(9))
+	if e := tr.book[ep]; e.elem != nil || e.addr.Port != 9999 {
+		t.Fatal("seeded entry demoted by an incoming packet")
+	}
+}

@@ -28,6 +28,7 @@ package udp
 
 import (
 	"container/heap"
+	"container/list"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -50,20 +51,38 @@ const (
 	encapLen     = 14
 )
 
+// defaultMaxLearned bounds the learned side of the address book. Seeded
+// entries (AddPeer) are pinned and do not count against the bound.
+// Without a bound, any host that can reach the socket could grow the
+// book without limit by spraying packets with fabricated overlay
+// source endpoints.
+const defaultMaxLearned = 4096
+
+// bookEntry is one address-book binding. Seeded entries are permanent;
+// learned entries sit in an LRU list and are evicted oldest-first when
+// the book exceeds its bound.
+type bookEntry struct {
+	addr   *net.UDPAddr
+	seeded bool
+	elem   *list.Element // position in learned; nil for seeded entries
+}
+
 // Transport drives a protocol stack over one real UDP socket.
 type Transport struct {
 	conn  *net.UDPConn
 	start time.Time
 
-	mu       sync.Mutex
-	handlers map[transport.IP]transport.Handler
-	book     map[transport.Endpoint]*net.UDPAddr
-	timers   timerHeap
-	rng      *rand.Rand
-	raw      func(payload []byte, from *net.UDPAddr)
-	started  bool
-	closed   bool
-	unrouted uint64
+	mu         sync.Mutex
+	handlers   map[transport.IP]transport.Handler
+	book       map[transport.Endpoint]*bookEntry
+	learned    *list.List // learned book keys, most recently used first
+	maxLearned int
+	timers     timerHeap
+	rng        *rand.Rand
+	raw        func(payload []byte, from *net.UDPAddr)
+	started    bool
+	closed     bool
+	unrouted   uint64
 
 	tasks      chan func()
 	wake       chan struct{}
@@ -89,7 +108,9 @@ func New(addr string, seed int64) (*Transport, error) {
 		conn:       conn,
 		start:      time.Now(),
 		handlers:   make(map[transport.IP]transport.Handler),
-		book:       make(map[transport.Endpoint]*net.UDPAddr),
+		book:       make(map[transport.Endpoint]*bookEntry),
+		learned:    list.New(),
+		maxLearned: defaultMaxLearned,
 		rng:        rand.New(rand.NewSource(seed)),
 		tasks:      make(chan func(), 1024),
 		wake:       make(chan struct{}, 1),
@@ -110,9 +131,51 @@ func (t *Transport) AddPeer(ep transport.Endpoint, addr string) error {
 		return fmt.Errorf("transport/udp: peer %v: %w", ep, err)
 	}
 	t.mu.Lock()
-	t.book[ep] = udpAddr
+	if e := t.book[ep]; e != nil {
+		// Promote: a seeded binding is authoritative and pinned.
+		e.addr = udpAddr
+		e.seeded = true
+		if e.elem != nil {
+			t.learned.Remove(e.elem)
+			e.elem = nil
+		}
+	} else {
+		t.book[ep] = &bookEntry{addr: udpAddr, seeded: true}
+	}
 	t.mu.Unlock()
 	return nil
+}
+
+// SetMaxLearned adjusts the learned-entry bound (tests; default 4096),
+// evicting immediately if the book already exceeds it. Safe from any
+// goroutine.
+func (t *Transport) SetMaxLearned(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.maxLearned = n
+	t.evictLearnedLocked()
+	t.mu.Unlock()
+}
+
+// BookSize reports the address book's composition. Safe from any
+// goroutine.
+func (t *Transport) BookSize() (seeded, learned int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	learned = t.learned.Len()
+	return len(t.book) - learned, learned
+}
+
+// evictLearnedLocked drops least-recently-used learned entries until
+// the bound holds. Caller holds t.mu.
+func (t *Transport) evictLearnedLocked() {
+	for t.learned.Len() > t.maxLearned {
+		oldest := t.learned.Back()
+		t.learned.Remove(oldest)
+		delete(t.book, oldest.Value.(transport.Endpoint))
+	}
 }
 
 // Unrouted reports how many datagrams were dropped because the address
@@ -217,8 +280,14 @@ func (t *Transport) Detach(ip transport.IP) {
 // UDP semantics, and exactly what the emulator does for dead hosts.
 func (t *Transport) Send(dg transport.Datagram) {
 	t.mu.Lock()
-	addr := t.book[dg.Dst]
-	if addr == nil {
+	var addr *net.UDPAddr
+	if e := t.book[dg.Dst]; e != nil {
+		addr = e.addr
+		if e.elem != nil {
+			// Destinations we still talk to stay out of eviction's way.
+			t.learned.MoveToFront(e.elem)
+		}
+	} else {
 		t.unrouted++
 	}
 	t.mu.Unlock()
@@ -280,8 +349,20 @@ func (t *Transport) dispatch(payload []byte, from *net.UDPAddr) {
 	dg := transport.Datagram{Src: src, Dst: dst, Payload: payload[encapLen:]}
 	t.mu.Lock()
 	// Learn the sender's real address; later replies to src route
-	// without static seeding.
-	t.book[src] = from
+	// without static seeding. Learned entries live in a bounded LRU so a
+	// packet-spraying peer cannot grow the book without limit; seeded
+	// entries are never displaced.
+	if e := t.book[src]; e != nil {
+		if !e.seeded {
+			e.addr = from
+			t.learned.MoveToFront(e.elem)
+		}
+	} else {
+		e := &bookEntry{addr: from}
+		e.elem = t.learned.PushFront(src)
+		t.book[src] = e
+		t.evictLearnedLocked()
+	}
 	h := t.handlers[dst.IP]
 	t.mu.Unlock()
 	if h == nil {

@@ -4,9 +4,11 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"whisper/internal/crypt"
+	"whisper/internal/dedup"
 	"whisper/internal/identity"
 	"whisper/internal/nylon"
 	"whisper/internal/transport"
@@ -132,6 +134,14 @@ type Stats struct {
 	DropNoContact   uint64
 	AcksForwarded   uint64
 	KeyRequests     uint64
+	// DupForwards counts exact duplicate forwards suppressed before the
+	// peel (network duplication or replay of the same onion).
+	DupForwards uint64
+	// DupDeliveries counts exit-hop arrivals for an already-delivered
+	// path suppressed after the peel (a late retry racing the first
+	// attempt's acknowledgement). Neither Delivered nor OnReceive fires
+	// for these; the acknowledgement is resent instead.
+	DupDeliveries uint64
 }
 
 // Tracer observes path events for the delay-breakdown experiments
@@ -181,6 +191,15 @@ type WCL struct {
 	ackState    map[uint64]ackEntry
 	pendingKeys map[identity.NodeID]time.Duration // request time, for expiry
 
+	// seenForwards remembers recently handled forwards (pathID folded
+	// with an onion digest, so distinct attempts of one path pass) and
+	// makes every hop idempotent under network duplication.
+	seenForwards *dedup.Seen[uint64]
+	// deliveredPaths remembers path IDs this node has delivered as the
+	// exit hop, giving the destination exactly-once delivery across
+	// retry attempts of the same send.
+	deliveredPaths *dedup.Seen[uint64]
+
 	// OnReceive delivers decrypted payloads at the destination.
 	OnReceive func(payload []byte)
 	// OnResult, if set, observes the outcome of every send together
@@ -204,14 +223,16 @@ func New(node *nylon.Node, cfg Config) (*WCL, error) {
 	}
 	cfg = cfg.withDefaults()
 	w := &WCL{
-		node:        node,
-		cfg:         cfg,
-		rt:          node.Runtime(),
-		cb:          NewBacklog(2 * node.Config().ViewSize),
-		cpu:         &crypt.CPUMeter{},
-		pending:     make(map[uint64]*pendingSend),
-		ackState:    make(map[uint64]ackEntry),
-		pendingKeys: make(map[identity.NodeID]time.Duration),
+		node:           node,
+		cfg:            cfg,
+		rt:             node.Runtime(),
+		cb:             NewBacklog(2 * node.Config().ViewSize),
+		cpu:            &crypt.CPUMeter{},
+		pending:        make(map[uint64]*pendingSend),
+		ackState:       make(map[uint64]ackEntry),
+		pendingKeys:    make(map[identity.NodeID]time.Duration),
+		seenForwards:   dedup.New[uint64](2048),
+		deliveredPaths: dedup.New[uint64](1024),
 	}
 	node.OnExchange = w.onExchange
 	node.OnKeyExchange = w.onKeyExchange
@@ -302,7 +323,7 @@ func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
 		return
 	}
 	st := &pendingSend{
-		pathID:  w.rt.Rand().Uint64(),
+		pathID:  w.newPathID(),
 		dest:    dest,
 		content: content,
 		key:     k,
@@ -314,6 +335,23 @@ func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
 	}
 	w.pending[st.pathID] = st
 	w.attempt(st)
+}
+
+// newPathID draws a fresh path identifier. Zero is reserved (it is the
+// pathID of the throwaway state used for sends that fail before a path
+// exists), and identifiers of in-flight sends are skipped so a
+// collision cannot alias two pending entries.
+func (w *WCL) newPathID() uint64 {
+	for {
+		id := w.rt.Rand().Uint64()
+		if id == 0 {
+			continue
+		}
+		if _, inFlight := w.pending[id]; inFlight {
+			continue
+		}
+		return id
+	}
 }
 
 // pickMixes chooses an untried (A, B) pair plus any extra middle
@@ -379,14 +417,27 @@ func (w *WCL) pickMixes(st *pendingSend) (a nylon.Descriptor, middles []Helper, 
 		a, ok = pickA(nil) // reuse a tried A with a fresh B
 	}
 	if ok && a.ID == b.ID {
-		// Avoid A == B; try to find another A.
-		for _, e := range w.cb.Entries() {
-			if e.Desc.ID != b.ID && !exclude[e.Desc.ID] && w.node.Keys().Get(e.Desc.ID) != nil {
-				a = e.Desc
-				break
+		// Avoid A == B: rescue-scan for a different A, preferring ones
+		// not yet tried so the attempt budget is not spent re-testing a
+		// mix already known to fail (and MixesTried stays honest).
+		rescue := func(skipTried bool) (nylon.Descriptor, bool) {
+			for _, e := range w.cb.Entries() {
+				d := e.Desc
+				if d.ID == b.ID || exclude[d.ID] || (skipTried && st.triedA[d.ID]) {
+					continue
+				}
+				if w.node.Keys().Get(d.ID) == nil {
+					continue
+				}
+				return d, true
 			}
+			return nylon.Descriptor{}, false
 		}
-		if a.ID == b.ID {
+		var found bool
+		if a, found = rescue(true); !found {
+			a, found = rescue(false)
+		}
+		if !found {
 			return a, nil, b, false
 		}
 	}
@@ -482,7 +533,12 @@ func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
 	if st.timer != nil {
 		st.timer.Cancel()
 	}
-	delete(w.pending, st.pathID)
+	// Only remove the entry this exact send owns: early-failure sends
+	// carry a throwaway state whose zero pathID must not evict (and a
+	// stale timer must not double-finish) a live entry under that key.
+	if cur, ok := w.pending[st.pathID]; ok && cur == st {
+		delete(w.pending, st.pathID)
+	}
 	switch {
 	case outcome == Success:
 		w.Stats.FirstTrySuccess++
@@ -537,6 +593,19 @@ func (w *WCL) handleApp(src transport.Endpoint, payload []byte) {
 // handleForward peels one onion layer and forwards, or delivers when
 // this node is the destination.
 func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
+	// Exact duplicates (network duplication, replayed datagrams) are
+	// suppressed before the expensive peel. The key folds in an onion
+	// digest so retry attempts of the same path — same pathID, fresh
+	// onion — still pass. If this node already delivered the path as its
+	// exit hop, the duplicate means the forward outran our ack (or the
+	// ack was lost), so answer it again instead of staying silent.
+	if w.seenForwards.Add(m.PathID ^ fnvSum(m.Onion)) {
+		w.Stats.DupForwards++
+		if w.deliveredPaths.Contains(m.PathID) {
+			w.sendAckBack(m.PathID)
+		}
+		return
+	}
 	start := time.Now()
 	next, inner, exit, err := crypt.Peel(w.cpu, w.node.Identity().Key, m.Onion)
 	peelTime := time.Since(start)
@@ -557,12 +626,21 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 		expires: w.rt.Now() + w.cfg.AckTTL,
 	}
 	if exit {
+		// A later attempt of a path this node already delivered (the
+		// source retried because the first ack was slow or lost): ack
+		// again, but deliver the plaintext exactly once.
+		if w.deliveredPaths.Contains(m.PathID) {
+			w.Stats.DupDeliveries++
+			w.sendAckBack(m.PathID)
+			return
+		}
 		// inner is the content key k.
 		pt, err := crypt.OpenSym(w.cpu, inner, m.Content)
 		if err != nil {
 			w.Stats.PeelErrors++
 			return
 		}
+		w.deliveredPaths.Add(m.PathID)
 		w.Stats.Delivered++
 		if w.Tracer != nil {
 			w.Tracer.Delivered(m.PathID)
@@ -656,6 +734,16 @@ func (w *WCL) pruneAckState() {
 			delete(w.ackState, id)
 		}
 	}
+}
+
+// fnvSum digests an onion blob for the duplicate-forward key. FNV-1a is
+// plenty here: the key only gates a bounded suppression window, and a
+// (pathID, digest) collision merely drops one datagram — the retry
+// machinery absorbs that like any network loss.
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
 }
 
 func reverseIDs(ids []identity.NodeID) []identity.NodeID {
