@@ -160,8 +160,8 @@ func benchWorld(b *testing.B, cfg nylon.Config, lease time.Duration) (completed,
 	w.StartAll()
 	w.Sim.RunUntil(8 * time.Minute)
 	for _, n := range w.Live() {
-		completed += n.Nylon.Stats.ShufflesCompleted
-		relayed += n.Nylon.Stats.RelaysForwarded
+		completed += n.Nylon.Stats().ShufflesCompleted
+		relayed += n.Nylon.Stats().RelaysForwarded
 	}
 	return completed, relayed
 }

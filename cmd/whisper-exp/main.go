@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"whisper/internal/exp"
+	"whisper/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		check    = flag.Bool("check", true, "run shape checks against the paper's qualitative findings")
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment (1 = sequential, matching the pre-harness output byte for byte)")
 		benchOut = flag.String("benchjson", "", "write machine-readable per-run timings to this JSON file")
+		metrics  = flag.String("metrics-out", "", "write the metrics registry as JSON to this file after the run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|ablate|all>\n")
@@ -52,11 +54,23 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	if *benchOut != "" {
-		exp.BenchSink = &exp.BenchLog{}
-	}
 	r := runner{seed: *seed, scale: *scale, out: out, check: *check, parallel: *par}
 	name := flag.Arg(0)
+	if *benchOut != "" {
+		exp.BenchSink = &exp.BenchLog{}
+		exp.BenchSink.SetMeta(exp.BenchMeta{
+			Experiment: name,
+			Seed:       *seed,
+			Scale:      *scale,
+			Parallel:   *par,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		})
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		exp.ObsRoot = reg.Scope()
+	}
 	start := time.Now()
 	if err := r.run(name); err != nil {
 		fmt.Fprintln(os.Stderr, "whisper-exp:", err)
@@ -70,6 +84,12 @@ func main() {
 		})
 		if err := exp.BenchSink.WriteJSON(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "whisper-exp: writing bench json:", err)
+			os.Exit(1)
+		}
+	}
+	if reg != nil {
+		if err := reg.WriteJSON(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "whisper-exp: writing metrics json:", err)
 			os.Exit(1)
 		}
 	}

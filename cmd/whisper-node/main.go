@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,6 +41,7 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/nat"
 	"whisper/internal/nylon"
+	"whisper/internal/obs"
 	"whisper/internal/ppss"
 	"whisper/internal/transport"
 	"whisper/internal/transport/udp"
@@ -78,6 +80,7 @@ func main() {
 		keyBits = flag.Int("keybits", identity.DefaultKeyBits, "RSA modulus size")
 		stats   = flag.Duration("stats", 30*time.Second, "stats logging period (0 = off)")
 		seed    = flag.Int64("seed", 1, "protocol randomness seed")
+		obsAddr = flag.String("obs-addr", "", "HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	)
 	flag.Var(&peers, "peer", "bootstrap peer as id=host:port (repeatable)")
 	flag.Parse()
@@ -98,14 +101,32 @@ func main() {
 	}
 	defer tr.Close()
 
+	var reg *obs.Registry
+	var scope *obs.Scope
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		scope = reg.Scope("node", fmt.Sprint(*id))
+	}
+
 	self := transport.Endpoint{IP: transport.IP(*id), Port: 1}
 	st, err := core.NewStack(tr, ident, nat.None, self, nil, core.Config{
 		Nylon: nylon.Config{Cycle: *cycle},
 		WCL:   &wcl.Config{},
 		PPSS:  &ppss.Config{},
+		Obs:   scope,
 	})
 	if err != nil {
 		log.Fatalf("whisper-node: assembling stack: %v", err)
+	}
+
+	if reg != nil {
+		srv := &http.Server{Addr: *obsAddr, Handler: obs.Handler(reg)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("whisper-node: obs server: %v", err)
+			}
+		}()
+		log.Printf("observability endpoints on http://%s/{metrics,debug/vars,debug/pprof}", *obsAddr)
 	}
 
 	// Seed the address book and the gossip view from the -peer list

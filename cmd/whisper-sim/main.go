@@ -23,6 +23,7 @@ import (
 	"whisper/internal/churn"
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
+	"whisper/internal/obs"
 	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
@@ -43,6 +44,7 @@ func main() {
 		file     = flag.String("churn-file", "", "churn script file")
 		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
 		runs     = flag.Int("runs", 1, "replicas to run at seeds seed..seed+runs-1")
+		metrics  = flag.String("metrics-out", "", "dump the metrics registry as JSON to this file after the run (- = stdout)")
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = sequential)")
 
 		faultDup     = flag.Float64("fault-dup", 0, "per-datagram duplication probability")
@@ -66,6 +68,7 @@ func main() {
 	cfg := scenario{
 		n: *n, natRatio: *natRatio, pi: *pi, groups: *groups,
 		duration: *duration, env: *env, script: *script, keyBlob: *keyBlob,
+		metricsOut: *metrics,
 	}
 	if *faultDup > 0 || *faultReorder > 0 || *faultBurstP > 0 {
 		cfg.faults = &netem.FaultModel{
@@ -109,21 +112,26 @@ func main() {
 
 // scenario is one whisper-sim configuration, runnable at any seed.
 type scenario struct {
-	n        int
-	natRatio float64
-	pi       int
-	groups   int
-	duration time.Duration
-	env      string
-	script   string
-	keyBlob  int
-	faults   *netem.FaultModel
+	n          int
+	natRatio   float64
+	pi         int
+	groups     int
+	duration   time.Duration
+	env        string
+	script     string
+	keyBlob    int
+	faults     *netem.FaultModel
+	metricsOut string
 }
 
 func (c scenario) run(out io.Writer, seed int64) error {
 	var model netem.LatencyModel = netem.Cluster{}
 	if c.env == "planetlab" {
 		model = netem.DefaultPlanetLab()
+	}
+	var reg *obs.Registry
+	if c.metricsOut != "" {
+		reg = obs.NewRegistry()
 	}
 	opts := sim.Options{
 		Seed:     seed,
@@ -132,6 +140,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		Model:    model,
 		Faults:   c.faults,
 		Nylon:    nylon.Config{MinPublic: c.pi, KeyBlobSize: c.keyBlob},
+		Obs:      reg.Scope("seed", fmt.Sprint(seed)),
 	}
 	if c.groups > 0 {
 		opts.WCL = &wcl.Config{MinPublic: c.pi}
@@ -207,7 +216,22 @@ func (c scenario) run(out io.Writer, seed int64) error {
 
 	w.Sim.RunUntil(c.duration)
 	report(out, w)
+	if reg != nil {
+		if err := dumpMetrics(reg, c.metricsOut, seed); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpMetrics writes the registry JSON to path ("-" = stdout). With
+// replicas, each seed gets its own file suffix so runs don't clobber
+// one another.
+func dumpMetrics(reg *obs.Registry, path string, seed int64) error {
+	if path == "-" {
+		return reg.WriteJSONTo(os.Stdout)
+	}
+	return reg.WriteJSON(fmt.Sprintf("%s.seed%d", path, seed))
 }
 
 func nil2(*ppss.Instance, error) {}
@@ -227,7 +251,7 @@ func report(out io.Writer, w *sim.World) {
 
 	var nyl nylon.Stats
 	for _, node := range live {
-		s := node.Nylon.Stats
+		s := node.Nylon.Stats()
 		nyl.ShufflesCompleted += s.ShufflesCompleted
 		nyl.ShufflesTimedOut += s.ShufflesTimedOut
 		nyl.RelaysForwarded += s.RelaysForwarded
@@ -243,7 +267,7 @@ func report(out io.Writer, w *sim.World) {
 			continue
 		}
 		haveWCL = true
-		s := node.WCL.Stats
+		s := node.WCL.Stats()
 		wst.Sent += s.Sent
 		wst.FirstTrySuccess += s.FirstTrySuccess
 		wst.AltSuccess += s.AltSuccess

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"whisper/internal/identity"
+	"whisper/internal/obs"
 	"whisper/internal/ppss"
 	"whisper/internal/transport"
 	"whisper/internal/wire"
@@ -34,6 +35,9 @@ type Config struct {
 	Hops int
 	// CacheSize bounds the duplicate-suppression cache (default 1024).
 	CacheSize int
+	// Obs is the scope broadcast instruments register under. Nil
+	// defaults to the instance's group scope.
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -49,12 +53,30 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts dissemination events.
+// Stats is a snapshot of dissemination events, read through
+// Broadcaster.Stats.
 type Stats struct {
 	Published  uint64
 	Delivered  uint64
 	Duplicates uint64
 	Forwards   uint64
+}
+
+// met holds the broadcaster's metric instruments.
+type met struct {
+	published  *obs.Counter
+	delivered  *obs.Counter
+	duplicates *obs.Counter
+	forwards   *obs.Counter
+}
+
+func newMet(sc *obs.Scope) met {
+	return met{
+		published:  sc.Counter("broadcast_published_total"),
+		delivered:  sc.Counter("broadcast_delivered_total"),
+		duplicates: sc.Counter("broadcast_duplicates_total"),
+		forwards:   sc.Counter("broadcast_forwards_total"),
+	}
 }
 
 // Broadcaster is the per-member dissemination endpoint of one group.
@@ -70,29 +92,43 @@ type Broadcaster struct {
 	// the member's own publications.
 	OnDeliver func(origin identity.NodeID, payload []byte)
 
-	// Stats exposes counters.
-	Stats Stats
+	met met
 }
 
 // New attaches a broadcaster to a group instance (subscribing to Tag).
 func New(inst *ppss.Instance, cfg Config) *Broadcaster {
+	cfg = cfg.withDefaults()
+	if cfg.Obs == nil {
+		cfg.Obs = inst.Obs()
+	}
 	b := &Broadcaster{
 		inst: inst,
 		rt:   inst.Runtime(),
-		cfg:  cfg.withDefaults(),
+		cfg:  cfg,
 		seen: make(map[uint64]struct{}),
+		met:  newMet(cfg.Obs),
 	}
 	inst.Subscribe(Tag, b.handle)
 	return b
+}
+
+// Stats returns a snapshot of the broadcaster's counters.
+func (b *Broadcaster) Stats() Stats {
+	return Stats{
+		Published:  b.met.published.Value(),
+		Delivered:  b.met.delivered.Value(),
+		Duplicates: b.met.duplicates.Value(),
+		Forwards:   b.met.forwards.Value(),
+	}
 }
 
 // Publish disseminates payload to the whole group. The publisher
 // delivers to itself immediately.
 func (b *Broadcaster) Publish(payload []byte) {
 	id := b.rt.Rand().Uint64()
-	b.Stats.Published++
+	b.met.published.Inc()
 	b.remember(id)
-	b.Stats.Delivered++
+	b.met.delivered.Inc()
 	if b.OnDeliver != nil {
 		b.OnDeliver(b.inst.SelfEntry().ID, payload)
 	}
@@ -135,11 +171,11 @@ func (b *Broadcaster) handle(_ ppss.Entry, payload []byte) {
 		return
 	}
 	if _, dup := b.seen[m.ID]; dup {
-		b.Stats.Duplicates++
+		b.met.duplicates.Inc()
 		return
 	}
 	b.remember(m.ID)
-	b.Stats.Delivered++
+	b.met.delivered.Inc()
 	if b.OnDeliver != nil {
 		b.OnDeliver(m.Origin, m.Payload)
 	}
@@ -164,7 +200,7 @@ func (b *Broadcaster) forward(m message) {
 	}
 	enc := m.encode()
 	for _, e := range peers {
-		b.Stats.Forwards++
+		b.met.forwards.Inc()
 		b.inst.Send(e, enc, nil)
 	}
 }

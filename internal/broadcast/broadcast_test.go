@@ -100,7 +100,7 @@ func TestBroadcastReachesWholeGroup(t *testing.T) {
 	// Duplicates were suppressed, not delivered.
 	var dups uint64
 	for _, b := range bs {
-		dups += b.Stats.Duplicates
+		dups += b.Stats().Duplicates
 	}
 	if dups == 0 {
 		t.Log("note: no duplicate arrived at all (small group)")

@@ -11,6 +11,7 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/nat"
 	"whisper/internal/nylon"
+	"whisper/internal/obs"
 	"whisper/internal/ppss"
 	"whisper/internal/transport"
 	"whisper/internal/wcl"
@@ -26,6 +27,10 @@ type Config struct {
 	// PPSS, when non-nil, attaches the private peer sampling router
 	// (requires WCL; a default WCL config is implied if WCL is nil).
 	PPSS *ppss.Config
+	// Obs is the observability scope every layer registers its
+	// instruments under (typically already carrying a node label). Nil
+	// runs the stack unobserved at zero behavioral cost.
+	Obs *obs.Scope
 }
 
 // Stack is the per-node protocol stack.
@@ -46,16 +51,23 @@ func NewStack(rt transport.Transport, ident *identity.Identity, typ nat.Type, ad
 	if cfg.WCL != nil {
 		cfg.Nylon.KeySampling = true
 	}
+	cfg.Nylon.Obs = cfg.Obs
 	st := &Stack{Nylon: nylon.NewNode(rt, ident, typ, addr, dev, cfg.Nylon)}
 	if cfg.WCL != nil {
-		layer, err := wcl.New(st.Nylon, *cfg.WCL)
+		// Copy before mutating: callers (the simulator in particular)
+		// share one sub-config across many stacks.
+		wcfg := *cfg.WCL
+		wcfg.Obs = cfg.Obs
+		layer, err := wcl.New(st.Nylon, wcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: attaching WCL: %w", err)
 		}
 		st.WCL = layer
 	}
 	if cfg.PPSS != nil {
-		st.PPSS = ppss.NewRouter(st.WCL, *cfg.PPSS)
+		pcfg := *cfg.PPSS
+		pcfg.Obs = cfg.Obs
+		st.PPSS = ppss.NewRouter(st.WCL, pcfg)
 	}
 	return st, nil
 }

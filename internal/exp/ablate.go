@@ -8,6 +8,7 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
+	"whisper/internal/obs"
 	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
@@ -106,6 +107,7 @@ func ablateLease(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, er
 		Nylon:    nylon.Config{ContactTTL: v.ttl},
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+		Obs:      worldObs("ablate/nat-lease/" + v.name),
 	})
 	if err != nil {
 		return AblationRow{}, err
@@ -147,6 +149,7 @@ func ablatePunching(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow,
 	w, err := sim.NewWorld(sim.Options{
 		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: pool,
 		Nylon: nylon.Config{DisablePunch: v.disable, MinPublic: 3},
+		Obs:   worldObs("ablate/nat-traversal/" + v.name),
 	})
 	if err != nil {
 		return AblationRow{}, err
@@ -156,7 +159,7 @@ func ablatePunching(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow,
 	var punches uint64
 	var contacts, nnContacts []float64
 	for _, n := range w.Live() {
-		punches += n.Nylon.Stats.PunchSuccesses
+		punches += n.Nylon.Stats().PunchSuccesses
 		ids := n.Nylon.ContactIDs()
 		contacts = append(contacts, float64(len(ids)))
 		nn := 0
@@ -197,6 +200,7 @@ func ablateBiasCap(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, 
 	w, err := sim.NewWorld(sim.Options{
 		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.9, KeyPool: pool,
 		Nylon: nylon.Config{MinPublic: 3, CapExcessPublic: v.cap},
+		Obs:   worldObs("ablate/view-bias/" + v.name),
 	})
 	if err != nil {
 		return AblationRow{}, err
@@ -243,6 +247,7 @@ func ablateMixCount(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow,
 		Seed: cfg.Seed, N: cfg.N, NATRatio: 0.7, KeyPool: pool,
 		WCL:  &wcl.Config{MinPublic: 3, Mixes: mixes},
 		PPSS: &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+		Obs:  worldObs(fmt.Sprintf("ablate/mix-count/%d mixes", mixes)),
 	})
 	if err != nil {
 		return AblationRow{}, err
@@ -276,18 +281,23 @@ func ablateMixCount(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow,
 	}, nil
 }
 
-// deliveryCounter is a wcl.Tracer that detects duplicate deliveries:
-// Delivered must fire at most once per path, whatever the network does.
+// deliveryCounter detects duplicate deliveries: a deliver event must
+// fire at most once per path, whatever the network does. Counting per
+// path needs the correlation key, so this is an obs.Correlator — the
+// omniscient-observer role only the simulator may take.
 type deliveryCounter struct {
 	counts map[uint64]int
 	dups   int
 }
 
-func (d *deliveryCounter) PathBuilt(uint64, time.Duration) {}
-func (d *deliveryCounter) Peeled(uint64, time.Duration)    {}
-func (d *deliveryCounter) Delivered(pathID uint64) {
-	d.counts[pathID]++
-	if d.counts[pathID] > 1 {
+func (d *deliveryCounter) Record(node uint64, ev obs.Event) { d.RecordCorrelated(node, ev, 0) }
+
+func (d *deliveryCounter) RecordCorrelated(_ uint64, ev obs.Event, corr uint64) {
+	if ev.Kind != obs.KindDeliver {
+		return
+	}
+	d.counts[corr]++
+	if d.counts[corr] > 1 {
 		d.dups++
 	}
 }
@@ -317,13 +327,14 @@ func ablateFaults(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, e
 		Faults: v.faults,
 		WCL:    &wcl.Config{MinPublic: 3},
 		PPSS:   &ppss.Config{KeyBlobSize: cfg.KeyBlob, MinHelpers: 3},
+		Obs:    worldObs("ablate/faults/" + v.name),
 	})
 	if err != nil {
 		return AblationRow{}, err
 	}
 	tracer := &deliveryCounter{counts: map[uint64]int{}}
 	for _, n := range w.Nodes {
-		n.WCL.Tracer = tracer
+		n.WCL.Trace = obs.NewTracer(uint64(n.Nylon.ID()), tracer)
 	}
 	w.StartAll()
 	w.Sim.RunUntil(4 * time.Minute)

@@ -18,6 +18,7 @@ import (
 // compare against (BENCH_whisper.json in the repository root).
 type RunStat struct {
 	Name         string  `json:"name"`
+	Faults       string  `json:"faults,omitempty"`
 	WallMS       float64 `json:"wall_ms"`
 	Events       uint64  `json:"events,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
@@ -31,11 +32,34 @@ type RunStat struct {
 	Verifys      uint64  `json:"verifys,omitempty"`
 }
 
+// BenchMeta describes how a whisper-exp invocation was configured, so
+// a whisper-bench/v1 blob is self-describing: two blobs are comparable
+// only when their metadata matches.
+type BenchMeta struct {
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Parallel   int     `json:"parallel"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Faults     string  `json:"faults,omitempty"`
+}
+
 // BenchLog collects RunStats from concurrent experiment runs. The
 // zero value is ready to use; all methods are safe for concurrent use.
 type BenchLog struct {
 	mu   sync.Mutex
+	meta BenchMeta
 	runs []RunStat
+}
+
+// SetMeta records the invocation metadata embedded in the JSON output.
+func (b *BenchLog) SetMeta(m BenchMeta) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.meta = m
+	b.mu.Unlock()
 }
 
 // Record appends one stat.
@@ -61,10 +85,14 @@ func (b *BenchLog) Runs() []RunStat {
 
 // WriteJSON writes the log to path as an indented JSON document.
 func (b *BenchLog) WriteJSON(path string) error {
+	b.mu.Lock()
+	meta := b.meta
+	b.mu.Unlock()
 	doc := struct {
 		Schema string    `json:"schema"`
+		Meta   BenchMeta `json:"meta"`
 		Runs   []RunStat `json:"runs"`
-	}{Schema: "whisper-bench/v1", Runs: b.Runs()}
+	}{Schema: "whisper-bench/v1", Meta: meta, Runs: b.Runs()}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -86,6 +114,7 @@ func recordRun(name string, start time.Time, w *sim.World) {
 	cpu := w.CPUTotal()
 	st := RunStat{
 		Name:       name,
+		Faults:     w.Net.Faults().String(),
 		WallMS:     float64(wall.Microseconds()) / 1000,
 		Events:     w.Sim.Executed(),
 		VirtualSec: w.Sim.Now().Seconds(),

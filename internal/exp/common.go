@@ -13,6 +13,7 @@ import (
 
 	"whisper/internal/identity"
 	"whisper/internal/netem"
+	"whisper/internal/obs"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
 	"whisper/internal/stats"
@@ -47,6 +48,17 @@ func (e Env) Model() netem.LatencyModel {
 // keyPool caches a process-wide pool so repeated experiments do not pay
 // RSA key generation each time.
 var keyPool = identity.TestPool(64)
+
+// ObsRoot, when non-nil, parents the metric instruments of every
+// experiment world; whisper-exp points it at a registry scope when
+// -metrics-out is set. Nil (the default) runs experiments unobserved,
+// which the fig5 golden test pins as byte-identical.
+var ObsRoot *obs.Scope
+
+// worldObs derives the scope for one named run (nil when observability
+// is off). The registry is concurrency-safe, so parallel runs share it;
+// the run label keeps their node instruments apart.
+func worldObs(run string) *obs.Scope { return ObsRoot.With("run", run) }
 
 // runPool returns the key pool for run i of an experiment executing
 // with the given worker count. The sequential path keeps the shared
@@ -143,7 +155,7 @@ func aggregateWCL(w *sim.World) wcl.Stats {
 		if n.WCL == nil {
 			continue
 		}
-		s := n.WCL.Stats
+		s := n.WCL.Stats()
 		out.Sent += s.Sent
 		out.FirstTrySuccess += s.FirstTrySuccess
 		out.AltSuccess += s.AltSuccess

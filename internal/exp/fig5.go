@@ -79,6 +79,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Result, error) {
 				MinPublic:       pi,
 				CapExcessPublic: cfg.CapExcessPublic,
 			},
+			Obs: worldObs(fmt.Sprintf("fig5/pi=%d", pi)),
 		})
 		if err != nil {
 			return Fig5Result{}, err

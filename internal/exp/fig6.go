@@ -108,6 +108,7 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 				KeySampling: st.keys,
 				KeyBlobSize: cfg.KeyBlobSize,
 			},
+			Obs: worldObs(fmt.Sprintf("fig6/ratio=%.1f/%s", ratio, st.label)),
 		})
 		if err != nil {
 			return Fig6Row{}, err

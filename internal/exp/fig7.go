@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whisper/internal/identity"
+	"whisper/internal/obs"
 	"whisper/internal/parallel"
 	"whisper/internal/ppss"
 	"whisper/internal/sim"
@@ -70,15 +71,21 @@ type Fig7Result struct {
 }
 
 // tracer collects WCL path-construction and peeling costs across all
-// nodes of a run.
+// nodes of a run. It is a plain obs.Collector: it sees durations only,
+// never path identifiers.
 type tracer struct {
 	builds []time.Duration
 	peels  []time.Duration
 }
 
-func (t *tracer) PathBuilt(_ uint64, d time.Duration) { t.builds = append(t.builds, d) }
-func (t *tracer) Peeled(_ uint64, d time.Duration)    { t.peels = append(t.peels, d) }
-func (t *tracer) Delivered(_ uint64)                  {}
+func (t *tracer) Record(_ uint64, ev obs.Event) {
+	switch ev.Kind {
+	case obs.KindSend:
+		t.builds = append(t.builds, ev.Dur)
+	case obs.KindPeel:
+		t.peels = append(t.peels, ev.Dur)
+	}
+}
 
 // Fig7 measures the breakdown on one environment (sequentially, on the
 // shared key pool). Fig7Runs fans several environments out to the
@@ -114,6 +121,7 @@ func fig7Run(cfg Fig7Config, env Env, pool *identity.Pool) (Fig7Result, error) {
 		KeyPool:  pool,
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &pcfg,
+		Obs:      worldObs("fig7/" + env.String()),
 	})
 	if err != nil {
 		return Fig7Result{}, err
@@ -129,7 +137,7 @@ func fig7Run(cfg Fig7Config, env Env, pool *identity.Pool) (Fig7Result, error) {
 		if n.WCL == nil {
 			continue
 		}
-		n.WCL.Tracer = tr
+		n.WCL.Trace = obs.NewTracer(uint64(n.Nylon.ID()), tr)
 		for _, inst := range n.PPSS.Instances() {
 			inst.OnExchangeRTT = func(rtt time.Duration) {
 				rtts = append(rtts, rtt)

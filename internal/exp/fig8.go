@@ -86,6 +86,7 @@ func fig8Run(cfg Fig8Config, groupsPerNode int, pool *identity.Pool) (Fig8Row, e
 		KeyPool:  pool,
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &pcfg,
+		Obs:      worldObs(fmt.Sprintf("fig8/groups=%d", groupsPerNode)),
 	})
 	if err != nil {
 		return Fig8Row{}, err

@@ -79,6 +79,7 @@ func Fig9(cfg Fig9Config) (Fig9Result, error) {
 		KeyPool:  keyPool,
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &pcfg,
+		Obs:      worldObs("fig9"),
 	})
 	if err != nil {
 		return Fig9Result{}, err

@@ -96,6 +96,7 @@ func table1Run(cfg Table1Config, rate float64, pool *identity.Pool) (Table1Row, 
 		KeyPool:  pool,
 		WCL:      &wcl.Config{MinPublic: cfg.Pi},
 		PPSS:     &pcfg,
+		Obs:      worldObs(fmt.Sprintf("table1/rate=%.1f", rate)),
 	})
 	if err != nil {
 		return Table1Row{}, err

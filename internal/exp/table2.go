@@ -84,6 +84,7 @@ func Table2(cfg Table2Config) (Table2Result, error) {
 		KeyPool:  keyPool,
 		WCL:      &wcl.Config{MinPublic: 3},
 		PPSS:     &pcfg,
+		Obs:      worldObs("table2"),
 	})
 	if err != nil {
 		return Table2Result{}, err

@@ -1,7 +1,9 @@
 package netem
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 )
 
@@ -36,6 +38,32 @@ type FaultModel struct {
 	// Partitions lists one-way cuts: a datagram whose source is in
 	// From and destination in To of any partition is dropped.
 	Partitions []Partition
+}
+
+// String renders the active fault knobs compactly ("" for nil), the
+// form the bench log embeds so timing records say what network they ran
+// on.
+func (f *FaultModel) String() string {
+	if f == nil {
+		return ""
+	}
+	var parts []string
+	if f.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", f.DupProb))
+	}
+	if f.ReorderProb > 0 {
+		parts = append(parts, fmt.Sprintf("reorder=%g/%v", f.ReorderProb, f.reorderJitter()))
+	}
+	if f.Burst != nil {
+		parts = append(parts, fmt.Sprintf("burst=%g/%g/%g", f.Burst.PGoodBad, f.Burst.PBadGood, f.Burst.LossBad))
+	}
+	if len(f.Partitions) > 0 {
+		parts = append(parts, fmt.Sprintf("partitions=%d", len(f.Partitions)))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
 }
 
 // reorderJitter returns the effective window width.

@@ -160,17 +160,18 @@ func TestPortMetering(t *testing.T) {
 		t.Fatal("payload not delivered")
 	}
 	wantWire := uint64(100 + HeaderOverhead)
-	if ma.UpBytes != wantWire || ma.UpMsgs != 1 {
-		t.Fatalf("sender meter %+v, want %d up bytes", ma, wantWire)
+	sa, sb := ma.Snapshot(), mb.Snapshot()
+	if sa.UpBytes != wantWire || sa.UpMsgs != 1 {
+		t.Fatalf("sender meter %+v, want %d up bytes", sa, wantWire)
 	}
-	if mb.DownBytes != wantWire || mb.DownMsgs != 1 {
-		t.Fatalf("receiver meter %+v, want %d down bytes", mb, wantWire)
+	if sb.DownBytes != wantWire || sb.DownMsgs != 1 {
+		t.Fatalf("receiver meter %+v, want %d down bytes", sb, wantWire)
 	}
 	if ma.UpKB() != float64(wantWire)/1024 {
 		t.Fatalf("UpKB = %v", ma.UpKB())
 	}
 	ma.Reset()
-	if ma.UpBytes != 0 || ma.UpMsgs != 0 {
+	if sa := ma.Snapshot(); sa.UpBytes != 0 || sa.UpMsgs != 0 {
 		t.Fatal("Reset did not zero meter")
 	}
 }
@@ -187,8 +188,8 @@ func TestPortClose(t *testing.T) {
 	p.Send(Endpoint{IP: 2, Port: 1}, []byte("x"))
 	p.HandleDatagram(Datagram{Src: Endpoint{IP: 2, Port: 1}, Dst: Endpoint{IP: 1, Port: 1}})
 	s.Run()
-	if got != 0 || m.UpBytes != 0 || m.DownBytes != 0 {
-		t.Fatalf("closed port still active: got=%d meter=%+v", got, m)
+	if s := m.Snapshot(); got != 0 || s.UpBytes != 0 || s.DownBytes != 0 {
+		t.Fatalf("closed port still active: got=%d meter=%+v", got, s)
 	}
 	if !p.Closed() {
 		t.Fatal("Closed() = false after Close")

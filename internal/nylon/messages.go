@@ -6,8 +6,8 @@ import (
 
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
-	"whisper/internal/transport"
 	"whisper/internal/pss"
+	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
 

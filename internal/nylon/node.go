@@ -6,6 +6,7 @@ import (
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/nat"
+	"whisper/internal/obs"
 	"whisper/internal/pss"
 	"whisper/internal/transport"
 	"whisper/internal/wire"
@@ -41,6 +42,11 @@ type Config struct {
 	// ContactTTL is how long a direct contact is considered usable
 	// after the last inbound datagram; it must stay below the NAT lease.
 	ContactTTL time.Duration
+	// Obs is the observability scope the node's instruments register
+	// under (typically carrying a node label). Nil runs unobserved:
+	// counters still count (Stats stays accurate) but nothing is
+	// exported.
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -68,7 +74,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts protocol events for the evaluation harness.
+// Stats is a snapshot of the node's protocol counters, read through
+// Node.Stats for the evaluation harness.
 type Stats struct {
 	ShufflesInitiated uint64
 	// ShufflesViaRelays counts initiated shuffles whose request had to
@@ -83,6 +90,40 @@ type Stats struct {
 	PunchAttempts     uint64
 	PunchSuccesses    uint64
 	EchoUpdates       uint64
+}
+
+// met holds the node's metric instruments (registered when Config.Obs
+// is set, standalone otherwise — they count either way).
+type met struct {
+	shufflesInitiated *obs.Counter
+	shufflesViaRelays *obs.Counter
+	shufflesCompleted *obs.Counter
+	shufflesTimedOut  *obs.Counter
+	shufflesServed    *obs.Counter
+	routeFailures     *obs.Counter
+	relaysForwarded   *obs.Counter
+	relayDrops        *obs.Counter
+	punchAttempts     *obs.Counter
+	punchSuccesses    *obs.Counter
+	echoUpdates       *obs.Counter
+	punchRTT          *obs.Histogram
+}
+
+func newMet(sc *obs.Scope) met {
+	return met{
+		shufflesInitiated: sc.Counter("nylon_shuffles_initiated_total"),
+		shufflesViaRelays: sc.Counter("nylon_shuffles_via_relays_total"),
+		shufflesCompleted: sc.Counter("nylon_shuffles_completed_total"),
+		shufflesTimedOut:  sc.Counter("nylon_shuffles_timed_out_total"),
+		shufflesServed:    sc.Counter("nylon_shuffles_served_total"),
+		routeFailures:     sc.Counter("nylon_route_failures_total"),
+		relaysForwarded:   sc.Counter("nylon_relays_forwarded_total"),
+		relayDrops:        sc.Counter("nylon_relay_drops_total"),
+		punchAttempts:     sc.Counter("nylon_punch_attempts_total"),
+		punchSuccesses:    sc.Counter("nylon_punch_successes_total"),
+		echoUpdates:       sc.Counter("nylon_echo_updates_total"),
+		punchRTT:          sc.Histogram("nylon_punch_rtt_ms"),
+	}
 }
 
 // ExchangeEvent notifies the layer above (the WCL's connection backlog)
@@ -132,8 +173,10 @@ type Node struct {
 	// AppHandler receives MsgApp payloads for the layer above.
 	AppHandler func(src transport.Endpoint, payload []byte)
 
-	// Stats exposes protocol counters.
-	Stats Stats
+	met met
+	// punchSent remembers when a punch request left for a peer, to
+	// derive the punch RTT when the peer's probe (or ack) arrives.
+	punchSent map[identity.NodeID]time.Duration
 }
 
 // NewNode wires a node to a transport (the emulated substrate or real
@@ -146,17 +189,24 @@ type Node struct {
 func NewNode(rt transport.Transport, ident *identity.Identity, typ nat.Type, addr transport.Endpoint, dev *nat.Device, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:      cfg,
-		rt:       rt,
-		ident:    ident,
-		typ:      typ,
-		dev:      dev,
-		view:     pss.NewView[Descriptor](cfg.ViewSize),
-		keys:     keyss.NewStore(),
-		contacts: make(map[identity.NodeID]*contact),
-		pending:  make(map[uint32]*pendingShuffle),
+		cfg:       cfg,
+		rt:        rt,
+		ident:     ident,
+		typ:       typ,
+		dev:       dev,
+		view:      pss.NewView[Descriptor](cfg.ViewSize),
+		keys:      keyss.NewStore(),
+		contacts:  make(map[identity.NodeID]*contact),
+		pending:   make(map[uint32]*pendingShuffle),
+		punchSent: make(map[identity.NodeID]time.Duration),
+		met:       newMet(cfg.Obs),
 	}
 	meter := &transport.Meter{}
+	// Bandwidth gauges read the (atomic) meter at scrape time.
+	cfg.Obs.GaugeFunc("transport_up_bytes", func() float64 { return float64(meter.UpBytes()) })
+	cfg.Obs.GaugeFunc("transport_down_bytes", func() float64 { return float64(meter.DownBytes()) })
+	cfg.Obs.GaugeFunc("transport_up_msgs", func() float64 { return float64(meter.Snapshot().UpMsgs) })
+	cfg.Obs.GaugeFunc("transport_down_msgs", func() float64 { return float64(meter.Snapshot().DownMsgs) })
 	if typ == nat.None {
 		if dev != nil {
 			panic("nylon: public node with a NAT device")
@@ -198,6 +248,23 @@ func (n *Node) Addr() transport.Endpoint { return n.port.Local() }
 
 // Meter returns the node's bandwidth meter.
 func (n *Node) Meter() *transport.Meter { return n.port.Meter() }
+
+// Stats returns a snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		ShufflesInitiated: n.met.shufflesInitiated.Value(),
+		ShufflesViaRelays: n.met.shufflesViaRelays.Value(),
+		ShufflesCompleted: n.met.shufflesCompleted.Value(),
+		ShufflesTimedOut:  n.met.shufflesTimedOut.Value(),
+		ShufflesServed:    n.met.shufflesServed.Value(),
+		RouteFailures:     n.met.routeFailures.Value(),
+		RelaysForwarded:   n.met.relaysForwarded.Value(),
+		RelayDrops:        n.met.relayDrops.Value(),
+		PunchAttempts:     n.met.punchAttempts.Value(),
+		PunchSuccesses:    n.met.punchSuccesses.Value(),
+		EchoUpdates:       n.met.echoUpdates.Value(),
+	}
+}
 
 // Keys returns the public-key sampling store.
 func (n *Node) Keys() *keyss.Store { return n.keys }
@@ -285,7 +352,7 @@ func (n *Node) cycle() {
 	n.view.Remove(partner.Val.Key())
 	path, ok := n.routeTo(partner.Val)
 	if !ok {
-		n.Stats.RouteFailures++
+		n.met.routeFailures.Inc()
 		return
 	}
 	sent := n.makeBuffer(partner.Val.Key())
@@ -295,15 +362,15 @@ func (n *Node) cycle() {
 	if n.cfg.KeySampling {
 		msg.Key = n.ident.Public()
 	}
-	n.Stats.ShufflesInitiated++
+	n.met.shufflesInitiated.Inc()
 	if len(path) > 0 {
-		n.Stats.ShufflesViaRelays++
+		n.met.shufflesViaRelays.Inc()
 	}
 	p := &pendingShuffle{partner: partner.Val, path: path, sent: sent}
 	p.timer = n.rt.After(n.cfg.ShuffleTimeout, func() {
 		if _, live := n.pending[seq]; live {
 			delete(n.pending, seq)
-			n.Stats.ShufflesTimedOut++
+			n.met.shufflesTimedOut.Inc()
 		}
 	})
 	n.pending[seq] = p
@@ -437,7 +504,7 @@ func (n *Node) handleShuffleReq(src transport.Endpoint, r *wire.Reader) {
 	if n.cfg.KeySampling && req.Key != nil {
 		n.keys.Put(req.From.ID, req.Key)
 	}
-	n.Stats.ShufflesServed++
+	n.met.shufflesServed.Inc()
 	if n.OnExchange != nil {
 		n.OnExchange(ExchangeEvent{Peer: peer, Path: reverse, Initiated: false})
 	}
@@ -463,7 +530,7 @@ func (n *Node) handleShuffleResp(src transport.Endpoint, r *wire.Reader) {
 	if n.cfg.KeySampling && resp.Key != nil {
 		n.keys.Put(resp.From.ID, resp.Key)
 	}
-	n.Stats.ShufflesCompleted++
+	n.met.shufflesCompleted.Inc()
 	n.learnRoute(resp.From.ID, p.path)
 	peer := resp.From.WithRoute(p.path)
 	if n.OnExchange != nil {

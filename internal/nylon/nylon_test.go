@@ -156,7 +156,7 @@ func TestRelaysAndPunchingOccur(t *testing.T) {
 
 	var relays, punches, timeouts, completed uint64
 	for _, n := range w.Live() {
-		st := n.Nylon.Stats
+		st := n.Nylon.Stats()
 		relays += st.RelaysForwarded
 		punches += st.PunchSuccesses
 		completed += st.ShufflesCompleted
@@ -187,7 +187,7 @@ func TestPunchingDisabledStillConverges(t *testing.T) {
 	}
 	var punches uint64
 	for _, n := range w.Live() {
-		punches += n.Nylon.Stats.PunchSuccesses
+		punches += n.Nylon.Stats().PunchSuccesses
 	}
 	if punches != 0 {
 		t.Fatalf("punching happened despite being disabled: %d", punches)
@@ -349,8 +349,8 @@ func TestConvergesOnLossyWAN(t *testing.T) {
 		if len(n.Nylon.View()) >= 8 {
 			full++
 		}
-		timeouts += n.Nylon.Stats.ShufflesTimedOut
-		completed += n.Nylon.Stats.ShufflesCompleted
+		timeouts += n.Nylon.Stats().ShufflesTimedOut
+		completed += n.Nylon.Stats().ShufflesCompleted
 	}
 	if full < len(w.Live())*9/10 {
 		t.Fatalf("only %d/%d views full under loss", full, len(w.Live()))

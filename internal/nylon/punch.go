@@ -68,7 +68,7 @@ func (n *Node) handleEchoResp(r *wire.Reader) {
 	}
 	n.selfExt = ep
 	n.selfExtAt = n.rt.Now()
-	n.Stats.EchoUpdates++
+	n.met.echoUpdates.Inc()
 }
 
 // maybePunch starts a hole-punch attempt towards peer after a relayed
@@ -83,7 +83,8 @@ func (n *Node) maybePunch(peer Descriptor, path []identity.NodeID) {
 	if ext.IsZero() {
 		return // discovery not completed yet; a later exchange will punch
 	}
-	n.Stats.PunchAttempts++
+	n.met.punchAttempts.Inc()
+	n.punchSent[peer.ID] = n.rt.Now()
 	req := punchReq{From: n.ident.ID, Ext: ext, Path: path}
 	n.send(req.encode(), peer, path)
 }
@@ -117,7 +118,8 @@ func (n *Node) handlePunchProbe(src transport.Endpoint, r *wire.Reader) {
 	// A probe that reached us is proof of a working direct path from
 	// the peer; replying from our port completes the other direction.
 	if !n.usableContact(from) {
-		n.Stats.PunchSuccesses++
+		n.met.punchSuccesses.Inc()
+		n.observePunchRTT(from)
 	}
 	n.learnContact(from, src, false)
 	n.port.Send(src, encodeIDMsg(msgProbeAck, n.ident.ID))
@@ -129,7 +131,18 @@ func (n *Node) handleProbeAck(src transport.Endpoint, r *wire.Reader) {
 		return
 	}
 	if !n.usableContact(from) {
-		n.Stats.PunchSuccesses++
+		n.met.punchSuccesses.Inc()
+		n.observePunchRTT(from)
 	}
 	n.learnContact(from, src, false)
+}
+
+// observePunchRTT records the time from our punch request to the first
+// evidence of a working direct path (the peer's probe or ack). Only the
+// initiating side has a start time on record.
+func (n *Node) observePunchRTT(from identity.NodeID) {
+	if t0, ok := n.punchSent[from]; ok {
+		delete(n.punchSent, from)
+		n.met.punchRTT.ObserveDuration(n.rt.Now() - t0)
+	}
 }

@@ -145,7 +145,7 @@ func (n *Node) send(msg []byte, d Descriptor, path []identity.NodeID) {
 			if d.Public && !d.Contact.IsZero() {
 				ep = d.Contact
 			} else {
-				n.Stats.RouteFailures++
+				n.met.routeFailures.Inc()
 				return
 			}
 		}
@@ -154,7 +154,7 @@ func (n *Node) send(msg []byte, d Descriptor, path []identity.NodeID) {
 	}
 	first, ok := n.contactEndpoint(path[0])
 	if !ok {
-		n.Stats.RouteFailures++
+		n.met.routeFailures.Inc()
 		return
 	}
 	rm := relayMsg{Path: path[1:], Final: d.ID, Inner: msg}
@@ -175,7 +175,7 @@ func (n *Node) handleRelay(src transport.Endpoint, r *wire.Reader) {
 		n.dispatch(transport.Datagram{Src: src, Dst: n.port.Local(), Payload: m.Inner})
 		return
 	}
-	n.Stats.RelaysForwarded++
+	n.met.relaysForwarded.Inc()
 	var nextID identity.NodeID
 	var rest []identity.NodeID
 	if len(m.Path) > 0 {
@@ -185,7 +185,7 @@ func (n *Node) handleRelay(src transport.Endpoint, r *wire.Reader) {
 	}
 	ep, ok := n.contactEndpoint(nextID)
 	if !ok {
-		n.Stats.RelayDrops++
+		n.met.relayDrops.Inc()
 		return
 	}
 	if nextID == m.Final {
@@ -203,7 +203,7 @@ func (n *Node) handleRelay(src transport.Endpoint, r *wire.Reader) {
 func (n *Node) SendApp(d Descriptor, payload []byte) error {
 	path, ok := n.routeTo(d)
 	if !ok {
-		n.Stats.RouteFailures++
+		n.met.routeFailures.Inc()
 		return fmt.Errorf("%w to %v", ErrNoRoute, d.ID)
 	}
 	n.send(encodeApp(payload), d, path)

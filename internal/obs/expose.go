@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricPoint is one exported instrument value, the unit of the JSON
+// dump (-metrics-out) and of the expvar view.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	// Value is the counter/gauge value (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Histogram payload.
+	Count   uint64    `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Export snapshots every registered instrument, sorted by name then
+// labels. Safe to call concurrently with updates.
+func (r *Registry) Export() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	var out []MetricPoint
+	for _, m := range r.sorted() {
+		p := MetricPoint{Name: m.name, Kind: m.kind.String()}
+		if len(m.labels) > 0 {
+			p.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			v := float64(m.c.Value())
+			p.Value = &v
+		case kindGauge:
+			v := float64(m.g.Value())
+			p.Value = &v
+		case kindGaugeFunc:
+			v := m.f()
+			p.Value = &v
+		case kindHistogram:
+			s := m.h.Snapshot()
+			p.Count, p.Sum, p.Bounds, p.Buckets = s.Count, s.Sum, s.Bounds, s.Counts
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteJSON writes the registry as an indented whisper-metrics/v1 JSON
+// document to path (the -metrics-out format of whisper-sim and
+// whisper-exp, a sibling of the whisper-bench/v1 timing blob).
+func (r *Registry) WriteJSON(path string) error {
+	var buf strings.Builder
+	if err := r.WriteJSONTo(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}
+
+// WriteJSONTo writes the same whisper-metrics/v1 document to a stream.
+func (r *Registry) WriteJSONTo(w io.Writer) error {
+	doc := struct {
+		Schema  string        `json:"schema"`
+		Metrics []MetricPoint `json:"metrics"`
+	}{Schema: "whisper-metrics/v1", Metrics: r.Export()}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (hand-rolled on purpose: no new dependencies).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	lastType := ""
+	for _, m := range r.sorted() {
+		if m.name != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
+			lastType = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, promLabels(m.labels, "", ""), m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, promLabels(m.labels, "", ""), m.g.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "%s%s %s\n", m.name, promLabels(m.labels, "", ""), promFloat(m.f()))
+		case kindHistogram:
+			s := m.h.Snapshot()
+			var cum uint64
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, promLabels(m.labels, "le", promFloat(b)), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, promLabels(m.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", m.name, promLabels(m.labels, "", ""), promFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", m.name, promLabels(m.labels, "", ""), s.Count)
+		}
+	}
+}
+
+// promLabels renders a label set (plus an optional extra pair) in
+// exposition syntax, or "" when empty.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraKey, extraVal)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// expvarReg is the registry the "whisper_metrics" expvar reflects.
+// Publishing is process-global (expvar has one namespace), so the last
+// Handler call wins — in practice a process exposes one registry.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// Handler returns the observability endpoint whisper-node serves on
+// -obs-addr: /metrics (Prometheus text), /debug/vars (expvar, with the
+// registry published as whisper_metrics), and the net/http/pprof suite
+// under /debug/pprof/. The handler uses its own mux — nothing is
+// registered on http.DefaultServeMux.
+func Handler(r *Registry) http.Handler {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("whisper_metrics", expvar.Func(func() any {
+			return expvarReg.Load().Export()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// DefaultBuckets is the default histogram bucket layout: upper bounds
+// in roughly 1-2.5-5 decades. The unit is whatever the instrument
+// observes — the stack's convention is milliseconds for durations
+// (nylon_punch_rtt_ms, wcl_peel_ms), so the default span covers 50 µs
+// to one minute.
+var DefaultBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50,
+	100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000,
+}
+
+// Histogram accumulates observations into fixed buckets. Observation
+// is an atomic add (allocation-free); merging and quantile estimation
+// happen on snapshots. Safe on a nil receiver.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds
+	counts []Counter // len(bounds)+1; the last bucket is +Inf overflow
+	count  Counter
+	sum    atomicFloat
+}
+
+// NewHistogram creates a histogram with the given bucket upper bounds
+// (DefaultBuckets if none). Bounds must be strictly increasing.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]Counter, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; equal values land in the
+	// bucket they bound (Prometheus "le" semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Inc()
+	h.count.Inc()
+	h.sum.add(v)
+}
+
+// ObserveDuration records d in milliseconds, the stack's duration unit.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Snapshot returns a consistent-enough copy for export and analysis.
+// (Bucket counts and the total are read without a global lock; a
+// concurrent Observe may be visible in one and not the other, which is
+// harmless for monitoring output.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Value()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Value() }
+
+// Quantile estimates the q-quantile; see HistogramSnapshot.Quantile.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is an immutable histogram state. Counts has one
+// entry per bound plus a final +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Merge combines two snapshots with identical bounds into a new one.
+// Merging is associative and commutative on bucket counts and totals
+// (the float Sum is associative up to rounding).
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	if len(s.Counts) != len(o.Counts) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]): the
+// smallest bucket bound b such that at least ceil(q·n) observations are
+// ≤ b. Observations beyond the last finite bound yield +Inf. An empty
+// histogram yields NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Mean returns the mean observation (NaN when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}

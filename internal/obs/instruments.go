@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. All methods are
+// atomic, allocation-free, and safe on a nil receiver (no-op / zero).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are atomic,
+// allocation-free, and safe on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the value by d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// atomicFloat accumulates a float64 sum with a CAS loop (no mutex, no
+// allocation).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }

@@ -1,0 +1,231 @@
+// Package obs is the observability layer of the WHISPER stack: a typed
+// metrics registry (counters, gauges, histograms), hop-level tracing,
+// and export plumbing (Prometheus text, JSON, expvar, pprof) shared by
+// the emulated experiments and the real whisper-node daemon.
+//
+// Three rules shape the design:
+//
+//  1. Disabled is free and zero-behavior. Every constructor is nil-safe:
+//     a nil *Scope hands out standalone instruments that still count but
+//     are registered nowhere, and a nil *Tracer drops events. Nothing in
+//     this package touches a transport, an RNG, or a clock, so attaching
+//     or detaching observability can never shift a simulated event — the
+//     fig5 golden test pins that property.
+//
+//  2. Hot paths do not allocate. Counter and gauge updates are single
+//     atomic operations; histogram observation is an atomic add into a
+//     pre-sized bucket slice. A regression test asserts 0 allocs/op.
+//
+//  3. Instrumentation only records what a node can locally observe.
+//     Metrics are per-node (the Scope carries the node label); trace
+//     events carry node-local span IDs, never end-to-end path IDs — see
+//     trace.go for the relay-visibility rule and the simulator-only
+//     CorrelatingCollector that is allowed to join spans across nodes.
+//
+// Instrument naming follows Prometheus conventions:
+// <layer>_<event>_total for counters (wcl_forwards_peeled_total),
+// <layer>_<quantity>_<unit> for gauges and histograms
+// (transport_up_bytes, nylon_punch_rtt_ms).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension (e.g. node="42").
+type Label struct {
+	Key   string
+	Value string
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	name   string
+	labels []Label
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	f func() float64
+	h *Histogram
+}
+
+// key renders the unique registry key: name plus sorted labels.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte('{')
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// Registry holds named instruments. Registration (the Scope methods)
+// is safe for concurrent use; the instruments themselves are atomic,
+// so updates and export can race freely with protocol goroutines.
+//
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	metrics []*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// Scope returns a scope on r carrying the given label pairs
+// (key, value, key, value, ...). Typically one scope per node:
+// reg.Scope("node", "42").
+func (r *Registry) Scope(kv ...string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return (&Scope{reg: r}).With(kv...)
+}
+
+// getOrCreate returns the instrument registered under (name, labels),
+// creating it with mk if absent. Kind mismatches on the same key are
+// programming errors and panic.
+func (r *Registry) getOrCreate(name string, labels []Label, kind metricKind, mk func() *metric) *metric {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %v (was %v)", key, kind, m.kind))
+		}
+		return m
+	}
+	m := mk()
+	m.name = name
+	m.labels = labels
+	m.kind = kind
+	r.byKey[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// sorted returns the metrics ordered by name then label key, for
+// stable export output.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return metricKey("", out[i].labels) < metricKey("", out[j].labels)
+	})
+	return out
+}
+
+// Scope is a view of a registry with a fixed label set — the handle a
+// node (or a layer of a node) instruments itself through. A nil Scope
+// is fully functional: it hands out standalone instruments that count
+// normally but are not registered or exported anywhere, so protocol
+// code reads its own statistics identically whether observability is
+// enabled or not.
+type Scope struct {
+	reg    *Registry
+	labels []Label
+}
+
+// With derives a scope with additional label pairs. Nil-safe.
+func (s *Scope) With(kv ...string) *Scope {
+	if s == nil {
+		return nil
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: With needs key/value pairs")
+	}
+	labels := append([]Label(nil), s.labels...)
+	for i := 0; i < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.SliceStable(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return &Scope{reg: s.reg, labels: labels}
+}
+
+// Counter returns the counter registered under name in this scope,
+// creating it on first use. On a nil scope it returns a fresh
+// standalone counter.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return new(Counter)
+	}
+	m := s.reg.getOrCreate(name, s.labels, kindCounter, func() *metric {
+		return &metric{c: new(Counter)}
+	})
+	return m.c
+}
+
+// Gauge returns the gauge registered under name in this scope.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return new(Gauge)
+	}
+	m := s.reg.getOrCreate(name, s.labels, kindGauge, func() *metric {
+		return &metric{g: new(Gauge)}
+	})
+	return m.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at export
+// time (e.g. reading an externally maintained atomic meter). fn must be
+// safe to call from any goroutine. No-op on a nil scope.
+func (s *Scope) GaugeFunc(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	s.reg.getOrCreate(name, s.labels, kindGaugeFunc, func() *metric {
+		return &metric{f: fn}
+	})
+}
+
+// Histogram returns the histogram registered under name in this scope.
+// bounds are the bucket upper bounds (DefaultBuckets if empty); they
+// are fixed at first registration.
+func (s *Scope) Histogram(name string, bounds ...float64) *Histogram {
+	if s == nil {
+		return NewHistogram(bounds...)
+	}
+	m := s.reg.getOrCreate(name, s.labels, kindHistogram, func() *metric {
+		return &metric{h: NewHistogram(bounds...)}
+	})
+	return m.h
+}

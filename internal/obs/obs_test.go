@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScopeGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("node", "1")
+	c1 := sc.Counter("wcl_sends_total")
+	c2 := sc.Counter("wcl_sends_total")
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := reg.Scope("node", "2").Counter("wcl_sends_total")
+	if other == c1 {
+		t.Fatal("different labels must return distinct counters")
+	}
+	c1.Inc()
+	c1.Add(2)
+	if c1.Value() != 3 || other.Value() != 0 {
+		t.Fatalf("counter isolation broken: %d / %d", c1.Value(), other.Value())
+	}
+
+	g := sc.Gauge("tchord_stores_held")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestNilScopeHandsOutWorkingInstruments(t *testing.T) {
+	var sc *Scope
+	if sc.With("node", "1") != nil {
+		t.Fatal("nil scope With must stay nil")
+	}
+	c := sc.Counter("x_total")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("standalone counter must count")
+	}
+	h := sc.Histogram("y_ms")
+	h.Observe(3)
+	if h.Count() != 1 {
+		t.Fatal("standalone histogram must count")
+	}
+	sc.GaugeFunc("z", func() float64 { return 1 }) // must not panic
+	var nilC *Counter
+	nilC.Inc()
+	var nilG *Gauge
+	nilG.Set(3)
+	var nilH *Histogram
+	nilH.Observe(1)
+	var reg *Registry
+	if reg.Scope("a", "b") != nil {
+		t.Fatal("nil registry scope must be nil")
+	}
+}
+
+// TestCounterIncDoesNotAllocate locks the hot-path contract: metric
+// updates are allocation-free, registered or not.
+func TestCounterIncDoesNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Scope("node", "1").Counter("hot_total")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("registered Counter.Inc allocates %v/op, want 0", n)
+	}
+	standalone := (*Scope)(nil).Counter("hot_total")
+	if n := testing.AllocsPerRun(1000, func() { standalone.Add(3) }); n != 0 {
+		t.Fatalf("standalone Counter.Add allocates %v/op, want 0", n)
+	}
+	g := reg.Scope("node", "1").Gauge("hot_gauge")
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	h := reg.Scope("node", "1").Histogram("hot_ms")
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3.7) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}
+
+// TestRegistryConcurrent hammers registration, updates, and export from
+// many goroutines; run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for n := 0; n < 8; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sc := reg.Scope("node", fmt.Sprint(n%4))
+			for i := 0; i < 500; i++ {
+				sc.Counter("conc_total").Inc()
+				sc.Gauge("conc_gauge").Set(int64(i))
+				sc.Histogram("conc_ms").Observe(float64(i % 50))
+				sc.GaugeFunc("conc_fn", func() float64 { return 1 })
+			}
+		}(n)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			reg.Export()
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	var total uint64
+	for _, p := range reg.Export() {
+		if p.Name == "conc_total" {
+			total += uint64(*p.Value)
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("lost increments: %d, want %d", total, 8*500)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("node", "1")
+	sc.Counter("wcl_sends_total").Add(4)
+	sc.Gauge("tchord_stores_held").Set(2)
+	sc.GaugeFunc("transport_up_bytes", func() float64 { return 1536 })
+	h := sc.Histogram("wcl_peel_ms", 1, 10, 100)
+	h.Observe(0.5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE wcl_sends_total counter",
+		`wcl_sends_total{node="1"} 4`,
+		`tchord_stores_held{node="1"} 2`,
+		`transport_up_bytes{node="1"} 1536`,
+		`wcl_peel_ms_bucket{node="1",le="1"} 1`,
+		`wcl_peel_ms_bucket{node="1",le="100"} 2`,
+		`wcl_peel_ms_bucket{node="1",le="+Inf"} 3`,
+		`wcl_peel_ms_count{node="1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerSpansAreNodeLocal(t *testing.T) {
+	col := &CorrelatingCollector{}
+	t1 := NewTracer(1, col)
+	t2 := NewTracer(2, col)
+	t1.Emit(KindSend, 0, 0, 10, 77)
+	t1.Emit(KindRetry, time.Second, 0, 10, 77)
+	t2.Emit(KindPeel, 2*time.Second, time.Millisecond, 20, 77)
+	evs := col.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Span != 1 || evs[1].Span != 2 || evs[2].Span != 1 {
+		t.Fatalf("span IDs must restart per node: %+v", evs)
+	}
+	tl := col.Timeline(77)
+	if len(tl) != 3 || tl[0].Kind != KindSend || tl[2].Kind != KindPeel {
+		t.Fatalf("timeline wrong: %+v", tl)
+	}
+	if s := col.FormatTimeline(77); !strings.Contains(s, "peel") {
+		t.Fatalf("FormatTimeline: %s", s)
+	}
+	var nilT *Tracer
+	if nilT.Emit(KindSend, 0, 0, 0, 1) != 0 {
+		t.Fatal("nil tracer must drop events")
+	}
+}
+
+// plainSink is a non-correlating collector: the only view a real node
+// may have.
+type plainSink struct {
+	events []Event
+	nodes  []uint64
+}
+
+func (p *plainSink) Record(node uint64, ev Event) {
+	p.nodes = append(p.nodes, node)
+	p.events = append(p.events, ev)
+}
+
+func TestPlainCollectorNeverSeesCorrelation(t *testing.T) {
+	sink := &plainSink{}
+	tr := NewTracer(9, sink)
+	if tr.corr != nil {
+		t.Fatal("plain collector must not be treated as a correlator")
+	}
+	tr.Emit(KindDeliver, time.Second, 0, 32, 0xdeadbeef)
+	if len(sink.events) != 1 {
+		t.Fatal("event lost")
+	}
+	// The correlation key is dropped at the Tracer; Event has no field
+	// that could carry it (pinned by TestEventFieldAllowlist in the wcl
+	// privacy test).
+}

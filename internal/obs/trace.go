@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Hop-level tracing records what happens to confidential traffic as it
+// crosses a node: sends, forwards, onion peels, deliveries, retries,
+// acknowledgements.
+//
+// The relay-visibility rule. A WHISPER relay must not be able to link a
+// route's source to its destination, and neither may its telemetry: a
+// trace event therefore carries only fields the node can locally
+// observe — a node-local span ID (a per-node monotonic counter, so the
+// same small integers recur on every node), the event kind, the local
+// clock, a duration, and a byte size. End-to-end path identifiers never
+// appear in an Event, and the plain Collector interface has no way to
+// receive one. The one exception is the simulator: it is the omniscient
+// observer by construction (it already delivers every datagram), so a
+// collector that implements Correlator — the sim-only
+// CorrelatingCollector — additionally receives a correlation key and
+// can reconstruct full onion-path timelines for debugging. Real nodes
+// must only ever be handed plain Collectors.
+type SpanID uint64
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindSend: a source launched one onion-path attempt. Dur is the
+	// onion construction cost.
+	KindSend Kind = 1 + iota
+	// KindForward: a relay re-emitted a peeled onion towards the next
+	// hop.
+	KindForward
+	// KindPeel: a node stripped one onion layer. Dur is the RSA
+	// decryption cost.
+	KindPeel
+	// KindDeliver: the exit hop decrypted and delivered the payload.
+	KindDeliver
+	// KindRetry: a source abandoned an attempt and tried an
+	// alternative path.
+	KindRetry
+	// KindAck: a node originated or forwarded a backward
+	// acknowledgement.
+	KindAck
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindForward:
+		return "forward"
+	case KindPeel:
+		return "peel"
+	case KindDeliver:
+		return "deliver"
+	case KindRetry:
+		return "retry"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one locally-observable trace record. Adding a field here
+// widens what every relay's telemetry exposes — the relay-unlinkability
+// test pins the exact field set, so extensions must argue their
+// privacy case there.
+type Event struct {
+	// Span is the node-local span ID. Span numbering restarts on every
+	// node, so a span value is meaningless outside its node.
+	Span SpanID
+	// Kind is the event class.
+	Kind Kind
+	// At is the node's local clock when the event happened.
+	At time.Duration
+	// Dur is the local processing cost, when the kind has one.
+	Dur time.Duration
+	// Bytes is the local message size involved, when meaningful.
+	Bytes int
+}
+
+// Collector receives trace events. Implementations must be safe for
+// the caller's concurrency regime (the emulator calls from one
+// goroutine; a UDP node calls from its dispatch goroutine).
+type Collector interface {
+	Record(node uint64, ev Event)
+}
+
+// Correlator is the omniscient-observer extension: a collector that
+// additionally receives the correlation key (the WCL path ID) with
+// every event. Only the simulator may implement it — handing a
+// Correlator to a real node's tracer would put an end-to-end
+// identifier into relay telemetry.
+type Correlator interface {
+	Collector
+	RecordCorrelated(node uint64, ev Event, corr uint64)
+}
+
+// Tracer emits trace events for one node. A nil Tracer drops
+// everything; Emit never allocates beyond what the collector does.
+type Tracer struct {
+	node uint64
+	next uint64
+	col  Collector
+	corr Correlator
+}
+
+// NewTracer creates a tracer for the node with the given identifier.
+// If col implements Correlator, events are delivered with their
+// correlation key (sim-only; see Correlator).
+func NewTracer(node uint64, col Collector) *Tracer {
+	if col == nil {
+		return nil
+	}
+	t := &Tracer{node: node, col: col}
+	if c, ok := col.(Correlator); ok {
+		t.corr = c
+	}
+	return t
+}
+
+// Emit records one event at local time at. corr is the correlation key
+// (the path ID); it is dropped unless the collector is a Correlator.
+// Returns the span ID assigned.
+func (t *Tracer) Emit(kind Kind, at, dur time.Duration, bytes int, corr uint64) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.next++
+	ev := Event{Span: SpanID(t.next), Kind: kind, At: at, Dur: dur, Bytes: bytes}
+	if t.corr != nil {
+		t.corr.RecordCorrelated(t.node, ev, corr)
+	} else {
+		t.col.Record(t.node, ev)
+	}
+	return ev.Span
+}
+
+// CorrEvent is one correlated trace record: an Event plus the node it
+// happened on and the correlation key joining it to its path.
+type CorrEvent struct {
+	Node uint64
+	Corr uint64
+	Event
+}
+
+// CorrelatingCollector joins trace events across nodes by correlation
+// key. It is the simulator-side debugging aid: only the emulator (or a
+// test) may attach it, because it sees exactly what the
+// relay-visibility rule forbids real telemetry to record. Safe for
+// concurrent use.
+type CorrelatingCollector struct {
+	mu     sync.Mutex
+	events []CorrEvent
+}
+
+// Record accepts an uncorrelated event (corr 0).
+func (c *CorrelatingCollector) Record(node uint64, ev Event) {
+	c.RecordCorrelated(node, ev, 0)
+}
+
+// RecordCorrelated accepts an event with its path key.
+func (c *CorrelatingCollector) RecordCorrelated(node uint64, ev Event, corr uint64) {
+	c.mu.Lock()
+	c.events = append(c.events, CorrEvent{Node: node, Corr: corr, Event: ev})
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded, in arrival order.
+func (c *CorrelatingCollector) Events() []CorrEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CorrEvent(nil), c.events...)
+}
+
+// Paths returns the distinct correlation keys seen, ascending.
+func (c *CorrelatingCollector) Paths() []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, ev := range c.Events() {
+		if ev.Corr != 0 && !seen[ev.Corr] {
+			seen[ev.Corr] = true
+			out = append(out, ev.Corr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Timeline returns the events of one path ordered by local time (then
+// arrival order — local clocks across simulated nodes share the
+// emulator's virtual clock, so this is the true event order there).
+func (c *CorrelatingCollector) Timeline(corr uint64) []CorrEvent {
+	var out []CorrEvent
+	for _, ev := range c.Events() {
+		if ev.Corr == corr {
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// FormatTimeline renders one path's timeline for debugging.
+func (c *CorrelatingCollector) FormatTimeline(corr uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "path %016x:\n", corr)
+	for _, ev := range c.Timeline(corr) {
+		fmt.Fprintf(&sb, "  %12v node=%d %-8s span=%d", ev.At, ev.Node, ev.Kind, ev.Span)
+		if ev.Dur > 0 {
+			fmt.Fprintf(&sb, " dur=%v", ev.Dur)
+		}
+		if ev.Bytes > 0 {
+			fmt.Fprintf(&sb, " bytes=%d", ev.Bytes)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

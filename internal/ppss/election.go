@@ -79,7 +79,7 @@ func (in *Instance) absorbExtras(x extras) {
 					proposal:   proposalValue(in.grp, in.r.id()),
 					proposer:   in.r.SelfEntry(),
 				}
-				in.Stats.ElectionsStarted++
+				in.met.electionsStarted.Inc()
 			}
 		}
 		if in.election != nil && x.Proposal > in.election.proposal {
@@ -106,7 +106,7 @@ func (in *Instance) tickElection() {
 				proposal:   proposalValue(in.grp, in.r.id()),
 				proposer:   in.r.SelfEntry(),
 			}
-			in.Stats.ElectionsStarted++
+			in.met.electionsStarted.Inc()
 		}
 		return
 	}
@@ -155,7 +155,7 @@ func (in *Instance) becomeLeader() {
 	in.lastHB = in.rt.Now()
 	in.announce = ann
 	in.announced = in.rt.Now()
-	in.Stats.BecameLeader++
+	in.met.becameLeader.Inc()
 	// Re-issue own passport under the new epoch.
 	if p, err := IssuePassport(in.r.cpu(), newKey, in.grp, in.r.id(), newEpoch); err == nil {
 		in.passport = p
@@ -173,11 +173,11 @@ func (in *Instance) acceptAnnounce(a *keyAnnounce) {
 		return
 	}
 	if a.Leader.Verify(in.r.cpu(), in.grp, in.history) != nil {
-		in.Stats.BadPassports++
+		in.met.badPassports.Inc()
 		return
 	}
 	if crypt.Verify(in.r.cpu(), a.LeaderKey, announceBody(in.grp, a.Epoch, a.NewKey), a.Sig) != nil {
-		in.Stats.BadPassports++
+		in.met.badPassports.Inc()
 		return
 	}
 	in.history.Append(a.NewKey)
@@ -186,5 +186,5 @@ func (in *Instance) acceptAnnounce(a *keyAnnounce) {
 	in.election = nil
 	in.announce = a // keep spreading it
 	in.announced = in.rt.Now()
-	in.Stats.AnnouncesAccepted++
+	in.met.announcesAccepted.Inc()
 }

@@ -67,8 +67,8 @@ func TestUnknownGroupSilentDrop(t *testing.T) {
 	}
 	m := shuffleMsg{Group: g, Passport: passport, Seq: 1, From: Entry{ID: 42}}
 	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
-	if r.Stats.UnknownGroupDrops != 1 {
-		t.Fatalf("UnknownGroupDrops = %d, want 1", r.Stats.UnknownGroupDrops)
+	if r.Stats().UnknownGroupDrops != 1 {
+		t.Fatalf("UnknownGroupDrops = %d, want 1", r.Stats().UnknownGroupDrops)
 	}
 	if len(r.Instances()) != 0 {
 		t.Fatal("foreign group message created state")
@@ -92,10 +92,10 @@ func TestWrongGroupPassportRejected(t *testing.T) {
 	}
 	m := shuffleMsg{Group: inst.Group(), Passport: badPassport, Seq: 1, From: Entry{ID: 42}}
 	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
-	if inst.Stats.BadPassports != 1 {
-		t.Fatalf("BadPassports = %d, want 1", inst.Stats.BadPassports)
+	if inst.Stats().BadPassports != 1 {
+		t.Fatalf("BadPassports = %d, want 1", inst.Stats().BadPassports)
 	}
-	if inst.Stats.ExchangesServed != 0 {
+	if inst.Stats().ExchangesServed != 0 {
 		t.Fatal("exchange served despite invalid passport")
 	}
 	if len(inst.ViewIDs()) != 0 {
@@ -119,8 +119,8 @@ func TestPassportMemberMismatchRejected(t *testing.T) {
 	}
 	m := shuffleMsg{Group: inst.Group(), Passport: stolen, Seq: 1, From: Entry{ID: 43}}
 	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
-	if inst.Stats.BadPassports != 1 {
-		t.Fatalf("BadPassports = %d, want 1 (stolen passport accepted)", inst.Stats.BadPassports)
+	if inst.Stats().BadPassports != 1 {
+		t.Fatalf("BadPassports = %d, want 1 (stolen passport accepted)", inst.Stats().BadPassports)
 	}
 }
 
@@ -142,7 +142,7 @@ func TestPCPDropsDeadMembers(t *testing.T) {
 	if len(inst.PersistentIDs()) != 0 {
 		t.Fatal("dead member never evicted from the pool")
 	}
-	if inst.Stats.PCPDropped != 1 {
-		t.Fatalf("PCPDropped = %d", inst.Stats.PCPDropped)
+	if inst.Stats().PCPDropped != 1 {
+		t.Fatalf("PCPDropped = %d", inst.Stats().PCPDropped)
 	}
 }

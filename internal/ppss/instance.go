@@ -9,6 +9,7 @@ import (
 	"whisper/internal/dedup"
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
+	"whisper/internal/obs"
 	"whisper/internal/pss"
 	"whisper/internal/transport"
 	"whisper/internal/wcl"
@@ -45,6 +46,10 @@ type Config struct {
 	// AnnounceFor is how long a new leader keeps piggybacking its key
 	// announcement on shuffles.
 	AnnounceFor time.Duration
+	// Obs is the observability scope the router and its group instances
+	// register instruments under. Nil runs unobserved (counters still
+	// count).
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +92,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// InstanceStats counts per-group protocol events.
+// InstanceStats is a snapshot of per-group protocol events, read
+// through Instance.Stats.
 type InstanceStats struct {
 	ExchangesInitiated uint64
 	ExchangesCompleted uint64
@@ -106,6 +112,45 @@ type InstanceStats struct {
 	// was already served — a duplicated or replayed exchange that, if
 	// processed again, would double-apply its view entries.
 	DupExchangesDropped uint64
+}
+
+// instMet holds an instance's metric instruments.
+type instMet struct {
+	exchangesInitiated  *obs.Counter
+	exchangesCompleted  *obs.Counter
+	exchangesTimedOut   *obs.Counter
+	exchangesServed     *obs.Counter
+	badPassports        *obs.Counter
+	sendFailures        *obs.Counter
+	joinsServed         *obs.Counter
+	electionsStarted    *obs.Counter
+	becameLeader        *obs.Counter
+	announcesAccepted   *obs.Counter
+	appDelivered        *obs.Counter
+	pcpRefreshes        *obs.Counter
+	pcpDropped          *obs.Counter
+	dupExchangesDropped *obs.Counter
+	exchangeRTT         *obs.Histogram
+}
+
+func newInstMet(sc *obs.Scope) instMet {
+	return instMet{
+		exchangesInitiated:  sc.Counter("ppss_exchanges_initiated_total"),
+		exchangesCompleted:  sc.Counter("ppss_exchanges_completed_total"),
+		exchangesTimedOut:   sc.Counter("ppss_exchanges_timed_out_total"),
+		exchangesServed:     sc.Counter("ppss_exchanges_served_total"),
+		badPassports:        sc.Counter("ppss_bad_passports_total"),
+		sendFailures:        sc.Counter("ppss_send_failures_total"),
+		joinsServed:         sc.Counter("ppss_joins_served_total"),
+		electionsStarted:    sc.Counter("ppss_elections_started_total"),
+		becameLeader:        sc.Counter("ppss_became_leader_total"),
+		announcesAccepted:   sc.Counter("ppss_announces_accepted_total"),
+		appDelivered:        sc.Counter("ppss_app_delivered_total"),
+		pcpRefreshes:        sc.Counter("ppss_pcp_refreshes_total"),
+		pcpDropped:          sc.Counter("ppss_pcp_dropped_total"),
+		dupExchangesDropped: sc.Counter("ppss_dup_exchanges_dropped_total"),
+		exchangeRTT:         sc.Histogram("ppss_exchange_rtt_ms"),
+	}
 }
 
 // exchangeKey identifies one shuffle request for replay suppression.
@@ -182,11 +227,16 @@ type Instance struct {
 	// completed view exchange (the quantity Fig 7 plots).
 	OnExchangeRTT func(rtt time.Duration)
 
-	// Stats exposes counters.
-	Stats InstanceStats
+	met instMet
+	obs *obs.Scope
 }
 
 func newInstance(r *Router, g GroupID, name string, history *KeyHistory, passport Passport) *Instance {
+	// Metric labels must not leak what relays cannot see anyway, but a
+	// node's own group memberships are local knowledge; the short group
+	// tag (not the name, which may be absent on joiners) scopes the
+	// instruments.
+	sc := r.cfg.Obs.With("group", g.String())
 	return &Instance{
 		r:        r,
 		cfg:      r.cfg,
@@ -199,6 +249,33 @@ func newInstance(r *Router, g GroupID, name string, history *KeyHistory, passpor
 		pending:  make(map[uint32]*pendingExchange),
 		pcp:      make(map[identity.NodeID]*pcpState),
 		served:   dedup.New[exchangeKey](512),
+		met:      newInstMet(sc),
+		obs:      sc,
+	}
+}
+
+// Obs returns the instance's observability scope (node + group labels);
+// group applications (T-Chord, broadcast) hang their instruments off
+// it. Nil when the stack runs unobserved.
+func (in *Instance) Obs() *obs.Scope { return in.obs }
+
+// Stats returns a snapshot of the instance's counters.
+func (in *Instance) Stats() InstanceStats {
+	return InstanceStats{
+		ExchangesInitiated:  in.met.exchangesInitiated.Value(),
+		ExchangesCompleted:  in.met.exchangesCompleted.Value(),
+		ExchangesTimedOut:   in.met.exchangesTimedOut.Value(),
+		ExchangesServed:     in.met.exchangesServed.Value(),
+		BadPassports:        in.met.badPassports.Value(),
+		SendFailures:        in.met.sendFailures.Value(),
+		JoinsServed:         in.met.joinsServed.Value(),
+		ElectionsStarted:    in.met.electionsStarted.Value(),
+		BecameLeader:        in.met.becameLeader.Value(),
+		AnnouncesAccepted:   in.met.announcesAccepted.Value(),
+		AppDelivered:        in.met.appDelivered.Value(),
+		PCPRefreshes:        in.met.pcpRefreshes.Value(),
+		PCPDropped:          in.met.pcpDropped.Value(),
+		DupExchangesDropped: in.met.dupExchangesDropped.Value(),
 	}
 }
 
@@ -286,12 +363,12 @@ func (in *Instance) cycle() {
 		Entries:  sent,
 		Extras:   in.extras(),
 	}
-	in.Stats.ExchangesInitiated++
+	in.met.exchangesInitiated.Inc()
 	p := &pendingExchange{partner: partner.Val, sent: sent, started: in.rt.Now()}
 	p.timer = in.rt.After(in.cfg.RespTimeout, func() {
 		if in.pending[seq] == p {
 			delete(in.pending, seq)
-			in.Stats.ExchangesTimedOut++
+			in.met.exchangesTimedOut.Inc()
 		}
 	})
 	in.pending[seq] = p
@@ -300,7 +377,7 @@ func (in *Instance) cycle() {
 			// The WCL exhausted its alternatives: the partner is
 			// considered failed and stays out of the private view
 			// (footnote 3 of the paper).
-			in.Stats.SendFailures++
+			in.met.sendFailures.Inc()
 		}
 	})
 }
@@ -316,7 +393,7 @@ func (in *Instance) buffer(exclude identity.NodeID) []pss.Entry[Entry] {
 // claimed sender.
 func (in *Instance) checkPassport(p Passport, from identity.NodeID) bool {
 	if p.Member != from || p.Verify(in.r.cpu(), in.grp, in.history) != nil {
-		in.Stats.BadPassports++
+		in.met.badPassports.Inc()
 		return false
 	}
 	return true
@@ -340,7 +417,7 @@ func (in *Instance) handleShuffleReq(m *shuffleMsg) {
 	// second merge would re-insert entries the first exchange already
 	// traded away, skewing the view towards the replayed sample.
 	if in.served.Add(exchangeKey{from: m.From.ID, seq: m.Seq}) {
-		in.Stats.DupExchangesDropped++
+		in.met.dupExchangesDropped.Inc()
 		return
 	}
 	in.absorbExtras(m.Extras)
@@ -355,7 +432,7 @@ func (in *Instance) handleShuffleReq(m *shuffleMsg) {
 	}
 	in.r.w.Send(m.From.Dest(), resp.encode(msgShuffleResp, in.cfg.KeyBlobSize), nil)
 	pss.MergeCyclon(in.view, sent, m.Entries, in.selectOpts())
-	in.Stats.ExchangesServed++
+	in.met.exchangesServed.Inc()
 }
 
 func (in *Instance) handleShuffleResp(m *shuffleMsg) {
@@ -376,7 +453,8 @@ func (in *Instance) handleShuffleResp(m *shuffleMsg) {
 	p.timer.Cancel()
 	in.absorbExtras(m.Extras)
 	pss.MergeCyclon(in.view, p.sent, m.Entries, in.selectOpts())
-	in.Stats.ExchangesCompleted++
+	in.met.exchangesCompleted.Inc()
+	in.met.exchangeRTT.ObserveDuration(in.rt.Now() - p.started)
 	if in.OnExchangeRTT != nil {
 		in.OnExchangeRTT(in.rt.Now() - p.started)
 	}
@@ -388,7 +466,7 @@ func (in *Instance) handleJoinReq(m *joinReq) {
 		return
 	}
 	if m.Accr.Invitee != m.From.ID || m.Accr.Verify(in.r.cpu(), in.history) != nil {
-		in.Stats.BadPassports++
+		in.met.badPassports.Inc()
 		return
 	}
 	if in.AuthorizeJoin != nil && !in.AuthorizeJoin(m.From.ID, m.From.PubKey) {
@@ -407,7 +485,7 @@ func (in *Instance) handleJoinReq(m *joinReq) {
 	}
 	in.r.w.Send(m.From.Dest(), resp.encode(in.cfg.KeyBlobSize), nil)
 	in.view.Insert(m.From, 0)
-	in.Stats.JoinsServed++
+	in.met.joinsServed.Inc()
 }
 
 func (in *Instance) historyKeys() []*rsa.PublicKey {
@@ -438,7 +516,7 @@ func (in *Instance) Send(to Entry, payload []byte, done func(wcl.Result)) {
 	m := appMsg{Group: in.grp, Passport: in.passport, From: in.r.SelfEntry(), Payload: payload}
 	in.r.w.Send(to.Dest(), m.encode(in.cfg.KeyBlobSize), func(res wcl.Result) {
 		if res.Outcome == wcl.Failed {
-			in.Stats.SendFailures++
+			in.met.sendFailures.Inc()
 		}
 		if done != nil {
 			done(res)
@@ -460,7 +538,7 @@ func (in *Instance) handleApp(m *appMsg) {
 	if in.stopped || !in.checkPassport(m.Passport, m.From.ID) {
 		return
 	}
-	in.Stats.AppDelivered++
+	in.met.appDelivered.Inc()
 	if len(m.Payload) > 0 {
 		if h := in.handlers[m.Payload[0]]; h != nil {
 			h(m.From, m.Payload)
@@ -527,13 +605,13 @@ func (in *Instance) refreshPCP() {
 	for id, st := range in.pcp {
 		if now-st.lastOK > 4*in.cfg.PCPRefresh {
 			delete(in.pcp, id)
-			in.Stats.PCPDropped++
+			in.met.pcpDropped.Inc()
 			continue
 		}
 		in.seq++
 		m := pcpMsg{Group: in.grp, Passport: in.passport, Seq: in.seq, From: in.r.SelfEntry()}
 		in.r.w.Send(st.entry.Dest(), m.encode(msgPCPPing, in.cfg.KeyBlobSize), nil)
-		in.Stats.PCPRefreshes++
+		in.met.pcpRefreshes.Inc()
 	}
 }
 

@@ -133,9 +133,9 @@ func TestPrivateGroupLifecycle(t *testing.T) {
 				t.Fatalf("non-member %v leaked into a private view", id)
 			}
 		}
-		exchanges += inst.Stats.ExchangesCompleted
-		if inst.Stats.BadPassports != 0 {
-			t.Fatalf("valid member saw %d bad passports", inst.Stats.BadPassports)
+		exchanges += inst.Stats().ExchangesCompleted
+		if inst.Stats().BadPassports != 0 {
+			t.Fatalf("valid member saw %d bad passports", inst.Stats().BadPassports)
 		}
 	}
 	if populated < len(insts)*8/10 {
@@ -261,7 +261,7 @@ func TestForgedAccreditationRejected(t *testing.T) {
 	if joinErr == nil {
 		t.Fatal("forged accreditation was accepted")
 	}
-	if leader.Stats.BadPassports == 0 {
+	if leader.Stats().BadPassports == 0 {
 		t.Fatal("leader did not record the forged credential")
 	}
 	if outsider.PPSS.Instance(g) != nil {
@@ -303,7 +303,7 @@ func TestPersistentPaths(t *testing.T) {
 	// Long after the peer may have rotated out of the view, the pooled
 	// entry must still be usable.
 	w.Sim.RunFor(10 * time.Minute)
-	if a.Stats.PCPRefreshes == 0 {
+	if a.Stats().PCPRefreshes == 0 {
 		t.Fatal("no PCP refresh ever sent")
 	}
 	target := findMember(members, peer.ID)

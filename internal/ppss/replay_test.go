@@ -42,17 +42,17 @@ func TestReplayedShuffleReqNotDoubleApplied(t *testing.T) {
 	wire := m.encode(msgShuffleReq, r.cfg.KeyBlobSize)
 
 	r.handle(wire)
-	if inst.Stats.ExchangesServed != 1 {
-		t.Fatalf("ExchangesServed = %d after first request", inst.Stats.ExchangesServed)
+	if inst.Stats().ExchangesServed != 1 {
+		t.Fatalf("ExchangesServed = %d after first request", inst.Stats().ExchangesServed)
 	}
 	snapshot := fmt.Sprint(inst.View())
 
 	r.handle(wire) // exact replay
-	if inst.Stats.ExchangesServed != 1 {
-		t.Fatalf("replay was served: ExchangesServed = %d", inst.Stats.ExchangesServed)
+	if inst.Stats().ExchangesServed != 1 {
+		t.Fatalf("replay was served: ExchangesServed = %d", inst.Stats().ExchangesServed)
 	}
-	if inst.Stats.DupExchangesDropped != 1 {
-		t.Fatalf("DupExchangesDropped = %d, want 1", inst.Stats.DupExchangesDropped)
+	if inst.Stats().DupExchangesDropped != 1 {
+		t.Fatalf("DupExchangesDropped = %d, want 1", inst.Stats().DupExchangesDropped)
 	}
 	if got := fmt.Sprint(inst.View()); got != snapshot {
 		t.Fatalf("replay changed the private view:\n before: %s\n after:  %s", snapshot, got)
@@ -61,7 +61,7 @@ func TestReplayedShuffleReqNotDoubleApplied(t *testing.T) {
 	// A genuinely new exchange from the same member still goes through.
 	m.Seq = 10
 	r.handle(m.encode(msgShuffleReq, r.cfg.KeyBlobSize))
-	if inst.Stats.ExchangesServed != 2 {
-		t.Fatalf("fresh seq blocked: ExchangesServed = %d", inst.Stats.ExchangesServed)
+	if inst.Stats().ExchangesServed != 2 {
+		t.Fatalf("fresh seq blocked: ExchangesServed = %d", inst.Stats().ExchangesServed)
 	}
 }

@@ -6,18 +6,39 @@ import (
 
 	"whisper/internal/crypt"
 	"whisper/internal/identity"
+	"whisper/internal/obs"
 	"whisper/internal/transport"
 	"whisper/internal/wcl"
 	"whisper/internal/wire"
 )
 
-// RouterStats counts node-level PPSS events.
+// RouterStats is a snapshot of node-level PPSS events, read through
+// Router.Stats.
 type RouterStats struct {
 	UnknownGroupDrops uint64
 	MalformedDrops    uint64
 	JoinsSent         uint64
 	JoinsSucceeded    uint64
 	JoinsFailed       uint64
+}
+
+// routerMet holds the router's metric instruments.
+type routerMet struct {
+	unknownGroupDrops *obs.Counter
+	malformedDrops    *obs.Counter
+	joinsSent         *obs.Counter
+	joinsSucceeded    *obs.Counter
+	joinsFailed       *obs.Counter
+}
+
+func newRouterMet(sc *obs.Scope) routerMet {
+	return routerMet{
+		unknownGroupDrops: sc.Counter("ppss_unknown_group_drops_total"),
+		malformedDrops:    sc.Counter("ppss_malformed_drops_total"),
+		joinsSent:         sc.Counter("ppss_joins_sent_total"),
+		joinsSucceeded:    sc.Counter("ppss_joins_succeeded_total"),
+		joinsFailed:       sc.Counter("ppss_joins_failed_total"),
+	}
 }
 
 // Router owns a node's PPSS state: one Instance per private group the
@@ -27,14 +48,13 @@ type RouterStats struct {
 // group (§IV-A).
 type Router struct {
 	w   *wcl.WCL
-	rt transport.Transport
+	rt  transport.Transport
 	cfg Config
 
 	instances map[GroupID]*Instance
 	joins     map[GroupID]*joinWaiter
 
-	// Stats exposes counters.
-	Stats RouterStats
+	met routerMet
 }
 
 type joinWaiter struct {
@@ -45,12 +65,14 @@ type joinWaiter struct {
 // NewRouter attaches PPSS routing to a WCL, taking over its OnReceive
 // hook. cfg provides the defaults for all instances on this node.
 func NewRouter(w *wcl.WCL, cfg Config) *Router {
+	cfg = cfg.withDefaults()
 	r := &Router{
 		w:         w,
 		rt:        w.Node().Runtime(),
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
 		instances: make(map[GroupID]*Instance),
 		joins:     make(map[GroupID]*joinWaiter),
+		met:       newRouterMet(cfg.Obs),
 	}
 	w.OnReceive = r.handle
 	return r
@@ -58,6 +80,17 @@ func NewRouter(w *wcl.WCL, cfg Config) *Router {
 
 // WCL returns the underlying communication layer.
 func (r *Router) WCL() *wcl.WCL { return r.w }
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		UnknownGroupDrops: r.met.unknownGroupDrops.Value(),
+		MalformedDrops:    r.met.malformedDrops.Value(),
+		JoinsSent:         r.met.joinsSent.Value(),
+		JoinsSucceeded:    r.met.joinsSucceeded.Value(),
+		JoinsFailed:       r.met.joinsFailed.Value(),
+	}
+}
 
 // Node ID shorthand.
 func (r *Router) id() identity.NodeID { return r.w.Node().ID() }
@@ -147,13 +180,13 @@ func (r *Router) Join(name string, accr Accreditation, entryPoint Entry, done fu
 		done(nil, fmt.Errorf("ppss: join to %q already in progress", name))
 		return
 	}
-	r.Stats.JoinsSent++
+	r.met.joinsSent.Inc()
 	m := joinReq{Group: g, Accr: accr, From: r.SelfEntry()}
 	waiter := &joinWaiter{done: done}
 	waiter.timer = r.rt.After(r.cfg.JoinTimeout, func() {
 		if r.joins[g] == waiter {
 			delete(r.joins, g)
-			r.Stats.JoinsFailed++
+			r.met.joinsFailed.Inc()
 			done(nil, errors.New("ppss: join timed out"))
 		}
 	})
@@ -163,7 +196,7 @@ func (r *Router) Join(name string, accr Accreditation, entryPoint Entry, done fu
 			if r.joins[g] == waiter {
 				delete(r.joins, g)
 				waiter.timer.Cancel()
-				r.Stats.JoinsFailed++
+				r.met.joinsFailed.Inc()
 				done(nil, fmt.Errorf("ppss: cannot reach entry point: %w", wcl.ErrNoPath))
 			}
 		}
@@ -200,30 +233,30 @@ func (r *Router) handle(payload []byte) {
 	case msgJoinReq:
 		m, err := decodeJoinReq(rd, r.cfg.KeyBlobSize)
 		if err != nil {
-			r.Stats.MalformedDrops++
+			r.met.malformedDrops.Inc()
 			return
 		}
 		if inst := r.instances[m.Group]; inst != nil {
 			inst.handleJoinReq(m)
 		} else {
-			r.Stats.UnknownGroupDrops++
+			r.met.unknownGroupDrops.Inc()
 		}
 	case msgJoinResp:
 		m, err := decodeJoinResp(rd, r.cfg.KeyBlobSize)
 		if err != nil {
-			r.Stats.MalformedDrops++
+			r.met.malformedDrops.Inc()
 			return
 		}
 		r.completeJoin(m)
 	case msgShuffleReq, msgShuffleResp:
 		m, err := decodeShuffleMsg(rd, r.cfg.KeyBlobSize)
 		if err != nil {
-			r.Stats.MalformedDrops++
+			r.met.malformedDrops.Inc()
 			return
 		}
 		inst := r.instances[m.Group]
 		if inst == nil {
-			r.Stats.UnknownGroupDrops++
+			r.met.unknownGroupDrops.Inc()
 			return
 		}
 		if kind == msgShuffleReq {
@@ -234,27 +267,27 @@ func (r *Router) handle(payload []byte) {
 	case msgApp:
 		m, err := decodeAppMsg(rd, r.cfg.KeyBlobSize)
 		if err != nil {
-			r.Stats.MalformedDrops++
+			r.met.malformedDrops.Inc()
 			return
 		}
 		if inst := r.instances[m.Group]; inst != nil {
 			inst.handleApp(m)
 		} else {
-			r.Stats.UnknownGroupDrops++
+			r.met.unknownGroupDrops.Inc()
 		}
 	case msgPCPPing, msgPCPPong:
 		m, err := decodePCPMsg(rd, r.cfg.KeyBlobSize)
 		if err != nil {
-			r.Stats.MalformedDrops++
+			r.met.malformedDrops.Inc()
 			return
 		}
 		if inst := r.instances[m.Group]; inst != nil {
 			inst.handlePCP(kind, m)
 		} else {
-			r.Stats.UnknownGroupDrops++
+			r.met.unknownGroupDrops.Inc()
 		}
 	default:
-		r.Stats.MalformedDrops++
+		r.met.malformedDrops.Inc()
 	}
 }
 
@@ -267,7 +300,7 @@ func (r *Router) completeJoin(m *joinResp) {
 	delete(r.joins, m.Group)
 	waiter.timer.Cancel()
 	if m.Passport.IsZero() || len(m.History) == 0 || m.History[0] == nil {
-		r.Stats.JoinsFailed++
+		r.met.joinsFailed.Inc()
 		waiter.done(nil, errors.New("ppss: malformed join response"))
 		return
 	}
@@ -278,7 +311,7 @@ func (r *Router) completeJoin(m *joinResp) {
 		}
 	}
 	if err := m.Passport.Verify(r.cpu(), m.Group, history); err != nil || m.Passport.Member != r.id() {
-		r.Stats.JoinsFailed++
+		r.met.joinsFailed.Inc()
 		waiter.done(nil, ErrBadPassport)
 		return
 	}
@@ -293,6 +326,6 @@ func (r *Router) completeJoin(m *joinResp) {
 	}
 	r.instances[m.Group] = inst
 	inst.start()
-	r.Stats.JoinsSucceeded++
+	r.met.joinsSucceeded.Inc()
 	waiter.done(inst, nil)
 }

@@ -16,6 +16,7 @@ import (
 	"whisper/internal/nat"
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
+	"whisper/internal/obs"
 	"whisper/internal/ppss"
 	"whisper/internal/simnet"
 	simtr "whisper/internal/transport/simnet"
@@ -58,6 +59,10 @@ type Options struct {
 	// every node (requires WCL; a default WCL config is used if WCL is
 	// nil).
 	PPSS *ppss.Config
+	// Obs, when non-nil, registers every node's instruments under it,
+	// each node scoped by a "node" label. Nil (the default) runs fully
+	// unobserved: the fig5 golden test pins that this costs nothing.
+	Obs *obs.Scope
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +106,9 @@ func (n *Node) Public() bool { return n.Type == nat.None }
 
 // World is a running simulated network.
 type World struct {
-	Opts  Options
-	Sim   *simnet.Sim
-	Net   *netem.Network
+	Opts Options
+	Sim  *simnet.Sim
+	Net  *netem.Network
 	// Rt is the transport adapter the stacks are wired through.
 	Rt    *simtr.Transport
 	Nodes []*Node
@@ -185,7 +190,8 @@ func (w *World) create() *Node {
 	typ := w.natTypeFor(w.nextID - 1)
 	ident := w.pool.Identity(id)
 
-	cfg := core.Config{Nylon: w.Opts.Nylon, WCL: w.Opts.WCL, PPSS: w.Opts.PPSS}
+	cfg := core.Config{Nylon: w.Opts.Nylon, WCL: w.Opts.WCL, PPSS: w.Opts.PPSS,
+		Obs: w.Opts.Obs.With("node", id.String())}
 	var addr netem.Endpoint
 	var dev *nat.Device
 	w.nextIP++

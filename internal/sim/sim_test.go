@@ -52,8 +52,8 @@ func TestDeterministicRuns(t *testing.T) {
 		w.Sim.RunUntil(3 * time.Minute)
 		var shuffles, relays uint64
 		for _, n := range w.Live() {
-			shuffles += n.Nylon.Stats.ShufflesCompleted
-			relays += n.Nylon.Stats.RelaysForwarded
+			shuffles += n.Nylon.Stats().ShufflesCompleted
+			relays += n.Nylon.Stats().RelaysForwarded
 		}
 		return shuffles, relays
 	}
@@ -115,7 +115,7 @@ func TestSpawnAndKill(t *testing.T) {
 	w.Sim.RunFor(time.Minute)
 	w.ResetMeters()
 	for _, node := range w.Live() {
-		if node.Nylon.Meter().UpBytes != 0 {
+		if node.Nylon.Meter().Snapshot().UpBytes != 0 {
 			t.Fatal("ResetMeters incomplete")
 		}
 	}

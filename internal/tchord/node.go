@@ -4,9 +4,10 @@ import (
 	"errors"
 	"time"
 
+	"whisper/internal/obs"
 	"whisper/internal/ppss"
-	"whisper/internal/transport"
 	"whisper/internal/tman"
+	"whisper/internal/transport"
 	"whisper/internal/wcl"
 	"whisper/internal/wire"
 )
@@ -29,6 +30,9 @@ type Config struct {
 	// PinRing keeps ring neighbours in the PPSS persistent connection
 	// pool, as §V-G describes (persistent WCL paths for Chord links).
 	PinRing bool
+	// Obs is the scope T-Chord instruments register under. Nil defaults
+	// to the instance's group scope.
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +74,36 @@ type Node struct {
 	ticker  transport.Ticker
 	stopped bool
 
-	// Stats exposes counters.
-	Stats Stats
+	met met
+}
+
+// met holds the node's metric instruments.
+type met struct {
+	exchangesSent     *obs.Counter
+	exchangesReceived *obs.Counter
+	lookupsStarted    *obs.Counter
+	lookupsOwned      *obs.Counter
+	lookupsForwarded  *obs.Counter
+	lookupsAnswered   *obs.Counter
+	lookupsCompleted  *obs.Counter
+	lookupsFailed     *obs.Counter
+	storesHeld        *obs.Gauge
+	lookupMS          *obs.Histogram
+}
+
+func newMet(sc *obs.Scope) met {
+	return met{
+		exchangesSent:     sc.Counter("tchord_exchanges_sent_total"),
+		exchangesReceived: sc.Counter("tchord_exchanges_received_total"),
+		lookupsStarted:    sc.Counter("tchord_lookups_started_total"),
+		lookupsOwned:      sc.Counter("tchord_lookups_owned_total"),
+		lookupsForwarded:  sc.Counter("tchord_lookups_forwarded_total"),
+		lookupsAnswered:   sc.Counter("tchord_lookups_answered_total"),
+		lookupsCompleted:  sc.Counter("tchord_lookups_completed_total"),
+		lookupsFailed:     sc.Counter("tchord_lookups_failed_total"),
+		storesHeld:        sc.Gauge("tchord_stores_held"),
+		lookupMS:          sc.Histogram("tchord_lookup_ms"),
+	}
 }
 
 type storeEntry struct {
@@ -97,10 +129,14 @@ type pendingLookup struct {
 func New(inst *ppss.Instance, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	self := peerOf(inst.SelfEntry())
+	if cfg.Obs == nil {
+		cfg.Obs = inst.Obs()
+	}
 	n := &Node{
 		inst:    inst,
 		rt:      instRuntime(inst),
 		cfg:     cfg,
+		met:     newMet(cfg.Obs),
 		cid:     self.CID,
 		succ:    tman.New(self, cfg.Successors, succRanker{}),
 		pred:    tman.New(self, cfg.Successors, predRanker{}),
@@ -112,6 +148,21 @@ func New(inst *ppss.Instance, cfg Config) *Node {
 		inst.Subscribe(tag, n.handle)
 	}
 	return n
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		ExchangesSent:     n.met.exchangesSent.Value(),
+		ExchangesReceived: n.met.exchangesReceived.Value(),
+		LookupsStarted:    n.met.lookupsStarted.Value(),
+		LookupsOwned:      n.met.lookupsOwned.Value(),
+		LookupsForwarded:  n.met.lookupsForwarded.Value(),
+		LookupsAnswered:   n.met.lookupsAnswered.Value(),
+		LookupsCompleted:  n.met.lookupsCompleted.Value(),
+		LookupsFailed:     n.met.lookupsFailed.Value(),
+		StoresHeld:        uint64(n.met.storesHeld.Value()),
+	}
 }
 
 // instSim extracts the simulator driving the instance's node.
@@ -187,7 +238,7 @@ func (n *Node) cycle() {
 			return
 		}
 	}
-	n.Stats.ExchangesSent++
+	n.met.exchangesSent.Inc()
 	n.inst.Send(partner.E, n.encodeExchange(tagTManReq), nil)
 	if n.cfg.PinRing {
 		n.pinNeighbors()
@@ -293,7 +344,7 @@ func (n *Node) Get(key string, done func(LookupResult)) {
 }
 
 func (n *Node) lookup(key ChordID, op uint8, skey string, value []byte, done func(LookupResult)) {
-	n.Stats.LookupsStarted++
+	n.met.lookupsStarted.Inc()
 	n.startAttempt(&pendingLookup{key: key, start: n.rt.Now(), done: done,
 		op: op, skey: skey, value: value})
 }
@@ -304,7 +355,7 @@ func (n *Node) lookup(key ChordID, op uint8, skey string, value []byte, done fun
 // ring links can be stale.
 func (n *Node) startAttempt(pl *pendingLookup) {
 	if n.owner(pl.key) {
-		n.Stats.LookupsOwned++
+		n.met.lookupsOwned.Inc()
 		res := n.applyLocal(pl.key, pl.op, pl.skey, pl.value)
 		if pl.done != nil {
 			pl.done(res)
@@ -328,7 +379,7 @@ func (n *Node) startAttempt(pl *pendingLookup) {
 			return
 		}
 		delete(n.pending, qid)
-		n.Stats.LookupsFailed++
+		n.met.lookupsFailed.Inc()
 		if pl.done != nil {
 			pl.done(LookupResult{Key: pl.key, Err: errors.New("tchord: lookup timed out")})
 		}
@@ -344,7 +395,7 @@ func (n *Node) applyLocal(key ChordID, op uint8, skey string, value []byte) Look
 	switch op {
 	case opPut:
 		n.store[key] = storeEntry{key: skey, value: value}
-		n.Stats.StoresHeld = uint64(len(n.store))
+		n.met.storesHeld.Set(int64(len(n.store)))
 	case opGet:
 		if se, ok := n.store[key]; ok {
 			res.Value = se.value
@@ -366,7 +417,7 @@ func (n *Node) forward(m lookupMsg) {
 	if m.Hops > n.cfg.MaxHops {
 		return
 	}
-	n.Stats.LookupsForwarded++
+	n.met.lookupsForwarded.Inc()
 	n.inst.Send(next.E, m.encode(n.keyBlob()), func(res wcl.Result) {
 		if res.Outcome == wcl.Failed {
 			n.removePeer(next)
@@ -402,7 +453,7 @@ func (n *Node) handle(from ppss.Entry, payload []byte) {
 		if err != nil {
 			return
 		}
-		n.Stats.ExchangesReceived++
+		n.met.exchangesReceived.Inc()
 		n.inst.Send(from, n.encodeExchange(tagTManResp), nil)
 		for _, p := range peers {
 			n.merge(p)
@@ -435,7 +486,7 @@ func (n *Node) handleLookup(m lookupMsg) {
 		n.forward(m)
 		return
 	}
-	n.Stats.LookupsAnswered++
+	n.met.lookupsAnswered.Inc()
 	res := n.applyLocal(m.Key, m.Op, m.SKey, m.Value)
 	resp := lookupRespMsg{QID: m.QID, Key: m.Key, Owner: n.inst.SelfEntry(),
 		Hops: m.Hops, Value: res.Value, Found: res.Found}
@@ -450,7 +501,8 @@ func (n *Node) handleLookupResp(m lookupRespMsg) {
 	}
 	delete(n.pending, m.QID)
 	pl.timer.Cancel()
-	n.Stats.LookupsCompleted++
+	n.met.lookupsCompleted.Inc()
+	n.met.lookupMS.ObserveDuration(n.rt.Now() - pl.start)
 	if pl.done != nil {
 		pl.done(LookupResult{Key: m.Key, Owner: m.Owner, Hops: m.Hops,
 			Value: m.Value, Found: m.Found})

@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMeterConcurrentSnapshot reproduces the original data race: under
+// the UDP transport the dispatch goroutine meters traffic while a stats
+// reporter snapshots from outside. Run under -race in CI.
+func TestMeterConcurrentSnapshot(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 10000
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				m.AddUp(10)
+				m.AddDown(20)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			// Fields may tear relative to each other (documented), but
+			// each read must be atomic and race-free.
+			s := m.Snapshot()
+			if s.UpBytes%10 != 0 || s.DownBytes%20 != 0 {
+				t.Errorf("torn counter read: %+v", s)
+				return
+			}
+			_ = m.UpKB()
+			_ = m.DownKB()
+		}
+	}()
+	wg.Wait()
+	s := m.Snapshot()
+	if s.UpBytes != writers*perWriter*10 || s.UpMsgs != writers*perWriter {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.DownBytes != writers*perWriter*20 || s.DownMsgs != writers*perWriter {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.UpKB() != float64(s.UpBytes)/1024 {
+		t.Fatalf("snapshot UpKB = %v", s.UpKB())
+	}
+	m.Reset()
+	if s := m.Snapshot(); s != (MeterSnapshot{}) {
+		t.Fatalf("Reset incomplete: %+v", s)
+	}
+
+	var nilMeter *Meter
+	nilMeter.AddUp(1)
+	nilMeter.AddDown(1)
+	nilMeter.Reset()
+	if nilMeter.Snapshot() != (MeterSnapshot{}) {
+		t.Fatal("nil meter must snapshot to zero")
+	}
+}

@@ -1,16 +1,24 @@
 package transport
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Meter accumulates bandwidth usage at a node's network boundary.
 // Experiments snapshot and reset meters once per protocol cycle to
 // obtain per-cycle figures (the unit used throughout the paper's
 // evaluation).
+//
+// The counters are atomic: under the UDP transport the dispatch
+// goroutine updates them while stats reporters and metrics scrapes read
+// concurrently, so Snapshot must be safe without routing through the
+// transport's Do(). The zero value is ready to use.
 type Meter struct {
-	UpBytes   uint64
-	DownBytes uint64
-	UpMsgs    uint64
-	DownMsgs  uint64
+	upBytes   atomic.Uint64
+	downBytes atomic.Uint64
+	upMsgs    atomic.Uint64
+	downMsgs  atomic.Uint64
 }
 
 // AddUp records an outbound datagram of the given wire size.
@@ -18,8 +26,8 @@ func (m *Meter) AddUp(size int) {
 	if m == nil {
 		return
 	}
-	m.UpBytes += uint64(size)
-	m.UpMsgs++
+	m.upBytes.Add(uint64(size))
+	m.upMsgs.Add(1)
 }
 
 // AddDown records an inbound datagram of the given wire size.
@@ -27,21 +35,61 @@ func (m *Meter) AddDown(size int) {
 	if m == nil {
 		return
 	}
-	m.DownBytes += uint64(size)
-	m.DownMsgs++
+	m.downBytes.Add(uint64(size))
+	m.downMsgs.Add(1)
 }
 
-// Snapshot returns the current counters.
-func (m *Meter) Snapshot() Meter { return *m }
+// Snapshot returns the current counters as a plain value. Each field is
+// read atomically; a concurrent AddUp may land between field reads,
+// which is harmless for bandwidth accounting.
+func (m *Meter) Snapshot() MeterSnapshot {
+	if m == nil {
+		return MeterSnapshot{}
+	}
+	return MeterSnapshot{
+		UpBytes:   m.upBytes.Load(),
+		DownBytes: m.downBytes.Load(),
+		UpMsgs:    m.upMsgs.Load(),
+		DownMsgs:  m.downMsgs.Load(),
+	}
+}
 
 // Reset zeroes all counters.
-func (m *Meter) Reset() { *m = Meter{} }
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.upBytes.Store(0)
+	m.downBytes.Store(0)
+	m.upMsgs.Store(0)
+	m.downMsgs.Store(0)
+}
+
+// UpBytes returns the upload volume in bytes.
+func (m *Meter) UpBytes() uint64 { return m.upBytes.Load() }
+
+// DownBytes returns the download volume in bytes.
+func (m *Meter) DownBytes() uint64 { return m.downBytes.Load() }
 
 // UpKB returns the upload volume in kilobytes (1 KB = 1024 B).
-func (m *Meter) UpKB() float64 { return float64(m.UpBytes) / 1024 }
+func (m *Meter) UpKB() float64 { return float64(m.upBytes.Load()) / 1024 }
 
 // DownKB returns the download volume in kilobytes.
-func (m *Meter) DownKB() float64 { return float64(m.DownBytes) / 1024 }
+func (m *Meter) DownKB() float64 { return float64(m.downBytes.Load()) / 1024 }
+
+// MeterSnapshot is a point-in-time copy of a Meter.
+type MeterSnapshot struct {
+	UpBytes   uint64
+	DownBytes uint64
+	UpMsgs    uint64
+	DownMsgs  uint64
+}
+
+// UpKB returns the snapshot's upload volume in kilobytes.
+func (s MeterSnapshot) UpKB() float64 { return float64(s.UpBytes) / 1024 }
+
+// DownKB returns the snapshot's download volume in kilobytes.
+func (s MeterSnapshot) DownKB() float64 { return float64(s.DownBytes) / 1024 }
 
 // Uplink is the sending side of a node's attachment to the network:
 // either the transport itself (public interface) or an intermediary

@@ -1,0 +1,131 @@
+package udp_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper/internal/core"
+	"whisper/internal/identity"
+	"whisper/internal/nat"
+	"whisper/internal/nylon"
+	"whisper/internal/obs"
+	"whisper/internal/transport"
+	"whisper/internal/transport/udp"
+)
+
+// TestObsEndpointsOverLoopback is the runtime-exposure acceptance test:
+// two real-UDP nodes gossip with a metrics registry attached, and the
+// exact handler whisper-node serves on -obs-addr answers all three
+// endpoint families — Prometheus /metrics, expvar /debug/vars, and
+// net/http/pprof.
+func TestObsEndpointsOverLoopback(t *testing.T) {
+	const n = 2
+	pool := identity.TestPool(n)
+	reg := obs.NewRegistry()
+
+	type node struct {
+		tr *udp.Transport
+		st *core.Stack
+		ep transport.Endpoint
+	}
+	nodes := make([]*node, n)
+	for i := range nodes {
+		tr, err := udp.New("127.0.0.1:0", int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		ep := transport.Endpoint{IP: transport.IP(i + 1), Port: 1}
+		st, err := core.NewStack(tr, pool.Identity(identity.NodeID(i+1)), nat.None, ep, nil, core.Config{
+			Nylon: nylon.Config{
+				Cycle:          50 * time.Millisecond,
+				ViewSize:       4,
+				ExchangeSize:   2,
+				ShuffleTimeout: time.Second,
+			},
+			Obs: reg.Scope("node", identity.NodeID(i+1).String()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &node{tr: tr, st: st, ep: ep}
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			if err := a.tr.AddPeer(b.ep, b.tr.LocalAddr().String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, a := range nodes {
+		a.st.Nylon.Bootstrap([]nylon.Descriptor{nodes[(i+1)%n].st.Nylon.SelfDescriptor()})
+		a.st.Start()
+		a.tr.Start()
+	}
+	waitFor(t, 15*time.Second, "a completed shuffle", func() bool {
+		for _, a := range nodes {
+			done := false
+			a.tr.Do(func() { done = a.st.Nylon.Stats().ShufflesCompleted > 0 })
+			if done {
+				return true
+			}
+		}
+		return false
+	})
+
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Pillar 1: Prometheus text exposition with live protocol counters
+	// and the transport gauges reading the atomic meter.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{"nylon_shuffles_initiated_total", "transport_up_bytes", `node="N1"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Pillar 2: expvar, with the registry published as whisper_metrics.
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["whisper_metrics"]; !ok {
+		t.Fatal("/debug/vars has no whisper_metrics")
+	}
+
+	// Pillar 3: pprof.
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", code)
+	}
+}

@@ -165,7 +165,7 @@ func TestPortOverTransport(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("datagram not delivered")
 	}
-	if meter.UpMsgs != 1 || meter.UpBytes == 0 {
-		t.Fatalf("meter = %+v", meter)
+	if s := meter.Snapshot(); s.UpMsgs != 1 || s.UpBytes == 0 {
+		t.Fatalf("meter = %+v", s)
 	}
 }

@@ -68,7 +68,7 @@ func TestExactlyOnceUnderDuplication(t *testing.T) {
 			}
 			var deliveredBefore uint64
 			for _, n := range w.Live() {
-				deliveredBefore += n.WCL.Stats.Delivered
+				deliveredBefore += n.WCL.Stats().Delivered
 			}
 
 			const sends = 10
@@ -108,9 +108,9 @@ func TestExactlyOnceUnderDuplication(t *testing.T) {
 			}
 			var deliveredAfter, dupFwd, dupDeliv uint64
 			for _, n := range w.Live() {
-				deliveredAfter += n.WCL.Stats.Delivered
-				dupFwd += n.WCL.Stats.DupForwards
-				dupDeliv += n.WCL.Stats.DupDeliveries
+				deliveredAfter += n.WCL.Stats().Delivered
+				dupFwd += n.WCL.Stats().DupForwards
+				dupDeliv += n.WCL.Stats().DupDeliveries
 			}
 			if got := deliveredAfter - deliveredBefore; got != uint64(len(received)) {
 				t.Fatalf("Delivered advanced by %d for %d distinct deliveries", got, len(received))
@@ -181,7 +181,7 @@ func TestExactlyOnceUnderFaultModel(t *testing.T) {
 	}
 	var dupFwd uint64
 	for _, n := range w.Live() {
-		dupFwd += n.WCL.Stats.DupForwards
+		dupFwd += n.WCL.Stats().DupForwards
 	}
 	if dupFwd == 0 {
 		t.Fatal("DupProb=1 produced zero suppressed duplicate forwards")
@@ -224,15 +224,15 @@ func TestDuplicateForwardAtDestResendsAck(t *testing.T) {
 	if len(payloads) != 1 || !bytes.Equal(payloads[0], []byte("once")) {
 		t.Fatalf("destination delivered %d times", len(payloads))
 	}
-	if d.WCL.Stats.Delivered != 1 {
-		t.Fatalf("Delivered = %d, want 1", d.WCL.Stats.Delivered)
+	if d.WCL.Stats().Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1", d.WCL.Stats().Delivered)
 	}
-	if d.WCL.Stats.DupForwards+d.WCL.Stats.DupDeliveries == 0 {
+	if d.WCL.Stats().DupForwards+d.WCL.Stats().DupDeliveries == 0 {
 		t.Fatal("replay not counted as suppressed duplicate")
 	}
 	// The replayed forward answered with an ack: more acks forwarded
 	// than the single delivery strictly needs.
-	if d.WCL.Stats.AcksForwarded < 2 {
-		t.Fatalf("AcksForwarded = %d, want ≥ 2 (ack not resent on duplicate)", d.WCL.Stats.AcksForwarded)
+	if d.WCL.Stats().AcksForwarded < 2 {
+		t.Fatalf("AcksForwarded = %d, want ≥ 2 (ack not resent on duplicate)", d.WCL.Stats().AcksForwarded)
 	}
 }

@@ -66,10 +66,10 @@ func TestForwardWithForeignOnion(t *testing.T) {
 	}
 	m := forwardMsg{PathID: 7, From: 99, Onion: onion, Content: []byte("ct")}
 	w.handleApp(netem.Endpoint{IP: 9, Port: 9}, m.encode())
-	if w.Stats.PeelErrors != 1 {
-		t.Fatalf("peel errors = %d, want 1", w.Stats.PeelErrors)
+	if w.Stats().PeelErrors != 1 {
+		t.Fatalf("peel errors = %d, want 1", w.Stats().PeelErrors)
 	}
-	if w.Stats.Delivered != 0 || w.Stats.ForwardsPeeled != 0 {
+	if w.Stats().Delivered != 0 || w.Stats().ForwardsPeeled != 0 {
 		t.Fatal("foreign onion was processed")
 	}
 }

@@ -1,0 +1,182 @@
+package wcl_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"whisper/internal/obs"
+	"whisper/internal/wcl"
+)
+
+// TestEventFieldAllowlist pins the exact field set of obs.Event. The
+// relay-visibility rule says a trace event may carry only what a node
+// can locally observe; any new field widens every relay's telemetry
+// and must argue its privacy case by editing this allowlist.
+func TestEventFieldAllowlist(t *testing.T) {
+	allow := map[string]string{
+		"Span":  "obs.SpanID",    // node-local, restarts per node
+		"Kind":  "obs.Kind",      // event class
+		"At":    "time.Duration", // local clock
+		"Dur":   "time.Duration", // local processing cost
+		"Bytes": "int",           // local message size
+	}
+	typ := reflect.TypeOf(obs.Event{})
+	if typ.NumField() != len(allow) {
+		t.Fatalf("obs.Event has %d fields, allowlist has %d — a new field reached relay telemetry",
+			typ.NumField(), len(allow))
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		want, ok := allow[f.Name]
+		if !ok {
+			t.Fatalf("obs.Event.%s is not in the relay-visibility allowlist", f.Name)
+		}
+		if got := f.Type.String(); got != want {
+			t.Fatalf("obs.Event.%s is %s, allowlist says %s", f.Name, got, want)
+		}
+	}
+}
+
+// relaySink is what a real deployment may attach to a node: a plain
+// obs.Collector. It deliberately does NOT implement RecordCorrelated,
+// so the tracer (by type assertion) can never hand it a path ID.
+type relaySink struct {
+	events map[uint64][]obs.Event // node -> its events
+}
+
+func (r *relaySink) Record(node uint64, ev obs.Event) {
+	r.events[node] = append(r.events[node], ev)
+}
+
+// TestRelayTraceUnlinkable drives confidential traffic through a
+// converged network with every node's tracer attached to one shared
+// plain collector — an adversary that has compromised the telemetry of
+// every relay at once — and verifies the recorded fields cannot link a
+// route's source to its destination. The second half attaches the
+// sim-only CorrelatingCollector as a positive control: with the
+// correlation key the same traffic IS fully linkable, proving the
+// privacy property lives in the event schema, not in weak traffic.
+func TestRelayTraceUnlinkable(t *testing.T) {
+	w := buildWCLWorld(t, 29, 120)
+	natted := w.LiveNatted()
+
+	sink := &relaySink{events: map[uint64][]obs.Event{}}
+	for _, n := range w.Live() {
+		n.WCL.Trace = obs.NewTracer(uint64(n.Nylon.ID()), sink)
+	}
+
+	const sends = 12
+	done := 0
+	for i := 0; i < sends; i++ {
+		s := natted[i%len(natted)]
+		d := natted[(i+11)%len(natted)]
+		if s == d {
+			continue
+		}
+		dest := destFor(w, d, 3)
+		s.WCL.Send(dest, []byte("confidential"), func(r wcl.Result) {
+			if r.Outcome != wcl.Failed {
+				done++
+			}
+		})
+	}
+	w.Sim.RunFor(time.Minute)
+	if done < sends/2 {
+		t.Fatalf("only %d/%d sends succeeded; traffic too thin to test linkability", done, sends)
+	}
+
+	// The adversary did observe the traffic: forwards and peels were
+	// recorded on nodes other than the sources.
+	kinds := map[obs.Kind]int{}
+	for _, evs := range sink.events {
+		for _, ev := range evs {
+			kinds[ev.Kind]++
+		}
+	}
+	if kinds[obs.KindForward] == 0 || kinds[obs.KindPeel] == 0 || kinds[obs.KindDeliver] == 0 {
+		t.Fatalf("trace did not capture relay activity: %v", kinds)
+	}
+
+	// Span IDs are node-local monotonic counters: every active node
+	// emits span 1, 2, 3... — so the same span values recur across
+	// nodes and cannot act as a global correlator. Require the
+	// collision to actually occur, and numbering to restart at 1.
+	spanOwners := map[obs.SpanID]int{}
+	for node, evs := range sink.events {
+		minSpan := obs.SpanID(1 << 62)
+		seen := map[obs.SpanID]bool{}
+		for _, ev := range evs {
+			if ev.Span < minSpan {
+				minSpan = ev.Span
+			}
+			seen[ev.Span] = true
+		}
+		if minSpan != 1 {
+			t.Fatalf("node %d's spans start at %d, want 1 (numbering must restart per node)", node, minSpan)
+		}
+		for sp := range seen {
+			spanOwners[sp]++
+		}
+	}
+	collisions := 0
+	for _, owners := range spanOwners {
+		if owners >= 2 {
+			collisions++
+		}
+	}
+	if collisions == 0 {
+		t.Fatal("no span value recurs across nodes — spans look globally unique, which would link hops")
+	}
+
+	// Positive control: the omniscient CorrelatingCollector sees the
+	// same schema plus the correlation key, and full paths fall out.
+	cc := &obs.CorrelatingCollector{}
+	for _, n := range w.Live() {
+		n.WCL.Trace = obs.NewTracer(uint64(n.Nylon.ID()), cc)
+	}
+	s, d := natted[3], natted[17]
+	var res *wcl.Result
+	s.WCL.Send(destFor(w, d, 3), []byte("controlled"), func(r wcl.Result) { res = &r })
+	w.Sim.RunFor(30 * time.Second)
+	if res == nil || res.Outcome == wcl.Failed {
+		t.Fatalf("control send failed: %+v", res)
+	}
+	paths := cc.Paths()
+	if len(paths) == 0 {
+		t.Fatal("correlating collector saw no paths")
+	}
+	// The delivered path's timeline crosses several nodes: source send,
+	// relay peels/forwards, destination deliver — the exact linkage the
+	// plain collector must never enable.
+	linked := false
+	for _, p := range paths {
+		tl := cc.Timeline(p)
+		nodes := map[uint64]bool{}
+		hasSend, hasDeliver := false, false
+		for _, ev := range tl {
+			nodes[ev.Node] = true
+			hasSend = hasSend || ev.Kind == obs.KindSend
+			hasDeliver = hasDeliver || ev.Kind == obs.KindDeliver
+		}
+		if hasSend && hasDeliver && len(nodes) >= 3 {
+			linked = true
+			// The timeline is ordered: the send cannot come after the
+			// delivery.
+			at := make([]time.Duration, 0, len(tl))
+			for _, ev := range tl {
+				at = append(at, ev.At)
+			}
+			if !sort.SliceIsSorted(at, func(i, j int) bool { return at[i] < at[j] }) {
+				t.Fatal("timeline not time-ordered")
+			}
+			if cc.FormatTimeline(p) == "" {
+				t.Fatal("empty timeline rendering")
+			}
+		}
+	}
+	if !linked {
+		t.Fatal("omniscient observer failed to reconstruct any full path — positive control broken")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"whisper/internal/dedup"
 	"whisper/internal/identity"
 	"whisper/internal/nylon"
+	"whisper/internal/obs"
 	"whisper/internal/transport"
 	"whisper/internal/wire"
 )
@@ -33,6 +34,9 @@ type Config struct {
 	MaxAttempts int
 	// AckTTL bounds how long hops remember backward-routing state.
 	AckTTL time.Duration
+	// Obs is the observability scope the layer's instruments register
+	// under. Nil runs unobserved (counters still count).
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +123,8 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Stats aggregates send outcomes and hop-level events.
+// Stats is a snapshot of send outcomes and hop-level events, read
+// through WCL.Stats.
 type Stats struct {
 	Sent            uint64
 	FirstTrySuccess uint64
@@ -144,15 +149,51 @@ type Stats struct {
 	DupDeliveries uint64
 }
 
-// Tracer observes path events for the delay-breakdown experiments
-// (Fig 7). All callbacks run inside simulation events.
-type Tracer interface {
-	// PathBuilt reports the wall-clock cost of constructing the onion.
-	PathBuilt(pathID uint64, d time.Duration)
-	// Peeled reports the wall-clock cost of one hop's layer decryption.
-	Peeled(pathID uint64, d time.Duration)
-	// Delivered fires at the destination after content decryption.
-	Delivered(pathID uint64)
+// met holds the layer's metric instruments (registered when Config.Obs
+// is set, standalone otherwise — they count either way).
+type met struct {
+	sent            *obs.Counter
+	firstTrySuccess *obs.Counter
+	altSuccess      *obs.Counter
+	failed          *obs.Counter
+	noAltFailed     *obs.Counter
+	mixesTriedSum   *obs.Counter
+	helpersTriedSum *obs.Counter
+	delivered       *obs.Counter
+	forwardsPeeled  *obs.Counter
+	peelErrors      *obs.Counter
+	dropNoContact   *obs.Counter
+	acksForwarded   *obs.Counter
+	keyRequests     *obs.Counter
+	dupForwards     *obs.Counter
+	dupDeliveries   *obs.Counter
+
+	buildMS   *obs.Histogram
+	peelMS    *obs.Histogram
+	elapsedMS *obs.Histogram
+}
+
+func newMet(sc *obs.Scope) met {
+	return met{
+		sent:            sc.Counter("wcl_sends_total"),
+		firstTrySuccess: sc.Counter("wcl_first_try_success_total"),
+		altSuccess:      sc.Counter("wcl_alt_success_total"),
+		failed:          sc.Counter("wcl_failed_total"),
+		noAltFailed:     sc.Counter("wcl_no_alt_failed_total"),
+		mixesTriedSum:   sc.Counter("wcl_mixes_tried_total"),
+		helpersTriedSum: sc.Counter("wcl_helpers_tried_total"),
+		delivered:       sc.Counter("wcl_delivered_total"),
+		forwardsPeeled:  sc.Counter("wcl_forwards_peeled_total"),
+		peelErrors:      sc.Counter("wcl_peel_errors_total"),
+		dropNoContact:   sc.Counter("wcl_drop_no_contact_total"),
+		acksForwarded:   sc.Counter("wcl_acks_forwarded_total"),
+		keyRequests:     sc.Counter("wcl_key_requests_total"),
+		dupForwards:     sc.Counter("wcl_dup_forwards_total"),
+		dupDeliveries:   sc.Counter("wcl_dup_deliveries_total"),
+		buildMS:         sc.Histogram("wcl_onion_build_ms"),
+		peelMS:          sc.Histogram("wcl_peel_ms"),
+		elapsedMS:       sc.Histogram("wcl_send_elapsed_ms"),
+	}
 }
 
 // ErrNoPath is reported (inside Result) when no usable path exists.
@@ -207,10 +248,14 @@ type WCL struct {
 	// paper's accounting (footnote 3: failures of the destination node
 	// itself are not WCL route failures).
 	OnResult func(dest identity.NodeID, r Result)
-	// Tracer, when set, observes path events.
-	Tracer Tracer
-	// Stats exposes counters.
-	Stats Stats
+	// Trace, when set, emits hop-level trace events (send, forward,
+	// peel, deliver, retry, ack). The path ID is passed to Emit as the
+	// correlation key, which obs.Tracer discards unless the collector is
+	// the simulator-only omniscient observer — relay-visible telemetry
+	// never carries it (see the obs package's relay-visibility rule).
+	Trace *obs.Tracer
+
+	met met
 }
 
 // New attaches a WCL to a Nylon node. The node must run with key
@@ -233,6 +278,7 @@ func New(node *nylon.Node, cfg Config) (*WCL, error) {
 		pendingKeys:    make(map[identity.NodeID]time.Duration),
 		seenForwards:   dedup.New[uint64](2048),
 		deliveredPaths: dedup.New[uint64](1024),
+		met:            newMet(cfg.Obs),
 	}
 	node.OnExchange = w.onExchange
 	node.OnKeyExchange = w.onKeyExchange
@@ -251,6 +297,27 @@ func (w *WCL) CPU() *crypt.CPUMeter { return w.cpu }
 
 // Config returns the effective configuration.
 func (w *WCL) Config() Config { return w.cfg }
+
+// Stats returns a snapshot of the layer's counters.
+func (w *WCL) Stats() Stats {
+	return Stats{
+		Sent:            w.met.sent.Value(),
+		FirstTrySuccess: w.met.firstTrySuccess.Value(),
+		AltSuccess:      w.met.altSuccess.Value(),
+		Failed:          w.met.failed.Value(),
+		NoAltFailed:     w.met.noAltFailed.Value(),
+		MixesTriedSum:   w.met.mixesTriedSum.Value(),
+		HelpersTriedSum: w.met.helpersTriedSum.Value(),
+		Delivered:       w.met.delivered.Value(),
+		ForwardsPeeled:  w.met.forwardsPeeled.Value(),
+		PeelErrors:      w.met.peelErrors.Value(),
+		DropNoContact:   w.met.dropNoContact.Value(),
+		AcksForwarded:   w.met.acksForwarded.Value(),
+		KeyRequests:     w.met.keyRequests.Value(),
+		DupForwards:     w.met.dupForwards.Value(),
+		DupDeliveries:   w.met.dupDeliveries.Value(),
+	}
+}
 
 // onExchange feeds the connection backlog from successful gossip
 // exchanges and tops up its P-node quota (§III-A).
@@ -296,7 +363,7 @@ func (w *WCL) topUpPublics() {
 		if err := w.node.RequestKey(d); err != nil {
 			continue
 		}
-		w.Stats.KeyRequests++
+		w.met.keyRequests.Inc()
 		w.pendingKeys[d.ID] = now
 		deficit--
 	}
@@ -307,7 +374,7 @@ func (w *WCL) topUpPublics() {
 // comes from the AES encryption under a fresh key k; relationship
 // anonymity from the onion path S → A → B → dest.
 func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
-	w.Stats.Sent++
+	w.met.sent.Inc()
 	if dest.Key == nil {
 		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
 		return
@@ -496,9 +563,9 @@ func (w *WCL) attempt(st *pendingSend) {
 	hops = append(hops, crypt.Hop{Pub: st.dest.Key, Addr: dAddr})
 	start := time.Now()
 	onion, err := crypt.BuildOnion(w.cpu, hops, st.key)
-	if w.Tracer != nil {
-		w.Tracer.PathBuilt(st.pathID, time.Since(start))
-	}
+	buildTime := time.Since(start)
+	w.met.buildMS.ObserveDuration(buildTime)
+	w.Trace.Emit(obs.KindSend, w.rt.Now(), buildTime, len(onion), st.pathID)
 	if err != nil {
 		w.retry(st)
 		return
@@ -526,6 +593,7 @@ func (w *WCL) retry(st *pendingSend) {
 		w.finishResult(st, Failed, false)
 		return
 	}
+	w.Trace.Emit(obs.KindRetry, w.rt.Now(), 0, 0, st.pathID)
 	w.attempt(st)
 }
 
@@ -541,17 +609,17 @@ func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
 	}
 	switch {
 	case outcome == Success:
-		w.Stats.FirstTrySuccess++
+		w.met.firstTrySuccess.Inc()
 	case outcome == AltSuccess:
-		w.Stats.AltSuccess++
+		w.met.altSuccess.Inc()
 	default:
-		w.Stats.Failed++
+		w.met.failed.Inc()
 		if noAlt {
-			w.Stats.NoAltFailed++
+			w.met.noAltFailed.Inc()
 		}
 	}
-	w.Stats.MixesTriedSum += uint64(len(st.triedA))
-	w.Stats.HelpersTriedSum += uint64(len(st.triedB))
+	w.met.mixesTriedSum.Add(uint64(len(st.triedA)))
+	w.met.helpersTriedSum.Add(uint64(len(st.triedB)))
 	r := Result{
 		Outcome:       outcome,
 		NoAlternative: noAlt,
@@ -560,6 +628,7 @@ func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
 		HelpersTried:  len(st.triedB),
 		Elapsed:       w.rt.Now() - st.start,
 	}
+	w.met.elapsedMS.ObserveDuration(r.Elapsed)
 	if w.OnResult != nil {
 		w.OnResult(st.dest.ID, r)
 	}
@@ -600,7 +669,7 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 	// exit hop, the duplicate means the forward outran our ack (or the
 	// ack was lost), so answer it again instead of staying silent.
 	if w.seenForwards.Add(m.PathID ^ fnvSum(m.Onion)) {
-		w.Stats.DupForwards++
+		w.met.dupForwards.Inc()
 		if w.deliveredPaths.Contains(m.PathID) {
 			w.sendAckBack(m.PathID)
 		}
@@ -609,14 +678,13 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 	start := time.Now()
 	next, inner, exit, err := crypt.Peel(w.cpu, w.node.Identity().Key, m.Onion)
 	peelTime := time.Since(start)
-	if w.Tracer != nil {
-		w.Tracer.Peeled(m.PathID, peelTime)
-	}
+	w.met.peelMS.ObserveDuration(peelTime)
+	w.Trace.Emit(obs.KindPeel, w.rt.Now(), peelTime, len(m.Onion), m.PathID)
 	if err != nil {
-		w.Stats.PeelErrors++
+		w.met.peelErrors.Inc()
 		return
 	}
-	w.Stats.ForwardsPeeled++
+	w.met.forwardsPeeled.Inc()
 	// Remember how to route the acknowledgement backwards.
 	w.pruneAckState()
 	w.ackState[m.PathID] = ackEntry{
@@ -630,21 +698,19 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 		// source retried because the first ack was slow or lost): ack
 		// again, but deliver the plaintext exactly once.
 		if w.deliveredPaths.Contains(m.PathID) {
-			w.Stats.DupDeliveries++
+			w.met.dupDeliveries.Inc()
 			w.sendAckBack(m.PathID)
 			return
 		}
 		// inner is the content key k.
 		pt, err := crypt.OpenSym(w.cpu, inner, m.Content)
 		if err != nil {
-			w.Stats.PeelErrors++
+			w.met.peelErrors.Inc()
 			return
 		}
 		w.deliveredPaths.Add(m.PathID)
-		w.Stats.Delivered++
-		if w.Tracer != nil {
-			w.Tracer.Delivered(m.PathID)
-		}
+		w.met.delivered.Inc()
+		w.Trace.Emit(obs.KindDeliver, w.rt.Now(), 0, len(pt), m.PathID)
 		if w.OnReceive != nil {
 			w.OnReceive(pt)
 		}
@@ -653,7 +719,7 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 	}
 	addr, err := decodeHopAddr(next)
 	if err != nil {
-		w.Stats.PeelErrors++
+		w.met.peelErrors.Inc()
 		return
 	}
 	fwd := forwardMsg{PathID: m.PathID, From: w.node.ID(), Onion: inner, Content: m.Content}
@@ -661,6 +727,7 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 	case addrByEndpoint:
 		// The A→B hop: B is a P-node, no setup needed.
 		w.node.SendAppDirect(addr.ep, fwd.encode())
+		w.Trace.Emit(obs.KindForward, w.rt.Now(), 0, len(inner), m.PathID)
 	case addrByID:
 		// The B→D hop: rides the warm route from B's recent gossip
 		// exchange with D. If the direct association has gone cold, any
@@ -686,11 +753,12 @@ func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
 			}
 		}
 		if !ok {
-			w.Stats.DropNoContact++
+			w.met.dropNoContact.Inc()
 			return
 		}
 		fwd.ViaPath = via
 		w.node.SendAppVia(d, via, fwd.encode())
+		w.Trace.Emit(obs.KindForward, w.rt.Now(), 0, len(inner), m.PathID)
 	}
 }
 
@@ -713,7 +781,8 @@ func (w *WCL) sendAckBack(pathID uint64) {
 	if !ok || w.rt.Now() > st.expires {
 		return
 	}
-	w.Stats.AcksForwarded++
+	w.met.acksForwarded.Inc()
+	w.Trace.Emit(obs.KindAck, w.rt.Now(), 0, 0, pathID)
 	ack := encodeAck(pathID)
 	if len(st.via) == 0 {
 		w.node.SendAppDirect(st.direct, ack)

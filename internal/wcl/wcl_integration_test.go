@@ -148,7 +148,7 @@ func TestMixesActuallyUsed(t *testing.T) {
 
 	var before uint64
 	for _, n := range w.Live() {
-		before += n.WCL.Stats.ForwardsPeeled
+		before += n.WCL.Stats().ForwardsPeeled
 	}
 	dest := destFor(w, d, 3)
 	var res *wcl.Result
@@ -163,14 +163,14 @@ func TestMixesActuallyUsed(t *testing.T) {
 	}
 	var after uint64
 	for _, n := range w.Live() {
-		after += n.WCL.Stats.ForwardsPeeled
+		after += n.WCL.Stats().ForwardsPeeled
 	}
 	// Three peels per successful path: A, B and D.
 	if after-before < 3 {
 		t.Fatalf("only %d onion peels for one delivery, want ≥ 3 (mixes skipped?)", after-before)
 	}
 	// The source itself never peels.
-	if s.WCL.Stats.ForwardsPeeled != 0 {
+	if s.WCL.Stats().ForwardsPeeled != 0 {
 		t.Fatal("source peeled its own onion")
 	}
 }
@@ -236,8 +236,8 @@ func TestNoAlternativeFailure(t *testing.T) {
 	if res.Outcome != wcl.Failed || !res.NoAlternative {
 		t.Fatalf("result = %+v, want Failed with NoAlternative", res)
 	}
-	if s.WCL.Stats.NoAltFailed != 1 {
-		t.Fatalf("NoAltFailed = %d", s.WCL.Stats.NoAltFailed)
+	if s.WCL.Stats().NoAltFailed != 1 {
+		t.Fatalf("NoAltFailed = %d", s.WCL.Stats().NoAltFailed)
 	}
 }
 
@@ -292,7 +292,7 @@ func TestLongerMixPaths(t *testing.T) {
 
 	var before uint64
 	for _, n := range w.Live() {
-		before += n.WCL.Stats.ForwardsPeeled
+		before += n.WCL.Stats().ForwardsPeeled
 	}
 	var results []wcl.Result
 	const sends = 5
@@ -313,7 +313,7 @@ func TestLongerMixPaths(t *testing.T) {
 	}
 	var after uint64
 	for _, n := range w.Live() {
-		after += n.WCL.Stats.ForwardsPeeled
+		after += n.WCL.Stats().ForwardsPeeled
 	}
 	// Four peels per delivered message: A, M, B and D.
 	if got := after - before; got < uint64(4*okCount) {

@@ -174,8 +174,8 @@ func (n *Node) Leave() { n.net.w.Kill(n.sn) }
 
 // Bandwidth returns the node's total upload and download in bytes.
 func (n *Node) Bandwidth() (up, down uint64) {
-	m := n.sn.Nylon.Meter()
-	return m.UpBytes, m.DownBytes
+	s := n.sn.Nylon.Meter().Snapshot()
+	return s.UpBytes, s.DownBytes
 }
 
 // CreateGroup makes this node the founding leader of a new private
