@@ -107,6 +107,24 @@ func BenchmarkTable2CryptoCost(b *testing.B) {
 	}
 }
 
+// BenchmarkCircuitVsOneShot compares steady-state circuit sends with
+// per-message onion routes: 0 RSA operations after establishment and
+// at least 5x lower per-message source-side CPU at 100 messages per
+// circuit.
+func BenchmarkCircuitVsOneShot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Circuit(exp.CircuitConfig{
+			Seed: int64(550 + i), N: 150, Messages: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := exp.CircuitShapeCheck(res); len(bad) != 0 {
+			b.Fatalf("shape violations: %v", bad)
+		}
+	}
+}
+
 // BenchmarkFig8MultiGroup regenerates Figure 8 (bandwidth vs groups per
 // node).
 func BenchmarkFig8MultiGroup(b *testing.B) {

@@ -45,6 +45,7 @@ func main() {
 		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
 		runs     = flag.Int("runs", 1, "replicas to run at seeds seed..seed+runs-1")
 		metrics  = flag.String("metrics-out", "", "dump the metrics registry as JSON to this file after the run (- = stdout)")
+		rollup   = flag.String("metrics-rollup", "", "dump one cross-node rollup of the metrics registry (counters summed, histograms merged) as JSON to this file after the run (- = stdout)")
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = sequential)")
 
 		faultDup     = flag.Float64("fault-dup", 0, "per-datagram duplication probability")
@@ -68,7 +69,7 @@ func main() {
 	cfg := scenario{
 		n: *n, natRatio: *natRatio, pi: *pi, groups: *groups,
 		duration: *duration, env: *env, script: *script, keyBlob: *keyBlob,
-		metricsOut: *metrics,
+		metricsOut: *metrics, rollupOut: *rollup,
 	}
 	if *faultDup > 0 || *faultReorder > 0 || *faultBurstP > 0 {
 		cfg.faults = &netem.FaultModel{
@@ -122,6 +123,7 @@ type scenario struct {
 	keyBlob    int
 	faults     *netem.FaultModel
 	metricsOut string
+	rollupOut  string
 }
 
 func (c scenario) run(out io.Writer, seed int64) error {
@@ -130,7 +132,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		model = netem.DefaultPlanetLab()
 	}
 	var reg *obs.Registry
-	if c.metricsOut != "" {
+	if c.metricsOut != "" || c.rollupOut != "" {
 		reg = obs.NewRegistry()
 	}
 	opts := sim.Options{
@@ -216,8 +218,13 @@ func (c scenario) run(out io.Writer, seed int64) error {
 
 	w.Sim.RunUntil(c.duration)
 	report(out, w)
-	if reg != nil {
+	if c.metricsOut != "" {
 		if err := dumpMetrics(reg, c.metricsOut, seed); err != nil {
+			return err
+		}
+	}
+	if c.rollupOut != "" {
+		if err := dumpRollup(reg, c.rollupOut, seed); err != nil {
 			return err
 		}
 	}
@@ -232,6 +239,16 @@ func dumpMetrics(reg *obs.Registry, path string, seed int64) error {
 		return reg.WriteJSONTo(os.Stdout)
 	}
 	return reg.WriteJSON(fmt.Sprintf("%s.seed%d", path, seed))
+}
+
+// dumpRollup writes one cross-node rollup document: the per-node
+// dimension is collapsed (counters summed, histograms merged), leaving
+// one series per instrument per seed.
+func dumpRollup(reg *obs.Registry, path string, seed int64) error {
+	if path == "-" {
+		return reg.WriteRollupJSONTo(os.Stdout, "node")
+	}
+	return reg.WriteRollupJSON(fmt.Sprintf("%s.seed%d", path, seed), "node")
 }
 
 func nil2(*ppss.Instance, error) {}

@@ -1,0 +1,175 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeriveCircuitKeysDeterministicAndDistinct(t *testing.T) {
+	secret, err := NewCircuitSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks1, err := DeriveCircuitKeys(secret, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks2, err := DeriveCircuitKeys(secret, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range ks1 {
+		if len(ks1[i]) != SymKeySize {
+			t.Fatalf("key %d is %d bytes", i, len(ks1[i]))
+		}
+		if !bytes.Equal(ks1[i], ks2[i]) {
+			t.Fatalf("key %d not deterministic", i)
+		}
+		if seen[string(ks1[i])] {
+			t.Fatalf("key %d repeats an earlier hop key", i)
+		}
+		seen[string(ks1[i])] = true
+	}
+	other, _ := NewCircuitSecret()
+	ks3, err := DeriveCircuitKeys(other, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ks1[0], ks3[0]) {
+		t.Fatal("different secrets derived the same key")
+	}
+	if _, err := DeriveCircuitKeys(secret[:16], 2); err == nil {
+		t.Fatal("short secret accepted")
+	}
+	if _, err := DeriveCircuitKeys(secret, 0); err == nil {
+		t.Fatal("zero hops accepted")
+	}
+}
+
+func TestCircuitOnionRoundTrip(t *testing.T) {
+	privs := keys(3)
+	secret, _ := NewCircuitSecret()
+	hopKeys, err := DeriveCircuitKeys(secret, len(privs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := make([]CircuitHop, len(privs))
+	for i, p := range privs {
+		hops[i] = CircuitHop{Pub: &p.PublicKey, Addr: []byte{byte(i)}, Key: hopKeys[i]}
+	}
+	final := []byte("circuit-established")
+	var m CPUMeter
+	onion, err := BuildCircuitOnion(&m, hops, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RSAEncs != uint64(len(privs)) {
+		t.Fatalf("setup cost %d RSA encryptions, want %d", m.RSAEncs, len(privs))
+	}
+	blob := onion
+	for i, p := range privs {
+		key, next, inner, exit, err := PeelCircuit(&m, p, blob)
+		if err != nil {
+			t.Fatalf("peeling layer %d: %v", i, err)
+		}
+		if !bytes.Equal(key, hopKeys[i]) {
+			t.Fatalf("layer %d recovered wrong hop key", i)
+		}
+		last := i == len(privs)-1
+		if exit != last {
+			t.Fatalf("layer %d exit=%v, want %v", i, exit, last)
+		}
+		if last {
+			if !bytes.Equal(inner, final) {
+				t.Fatalf("exit payload = %q, want %q", inner, final)
+			}
+		} else {
+			if !bytes.Equal(next, []byte{byte(i + 1)}) {
+				t.Fatalf("layer %d next addr = %v", i, next)
+			}
+			blob = inner
+		}
+	}
+	// A non-participant cannot peel any layer.
+	stranger := keys(4)[3]
+	if _, _, _, _, err := PeelCircuit(nil, stranger, onion); err == nil {
+		t.Fatal("stranger peeled a circuit layer")
+	}
+}
+
+// TestCellRoundTripZeroRSA pins the whole point of circuits: once the
+// hop keys are distributed, sealing and opening data cells performs no
+// RSA operations at all — only one AEAD per hop.
+func TestCellRoundTripZeroRSA(t *testing.T) {
+	secret, _ := NewCircuitSecret()
+	hopKeys, err := DeriveCircuitKeys(secret, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m CPUMeter
+	const cells = 100
+	for c := 0; c < cells; c++ {
+		payload := bytes.Repeat([]byte{byte(c)}, 64)
+		cell, err := SealCell(&m, hopKeys, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(cell, payload[:8]) {
+			t.Fatal("payload visible in sealed cell")
+		}
+		for i := range hopKeys {
+			cell, err = OpenSym(&m, hopKeys[i], cell)
+			if err != nil {
+				t.Fatalf("cell %d, hop %d: %v", c, i, err)
+			}
+		}
+		if !bytes.Equal(cell, payload) {
+			t.Fatalf("cell %d round trip mismatch", c)
+		}
+	}
+	if m.RSAEncs != 0 || m.RSADecs != 0 || m.Signs != 0 || m.Verifys != 0 || m.RSA != 0 {
+		t.Fatalf("steady-state cell path used RSA: %+v", m)
+	}
+	if m.AESOps != cells*2*3 {
+		t.Fatalf("AESOps = %d, want %d", m.AESOps, cells*2*3)
+	}
+}
+
+func TestCellWrongHopOrderFails(t *testing.T) {
+	secret, _ := NewCircuitSecret()
+	hopKeys, _ := DeriveCircuitKeys(secret, 3)
+	cell, err := SealCell(nil, hopKeys, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening with the exit key first (outermost layer belongs to the
+	// first mix) must fail uniformly.
+	if _, err := OpenSym(nil, hopKeys[2], cell); err == nil {
+		t.Fatal("out-of-order open succeeded")
+	}
+	if _, err := SealCell(nil, nil, []byte("payload")); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+}
+
+// BenchmarkSealCell pins the steady-state source cost of a 3-hop cell:
+// purely symmetric work, a handful of allocations (one ciphertext per
+// layer), zero RSA.
+func BenchmarkSealCell(b *testing.B) {
+	secret, _ := NewCircuitSecret()
+	hopKeys, _ := DeriveCircuitKeys(secret, 3)
+	payload := bytes.Repeat([]byte("x"), 256)
+	var m CPUMeter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SealCell(&m, hopKeys, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if m.RSAEncs != 0 || m.RSADecs != 0 {
+		b.Fatalf("cell sealing used RSA: %+v", m)
+	}
+}

@@ -145,6 +145,24 @@ func TestFig9Shape(t *testing.T) {
 	PrintFig9(io.Discard, res)
 }
 
+func TestCircuitShape(t *testing.T) {
+	res, err := Circuit(CircuitConfig{Seed: 69, N: 150, Messages: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range CircuitShapeCheck(res) {
+		t.Error(v)
+	}
+	if res.SteadyRSA != 0 {
+		t.Errorf("steady-state RSA ops = %d, want 0", res.SteadyRSA)
+	}
+	var sb strings.Builder
+	PrintCircuit(&sb, res)
+	if !strings.Contains(sb.String(), "per-message source CPU ratio") {
+		t.Error("missing ratio line in output")
+	}
+}
+
 func TestAblationsShape(t *testing.T) {
 	rows, err := Ablations(AblateConfig{
 		Seed: 68, N: 200, Groups: 4,

@@ -63,6 +63,107 @@ func (r *Registry) Export() []MetricPoint {
 	return out
 }
 
+// Rollup aggregates same-named instruments across scopes into one
+// point per remaining label set, with the given label keys dropped —
+// typically Rollup("node") to collapse the per-node dimension into a
+// network-wide view. Counters, gauges and gauge funcs sum; histograms
+// merge bucket-wise (same-named histograms must share a bucket layout,
+// which registration fixes per instrument). Output order follows the
+// export order of the first instrument of each group, so it is stable
+// across calls.
+func (r *Registry) Rollup(drop ...string) []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	dropped := make(map[string]bool, len(drop))
+	for _, k := range drop {
+		dropped[k] = true
+	}
+	type group struct {
+		name   string
+		labels []Label
+		kind   metricKind
+		value  float64
+		hist   HistogramSnapshot
+	}
+	byKey := map[string]*group{}
+	var order []string
+	for _, m := range r.sorted() {
+		var labels []Label
+		for _, l := range m.labels {
+			if !dropped[l.Key] {
+				labels = append(labels, l)
+			}
+		}
+		key := metricKey(m.name, labels)
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{name: m.name, labels: labels, kind: m.kind}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		if (g.kind == kindHistogram) != (m.kind == kindHistogram) {
+			panic(fmt.Sprintf("obs: rollup of %s mixes histogram and scalar instruments", m.name))
+		}
+		switch m.kind {
+		case kindCounter:
+			g.value += float64(m.c.Value())
+		case kindGauge:
+			g.value += float64(m.g.Value())
+		case kindGaugeFunc:
+			g.value += m.f()
+		case kindHistogram:
+			g.hist = g.hist.Merge(m.h.Snapshot())
+		}
+	}
+	out := make([]MetricPoint, 0, len(order))
+	for _, key := range order {
+		g := byKey[key]
+		p := MetricPoint{Name: g.name, Kind: g.kind.String()}
+		if len(g.labels) > 0 {
+			p.Labels = make(map[string]string, len(g.labels))
+			for _, l := range g.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		if g.kind == kindHistogram {
+			p.Count, p.Sum, p.Bounds, p.Buckets = g.hist.Count, g.hist.Sum, g.hist.Bounds, g.hist.Counts
+		} else {
+			v := g.value
+			p.Value = &v
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteRollupJSON writes the rollup (see Rollup) as an indented
+// whisper-metrics-rollup/v1 JSON document to path.
+func (r *Registry) WriteRollupJSON(path string, drop ...string) error {
+	var buf strings.Builder
+	if err := r.WriteRollupJSONTo(&buf, drop...); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}
+
+// WriteRollupJSONTo writes the same whisper-metrics-rollup/v1 document
+// to a stream. The dropped label keys are recorded in the document so
+// a reader knows which dimensions were collapsed.
+func (r *Registry) WriteRollupJSONTo(w io.Writer, drop ...string) error {
+	doc := struct {
+		Schema  string        `json:"schema"`
+		Dropped []string      `json:"dropped,omitempty"`
+		Metrics []MetricPoint `json:"metrics"`
+	}{Schema: "whisper-metrics-rollup/v1", Dropped: drop, Metrics: r.Rollup(drop...)}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
 // WriteJSON writes the registry as an indented whisper-metrics/v1 JSON
 // document to path (the -metrics-out format of whisper-sim and
 // whisper-exp, a sibling of the whisper-bench/v1 timing blob).
@@ -166,9 +267,10 @@ var (
 )
 
 // Handler returns the observability endpoint whisper-node serves on
-// -obs-addr: /metrics (Prometheus text), /debug/vars (expvar, with the
-// registry published as whisper_metrics), and the net/http/pprof suite
-// under /debug/pprof/. The handler uses its own mux — nothing is
+// -obs-addr: /metrics (Prometheus text), /metrics/rollup (JSON rollup
+// across scopes; ?drop=<label> selects the collapsed dimensions,
+// default node), /debug/vars (expvar, with the registry published as
+// whisper_metrics), and the net/http/pprof suite under /debug/pprof/. The handler uses its own mux — nothing is
 // registered on http.DefaultServeMux.
 func Handler(r *Registry) http.Handler {
 	expvarReg.Store(r)
@@ -181,6 +283,14 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics/rollup", func(w http.ResponseWriter, req *http.Request) {
+		drop := req.URL.Query()["drop"]
+		if len(drop) == 0 {
+			drop = []string{"node"}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteRollupJSONTo(w, drop...)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

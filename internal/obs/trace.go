@@ -48,6 +48,15 @@ const (
 	// KindAck: a node originated or forwarded a backward
 	// acknowledgement.
 	KindAck
+	// KindCellSend: a circuit source sealed and launched one data (or
+	// keepalive) cell. Dur is the symmetric sealing cost.
+	KindCellSend
+	// KindCellForward: a circuit relay opened one cell layer and passed
+	// the cell to the next hop. Dur is the AEAD open cost.
+	KindCellForward
+	// KindCellDeliver: a circuit exit decrypted and delivered a data
+	// cell payload.
+	KindCellDeliver
 )
 
 func (k Kind) String() string {
@@ -64,6 +73,12 @@ func (k Kind) String() string {
 		return "retry"
 	case KindAck:
 		return "ack"
+	case KindCellSend:
+		return "cell_send"
+	case KindCellForward:
+		return "cell_forward"
+	case KindCellDeliver:
+		return "cell_deliver"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -111,6 +126,11 @@ type Tracer struct {
 	next uint64
 	col  Collector
 	corr Correlator
+
+	// Head-based sampling state (SetHeadSampling).
+	rate      float64
+	coin      func() float64
+	decisions map[uint64]bool
 }
 
 // NewTracer creates a tracer for the node with the given identifier.
@@ -127,11 +147,59 @@ func NewTracer(node uint64, col Collector) *Tracer {
 	return t
 }
 
+// SetHeadSampling enables head-based trace sampling: the source of a
+// path flips one coin per path and drops that path's source-side
+// events (KindSend, KindRetry, KindCellSend) when it loses. The
+// decision exists only in the source's memory — relays emit
+// unconditionally, no sampling marker crosses the wire, and no
+// sampling field is added to Event, so telemetry volume drops at the
+// place that generates the most spans without widening what any relay
+// can observe. rate is the keep probability in [0, 1]; coin must
+// return uniform values in [0, 1) (inject a deterministic one in
+// tests). A rate ≥ 1 or nil coin keeps everything.
+func (t *Tracer) SetHeadSampling(rate float64, coin func() float64) {
+	if t == nil {
+		return
+	}
+	t.rate = rate
+	t.coin = coin
+	t.decisions = make(map[uint64]bool)
+}
+
+// sampledOut reports whether head sampling drops this event. Only
+// source-originated kinds are ever dropped, and all source events of
+// one path share the same fate. The decision cache is cleared when it
+// grows past a bound: a path whose decision was evicted just gets a
+// fresh coin flip, which only perturbs sampling of paths still
+// emitting across the eviction — acceptable for a volume knob.
+func (t *Tracer) sampledOut(kind Kind, corr uint64) bool {
+	if t.coin == nil || t.rate >= 1 {
+		return false
+	}
+	switch kind {
+	case KindSend, KindRetry, KindCellSend:
+	default:
+		return false
+	}
+	keep, ok := t.decisions[corr]
+	if !ok {
+		keep = t.coin() < t.rate
+		if len(t.decisions) >= 4096 {
+			t.decisions = make(map[uint64]bool)
+		}
+		t.decisions[corr] = keep
+	}
+	return !keep
+}
+
 // Emit records one event at local time at. corr is the correlation key
 // (the path ID); it is dropped unless the collector is a Correlator.
 // Returns the span ID assigned.
 func (t *Tracer) Emit(kind Kind, at, dur time.Duration, bytes int, corr uint64) SpanID {
 	if t == nil {
+		return 0
+	}
+	if t.sampledOut(kind, corr) {
 		return 0
 	}
 	t.next++

@@ -36,6 +36,13 @@ type Config struct {
 	// PCPRefresh is the persistent-path refresh period (§IV-C; lower
 	// frequency than gossip, bounded by the NAT lease).
 	PCPRefresh time.Duration
+	// PoolCircuits routes traffic to persistent-pool members over WCL
+	// circuits: the pool is exactly the set of partners a node
+	// re-contacts indefinitely, so the one-time circuit setup amortizes
+	// and the periodic PCP ping doubles as the circuit's keepalive.
+	// Defaults to on (set to a false pointer to disable); one-shot
+	// remains the path for everything outside the pool.
+	PoolCircuits *bool
 	// HeartbeatTimeout is how stale the leader heartbeat may grow
 	// before an election starts (§IV-A).
 	HeartbeatTimeout time.Duration
@@ -88,6 +95,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnnounceFor == 0 {
 		c.AnnounceFor = 10 * c.Cycle
+	}
+	if c.PoolCircuits == nil {
+		on := true
+		c.PoolCircuits = &on
 	}
 	return c
 }
@@ -510,11 +521,27 @@ func (in *Instance) Invite(invitee identity.NodeID) (Accreditation, Entry, error
 	return accr, in.r.SelfEntry(), nil
 }
 
+// wclSend routes one encoded message to a member. Persistent-pool
+// members — and any destination that already has an established
+// circuit — ride the WCL circuit layer when PoolCircuits is on (the
+// circuit transparently falls back to one-shot sends when it breaks);
+// everything else pays the ordinary one-shot onion path.
+func (in *Instance) wclSend(e Entry, encoded []byte, done func(wcl.Result)) {
+	if *in.cfg.PoolCircuits {
+		if _, pooled := in.pcp[e.ID]; pooled || in.r.w.HasCircuit(e.ID) {
+			in.r.w.SendCircuit(e.Dest(), encoded, done)
+			return
+		}
+	}
+	in.r.w.Send(e.Dest(), encoded, done)
+}
+
 // Send delivers an application payload to a group member over a WCL
 // route, shipping this node's passport and entry. done is optional.
+// Pooled members (MakePersistent) are reached over a circuit.
 func (in *Instance) Send(to Entry, payload []byte, done func(wcl.Result)) {
 	m := appMsg{Group: in.grp, Passport: in.passport, From: in.r.SelfEntry(), Payload: payload}
-	in.r.w.Send(to.Dest(), m.encode(in.cfg.KeyBlobSize), func(res wcl.Result) {
+	in.wclSend(to, m.encode(in.cfg.KeyBlobSize), func(res wcl.Result) {
 		if res.Outcome == wcl.Failed {
 			in.met.sendFailures.Inc()
 		}
@@ -610,7 +637,7 @@ func (in *Instance) refreshPCP() {
 		}
 		in.seq++
 		m := pcpMsg{Group: in.grp, Passport: in.passport, Seq: in.seq, From: in.r.SelfEntry()}
-		in.r.w.Send(st.entry.Dest(), m.encode(msgPCPPing, in.cfg.KeyBlobSize), nil)
+		in.wclSend(st.entry, m.encode(msgPCPPing, in.cfg.KeyBlobSize), nil)
 		in.met.pcpRefreshes.Inc()
 	}
 }
@@ -621,7 +648,7 @@ func (in *Instance) handlePCP(kind uint8, m *pcpMsg) {
 	}
 	if kind == msgPCPPing {
 		resp := pcpMsg{Group: in.grp, Passport: in.passport, Seq: m.Seq, From: in.r.SelfEntry()}
-		in.r.w.Send(m.From.Dest(), resp.encode(msgPCPPong, in.cfg.KeyBlobSize), nil)
+		in.wclSend(m.From, resp.encode(msgPCPPong, in.cfg.KeyBlobSize), nil)
 		// A ping from a pooled member refreshes our copy of its entry.
 		if st, ok := in.pcp[m.From.ID]; ok {
 			st.entry = m.From

@@ -322,6 +322,102 @@ func TestPersistentPaths(t *testing.T) {
 	}
 }
 
+// TestPersistentPoolRidesCircuits: pooled members are reached over WCL
+// circuits (PoolCircuits defaults to on) — the periodic PCP ping
+// establishes the circuit and then doubles as its keepalive, so pooled
+// application sends travel as RSA-free data cells.
+func TestPersistentPoolRidesCircuits(t *testing.T) {
+	w := buildPPSSWorld(t, 38, 100)
+	members := w.Live()[:16]
+	g := ppss.GroupIDFromName("pcp-circ")
+	formGroup(t, w, "pcp-circ", members)
+	w.Sim.RunFor(6 * time.Minute)
+
+	src := members[1]
+	a := src.PPSS.Instance(g)
+	peer, ok := a.GetPeer()
+	if !ok {
+		t.Fatal("empty private view")
+	}
+	a.MakePersistent(peer)
+	// Let a few refresh periods pass: the pings establish the circuit.
+	w.Sim.RunFor(5 * time.Minute)
+
+	st := src.WCL.Stats()
+	if st.CircuitsEstablished == 0 {
+		t.Fatalf("pooled member never got a circuit: %+v", st)
+	}
+	if !src.WCL.HasCircuit(peer.ID) {
+		t.Fatal("no established circuit to the pooled member")
+	}
+
+	// A pooled application send rides the circuit as a data cell and is
+	// acknowledged hop-free. (The precise zero-RSA steady-state property
+	// is pinned in the wcl package, where no background gossip muddies
+	// the meters; here gossip shuffles legitimately keep paying RSA.)
+	target := findMember(members, peer.ID)
+	got := false
+	target.PPSS.Instance(g).OnMessage = func(_ ppss.Entry, p []byte) { got = string(p) == "cell" }
+	before := src.WCL.Stats()
+	if err := a.SendTo(peer.ID, []byte("cell"), nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Sim.RunFor(30 * time.Second)
+	if !got {
+		t.Fatal("pooled send not delivered")
+	}
+	after := src.WCL.Stats()
+	if after.CellsSent == before.CellsSent {
+		t.Fatal("pooled send did not travel as a circuit cell")
+	}
+	if after.CellsAcked == before.CellsAcked {
+		t.Fatal("pooled cell never acknowledged")
+	}
+}
+
+// TestPoolCircuitsDisabled: with PoolCircuits explicitly off, the pool
+// behaves exactly as before — one-shot paths only, no circuit state.
+func TestPoolCircuitsDisabled(t *testing.T) {
+	off := false
+	cfg := fastPPSS()
+	cfg.PoolCircuits = &off
+	w, err := sim.NewWorld(sim.Options{
+		Seed:     39,
+		N:        80,
+		NATRatio: 0.7,
+		KeyPool:  identity.TestPool(64),
+		PPSS:     cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+
+	members := w.Live()[:12]
+	g := ppss.GroupIDFromName("no-circ")
+	formGroup(t, w, "no-circ", members)
+	w.Sim.RunFor(6 * time.Minute)
+
+	a := members[1].PPSS.Instance(g)
+	peer, ok := a.GetPeer()
+	if !ok {
+		t.Fatal("empty private view")
+	}
+	a.MakePersistent(peer)
+	w.Sim.RunFor(5 * time.Minute)
+
+	if a.Stats().PCPRefreshes == 0 {
+		t.Fatal("no PCP refresh ever sent")
+	}
+	for _, m := range members {
+		st := m.WCL.Stats()
+		if st.CircuitsOpened != 0 || st.CellsSent != 0 {
+			t.Fatalf("node %d used circuits with PoolCircuits disabled: %+v", m.ID(), st)
+		}
+	}
+}
+
 func TestLeaderElectionAfterLeaderDeath(t *testing.T) {
 	w := buildPPSSWorld(t, 35, 100)
 	members := w.Live()[:14]

@@ -1,0 +1,64 @@
+package wcl
+
+import (
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/nylon"
+	"whisper/internal/obs"
+	"whisper/internal/transport"
+)
+
+// Backward acknowledgements: every hop of a one-shot path remembers,
+// for a bounded time, how to route an acknowledgement back to the
+// previous hop; the source resolves it against its pending sends.
+
+type ackEntry struct {
+	fromID  identity.NodeID
+	via     []identity.NodeID // reverse relay chain ([] = direct)
+	direct  transport.Endpoint
+	expires time.Duration
+}
+
+// handleAck resolves a pending send or forwards the acknowledgement one
+// hop backwards.
+func (w *WCL) handleAck(pathID uint64) {
+	if st, ok := w.pending[pathID]; ok {
+		outcome := Success
+		if st.attempts > 1 {
+			outcome = AltSuccess
+		}
+		w.finishResult(st, outcome, false)
+		return
+	}
+	w.sendAckBack(pathID)
+}
+
+func (w *WCL) sendAckBack(pathID uint64) {
+	st, ok := w.ackState[pathID]
+	if !ok || w.rt.Now() > st.expires {
+		return
+	}
+	w.met.acksForwarded.Inc()
+	w.Trace.Emit(obs.KindAck, w.rt.Now(), 0, 0, pathID)
+	ack := encodeAck(pathID)
+	if len(st.via) == 0 {
+		w.node.SendAppDirect(st.direct, ack)
+		return
+	}
+	w.node.SendAppVia(nylon.Descriptor{ID: st.fromID}, st.via, ack)
+}
+
+// pruneAckState drops expired backward-routing entries; called on
+// insertion so the map stays bounded without a dedicated timer.
+func (w *WCL) pruneAckState() {
+	if len(w.ackState) < 512 {
+		return
+	}
+	now := w.rt.Now()
+	for id, e := range w.ackState {
+		if now > e.expires {
+			delete(w.ackState, id)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package wcl
+
+import (
+	"hash/fnv"
+	"time"
+
+	"whisper/internal/crypt"
+	"whisper/internal/identity"
+	"whisper/internal/nylon"
+	"whisper/internal/obs"
+	"whisper/internal/transport"
+	"whisper/internal/wire"
+)
+
+// Relay and exit handling: dispatching WCL messages off the nylon app
+// channel, peeling one-shot onions, and forwarding towards the next
+// hop or delivering at the destination. Circuit-specific handlers live
+// in circuit.go; the address resolution helpers here are shared.
+
+// handleApp dispatches WCL messages arriving over nylon.
+func (w *WCL) handleApp(src transport.Endpoint, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	r := wire.NewReader(payload)
+	switch r.U8() {
+	case msgForward:
+		m, err := decodeForward(r)
+		if err != nil {
+			return
+		}
+		w.handleForward(src, m)
+	case msgAck:
+		pathID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		w.handleAck(pathID)
+	case msgCircSetup:
+		m, err := decodeCircSetup(r)
+		if err != nil {
+			return
+		}
+		w.handleCircSetup(src, m)
+	case msgCircAck:
+		circID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		w.handleCircAck(circID)
+	case msgCircData:
+		m, err := decodeCircData(r)
+		if err != nil {
+			return
+		}
+		w.handleCircData(m)
+	case msgCircCellAck:
+		circID, seq := r.U64(), r.U64()
+		if r.Err() != nil {
+			return
+		}
+		w.handleCircCellAck(circID, seq)
+	case msgCircClose:
+		circID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		w.handleCircClose(circID)
+	}
+}
+
+// handleForward peels one onion layer and forwards, or delivers when
+// this node is the destination.
+func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
+	// Exact duplicates (network duplication, replayed datagrams) are
+	// suppressed before the expensive peel. The key folds in an onion
+	// digest so retry attempts of the same path — same pathID, fresh
+	// onion — still pass. If this node already delivered the path as its
+	// exit hop, the duplicate means the forward outran our ack (or the
+	// ack was lost), so answer it again instead of staying silent.
+	if w.seenForwards.Add(m.PathID ^ fnvSum(m.Onion)) {
+		w.met.dupForwards.Inc()
+		if w.deliveredPaths.Contains(m.PathID) {
+			w.sendAckBack(m.PathID)
+		}
+		return
+	}
+	start := time.Now()
+	next, inner, exit, err := crypt.Peel(w.cpu, w.node.Identity().Key, m.Onion)
+	peelTime := time.Since(start)
+	w.met.peelMS.ObserveDuration(peelTime)
+	w.Trace.Emit(obs.KindPeel, w.rt.Now(), peelTime, len(m.Onion), m.PathID)
+	if err != nil {
+		w.met.peelErrors.Inc()
+		return
+	}
+	w.met.forwardsPeeled.Inc()
+	// Remember how to route the acknowledgement backwards.
+	w.pruneAckState()
+	w.ackState[m.PathID] = ackEntry{
+		fromID:  m.From,
+		via:     reverseIDs(m.ViaPath),
+		direct:  src,
+		expires: w.rt.Now() + w.cfg.AckTTL,
+	}
+	if exit {
+		// A later attempt of a path this node already delivered (the
+		// source retried because the first ack was slow or lost): ack
+		// again, but deliver the plaintext exactly once.
+		if w.deliveredPaths.Contains(m.PathID) {
+			w.met.dupDeliveries.Inc()
+			w.sendAckBack(m.PathID)
+			return
+		}
+		// inner is the content key k.
+		pt, err := crypt.OpenSym(w.cpu, inner, m.Content)
+		if err != nil {
+			w.met.peelErrors.Inc()
+			return
+		}
+		w.deliveredPaths.Add(m.PathID)
+		w.met.delivered.Inc()
+		w.Trace.Emit(obs.KindDeliver, w.rt.Now(), 0, len(pt), m.PathID)
+		if w.OnReceive != nil {
+			w.OnReceive(pt)
+		}
+		w.sendAckBack(m.PathID)
+		return
+	}
+	addr, err := decodeHopAddr(next)
+	if err != nil {
+		w.met.peelErrors.Inc()
+		return
+	}
+	fwd := forwardMsg{PathID: m.PathID, From: w.node.ID(), Onion: inner, Content: m.Content}
+	switch addr.kind {
+	case addrByEndpoint:
+		// The A→B hop: B is a P-node, no setup needed.
+		w.node.SendAppDirect(addr.ep, fwd.encode())
+		w.Trace.Emit(obs.KindForward, w.rt.Now(), 0, len(inner), m.PathID)
+	case addrByID:
+		// The B→D hop: rides the warm route from B's recent gossip
+		// exchange with D.
+		d, via, ok := w.routeToID(addr.id)
+		if !ok {
+			w.met.dropNoContact.Inc()
+			return
+		}
+		fwd.ViaPath = via
+		w.node.SendAppVia(d, via, fwd.encode())
+		w.Trace.Emit(obs.KindForward, w.rt.Now(), 0, len(inner), m.PathID)
+	}
+}
+
+// routeToID resolves a warm route to a node known only by ID. If the
+// direct association has gone cold, the backlog's remembered descriptor
+// (from the gossip exchange that made this node a helper for the
+// target) and then the PSS view (the Nylon invariant) serve as
+// fallbacks. Both one-shot forwards and circuit cells resolve the exit
+// hop through here, so a route refreshed by gossip benefits either.
+func (w *WCL) routeToID(id identity.NodeID) (nylon.Descriptor, []identity.NodeID, bool) {
+	d := nylon.Descriptor{ID: id}
+	via, ok := w.node.RouteTo(d)
+	if !ok {
+		for _, be := range w.cb.Entries() {
+			if be.Desc.ID == id {
+				d = be.Desc
+				via, ok = w.node.RouteTo(d)
+				break
+			}
+		}
+	}
+	if !ok {
+		if vd, have := w.node.ViewDescriptor(id); have {
+			d = vd
+			via, ok = w.node.RouteTo(d)
+		}
+	}
+	return d, via, ok
+}
+
+// fnvSum digests an onion blob for the duplicate-forward key. FNV-1a is
+// plenty here: the key only gates a bounded suppression window, and a
+// (pathID, digest) collision merely drops one datagram — the retry
+// machinery absorbs that like any network loss.
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+func reverseIDs(ids []identity.NodeID) []identity.NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]identity.NodeID, len(ids))
+	for i, id := range ids {
+		out[len(ids)-1-i] = id
+	}
+	return out
+}

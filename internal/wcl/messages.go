@@ -12,6 +12,11 @@ import (
 const (
 	msgForward uint8 = iota + 1
 	msgAck
+	msgCircSetup
+	msgCircAck
+	msgCircData
+	msgCircCellAck
+	msgCircClose
 )
 
 // forwardMsg carries an onion and its content one WCL hop. The clear
@@ -66,6 +71,122 @@ func encodeAck(pathID uint64) []byte {
 	w.U8(msgAck)
 	w.U64(pathID)
 	return w.Bytes()
+}
+
+// circSetupMsg carries a circuit setup onion one hop. It exposes the
+// same clear fields as forwardMsg — previous hop and the relays of the
+// hop transmission, needed for backward routing — plus the circuit
+// identifier relays key their table entries on. The identifier is
+// constant along the path, exactly like a one-shot pathID, so it adds
+// no correlator the one-shot wire format does not already carry.
+type circSetupMsg struct {
+	CircID  uint64
+	From    identity.NodeID
+	ViaPath []identity.NodeID
+	Onion   []byte
+}
+
+func (m *circSetupMsg) encode() []byte {
+	w := wire.NewWriter(32 + len(m.Onion))
+	w.U8(msgCircSetup)
+	w.U64(m.CircID)
+	w.U64(uint64(m.From))
+	w.U8(uint8(len(m.ViaPath)))
+	for _, id := range m.ViaPath {
+		w.U64(uint64(id))
+	}
+	w.Bytes32(m.Onion)
+	return w.Bytes()
+}
+
+func decodeCircSetup(r *wire.Reader) (*circSetupMsg, error) {
+	m := &circSetupMsg{}
+	m.CircID = r.U64()
+	m.From = identity.NodeID(r.U64())
+	n := int(r.U8())
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		m.ViaPath = append(m.ViaPath, identity.NodeID(r.U64()))
+	}
+	m.Onion = r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wcl: decoding circuit setup: %w", err)
+	}
+	return m, nil
+}
+
+// circDataMsg carries one sealed data cell. Deliberately minimal: no
+// sender, no routing — a relay needs only its table entry, so the
+// steady-state wire format exposes less than a one-shot forward does.
+type circDataMsg struct {
+	CircID uint64
+	Seq    uint64
+	Cell   []byte
+}
+
+func (m *circDataMsg) encode() []byte {
+	w := wire.NewWriter(19 + len(m.Cell))
+	w.U8(msgCircData)
+	w.U64(m.CircID)
+	w.U64(m.Seq)
+	w.Bytes32(m.Cell)
+	return w.Bytes()
+}
+
+func decodeCircData(r *wire.Reader) (*circDataMsg, error) {
+	m := &circDataMsg{}
+	m.CircID = r.U64()
+	m.Seq = r.U64()
+	m.Cell = r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wcl: decoding circuit data: %w", err)
+	}
+	return m, nil
+}
+
+func encodeCircAck(circID uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(msgCircAck)
+	w.U64(circID)
+	return w.Bytes()
+}
+
+func encodeCircCellAck(circID, seq uint64) []byte {
+	w := wire.NewWriter(17)
+	w.U8(msgCircCellAck)
+	w.U64(circID)
+	w.U64(seq)
+	return w.Bytes()
+}
+
+func encodeCircClose(circID uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(msgCircClose)
+	w.U64(circID)
+	return w.Bytes()
+}
+
+// Cell plaintext framing (the innermost layer a circuit exit opens):
+// one type byte followed by the raw payload.
+const (
+	cellData uint8 = 1
+	cellPing uint8 = 2
+)
+
+func encodeCellPayload(typ uint8, payload []byte) []byte {
+	out := make([]byte, 1+len(payload))
+	out[0] = typ
+	copy(out[1:], payload)
+	return out
+}
+
+func decodeCellPayload(b []byte) (typ uint8, payload []byte, ok bool) {
+	if len(b) == 0 {
+		return 0, nil, false
+	}
+	return b[0], b[1:], true
 }
 
 // Hop addressing blobs embedded inside onion layers. A mix learns its

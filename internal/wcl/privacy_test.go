@@ -13,7 +13,11 @@ import (
 // TestEventFieldAllowlist pins the exact field set of obs.Event. The
 // relay-visibility rule says a trace event may carry only what a node
 // can locally observe; any new field widens every relay's telemetry
-// and must argue its privacy case by editing this allowlist.
+// and must argue its privacy case by editing this allowlist. In
+// particular, head-based trace sampling (obs.Tracer.SetHeadSampling)
+// must stay a source-local memory: no "sampled" bit may appear here —
+// or on the wire — because a per-path flag relays could read is a
+// per-path correlator.
 func TestEventFieldAllowlist(t *testing.T) {
 	allow := map[string]string{
 		"Span":  "obs.SpanID",    // node-local, restarts per node
@@ -178,5 +182,131 @@ func TestRelayTraceUnlinkable(t *testing.T) {
 	}
 	if !linked {
 		t.Fatal("omniscient observer failed to reconstruct any full path — positive control broken")
+	}
+}
+
+// TestCircuitRelayTraceUnlinkable extends the relay-trace property
+// across a full circuit lifetime: setup, a stream of data cells,
+// rotation, teardown. A plain collector compromised on every relay of
+// an established circuit sees forwards, peels and cell forwards — but
+// nothing in the recorded schema links the circuit's source to its
+// destination, because circuit IDs never reach a plain Collector and
+// span numbering restarts on every node. The positive control shows
+// the sim-only correlating collector CAN reconstruct the whole circuit
+// lifetime from the same traffic, so the protection is the schema.
+func TestCircuitRelayTraceUnlinkable(t *testing.T) {
+	w := buildCircuitWorld(t, 51, 120, wcl.Config{CircuitMaxCells: 8})
+	natted := w.LiveNatted()
+	s, d := natted[0], natted[1]
+
+	sink := &relaySink{events: map[uint64][]obs.Event{}}
+	for _, n := range w.Live() {
+		n.WCL.Trace = obs.NewTracer(uint64(n.Nylon.ID()), sink)
+	}
+
+	// A full lifetime: enough cells to cross the rotation budget.
+	const sends = 20
+	ok := 0
+	for i := 0; i < sends; i++ {
+		s.WCL.SendCircuit(destFor(w, d, 3), []byte("circuit-confidential"), func(r wcl.Result) {
+			if r.Outcome != wcl.Failed {
+				ok++
+			}
+		})
+		w.Sim.RunFor(2 * time.Second)
+	}
+	w.Sim.RunFor(30 * time.Second)
+	if ok < sends-1 {
+		t.Fatalf("only %d/%d circuit sends succeeded", ok, sends)
+	}
+	if s.WCL.Stats().CircuitsRotated == 0 {
+		t.Fatal("lifetime did not cross a rotation — test covers less than intended")
+	}
+
+	// The adversary observed the circuit machinery at work...
+	kinds := map[obs.Kind]int{}
+	for _, evs := range sink.events {
+		for _, ev := range evs {
+			kinds[ev.Kind]++
+		}
+	}
+	if kinds[obs.KindCellForward] == 0 || kinds[obs.KindCellDeliver] == 0 || kinds[obs.KindPeel] == 0 {
+		t.Fatalf("trace did not capture circuit relay activity: %v", kinds)
+	}
+
+	// ...but no recorded value is a cross-node correlator: spans restart
+	// at 1 on every node and recur across nodes, exactly like the
+	// one-shot case, over the whole lifetime of the circuit.
+	spanOwners := map[obs.SpanID]int{}
+	for node, evs := range sink.events {
+		minSpan := obs.SpanID(1 << 62)
+		for _, ev := range evs {
+			if ev.Span < minSpan {
+				minSpan = ev.Span
+			}
+			if ev.Span > obs.SpanID(len(evs)) {
+				t.Fatalf("node %d span %d exceeds its own event count — spans leak global state", node, ev.Span)
+			}
+		}
+		if minSpan != 1 {
+			t.Fatalf("node %d's spans start at %d, want 1", node, minSpan)
+		}
+		seen := map[obs.SpanID]bool{}
+		for _, ev := range evs {
+			seen[ev.Span] = true
+		}
+		for sp := range seen {
+			spanOwners[sp]++
+		}
+	}
+	collisions := 0
+	for _, owners := range spanOwners {
+		if owners >= 2 {
+			collisions++
+		}
+	}
+	if collisions == 0 {
+		t.Fatal("no span value recurs across nodes during the circuit lifetime")
+	}
+
+	// Positive control: the omniscient observer links the whole circuit
+	// lifetime — source cell sends, relay cell forwards, exit deliveries
+	// — under one correlation key.
+	cc := &obs.CorrelatingCollector{}
+	for _, n := range w.Live() {
+		n.WCL.Trace = obs.NewTracer(uint64(n.Nylon.ID()), cc)
+	}
+	s2, d2 := natted[3], natted[4]
+	const controlSends = 6
+	okCtl := 0
+	for i := 0; i < controlSends; i++ {
+		s2.WCL.SendCircuit(destFor(w, d2, 3), []byte("controlled"), func(r wcl.Result) {
+			if r.Outcome != wcl.Failed {
+				okCtl++
+			}
+		})
+		w.Sim.RunFor(2 * time.Second)
+	}
+	w.Sim.RunFor(30 * time.Second)
+	if okCtl < controlSends-1 {
+		t.Fatalf("control sends failed: %d/%d", okCtl, controlSends)
+	}
+	linked := false
+	for _, p := range cc.Paths() {
+		tl := cc.Timeline(p)
+		nodes := map[uint64]bool{}
+		hasCellSend, hasCellDeliver, hasCellForward := false, false, false
+		for _, ev := range tl {
+			nodes[ev.Node] = true
+			hasCellSend = hasCellSend || ev.Kind == obs.KindCellSend
+			hasCellDeliver = hasCellDeliver || ev.Kind == obs.KindCellDeliver
+			hasCellForward = hasCellForward || ev.Kind == obs.KindCellForward
+		}
+		if hasCellSend && hasCellForward && hasCellDeliver && len(nodes) >= 3 {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("omniscient observer failed to reconstruct a circuit lifetime — positive control broken")
 	}
 }

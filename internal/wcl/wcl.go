@@ -1,10 +1,14 @@
+// Package wcl implements the WHISPER communication layer: confidential
+// one-way routes over onion paths (§III-A), split across files by role —
+// send.go (source-side one-shot path engine), circuit.go (the circuit
+// layer amortizing onion setup over message streams), forward.go
+// (relay/exit handling), ack.go (backward acknowledgements).
 package wcl
 
 import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"whisper/internal/crypt"
@@ -13,7 +17,6 @@ import (
 	"whisper/internal/nylon"
 	"whisper/internal/obs"
 	"whisper/internal/transport"
-	"whisper/internal/wire"
 )
 
 // Config parameterizes the WCL.
@@ -34,6 +37,34 @@ type Config struct {
 	MaxAttempts int
 	// AckTTL bounds how long hops remember backward-routing state.
 	AckTTL time.Duration
+
+	// Circuits opts Send into the circuit layer: a first send to a
+	// destination establishes a circuit over the one-shot onion
+	// machinery and later sends ride it as RSA-free data cells. Off by
+	// default — one-shot remains the wire behavior unless a caller asks
+	// for circuits (the PPSS persistent pool turns them on for its
+	// members). SendCircuit works regardless of this flag.
+	Circuits bool
+	// CircuitMaxAge rotates a circuit that has been established longer
+	// than this, bounding how long one circuit identifier stays
+	// observable on a path (default 15 minutes).
+	CircuitMaxAge time.Duration
+	// CircuitMaxCells rotates a circuit after this many data cells
+	// (default 512).
+	CircuitMaxCells int
+	// CircuitIdle tears a circuit down after this long without an
+	// application send (default 5 minutes).
+	CircuitIdle time.Duration
+	// CircuitKeepalive is the ping period keeping an established but
+	// momentarily quiet circuit's relay entries warm (default 1 minute).
+	CircuitKeepalive time.Duration
+	// CircuitTableMax bounds the relay-side circuit table (default
+	// 4096 entries, LRU-evicted).
+	CircuitTableMax int
+	// CircuitTTL expires relay-side circuit entries this long after
+	// their last use (default 5 minutes).
+	CircuitTTL time.Duration
+
 	// Obs is the observability scope the layer's instruments register
 	// under. Nil runs unobserved (counters still count).
 	Obs *obs.Scope
@@ -57,6 +88,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AckTTL == 0 {
 		c.AckTTL = time.Minute
+	}
+	if c.CircuitMaxAge == 0 {
+		c.CircuitMaxAge = 15 * time.Minute
+	}
+	if c.CircuitMaxCells == 0 {
+		c.CircuitMaxCells = 512
+	}
+	if c.CircuitIdle == 0 {
+		c.CircuitIdle = 5 * time.Minute
+	}
+	if c.CircuitKeepalive == 0 {
+		c.CircuitKeepalive = time.Minute
+	}
+	if c.CircuitTableMax == 0 {
+		c.CircuitTableMax = 4096
+	}
+	if c.CircuitTTL == 0 {
+		c.CircuitTTL = 5 * time.Minute
 	}
 	return c
 }
@@ -147,6 +196,36 @@ type Stats struct {
 	// attempt's acknowledgement). Neither Delivered nor OnReceive fires
 	// for these; the acknowledgement is resent instead.
 	DupDeliveries uint64
+
+	// Circuit layer (see circuit.go). Opened counts setup launches,
+	// Established successful handshakes, Failed setups that exhausted
+	// the attempt budget, Rotated age/volume-triggered replacements,
+	// Closed graceful and broken teardowns of established paths.
+	CircuitsOpened      uint64
+	CircuitsEstablished uint64
+	CircuitsFailed      uint64
+	CircuitsRotated     uint64
+	CircuitsClosed      uint64
+	// CellsSent/Acked count source-side data+keepalive cells;
+	// CellsForwarded relay hops; CellsDelivered exit-hop app payloads.
+	CellsSent      uint64
+	CellsAcked     uint64
+	CellsForwarded uint64
+	CellsDelivered uint64
+	// DupCells counts exit-hop duplicate cells suppressed (re-acked).
+	DupCells uint64
+	// CellDrops counts cells dropped at a relay with no table entry
+	// (expired, evicted, or never set up).
+	CellDrops uint64
+	// CellFallbacks counts data cells that timed out on a circuit and
+	// were re-sent through the one-shot path.
+	CellFallbacks uint64
+	// Keepalives counts ping cells sent to keep idle circuits warm.
+	Keepalives uint64
+	// CircuitsOpen / CircuitTableEntries are point-in-time gauge values:
+	// established source-side circuits and relay-side table entries.
+	CircuitsOpen        int64
+	CircuitTableEntries int64
 }
 
 // met holds the layer's metric instruments (registered when Config.Obs
@@ -168,9 +247,28 @@ type met struct {
 	dupForwards     *obs.Counter
 	dupDeliveries   *obs.Counter
 
-	buildMS   *obs.Histogram
-	peelMS    *obs.Histogram
-	elapsedMS *obs.Histogram
+	circuitsOpened      *obs.Counter
+	circuitsEstablished *obs.Counter
+	circuitsFailed      *obs.Counter
+	circuitsRotated     *obs.Counter
+	circuitsClosed      *obs.Counter
+	cellsSent           *obs.Counter
+	cellsAcked          *obs.Counter
+	cellsForwarded      *obs.Counter
+	cellsDelivered      *obs.Counter
+	dupCells            *obs.Counter
+	cellDrops           *obs.Counter
+	cellFallbacks       *obs.Counter
+	keepalives          *obs.Counter
+
+	circuitsOpen *obs.Gauge
+	circuitTable *obs.Gauge
+
+	buildMS     *obs.Histogram
+	peelMS      *obs.Histogram
+	elapsedMS   *obs.Histogram
+	establishMS *obs.Histogram
+	cellMS      *obs.Histogram
 }
 
 func newMet(sc *obs.Scope) met {
@@ -190,35 +288,34 @@ func newMet(sc *obs.Scope) met {
 		keyRequests:     sc.Counter("wcl_key_requests_total"),
 		dupForwards:     sc.Counter("wcl_dup_forwards_total"),
 		dupDeliveries:   sc.Counter("wcl_dup_deliveries_total"),
-		buildMS:         sc.Histogram("wcl_onion_build_ms"),
-		peelMS:          sc.Histogram("wcl_peel_ms"),
-		elapsedMS:       sc.Histogram("wcl_send_elapsed_ms"),
+
+		circuitsOpened:      sc.Counter("wcl_circuits_opened_total"),
+		circuitsEstablished: sc.Counter("wcl_circuits_established_total"),
+		circuitsFailed:      sc.Counter("wcl_circuits_failed_total"),
+		circuitsRotated:     sc.Counter("wcl_circuits_rotated_total"),
+		circuitsClosed:      sc.Counter("wcl_circuits_closed_total"),
+		cellsSent:           sc.Counter("wcl_cells_sent_total"),
+		cellsAcked:          sc.Counter("wcl_cells_acked_total"),
+		cellsForwarded:      sc.Counter("wcl_cells_forwarded_total"),
+		cellsDelivered:      sc.Counter("wcl_cells_delivered_total"),
+		dupCells:            sc.Counter("wcl_dup_cells_total"),
+		cellDrops:           sc.Counter("wcl_cell_drops_total"),
+		cellFallbacks:       sc.Counter("wcl_cell_fallbacks_total"),
+		keepalives:          sc.Counter("wcl_circuit_keepalives_total"),
+
+		circuitsOpen: sc.Gauge("wcl_circuits_open"),
+		circuitTable: sc.Gauge("wcl_circuit_table_entries"),
+
+		buildMS:     sc.Histogram("wcl_onion_build_ms"),
+		peelMS:      sc.Histogram("wcl_peel_ms"),
+		elapsedMS:   sc.Histogram("wcl_send_elapsed_ms"),
+		establishMS: sc.Histogram("wcl_circuit_establish_ms"),
+		cellMS:      sc.Histogram("wcl_cell_elapsed_ms"),
 	}
 }
 
 // ErrNoPath is reported (inside Result) when no usable path exists.
 var ErrNoPath = errors.New("wcl: no usable path")
-
-type ackEntry struct {
-	fromID  identity.NodeID
-	via     []identity.NodeID // reverse relay chain ([] = direct)
-	direct  transport.Endpoint
-	expires time.Duration
-}
-
-type pendingSend struct {
-	pathID   uint64
-	dest     Dest
-	content  []byte // AES-GCM under k
-	key      []byte // k
-	payload  []byte
-	start    time.Duration
-	attempts int
-	triedA   map[identity.NodeID]bool
-	triedB   map[identity.NodeID]bool
-	timer    transport.Timer
-	done     func(Result)
-}
 
 // WCL is the Whisper communication layer of one node.
 type WCL struct {
@@ -231,6 +328,15 @@ type WCL struct {
 	pending     map[uint64]*pendingSend
 	ackState    map[uint64]ackEntry
 	pendingKeys map[identity.NodeID]time.Duration // request time, for expiry
+
+	// Circuit layer state: source-side circuits by destination plus a
+	// path-ID index, and the relay-side table (see circuit.go).
+	circuits  map[identity.NodeID]*Circuit
+	circByID  map[uint64]*circPath
+	relayCirc *circTable
+	// deliveredCells gives the exit hop exactly-once delivery of data
+	// cells under network duplication (duplicates are re-acked).
+	deliveredCells *dedup.Seen[cellKey]
 
 	// seenForwards remembers recently handled forwards (pathID folded
 	// with an onion digest, so distinct attempts of one path pass) and
@@ -249,10 +355,11 @@ type WCL struct {
 	// itself are not WCL route failures).
 	OnResult func(dest identity.NodeID, r Result)
 	// Trace, when set, emits hop-level trace events (send, forward,
-	// peel, deliver, retry, ack). The path ID is passed to Emit as the
-	// correlation key, which obs.Tracer discards unless the collector is
-	// the simulator-only omniscient observer — relay-visible telemetry
-	// never carries it (see the obs package's relay-visibility rule).
+	// peel, deliver, retry, ack, and the circuit cell kinds). The path
+	// ID is passed to Emit as the correlation key, which obs.Tracer
+	// discards unless the collector is the simulator-only omniscient
+	// observer — relay-visible telemetry never carries it (see the obs
+	// package's relay-visibility rule).
 	Trace *obs.Tracer
 
 	met met
@@ -276,10 +383,14 @@ func New(node *nylon.Node, cfg Config) (*WCL, error) {
 		pending:        make(map[uint64]*pendingSend),
 		ackState:       make(map[uint64]ackEntry),
 		pendingKeys:    make(map[identity.NodeID]time.Duration),
+		circuits:       make(map[identity.NodeID]*Circuit),
+		circByID:       make(map[uint64]*circPath),
 		seenForwards:   dedup.New[uint64](2048),
 		deliveredPaths: dedup.New[uint64](1024),
+		deliveredCells: dedup.New[cellKey](4096),
 		met:            newMet(cfg.Obs),
 	}
+	w.relayCirc = newCircTable(cfg.CircuitTableMax, cfg.CircuitTTL, w.met.circuitTable)
 	node.OnExchange = w.onExchange
 	node.OnKeyExchange = w.onKeyExchange
 	node.AppHandler = w.handleApp
@@ -316,6 +427,22 @@ func (w *WCL) Stats() Stats {
 		KeyRequests:     w.met.keyRequests.Value(),
 		DupForwards:     w.met.dupForwards.Value(),
 		DupDeliveries:   w.met.dupDeliveries.Value(),
+
+		CircuitsOpened:      w.met.circuitsOpened.Value(),
+		CircuitsEstablished: w.met.circuitsEstablished.Value(),
+		CircuitsFailed:      w.met.circuitsFailed.Value(),
+		CircuitsRotated:     w.met.circuitsRotated.Value(),
+		CircuitsClosed:      w.met.circuitsClosed.Value(),
+		CellsSent:           w.met.cellsSent.Value(),
+		CellsAcked:          w.met.cellsAcked.Value(),
+		CellsForwarded:      w.met.cellsForwarded.Value(),
+		CellsDelivered:      w.met.cellsDelivered.Value(),
+		DupCells:            w.met.dupCells.Value(),
+		CellDrops:           w.met.cellDrops.Value(),
+		CellFallbacks:       w.met.cellFallbacks.Value(),
+		Keepalives:          w.met.keepalives.Value(),
+		CircuitsOpen:        w.met.circuitsOpen.Value(),
+		CircuitTableEntries: w.met.circuitTable.Value(),
 	}
 }
 
@@ -367,461 +494,4 @@ func (w *WCL) topUpPublics() {
 		w.pendingKeys[d.ID] = now
 		deficit--
 	}
-}
-
-// Send opens a confidential one-way route to dest and delivers payload
-// over it. done (optional) receives the final Result. Content privacy
-// comes from the AES encryption under a fresh key k; relationship
-// anonymity from the onion path S → A → B → dest.
-func (w *WCL) Send(dest Dest, payload []byte, done func(Result)) {
-	w.met.sent.Inc()
-	if dest.Key == nil {
-		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
-		return
-	}
-	k, err := crypt.NewSymKey()
-	if err != nil {
-		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
-		return
-	}
-	content, err := crypt.SealSym(w.cpu, k, payload)
-	if err != nil {
-		w.finishResult(&pendingSend{done: done, start: w.rt.Now()}, Failed, true)
-		return
-	}
-	st := &pendingSend{
-		pathID:  w.newPathID(),
-		dest:    dest,
-		content: content,
-		key:     k,
-		payload: payload,
-		start:   w.rt.Now(),
-		triedA:  make(map[identity.NodeID]bool),
-		triedB:  make(map[identity.NodeID]bool),
-		done:    done,
-	}
-	w.pending[st.pathID] = st
-	w.attempt(st)
-}
-
-// newPathID draws a fresh path identifier. Zero is reserved (it is the
-// pathID of the throwaway state used for sends that fail before a path
-// exists), and identifiers of in-flight sends are skipped so a
-// collision cannot alias two pending entries.
-func (w *WCL) newPathID() uint64 {
-	for {
-		id := w.rt.Rand().Uint64()
-		if id == 0 {
-			continue
-		}
-		if _, inFlight := w.pending[id]; inFlight {
-			continue
-		}
-		return id
-	}
-}
-
-// pickMixes chooses an untried (A, B) pair plus any extra middle
-// mixes: A from the connection backlog (any node with a known key), B
-// from the destination's helper set (or, for destinations that are
-// themselves P-nodes, any P-node of the backlog), middles from the
-// backlog's P-nodes. Returns false when no untried combination remains.
-func (w *WCL) pickMixes(st *pendingSend) (a nylon.Descriptor, middles []Helper, b Helper, ok bool) {
-	rng := w.rt.Rand()
-	exclude := map[identity.NodeID]bool{w.node.ID(): true, st.dest.ID: true}
-
-	helpers := st.dest.Helpers
-	if len(helpers) == 0 {
-		// P-node destination: any backlog P-node with a known key works.
-		for _, e := range w.cb.Publics() {
-			if key := w.node.Keys().Get(e.Desc.ID); key != nil {
-				helpers = append(helpers, Helper{ID: e.Desc.ID, Endpoint: e.Desc.Contact, Key: key})
-			}
-		}
-	}
-	var bs []Helper
-	for _, h := range helpers {
-		if h.Key != nil && !st.triedB[h.ID] && !exclude[h.ID] {
-			bs = append(bs, h)
-		}
-	}
-	// First mix: random entry from the freshest half of the backlog
-	// (the most recently opened routes are the most likely to still be
-	// warm under churn) with a known key. Prefer untried; fall back to
-	// a previously tried A when fresh helpers remain, then to the
-	// stale half.
-	pickA := func(tried map[identity.NodeID]bool) (nylon.Descriptor, bool) {
-		var fresh, stale []nylon.Descriptor
-		entries := w.cb.Entries() // newest first
-		for i, e := range entries {
-			d := e.Desc
-			if exclude[d.ID] || (tried != nil && tried[d.ID]) {
-				continue
-			}
-			if w.node.Keys().Get(d.ID) == nil {
-				continue
-			}
-			if i < (len(entries)+1)/2 {
-				fresh = append(fresh, d)
-			} else {
-				stale = append(stale, d)
-			}
-		}
-		if len(fresh) > 0 {
-			return fresh[rng.Intn(len(fresh))], true
-		}
-		if len(stale) > 0 {
-			return stale[rng.Intn(len(stale))], true
-		}
-		return nylon.Descriptor{}, false
-	}
-
-	if len(bs) == 0 {
-		return a, nil, b, false
-	}
-	b = bs[rng.Intn(len(bs))]
-	if a, ok = pickA(st.triedA); !ok {
-		a, ok = pickA(nil) // reuse a tried A with a fresh B
-	}
-	if ok && a.ID == b.ID {
-		// Avoid A == B: rescue-scan for a different A, preferring ones
-		// not yet tried so the attempt budget is not spent re-testing a
-		// mix already known to fail (and MixesTried stays honest).
-		rescue := func(skipTried bool) (nylon.Descriptor, bool) {
-			for _, e := range w.cb.Entries() {
-				d := e.Desc
-				if d.ID == b.ID || exclude[d.ID] || (skipTried && st.triedA[d.ID]) {
-					continue
-				}
-				if w.node.Keys().Get(d.ID) == nil {
-					continue
-				}
-				return d, true
-			}
-			return nylon.Descriptor{}, false
-		}
-		var found bool
-		if a, found = rescue(true); !found {
-			a, found = rescue(false)
-		}
-		if !found {
-			return a, nil, b, false
-		}
-	}
-	if !ok {
-		return a, nil, b, false
-	}
-	// Extra middle mixes for longer paths: P-nodes from the backlog,
-	// distinct from everything already on the path.
-	if extra := w.cfg.Mixes - 2; extra > 0 {
-		used := map[identity.NodeID]bool{a.ID: true, b.ID: true, st.dest.ID: true, w.node.ID(): true}
-		for _, e := range w.cb.Publics() {
-			if len(middles) == extra {
-				break
-			}
-			d := e.Desc
-			if used[d.ID] || d.Contact.IsZero() {
-				continue
-			}
-			key := w.node.Keys().Get(d.ID)
-			if key == nil {
-				continue
-			}
-			used[d.ID] = true
-			middles = append(middles, Helper{ID: d.ID, Endpoint: d.Contact, Key: key})
-		}
-		if len(middles) < extra {
-			return a, nil, b, false // not enough distinct P-nodes yet
-		}
-		rng.Shuffle(len(middles), func(i, j int) { middles[i], middles[j] = middles[j], middles[i] })
-	}
-	return a, middles, b, true
-}
-
-// attempt constructs and launches one onion path for st.
-func (w *WCL) attempt(st *pendingSend) {
-	a, middles, b, ok := w.pickMixes(st)
-	if !ok {
-		w.finishResult(st, Failed, true)
-		return
-	}
-	st.attempts++
-	st.triedA[a.ID] = true
-	st.triedB[b.ID] = true
-
-	aKey := w.node.Keys().Get(a.ID)
-	dAddr := encodeAddrID(st.dest.ID)
-	if !st.dest.Endpoint.IsZero() {
-		dAddr = encodeAddrEndpoint(st.dest.Endpoint, st.dest.ID)
-	}
-	hops := make([]crypt.Hop, 0, w.cfg.Mixes+1)
-	hops = append(hops, crypt.Hop{Pub: aKey})
-	for _, m := range middles {
-		hops = append(hops, crypt.Hop{Pub: m.Key, Addr: encodeAddrEndpoint(m.Endpoint, m.ID)})
-	}
-	hops = append(hops, crypt.Hop{Pub: b.Key, Addr: encodeAddrEndpoint(b.Endpoint, b.ID)})
-	hops = append(hops, crypt.Hop{Pub: st.dest.Key, Addr: dAddr})
-	start := time.Now()
-	onion, err := crypt.BuildOnion(w.cpu, hops, st.key)
-	buildTime := time.Since(start)
-	w.met.buildMS.ObserveDuration(buildTime)
-	w.Trace.Emit(obs.KindSend, w.rt.Now(), buildTime, len(onion), st.pathID)
-	if err != nil {
-		w.retry(st)
-		return
-	}
-	via, routable := w.node.RouteTo(a)
-	if !routable {
-		w.retry(st)
-		return
-	}
-	fwd := forwardMsg{PathID: st.pathID, From: w.node.ID(), ViaPath: via, Onion: onion, Content: st.content}
-	w.node.SendAppVia(a, via, fwd.encode())
-	st.timer = w.rt.After(w.cfg.PathTimeout, func() {
-		if _, live := w.pending[st.pathID]; live {
-			w.retry(st)
-		}
-	})
-}
-
-// retry tries the next alternative or gives up.
-func (w *WCL) retry(st *pendingSend) {
-	if st.timer != nil {
-		st.timer.Cancel()
-	}
-	if st.attempts >= w.cfg.MaxAttempts {
-		w.finishResult(st, Failed, false)
-		return
-	}
-	w.Trace.Emit(obs.KindRetry, w.rt.Now(), 0, 0, st.pathID)
-	w.attempt(st)
-}
-
-func (w *WCL) finishResult(st *pendingSend, outcome Outcome, noAlt bool) {
-	if st.timer != nil {
-		st.timer.Cancel()
-	}
-	// Only remove the entry this exact send owns: early-failure sends
-	// carry a throwaway state whose zero pathID must not evict (and a
-	// stale timer must not double-finish) a live entry under that key.
-	if cur, ok := w.pending[st.pathID]; ok && cur == st {
-		delete(w.pending, st.pathID)
-	}
-	switch {
-	case outcome == Success:
-		w.met.firstTrySuccess.Inc()
-	case outcome == AltSuccess:
-		w.met.altSuccess.Inc()
-	default:
-		w.met.failed.Inc()
-		if noAlt {
-			w.met.noAltFailed.Inc()
-		}
-	}
-	w.met.mixesTriedSum.Add(uint64(len(st.triedA)))
-	w.met.helpersTriedSum.Add(uint64(len(st.triedB)))
-	r := Result{
-		Outcome:       outcome,
-		NoAlternative: noAlt,
-		Attempts:      st.attempts,
-		MixesTried:    len(st.triedA),
-		HelpersTried:  len(st.triedB),
-		Elapsed:       w.rt.Now() - st.start,
-	}
-	w.met.elapsedMS.ObserveDuration(r.Elapsed)
-	if w.OnResult != nil {
-		w.OnResult(st.dest.ID, r)
-	}
-	if st.done != nil {
-		st.done(r)
-	}
-}
-
-// handleApp dispatches WCL messages arriving over nylon.
-func (w *WCL) handleApp(src transport.Endpoint, payload []byte) {
-	if len(payload) == 0 {
-		return
-	}
-	r := wire.NewReader(payload)
-	switch r.U8() {
-	case msgForward:
-		m, err := decodeForward(r)
-		if err != nil {
-			return
-		}
-		w.handleForward(src, m)
-	case msgAck:
-		pathID := r.U64()
-		if r.Err() != nil {
-			return
-		}
-		w.handleAck(pathID)
-	}
-}
-
-// handleForward peels one onion layer and forwards, or delivers when
-// this node is the destination.
-func (w *WCL) handleForward(src transport.Endpoint, m *forwardMsg) {
-	// Exact duplicates (network duplication, replayed datagrams) are
-	// suppressed before the expensive peel. The key folds in an onion
-	// digest so retry attempts of the same path — same pathID, fresh
-	// onion — still pass. If this node already delivered the path as its
-	// exit hop, the duplicate means the forward outran our ack (or the
-	// ack was lost), so answer it again instead of staying silent.
-	if w.seenForwards.Add(m.PathID ^ fnvSum(m.Onion)) {
-		w.met.dupForwards.Inc()
-		if w.deliveredPaths.Contains(m.PathID) {
-			w.sendAckBack(m.PathID)
-		}
-		return
-	}
-	start := time.Now()
-	next, inner, exit, err := crypt.Peel(w.cpu, w.node.Identity().Key, m.Onion)
-	peelTime := time.Since(start)
-	w.met.peelMS.ObserveDuration(peelTime)
-	w.Trace.Emit(obs.KindPeel, w.rt.Now(), peelTime, len(m.Onion), m.PathID)
-	if err != nil {
-		w.met.peelErrors.Inc()
-		return
-	}
-	w.met.forwardsPeeled.Inc()
-	// Remember how to route the acknowledgement backwards.
-	w.pruneAckState()
-	w.ackState[m.PathID] = ackEntry{
-		fromID:  m.From,
-		via:     reverseIDs(m.ViaPath),
-		direct:  src,
-		expires: w.rt.Now() + w.cfg.AckTTL,
-	}
-	if exit {
-		// A later attempt of a path this node already delivered (the
-		// source retried because the first ack was slow or lost): ack
-		// again, but deliver the plaintext exactly once.
-		if w.deliveredPaths.Contains(m.PathID) {
-			w.met.dupDeliveries.Inc()
-			w.sendAckBack(m.PathID)
-			return
-		}
-		// inner is the content key k.
-		pt, err := crypt.OpenSym(w.cpu, inner, m.Content)
-		if err != nil {
-			w.met.peelErrors.Inc()
-			return
-		}
-		w.deliveredPaths.Add(m.PathID)
-		w.met.delivered.Inc()
-		w.Trace.Emit(obs.KindDeliver, w.rt.Now(), 0, len(pt), m.PathID)
-		if w.OnReceive != nil {
-			w.OnReceive(pt)
-		}
-		w.sendAckBack(m.PathID)
-		return
-	}
-	addr, err := decodeHopAddr(next)
-	if err != nil {
-		w.met.peelErrors.Inc()
-		return
-	}
-	fwd := forwardMsg{PathID: m.PathID, From: w.node.ID(), Onion: inner, Content: m.Content}
-	switch addr.kind {
-	case addrByEndpoint:
-		// The A→B hop: B is a P-node, no setup needed.
-		w.node.SendAppDirect(addr.ep, fwd.encode())
-		w.Trace.Emit(obs.KindForward, w.rt.Now(), 0, len(inner), m.PathID)
-	case addrByID:
-		// The B→D hop: rides the warm route from B's recent gossip
-		// exchange with D. If the direct association has gone cold, any
-		// route B's PSS view still knows (the Nylon invariant) is used
-		// as a fallback.
-		d := nylon.Descriptor{ID: addr.id}
-		via, ok := w.node.RouteTo(d)
-		if !ok {
-			// The backlog remembers the relay route of the gossip
-			// exchange that made this node a helper for the target.
-			for _, be := range w.cb.Entries() {
-				if be.Desc.ID == addr.id {
-					d = be.Desc
-					via, ok = w.node.RouteTo(d)
-					break
-				}
-			}
-		}
-		if !ok {
-			if vd, have := w.node.ViewDescriptor(addr.id); have {
-				d = vd
-				via, ok = w.node.RouteTo(d)
-			}
-		}
-		if !ok {
-			w.met.dropNoContact.Inc()
-			return
-		}
-		fwd.ViaPath = via
-		w.node.SendAppVia(d, via, fwd.encode())
-		w.Trace.Emit(obs.KindForward, w.rt.Now(), 0, len(inner), m.PathID)
-	}
-}
-
-// handleAck resolves a pending send or forwards the acknowledgement one
-// hop backwards.
-func (w *WCL) handleAck(pathID uint64) {
-	if st, ok := w.pending[pathID]; ok {
-		outcome := Success
-		if st.attempts > 1 {
-			outcome = AltSuccess
-		}
-		w.finishResult(st, outcome, false)
-		return
-	}
-	w.sendAckBack(pathID)
-}
-
-func (w *WCL) sendAckBack(pathID uint64) {
-	st, ok := w.ackState[pathID]
-	if !ok || w.rt.Now() > st.expires {
-		return
-	}
-	w.met.acksForwarded.Inc()
-	w.Trace.Emit(obs.KindAck, w.rt.Now(), 0, 0, pathID)
-	ack := encodeAck(pathID)
-	if len(st.via) == 0 {
-		w.node.SendAppDirect(st.direct, ack)
-		return
-	}
-	w.node.SendAppVia(nylon.Descriptor{ID: st.fromID}, st.via, ack)
-}
-
-// pruneAckState drops expired backward-routing entries; called on
-// insertion so the map stays bounded without a dedicated timer.
-func (w *WCL) pruneAckState() {
-	if len(w.ackState) < 512 {
-		return
-	}
-	now := w.rt.Now()
-	for id, e := range w.ackState {
-		if now > e.expires {
-			delete(w.ackState, id)
-		}
-	}
-}
-
-// fnvSum digests an onion blob for the duplicate-forward key. FNV-1a is
-// plenty here: the key only gates a bounded suppression window, and a
-// (pathID, digest) collision merely drops one datagram — the retry
-// machinery absorbs that like any network loss.
-func fnvSum(b []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(b)
-	return h.Sum64()
-}
-
-func reverseIDs(ids []identity.NodeID) []identity.NodeID {
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]identity.NodeID, len(ids))
-	for i, id := range ids {
-		out[len(ids)-1-i] = id
-	}
-	return out
 }
