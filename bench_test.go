@@ -245,7 +245,7 @@ func BenchmarkOnionPathLength(b *testing.B) {
 		b.Run(benchName("hops", hops), func(b *testing.B) {
 			var hs []crypt.Hop
 			for i := 0; i < hops; i++ {
-				hs = append(hs, crypt.Hop{Pub: &keys[i].PublicKey, Addr: []byte{byte(i)}})
+				hs = append(hs, crypt.Hop{Pub: keys[i].Public(), Addr: []byte{byte(i)}})
 			}
 			k, _ := crypt.NewSymKey()
 			b.ReportAllocs()

@@ -6,7 +6,7 @@
 //	whisper-exp [flags] <experiment>
 //
 // Experiments: fig5, fig6, table1, fig7, table2, fig8, fig9, circuit,
-// all.
+// suites, all.
 //
 // The default parameters match the paper (1,000-node cluster runs,
 // 400-node PlanetLab runs, 70% of nodes behind NATs, Π = 3, 1 KB keys).
@@ -37,7 +37,7 @@ func main() {
 		metrics  = flag.String("metrics-out", "", "write the metrics registry as JSON to this file after the run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|ablate|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -156,10 +156,12 @@ func (r *runner) run(name string) error {
 		return r.fig9()
 	case "circuit":
 		return r.circuit()
+	case "suites":
+		return r.suites()
 	case "ablate":
 		return r.ablate()
 	case "all":
-		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit} {
+		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit, r.suites} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -307,6 +309,19 @@ func (r *runner) circuit() error {
 	}
 	exp.PrintCircuit(r.out, res)
 	r.report(exp.CircuitShapeCheck(res))
+	return nil
+}
+
+func (r *runner) suites() error {
+	res, err := exp.Suites(exp.SuitesConfig{
+		Seed: r.seed,
+		N:    r.n(300),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintSuites(r.out, res)
+	r.report(exp.SuitesShapeCheck(res))
 	return nil
 }
 

@@ -24,8 +24,6 @@
 package main
 
 import (
-	"crypto/rand"
-	"crypto/rsa"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +36,7 @@ import (
 	"time"
 
 	"whisper/internal/core"
+	"whisper/internal/crypt"
 	"whisper/internal/identity"
 	"whisper/internal/nat"
 	"whisper/internal/nylon"
@@ -74,24 +73,32 @@ func main() {
 	var peers peerFlag
 	var (
 		listen  = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
-		id      = flag.Uint64("id", 0, "node ID (doubles as the overlay IP; required)")
+		id      = flag.Uint64("id", 0, "node ID (doubles as the overlay IP; 0 = derive from the identity key)")
 		cycle   = flag.Duration("cycle", 10*time.Second, "Nylon gossip period")
 		group   = flag.String("group", "", "found a private group with this name at startup")
-		keyBits = flag.Int("keybits", identity.DefaultKeyBits, "RSA modulus size")
+		keyBits = flag.Int("keybits", identity.DefaultKeyBits, "RSA modulus size (rsa2048 suite only)")
+		suite   = flag.String("suite", "rsa2048", "crypto suite: rsa2048 or ecc")
 		stats   = flag.Duration("stats", 30*time.Second, "stats logging period (0 = off)")
 		seed    = flag.Int64("seed", 1, "protocol randomness seed")
 		obsAddr = flag.String("obs-addr", "", "HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	)
 	flag.Var(&peers, "peer", "bootstrap peer as id=host:port (repeatable)")
 	flag.Parse()
-	if *id == 0 {
-		fmt.Fprintln(os.Stderr, "whisper-node: -id is required (a nonzero overlay node ID)")
+	suiteID, err := crypt.ParseSuite(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whisper-node: %v\n", err)
 		os.Exit(2)
 	}
 
-	key, err := rsa.GenerateKey(rand.Reader, *keyBits)
+	key, err := crypt.GenerateKey(suiteID, *keyBits)
 	if err != nil {
 		log.Fatalf("whisper-node: generating identity key: %v", err)
+	}
+	if *id == 0 {
+		// No operator-assigned identifier: derive one from the key pair
+		// (S/Kademlia style), so single-flag deployments still work.
+		*id = uint64(identity.DeriveID(key.Public()))
+		log.Printf("derived node ID %d from the identity key", *id)
 	}
 	ident := &identity.Identity{ID: identity.NodeID(*id), Key: key}
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"whisper/internal/churn"
+	"whisper/internal/crypt"
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
 	"whisper/internal/obs"
@@ -43,6 +44,7 @@ func main() {
 		script   = flag.String("churn", "", "inline churn script (SPLAY syntax)")
 		file     = flag.String("churn-file", "", "churn script file")
 		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
+		suite    = flag.String("suite", "rsa2048", "crypto suite every node keys under: rsa2048 or ecc")
 		runs     = flag.Int("runs", 1, "replicas to run at seeds seed..seed+runs-1")
 		metrics  = flag.String("metrics-out", "", "dump the metrics registry as JSON to this file after the run (- = stdout)")
 		rollup   = flag.String("metrics-rollup", "", "dump one cross-node rollup of the metrics registry (counters summed, histograms merged) as JSON to this file after the run (- = stdout)")
@@ -66,10 +68,15 @@ func main() {
 		*script = string(raw)
 	}
 
+	suiteID, err := crypt.ParseSuite(*suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	cfg := scenario{
 		n: *n, natRatio: *natRatio, pi: *pi, groups: *groups,
 		duration: *duration, env: *env, script: *script, keyBlob: *keyBlob,
-		metricsOut: *metrics, rollupOut: *rollup,
+		suite: suiteID, metricsOut: *metrics, rollupOut: *rollup,
 	}
 	if *faultDup > 0 || *faultReorder > 0 || *faultBurstP > 0 {
 		cfg.faults = &netem.FaultModel{
@@ -121,6 +128,7 @@ type scenario struct {
 	env        string
 	script     string
 	keyBlob    int
+	suite      crypt.SuiteID
 	faults     *netem.FaultModel
 	metricsOut string
 	rollupOut  string
@@ -142,6 +150,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		Model:    model,
 		Faults:   c.faults,
 		Nylon:    nylon.Config{MinPublic: c.pi, KeyBlobSize: c.keyBlob},
+		Suite:    c.suite,
 		Obs:      reg.Scope("seed", fmt.Sprint(seed)),
 	}
 	if c.groups > 0 {

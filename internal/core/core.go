@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"whisper/internal/crypt"
 	"whisper/internal/identity"
 	"whisper/internal/nat"
 	"whisper/internal/nylon"
@@ -19,6 +20,11 @@ import (
 
 // Config selects which layers to run and how to parameterize them.
 type Config struct {
+	// Suite is the crypto suite layers that generate keys (PPSS group
+	// keys) use. The zero value follows the node's identity-key suite,
+	// which is what deployments want: one -suite flag governs the whole
+	// stack.
+	Suite crypt.SuiteID
 	// Nylon configures the base PSS (always on).
 	Nylon nylon.Config
 	// WCL, when non-nil, attaches the communication layer (this forces
@@ -45,6 +51,9 @@ type Stack struct {
 // NATted nodes (emulated substrate only) pass the device and a private
 // address; for public nodes pass dev nil and a public address.
 func NewStack(rt transport.Transport, ident *identity.Identity, typ nat.Type, addr transport.Endpoint, dev *nat.Device, cfg Config) (*Stack, error) {
+	if cfg.Suite == crypt.SuiteRSA2048 {
+		cfg.Suite = ident.Key.Suite()
+	}
 	if cfg.PPSS != nil && cfg.WCL == nil {
 		cfg.WCL = &wcl.Config{}
 	}
@@ -67,6 +76,9 @@ func NewStack(rt transport.Transport, ident *identity.Identity, typ nat.Type, ad
 	if cfg.PPSS != nil {
 		pcfg := *cfg.PPSS
 		pcfg.Obs = cfg.Obs
+		if pcfg.Suite == crypt.SuiteRSA2048 {
+			pcfg.Suite = cfg.Suite
+		}
 		st.PPSS = ppss.NewRouter(st.WCL, pcfg)
 	}
 	return st, nil

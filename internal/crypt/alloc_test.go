@@ -37,7 +37,7 @@ func TestSymAllocs(t *testing.T) {
 // fingerprinting a key already seen must not re-derive the DER.
 func TestKeyCacheAllocs(t *testing.T) {
 	k := keys(1)[0]
-	pub := &k.PublicKey
+	pub := k.Public()
 	MarshalPublicKey(pub)
 	KeyFingerprint(pub)
 	if allocs := testing.AllocsPerRun(100, func() {
@@ -53,7 +53,7 @@ func TestKeyCacheAllocs(t *testing.T) {
 // pointer-keyed fingerprint cache effective on the receive path).
 func TestUnmarshalInterning(t *testing.T) {
 	k := keys(1)[0]
-	der := MarshalPublicKey(&k.PublicKey)
+	der := MarshalPublicKey(k.Public())
 	a, err := UnmarshalPublicKey(der)
 	if err != nil {
 		t.Fatal(err)

@@ -2,7 +2,6 @@ package crypt
 
 import (
 	"crypto/cipher"
-	"crypto/rsa"
 	"crypto/sha256"
 	"sync"
 )
@@ -57,27 +56,29 @@ func cachedGCM(key []byte) (cipher.AEAD, error) {
 	return gcm, nil
 }
 
-// derCache memoizes MarshalPublicKey per key instance.
+// derCache memoizes MarshalPublicKey per key instance (keys are the
+// suites' pointer wrapper types, so interface equality is pointer
+// equality).
 var derCache = struct {
 	sync.Mutex
-	m map[*rsa.PublicKey][]byte
-}{m: make(map[*rsa.PublicKey][]byte, 64)}
+	m map[PublicKey][]byte
+}{m: make(map[PublicKey][]byte, 64)}
 
-// parseCache interns UnmarshalPublicKey results by DER bytes, so that
+// parseCache interns UnmarshalPublicKey results by blob bytes, so that
 // repeated parses of the same key (every received gossip descriptor)
 // return one shared instance instead of allocating a new one — which in
 // turn makes the pointer-keyed derCache and fpCache effective on the
 // receive path.
 var parseCache = struct {
 	sync.Mutex
-	m map[string]*rsa.PublicKey
-}{m: make(map[string]*rsa.PublicKey, 64)}
+	m map[string]PublicKey
+}{m: make(map[string]PublicKey, 64)}
 
 // fpCache memoizes KeyFingerprint per key instance.
 var fpCache = struct {
 	sync.Mutex
-	m map[*rsa.PublicKey][8]byte
-}{m: make(map[*rsa.PublicKey][8]byte, 64)}
+	m map[PublicKey][8]byte
+}{m: make(map[PublicKey][8]byte, 64)}
 
 // sha256Pool recycles hash states for OAEP; rsa.EncryptOAEP and
 // DecryptOAEP reset the hash before use, so recycled state never leaks

@@ -3,7 +3,6 @@ package crypt
 import (
 	"crypto/hkdf"
 	"crypto/rand"
-	"crypto/rsa"
 	"crypto/sha256"
 	"fmt"
 
@@ -58,7 +57,7 @@ func DeriveCircuitKeys(secret []byte, hops int) ([][]byte, error) {
 // (same convention as Hop), and the symmetric key the setup onion
 // delivers to it.
 type CircuitHop struct {
-	Pub  *rsa.PublicKey
+	Pub  PublicKey
 	Addr []byte
 	Key  []byte
 }
@@ -74,11 +73,12 @@ func BuildCircuitOnion(m *CPUMeter, hops []CircuitHop, final []byte) ([]byte, er
 		return nil, fmt.Errorf("crypt: empty circuit path")
 	}
 	last := hops[len(hops)-1]
+	seal := newLayerSealer(m)
 	w := wire.NewWriter(256 + len(final))
 	w.Bytes16(last.Key)
 	w.Bytes16(nil) // ⊥: this hop is the exit
 	w.Bytes32(final)
-	blob, err := Seal(m, last.Pub, w.Bytes())
+	blob, err := seal(last.Pub, w.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("crypt: sealing circuit exit layer: %w", err)
 	}
@@ -87,7 +87,7 @@ func BuildCircuitOnion(m *CPUMeter, hops []CircuitHop, final []byte) ([]byte, er
 		w.Bytes16(hops[i].Key)
 		w.Bytes16(hops[i+1].Addr)
 		w.Bytes32(blob)
-		blob, err = Seal(m, hops[i].Pub, w.Bytes())
+		blob, err = seal(hops[i].Pub, w.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("crypt: sealing circuit layer %d: %w", i, err)
 		}
@@ -97,7 +97,7 @@ func BuildCircuitOnion(m *CPUMeter, hops []CircuitHop, final []byte) ([]byte, er
 
 // PeelCircuit removes one circuit setup layer with the hop's private
 // key, returning the hop's cell key alongside the usual Peel results.
-func PeelCircuit(m *CPUMeter, priv *rsa.PrivateKey, onion []byte) (key, next, inner []byte, exit bool, err error) {
+func PeelCircuit(m *CPUMeter, priv PrivateKey, onion []byte) (key, next, inner []byte, exit bool, err error) {
 	pt, err := Open(m, priv, onion)
 	if err != nil {
 		return nil, nil, nil, false, err

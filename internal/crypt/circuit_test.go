@@ -56,7 +56,7 @@ func TestCircuitOnionRoundTrip(t *testing.T) {
 	}
 	hops := make([]CircuitHop, len(privs))
 	for i, p := range privs {
-		hops[i] = CircuitHop{Pub: &p.PublicKey, Addr: []byte{byte(i)}, Key: hopKeys[i]}
+		hops[i] = CircuitHop{Pub: p.Public(), Addr: []byte{byte(i)}, Key: hopKeys[i]}
 	}
 	final := []byte("circuit-established")
 	var m CPUMeter

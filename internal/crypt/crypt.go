@@ -1,27 +1,27 @@
 // Package crypt provides the cryptographic operations of WHISPER: the
-// hybrid RSA-OAEP + AES-GCM sealing used for onion layers, the
-// symmetric content encryption under the per-message key k, onion
-// construction and peeling (§III-A), and PKCS#1 v1.5 signatures for
-// passports and accreditations (§IV-A).
+// hybrid sealing used for onion layers, the symmetric content
+// encryption under the per-message key k, onion construction and
+// peeling (§III-A), and signatures for passports and accreditations
+// (§IV-A).
+//
+// The asymmetric primitives are pluggable (see Suite): the default
+// rsa2048 suite reproduces the paper's RSA-OAEP + AES-GCM and PKCS#1
+// v1.5 exactly, while the ecc suite replaces them with X25519 ECIES
+// and Ed25519 for an order-of-magnitude cheaper hot path.
 //
 // Every operation optionally charges its wall-clock cost to a CPUMeter,
 // which is how the harness reproduces Table II (CPU time per PPSS cycle
-// split into AES and RSA work).
+// split into symmetric and per-suite asymmetric work).
 package crypt
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
-	"crypto/rsa"
 	"crypto/sha256"
-	"crypto/x509"
 	"errors"
 	"fmt"
-	"hash"
 	"time"
-
-	"whisper/internal/wire"
 )
 
 // SymKeySize is the AES key size in bytes (AES-256).
@@ -36,30 +36,47 @@ var (
 )
 
 // CPUMeter accumulates processor time spent in cryptographic
-// operations, split the way Table II reports it.
+// operations, split the way Table II reports it: symmetric (AES) work
+// versus asymmetric work, the latter attributed per suite (RSA for
+// rsa2048, ECC for ecc).
 type CPUMeter struct {
-	AES     time.Duration
-	RSA     time.Duration
+	AES time.Duration
+	RSA time.Duration
+	ECC time.Duration
+
 	AESOps  uint64
 	RSAEncs uint64
 	RSADecs uint64
 	Signs   uint64
 	Verifys uint64
+
+	ECCEncs    uint64
+	ECCDecs    uint64
+	ECCSigns   uint64
+	ECCVerifys uint64
 }
 
 // Add merges other into m.
 func (m *CPUMeter) Add(other CPUMeter) {
 	m.AES += other.AES
 	m.RSA += other.RSA
+	m.ECC += other.ECC
 	m.AESOps += other.AESOps
 	m.RSAEncs += other.RSAEncs
 	m.RSADecs += other.RSADecs
 	m.Signs += other.Signs
 	m.Verifys += other.Verifys
+	m.ECCEncs += other.ECCEncs
+	m.ECCDecs += other.ECCDecs
+	m.ECCSigns += other.ECCSigns
+	m.ECCVerifys += other.ECCVerifys
 }
 
-// Total returns the combined AES+RSA processor time.
-func (m *CPUMeter) Total() time.Duration { return m.AES + m.RSA }
+// Total returns the combined symmetric and asymmetric processor time.
+func (m *CPUMeter) Total() time.Duration { return m.AES + m.RSA + m.ECC }
+
+// Asym returns the asymmetric processor time across all suites.
+func (m *CPUMeter) Asym() time.Duration { return m.RSA + m.ECC }
 
 // Reset zeroes the meter.
 func (m *CPUMeter) Reset() { *m = CPUMeter{} }
@@ -134,174 +151,10 @@ func openWith(gcm cipher.AEAD, ct []byte) ([]byte, error) {
 	return pt, nil
 }
 
-// Seal hybrid-encrypts plaintext to pub: an RSA-OAEP-encrypted fresh
-// AES key followed by the AES-GCM ciphertext. This is the per-layer
-// encryption of the onion path.
-func Seal(m *CPUMeter, pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
-	key, err := NewSymKey()
-	if err != nil {
-		return nil, err
-	}
-	h := sha256Pool.Get().(hash.Hash)
-	start := time.Now()
-	wrapped, err := rsa.EncryptOAEP(h, rand.Reader, pub, key, nil)
-	sha256Pool.Put(h)
-	if m != nil {
-		m.RSA += time.Since(start)
-		m.RSAEncs++
-	}
-	if err != nil {
-		return nil, fmt.Errorf("crypt: OAEP encrypt: %w", err)
-	}
-	// The key is fresh and sealed exactly once: bypass the AEAD cache.
-	aesStart := time.Now()
-	gcm, err := newGCM(key)
-	if err != nil {
-		return nil, err
-	}
-	body, err := sealWith(gcm, plaintext)
-	m.chargeAES(aesStart)
-	if err != nil {
-		return nil, err
-	}
-	w := wire.NewWriter(2 + len(wrapped) + len(body))
-	w.Bytes16(wrapped)
-	w.Raw(body)
-	return w.Bytes(), nil
-}
-
-// Open decrypts a Seal ciphertext with the private key.
-func Open(m *CPUMeter, priv *rsa.PrivateKey, ct []byte) ([]byte, error) {
-	r := wire.NewReader(ct)
-	wrapped := r.Bytes16()
-	body := r.Rest()
-	if r.Err() != nil || len(wrapped) == 0 {
-		return nil, ErrDecrypt
-	}
-	h := sha256Pool.Get().(hash.Hash)
-	start := time.Now()
-	key, err := rsa.DecryptOAEP(h, rand.Reader, priv, wrapped, nil)
-	sha256Pool.Put(h)
-	if m != nil {
-		m.RSA += time.Since(start)
-		m.RSADecs++
-	}
-	if err != nil {
-		return nil, ErrDecrypt
-	}
-	// One-shot layer key: bypass the AEAD cache (see Seal).
-	aesStart := time.Now()
-	gcm, err := newGCM(key)
-	if err != nil {
-		return nil, err
-	}
-	pt, err := openWith(gcm, body)
-	m.chargeAES(aesStart)
-	return pt, err
-}
-
-// Sign produces a PKCS#1 v1.5 signature over SHA-256(msg).
-func Sign(m *CPUMeter, priv *rsa.PrivateKey, msg []byte) ([]byte, error) {
-	start := time.Now()
-	defer func() {
-		if m != nil {
-			m.RSA += time.Since(start)
-			m.Signs++
-		}
-	}()
-	h := sha256.Sum256(msg)
-	sig, err := rsa.SignPKCS1v15(rand.Reader, priv, 0, h[:])
-	if err != nil {
-		return nil, fmt.Errorf("crypt: sign: %w", err)
-	}
-	return sig, nil
-}
-
-// Verify checks a Sign signature.
-func Verify(m *CPUMeter, pub *rsa.PublicKey, msg, sig []byte) error {
-	start := time.Now()
-	defer func() {
-		if m != nil {
-			m.RSA += time.Since(start)
-			m.Verifys++
-		}
-	}()
-	h := sha256.Sum256(msg)
-	if rsa.VerifyPKCS1v15(pub, 0, h[:], sig) != nil {
-		return ErrBadSignature
-	}
-	return nil
-}
-
-// MarshalPublicKey serializes a public key to PKIX DER. Results are
-// memoized per key instance; the returned slice is shared and must be
-// treated as read-only.
-func MarshalPublicKey(pub *rsa.PublicKey) []byte {
-	derCache.Lock()
-	der, ok := derCache.m[pub]
-	derCache.Unlock()
-	if ok {
-		return der
-	}
-	der, err := x509.MarshalPKIXPublicKey(pub)
-	if err != nil {
-		// Only possible for malformed in-memory keys: programmer error.
-		panic(fmt.Sprintf("crypt: marshaling public key: %v", err))
-	}
-	derCache.Lock()
-	if len(derCache.m) >= keyCacheMax {
-		derCache.m = make(map[*rsa.PublicKey][]byte, 64)
-	}
-	derCache.m[pub] = der
-	derCache.Unlock()
-	return der
-}
-
-// UnmarshalPublicKey parses a PKIX DER RSA public key. Identical DER
-// inputs return one shared, interned key instance; callers must not
-// modify it.
-func UnmarshalPublicKey(der []byte) (*rsa.PublicKey, error) {
-	parseCache.Lock()
-	pub, ok := parseCache.m[string(der)]
-	parseCache.Unlock()
-	if ok {
-		return pub, nil
-	}
-	k, err := x509.ParsePKIXPublicKey(der)
-	if err != nil {
-		return nil, fmt.Errorf("crypt: parsing public key: %w", err)
-	}
-	pub, ok = k.(*rsa.PublicKey)
-	if !ok {
-		return nil, fmt.Errorf("crypt: not an RSA public key: %T", k)
-	}
-	parseCache.Lock()
-	if len(parseCache.m) >= keyCacheMax {
-		parseCache.m = make(map[string]*rsa.PublicKey, 64)
-	}
-	parseCache.m[string(der)] = pub
-	parseCache.Unlock()
-	return pub, nil
-}
-
-// KeyFingerprint returns a short stable digest of a public key, used as
-// a map key and in logs. Fingerprints are memoized per key instance
-// (the old implementation re-marshaled the key to PKIX DER and hashed
-// it on every call).
-func KeyFingerprint(pub *rsa.PublicKey) [8]byte {
-	fpCache.Lock()
-	fp, ok := fpCache.m[pub]
-	fpCache.Unlock()
-	if ok {
-		return fp
-	}
-	h := sha256.Sum256(MarshalPublicKey(pub))
+// fingerprintBlob hashes a marshaled public key down to the 8-byte
+// fingerprint format.
+func fingerprintBlob(blob []byte) (fp [8]byte) {
+	h := sha256.Sum256(blob)
 	copy(fp[:], h[:8])
-	fpCache.Lock()
-	if len(fpCache.m) >= keyCacheMax {
-		fpCache.m = make(map[*rsa.PublicKey][8]byte, 64)
-	}
-	fpCache.m[pub] = fp
-	fpCache.Unlock()
 	return fp
 }

@@ -2,16 +2,11 @@ package crypt
 
 import (
 	"bytes"
-	"crypto/rsa"
 	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
-
-	"whisper/internal/identity"
 )
-
-func keys(n int) []*rsa.PrivateKey { return identity.TestKeys(n) }
 
 func TestSymRoundTrip(t *testing.T) {
 	key, err := NewSymKey()
@@ -63,7 +58,7 @@ func TestHybridRoundTrip(t *testing.T) {
 	k := keys(1)[0]
 	var m CPUMeter
 	msg := bytes.Repeat([]byte("confidential "), 100)
-	ct, err := Seal(&m, &k.PublicKey, msg)
+	ct, err := Seal(&m, k.Public(), msg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +76,7 @@ func TestHybridRoundTrip(t *testing.T) {
 
 func TestHybridWrongKeyFails(t *testing.T) {
 	ks := keys(2)
-	ct, _ := Seal(nil, &ks[0].PublicKey, []byte("x"))
+	ct, _ := Seal(nil, ks[0].Public(), []byte("x"))
 	if _, err := Open(nil, ks[1], ct); !errors.Is(err, ErrDecrypt) {
 		t.Fatalf("err = %v, want ErrDecrypt", err)
 	}
@@ -103,13 +98,13 @@ func TestSignVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Verify(&m, &ks[0].PublicKey, []byte("passport for N42"), sig); err != nil {
+	if err := Verify(&m, ks[0].Public(), []byte("passport for N42"), sig); err != nil {
 		t.Fatal(err)
 	}
-	if err := Verify(&m, &ks[0].PublicKey, []byte("passport for N43"), sig); !errors.Is(err, ErrBadSignature) {
+	if err := Verify(&m, ks[0].Public(), []byte("passport for N43"), sig); !errors.Is(err, ErrBadSignature) {
 		t.Fatalf("altered message: %v", err)
 	}
-	if err := Verify(&m, &ks[1].PublicKey, []byte("passport for N42"), sig); !errors.Is(err, ErrBadSignature) {
+	if err := Verify(&m, ks[1].Public(), []byte("passport for N42"), sig); !errors.Is(err, ErrBadSignature) {
 		t.Fatalf("wrong key: %v", err)
 	}
 	if m.Signs != 1 || m.Verifys != 3 {
@@ -119,21 +114,26 @@ func TestSignVerify(t *testing.T) {
 
 func TestPublicKeyMarshal(t *testing.T) {
 	k := keys(1)[0]
-	der := MarshalPublicKey(&k.PublicKey)
+	der := MarshalPublicKey(k.Public())
 	pub, err := UnmarshalPublicKey(der)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pub.N.Cmp(k.PublicKey.N) != 0 || pub.E != k.PublicKey.E {
+	rp, ok := pub.(*RSAPublicKey)
+	if !ok {
+		t.Fatalf("round trip yielded %T, want *RSAPublicKey", pub)
+	}
+	orig := k.(*RSAPrivateKey).K.PublicKey
+	if rp.K.N.Cmp(orig.N) != 0 || rp.K.E != orig.E {
 		t.Fatal("key round trip mismatch")
 	}
 	if _, err := UnmarshalPublicKey([]byte("junk")); err == nil {
 		t.Fatal("junk DER accepted")
 	}
-	if KeyFingerprint(&k.PublicKey) != KeyFingerprint(pub) {
+	if KeyFingerprint(k.Public()) != KeyFingerprint(pub) {
 		t.Fatal("fingerprint unstable across marshal")
 	}
-	if KeyFingerprint(&k.PublicKey) == KeyFingerprint(&keys(2)[1].PublicKey) {
+	if KeyFingerprint(k.Public()) == KeyFingerprint(keys(2)[1].Public()) {
 		t.Fatal("distinct keys share a fingerprint")
 	}
 }
@@ -147,9 +147,9 @@ func TestOnionFourNodePath(t *testing.T) {
 
 	var m CPUMeter
 	onion, err := BuildOnion(&m, []Hop{
-		{Pub: &ks[0].PublicKey, Addr: []byte("addr-of-A")},
-		{Pub: &ks[1].PublicKey, Addr: addrB},
-		{Pub: &ks[2].PublicKey, Addr: addrD},
+		{Pub: ks[0].Public(), Addr: []byte("addr-of-A")},
+		{Pub: ks[1].Public(), Addr: addrB},
+		{Pub: ks[2].Public(), Addr: addrD},
 	}, contentKey)
 	if err != nil {
 		t.Fatal(err)
@@ -195,8 +195,8 @@ func TestOnionFourNodePath(t *testing.T) {
 func TestOnionWrongHopCannotPeel(t *testing.T) {
 	ks := keys(3)
 	onion, err := BuildOnion(nil, []Hop{
-		{Pub: &ks[0].PublicKey},
-		{Pub: &ks[1].PublicKey, Addr: []byte("b")},
+		{Pub: ks[0].Public()},
+		{Pub: ks[1].Public(), Addr: []byte("b")},
 	}, []byte("k"))
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +218,7 @@ func TestOnionEmptyPath(t *testing.T) {
 
 func TestOnionSingleHop(t *testing.T) {
 	k := keys(1)[0]
-	onion, err := BuildOnion(nil, []Hop{{Pub: &k.PublicKey}}, []byte("payload"))
+	onion, err := BuildOnion(nil, []Hop{{Pub: k.Public()}}, []byte("payload"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestPropertyOnionPeeling(t *testing.T) {
 		n := int(nHops%5) + 1
 		hops := make([]Hop, n)
 		for i := range hops {
-			hops[i] = Hop{Pub: &ks[i].PublicKey, Addr: []byte{byte(i), 0xEE}}
+			hops[i] = Hop{Pub: ks[i].Public(), Addr: []byte{byte(i), 0xEE}}
 		}
 		onion, err := BuildOnion(nil, hops, payload)
 		if err != nil {
@@ -269,15 +269,22 @@ func TestPropertyOnionPeeling(t *testing.T) {
 }
 
 func TestCPUMeterAdd(t *testing.T) {
-	a := CPUMeter{AES: 1, RSA: 2, AESOps: 3, RSAEncs: 4, RSADecs: 5, Signs: 6, Verifys: 7}
+	a := CPUMeter{AES: 1, RSA: 2, ECC: 3, AESOps: 3, RSAEncs: 4, RSADecs: 5, Signs: 6, Verifys: 7,
+		ECCEncs: 8, ECCDecs: 9, ECCSigns: 10, ECCVerifys: 11}
 	var b CPUMeter
 	b.Add(a)
 	b.Add(a)
-	if b.AES != 2 || b.RSA != 4 || b.AESOps != 6 || b.RSAEncs != 8 || b.RSADecs != 10 || b.Signs != 12 || b.Verifys != 14 {
+	if b.AES != 2 || b.RSA != 4 || b.ECC != 6 || b.AESOps != 6 || b.RSAEncs != 8 || b.RSADecs != 10 || b.Signs != 12 || b.Verifys != 14 {
 		t.Fatalf("Add: %+v", b)
 	}
-	if b.Total() != 6 {
+	if b.ECCEncs != 16 || b.ECCDecs != 18 || b.ECCSigns != 20 || b.ECCVerifys != 22 {
+		t.Fatalf("Add (ecc ops): %+v", b)
+	}
+	if b.Total() != 12 {
 		t.Fatalf("Total = %v", b.Total())
+	}
+	if b.Asym() != 10 {
+		t.Fatalf("Asym = %v", b.Asym())
 	}
 	b.Reset()
 	if b != (CPUMeter{}) {
@@ -299,9 +306,9 @@ func BenchmarkSealSym1KB(b *testing.B) {
 func BenchmarkOnionBuild3Hops(b *testing.B) {
 	ks := keys(3)
 	hops := []Hop{
-		{Pub: &ks[0].PublicKey, Addr: []byte("a")},
-		{Pub: &ks[1].PublicKey, Addr: []byte("b")},
-		{Pub: &ks[2].PublicKey, Addr: []byte("d")},
+		{Pub: ks[0].Public(), Addr: []byte("a")},
+		{Pub: ks[1].Public(), Addr: []byte("b")},
+		{Pub: ks[2].Public(), Addr: []byte("d")},
 	}
 	k, _ := NewSymKey()
 	b.ReportAllocs()
@@ -315,9 +322,9 @@ func BenchmarkOnionBuild3Hops(b *testing.B) {
 func BenchmarkOnionPeel(b *testing.B) {
 	ks := keys(3)
 	hops := []Hop{
-		{Pub: &ks[0].PublicKey, Addr: []byte("a")},
-		{Pub: &ks[1].PublicKey, Addr: []byte("b")},
-		{Pub: &ks[2].PublicKey, Addr: []byte("d")},
+		{Pub: ks[0].Public(), Addr: []byte("a")},
+		{Pub: ks[1].Public(), Addr: []byte("b")},
+		{Pub: ks[2].Public(), Addr: []byte("d")},
 	}
 	k, _ := NewSymKey()
 	onion, _ := BuildOnion(nil, hops, k)

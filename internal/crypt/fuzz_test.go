@@ -1,0 +1,85 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the suite-tagged codecs: whatever bytes arrive off
+// the wire, parsing a key blob or peeling an onion layer must fail
+// cleanly (never panic), and anything that does parse must round-trip
+// stably. CI runs these as short smoke passes; `go test -fuzz` digs
+// deeper locally.
+
+func FuzzUnmarshalPublicKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+	f.Add([]byte{derSequenceTag, 0x00})
+	f.Add([]byte{eccKeyTag})
+	f.Add(bytes.Repeat([]byte{eccKeyTag}, eccKeyBlobSize))
+	f.Add(MarshalPublicKey(keys(1)[0].Public()))
+	f.Add(MarshalPublicKey(suiteKeys(SuiteECC, 1)[0].Public()))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		pub, err := UnmarshalPublicKey(blob)
+		if err != nil {
+			return
+		}
+		// A parsed key must re-marshal to a blob that parses back to
+		// the same fingerprint (the identity the rest of the stack
+		// hangs off the key).
+		again, err := UnmarshalPublicKey(MarshalPublicKey(pub))
+		if err != nil {
+			t.Fatalf("re-parse of marshaled key failed: %v", err)
+		}
+		if KeyFingerprint(again) != KeyFingerprint(pub) {
+			t.Fatal("fingerprint unstable across re-marshal")
+		}
+	})
+}
+
+func FuzzPeel(f *testing.F) {
+	rsaK := keys(1)[0]
+	eccK := suiteKeys(SuiteECC, 1)[0]
+	onion, err := BuildOnion(nil, []Hop{{Pub: rsaK.Public()}}, []byte("k"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(onion, false)
+	f.Add(onion, true)
+	f.Add([]byte{}, false)
+	f.Add(bytes.Repeat([]byte{0xA5}, 300), true)
+	f.Fuzz(func(t *testing.T, data []byte, ecc bool) {
+		var priv PrivateKey = rsaK
+		if ecc {
+			priv = eccK
+		}
+		// Must never panic; any failure must be the uniform ErrDecrypt
+		// (the AEAD makes a post-decrypt framing error unreachable).
+		if _, _, _, err := Peel(nil, priv, data); err != nil && err != ErrDecrypt {
+			t.Fatalf("non-uniform peel error: %v", err)
+		}
+	})
+}
+
+func FuzzPeelCircuit(f *testing.F) {
+	rsaK := keys(1)[0]
+	eccK := suiteKeys(SuiteECC, 1)[0]
+	secret, _ := NewCircuitSecret()
+	hopKeys, _ := DeriveCircuitKeys(secret, 1)
+	circ, err := BuildCircuitOnion(nil, []CircuitHop{{Pub: eccK.Public(), Key: hopKeys[0]}}, []byte("est"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(circ, true)
+	f.Add(circ, false)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, data []byte, ecc bool) {
+		var priv PrivateKey = rsaK
+		if ecc {
+			priv = eccK
+		}
+		if _, _, _, _, err := PeelCircuit(nil, priv, data); err != nil && err != ErrDecrypt {
+			t.Fatalf("non-uniform circuit peel error: %v", err)
+		}
+	})
+}

@@ -1,7 +1,6 @@
 package crypt
 
 import (
-	"crypto/rsa"
 	"fmt"
 
 	"whisper/internal/wire"
@@ -11,9 +10,10 @@ import (
 // opaque addressing blob the *previous* hop needs to forward to it
 // (typically a wire-encoded node descriptor with endpoint and route).
 // The first hop's Addr is used directly by the source and is never
-// embedded in the onion.
+// embedded in the onion. Each layer is sealed under the hop key's own
+// suite, so a path may mix suites.
 type Hop struct {
-	Pub  *rsa.PublicKey
+	Pub  PublicKey
 	Addr []byte
 }
 
@@ -31,13 +31,14 @@ func BuildOnion(m *CPUMeter, hops []Hop, final []byte) ([]byte, error) {
 		return nil, fmt.Errorf("crypt: empty onion path")
 	}
 	last := hops[len(hops)-1]
+	seal := newLayerSealer(m)
 	// One scratch writer assembles every layer: Seal consumes the
 	// plaintext before returning, so the buffer can be reset and reused
 	// as the onion grows instead of allocating per layer.
 	w := wire.NewWriter(256 + len(final))
 	w.Bytes16(nil) // ⊥: this hop is the destination
 	w.Bytes32(final)
-	blob, err := Seal(m, last.Pub, w.Bytes())
+	blob, err := seal(last.Pub, w.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("crypt: sealing destination layer: %w", err)
 	}
@@ -45,7 +46,7 @@ func BuildOnion(m *CPUMeter, hops []Hop, final []byte) ([]byte, error) {
 		w.Reset()
 		w.Bytes16(hops[i+1].Addr)
 		w.Bytes32(blob)
-		blob, err = Seal(m, hops[i].Pub, w.Bytes())
+		blob, err = seal(hops[i].Pub, w.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("crypt: sealing layer %d: %w", i, err)
 		}
@@ -57,7 +58,7 @@ func BuildOnion(m *CPUMeter, hops []Hop, final []byte) ([]byte, error) {
 // is the destination, exit is true and inner holds the final payload;
 // otherwise next holds the successor's addressing blob and inner the
 // remaining onion.
-func Peel(m *CPUMeter, priv *rsa.PrivateKey, onion []byte) (next, inner []byte, exit bool, err error) {
+func Peel(m *CPUMeter, priv PrivateKey, onion []byte) (next, inner []byte, exit bool, err error) {
 	pt, err := Open(m, priv, onion)
 	if err != nil {
 		return nil, nil, false, err

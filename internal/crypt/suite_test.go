@@ -1,0 +1,255 @@
+package crypt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParseSuite(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want SuiteID
+	}{{"", SuiteRSA2048}, {"rsa2048", SuiteRSA2048}, {"ecc", SuiteECC}} {
+		got, err := ParseSuite(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSuite(%q) = %v, %v", tc.name, got, err)
+		}
+	}
+	if _, err := ParseSuite("rot13"); err == nil {
+		t.Fatal("unknown suite name accepted")
+	}
+	if SuiteRSA2048.String() != "rsa2048" || SuiteECC.String() != "ecc" {
+		t.Fatal("suite names changed")
+	}
+	for _, id := range Suites() {
+		s := GetSuite(id)
+		if s == nil || s.ID() != id || s.Name() != id.String() {
+			t.Fatalf("registry broken for %v", id)
+		}
+	}
+}
+
+func TestECCRoundTrip(t *testing.T) {
+	k := suiteKeys(SuiteECC, 1)[0]
+	var m CPUMeter
+	msg := bytes.Repeat([]byte("confidential "), 100)
+	ct, err := Seal(&m, k.Public(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, msg[:13]) {
+		t.Fatal("plaintext visible in ciphertext")
+	}
+	pt, err := Open(&m, k, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("ecc hybrid round trip mismatch")
+	}
+	if m.ECCEncs != 1 || m.ECCDecs != 1 || m.ECC <= 0 {
+		t.Fatalf("ECC metering: %+v", m)
+	}
+	if m.RSAEncs != 0 || m.RSADecs != 0 || m.RSA != 0 {
+		t.Fatalf("ecc ops booked RSA time: %+v", m)
+	}
+	// Tampering anywhere — ephemeral key, nonce, ciphertext, tag —
+	// fails uniformly.
+	for _, i := range []int{0, 16, eccEphSize, eccEphSize + 5, len(ct) - 1} {
+		mut := append([]byte(nil), ct...)
+		mut[i] ^= 1
+		if _, err := Open(nil, k, mut); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("tamper at %d: err = %v, want ErrDecrypt", i, err)
+		}
+	}
+	if _, err := Open(nil, k, ct[:eccEphSize-1]); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("truncated: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestECCSignVerify(t *testing.T) {
+	ks := suiteKeys(SuiteECC, 2)
+	var m CPUMeter
+	sig, err := Sign(&m, ks[0], []byte("passport for N42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&m, ks[0].Public(), []byte("passport for N42"), sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&m, ks[0].Public(), []byte("passport for N43"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("altered message: %v", err)
+	}
+	if err := Verify(&m, ks[1].Public(), []byte("passport for N42"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong key: %v", err)
+	}
+	if err := Verify(&m, ks[0].Public(), []byte("passport for N42"), sig[:10]); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("truncated signature: %v", err)
+	}
+	if m.ECCSigns != 1 || m.ECCVerifys != 4 {
+		t.Fatalf("ecc sign metering: %+v", m)
+	}
+}
+
+func TestECCKeyMarshal(t *testing.T) {
+	k := suiteKeys(SuiteECC, 1)[0]
+	blob := MarshalPublicKey(k.Public())
+	if len(blob) != eccKeyBlobSize || blob[0] != eccKeyTag {
+		t.Fatalf("ecc key blob: %d bytes, tag 0x%02x", len(blob), blob[0])
+	}
+	pub, err := UnmarshalPublicKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Suite() != SuiteECC {
+		t.Fatalf("parsed suite = %v", pub.Suite())
+	}
+	if KeyFingerprint(pub) != KeyFingerprint(k.Public()) {
+		t.Fatal("ecc fingerprint unstable across marshal")
+	}
+	again, err := UnmarshalPublicKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub != again {
+		t.Fatal("identical ecc blobs parsed to distinct instances")
+	}
+	// Truncated, padded and mistagged blobs are rejected.
+	for _, bad := range [][]byte{blob[:10], append(append([]byte(nil), blob...), 0), {eccKeyTag}} {
+		if _, err := UnmarshalPublicKey(bad); err == nil {
+			t.Fatalf("malformed ecc blob of %d bytes accepted", len(bad))
+		}
+	}
+	if _, err := UnmarshalPublicKey([]byte{0x99, 1, 2, 3}); err == nil {
+		t.Fatal("unknown tag byte accepted")
+	}
+}
+
+// TestCrossSuiteOpenFails pins the negative path of suite mixing: a
+// node on one suite receiving a layer sealed for the other suite's key
+// fails with the same uniform ErrDecrypt as any wrong-key failure — no
+// panic, and no error distinction an observer could use as an oracle.
+func TestCrossSuiteOpenFails(t *testing.T) {
+	rsaK := keys(2)
+	eccK := suiteKeys(SuiteECC, 2)
+	ctRSA, err := Seal(nil, rsaK[0].Public(), []byte("layer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctECC, err := Seal(nil, eccK[0].Public(), []byte("layer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		priv PrivateKey
+		ct   []byte
+	}{
+		{"ecc-opens-rsa2048", eccK[0], ctRSA},
+		{"rsa2048-opens-ecc", rsaK[0], ctECC},
+		{"rsa2048-wrong-key", rsaK[1], ctRSA},
+		{"ecc-wrong-key", eccK[1], ctECC},
+	}
+	for _, tc := range cases {
+		if _, err := Open(nil, tc.priv, tc.ct); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("%s: err = %v, want ErrDecrypt", tc.name, err)
+		}
+	}
+}
+
+// TestCrossSuitePeelFails is the onion-level version: an entire onion
+// built for rsa2048 hops delivered to an ecc node (and vice versa)
+// peels to ErrDecrypt.
+func TestCrossSuitePeelFails(t *testing.T) {
+	rsaK := keys(2)
+	eccK := suiteKeys(SuiteECC, 2)
+	rsaOnion, err := BuildOnion(nil, []Hop{
+		{Pub: rsaK[0].Public()},
+		{Pub: rsaK[1].Public(), Addr: []byte("b")},
+	}, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccOnion, err := BuildOnion(nil, []Hop{
+		{Pub: eccK[0].Public()},
+		{Pub: eccK[1].Public(), Addr: []byte("b")},
+	}, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Peel(nil, eccK[0], rsaOnion); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("ecc peel of rsa onion: %v", err)
+	}
+	if _, _, _, err := Peel(nil, rsaK[0], eccOnion); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("rsa peel of ecc onion: %v", err)
+	}
+	// Circuit setup onions fail the same way.
+	secret, _ := NewCircuitSecret()
+	hopKeys, _ := DeriveCircuitKeys(secret, 2)
+	circ, err := BuildCircuitOnion(nil, []CircuitHop{
+		{Pub: rsaK[0].Public(), Key: hopKeys[0]},
+		{Pub: rsaK[1].Public(), Addr: []byte("b"), Key: hopKeys[1]},
+	}, []byte("est"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := PeelCircuit(nil, eccK[0], circ); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("ecc peel of rsa circuit onion: %v", err)
+	}
+}
+
+// TestCrossSuiteVerifyFails: signatures never verify across suites,
+// and fail with the same ErrBadSignature as a forgery.
+func TestCrossSuiteVerifyFails(t *testing.T) {
+	rsaK := keys(1)[0]
+	eccK := suiteKeys(SuiteECC, 1)[0]
+	msg := []byte("accreditation")
+	rsaSig, err := Sign(nil, rsaK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccSig, err := Sign(nil, eccK, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(nil, eccK.Public(), msg, rsaSig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("ecc verify of rsa sig: %v", err)
+	}
+	if err := Verify(nil, rsaK.Public(), msg, eccSig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("rsa verify of ecc sig: %v", err)
+	}
+}
+
+// TestMixedSuiteOnion: the onion layering dispatches per hop key, so a
+// path whose mixes run different suites still builds and peels.
+func TestMixedSuiteOnion(t *testing.T) {
+	rsaK := keys(1)[0]
+	eccK := suiteKeys(SuiteECC, 1)[0]
+	payload := []byte("content-key")
+	var m CPUMeter
+	onion, err := BuildOnion(&m, []Hop{
+		{Pub: rsaK.Public()},
+		{Pub: eccK.Public(), Addr: []byte("addr-ecc")},
+	}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RSAEncs != 1 || m.ECCEncs != 1 {
+		t.Fatalf("mixed onion metering: %+v", m)
+	}
+	next, inner, exit, err := Peel(&m, rsaK, onion)
+	if err != nil || exit || !bytes.Equal(next, []byte("addr-ecc")) {
+		t.Fatalf("rsa hop peel: next=%q exit=%v err=%v", next, exit, err)
+	}
+	_, inner, exit, err = Peel(&m, eccK, inner)
+	if err != nil || !exit || !bytes.Equal(inner, payload) {
+		t.Fatalf("ecc exit peel: inner=%q exit=%v err=%v", inner, exit, err)
+	}
+}
+
+func TestGenerateKeyUnknownSuite(t *testing.T) {
+	if _, err := GenerateKey(SuiteID(0x7F), 0); err == nil {
+		t.Fatal("unknown suite generated a key")
+	}
+}

@@ -1,0 +1,116 @@
+package crypt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSuiteOps compares the asymmetric primitives across suites:
+// per-layer seal/open (the onion hot path), sign/verify (passports),
+// and a full 3-hop onion build. This is the microbenchmark behind the
+// whisper-exp suites experiment, and CI runs it with -benchmem as a
+// regression reference.
+func BenchmarkSuiteOps(b *testing.B) {
+	payload := make([]byte, 256)
+	for _, id := range Suites() {
+		ks := suiteKeys(id, 3)
+		k := ks[0]
+		ct, err := Seal(nil, k.Public(), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig, err := Sign(nil, k, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops := []Hop{
+			{Pub: ks[0].Public(), Addr: []byte("a")},
+			{Pub: ks[1].Public(), Addr: []byte("b")},
+			{Pub: ks[2].Public(), Addr: []byte("d")},
+		}
+		b.Run(fmt.Sprintf("%v/seal", id), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Seal(nil, k.Public(), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%v/open", id), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Open(nil, k, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%v/sign", id), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sign(nil, k, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%v/verify", id), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := Verify(nil, k.Public(), payload, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%v/onion3build", id), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildOnion(nil, hops, payload[:SymKeySize]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteOpsAllocBudget is the benchmark-regression guard CI runs
+// alongside BenchmarkSuiteOps: each primitive must stay within 2× of
+// the allocation counts measured when the suites landed. A blown
+// budget means a regression on the order of re-deriving cached state
+// per op, which is exactly what the caches exist to prevent.
+func TestSuiteOpsAllocBudget(t *testing.T) {
+	payload := make([]byte, 256)
+	// Baselines measured at introduction (allocs/op), already doubled.
+	budgets := map[string]float64{
+		"rsa2048/seal":   2 * 24,
+		"rsa2048/open":   2 * 18,
+		"rsa2048/sign":   2 * 16,
+		"rsa2048/verify": 2 * 8,
+		"ecc/seal":       2 * 24,
+		"ecc/open":       2 * 16,
+		"ecc/sign":       2 * 5,
+		"ecc/verify":     2 * 4,
+	}
+	for _, id := range Suites() {
+		k := suiteKeys(id, 1)[0]
+		ct, err := Seal(nil, k.Public(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := Sign(nil, k, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := map[string]func(){
+			"seal":   func() { Seal(nil, k.Public(), payload) },
+			"open":   func() { Open(nil, k, ct) },
+			"sign":   func() { Sign(nil, k, payload) },
+			"verify": func() { Verify(nil, k.Public(), payload, sig) },
+		}
+		for name, op := range ops {
+			key := fmt.Sprintf("%v/%s", id, name)
+			got := testing.AllocsPerRun(20, op)
+			if budget := budgets[key]; got > budget {
+				t.Errorf("%s allocates %.1f times per op, budget %.0f", key, got, budget)
+			}
+		}
+	}
+}

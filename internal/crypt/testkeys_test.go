@@ -1,0 +1,31 @@
+package crypt
+
+import "sync"
+
+// Test keys are generated in-package: the shared identity.TestKeys
+// pool now lives above crypt in the dependency graph, so crypt's own
+// tests keep a small lazily-grown cache per suite instead.
+var testKeys struct {
+	sync.Mutex
+	bySuite map[SuiteID][]PrivateKey
+}
+
+func keys(n int) []PrivateKey { return suiteKeys(SuiteRSA2048, n) }
+
+func suiteKeys(suite SuiteID, n int) []PrivateKey {
+	testKeys.Lock()
+	defer testKeys.Unlock()
+	if testKeys.bySuite == nil {
+		testKeys.bySuite = make(map[SuiteID][]PrivateKey)
+	}
+	cache := testKeys.bySuite[suite]
+	for len(cache) < n {
+		k, err := GenerateKey(suite, 0)
+		if err != nil {
+			panic(err)
+		}
+		cache = append(cache, k)
+	}
+	testKeys.bySuite[suite] = cache
+	return cache[:n:n]
+}

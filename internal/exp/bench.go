@@ -25,11 +25,16 @@ type RunStat struct {
 	VirtualSec   float64 `json:"virtual_sec,omitempty"`
 	AESms        float64 `json:"cpu_aes_ms,omitempty"`
 	RSAms        float64 `json:"cpu_rsa_ms,omitempty"`
+	ECCms        float64 `json:"cpu_ecc_ms,omitempty"`
 	AESOps       uint64  `json:"aes_ops,omitempty"`
 	RSAEncs      uint64  `json:"rsa_encs,omitempty"`
 	RSADecs      uint64  `json:"rsa_decs,omitempty"`
 	Signs        uint64  `json:"signs,omitempty"`
 	Verifys      uint64  `json:"verifys,omitempty"`
+	ECCEncs      uint64  `json:"ecc_encs,omitempty"`
+	ECCDecs      uint64  `json:"ecc_decs,omitempty"`
+	ECCSigns     uint64  `json:"ecc_signs,omitempty"`
+	ECCVerifys   uint64  `json:"ecc_verifys,omitempty"`
 }
 
 // BenchMeta describes how a whisper-exp invocation was configured, so
@@ -120,11 +125,16 @@ func recordRun(name string, start time.Time, w *sim.World) {
 		VirtualSec: w.Sim.Now().Seconds(),
 		AESms:      float64(cpu.AES.Microseconds()) / 1000,
 		RSAms:      float64(cpu.RSA.Microseconds()) / 1000,
+		ECCms:      float64(cpu.ECC.Microseconds()) / 1000,
 		AESOps:     cpu.AESOps,
 		RSAEncs:    cpu.RSAEncs,
 		RSADecs:    cpu.RSADecs,
 		Signs:      cpu.Signs,
 		Verifys:    cpu.Verifys,
+		ECCEncs:    cpu.ECCEncs,
+		ECCDecs:    cpu.ECCDecs,
+		ECCSigns:   cpu.ECCSigns,
+		ECCVerifys: cpu.ECCVerifys,
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		st.EventsPerSec = float64(st.Events) / secs

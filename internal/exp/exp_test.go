@@ -179,3 +179,18 @@ func TestAblationsShape(t *testing.T) {
 	}
 	PrintAblations(io.Discard, rows)
 }
+
+func TestSuitesShape(t *testing.T) {
+	res, err := Suites(SuitesConfig{Seed: 69, N: 150, Messages: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range SuitesShapeCheck(res) {
+		t.Error(v)
+	}
+	var sb strings.Builder
+	PrintSuites(&sb, res)
+	if !strings.Contains(sb.String(), "rsa2048 / ecc") {
+		t.Error("missing ratio line in output")
+	}
+}

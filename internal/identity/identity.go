@@ -1,13 +1,16 @@
-// Package identity defines node identifiers and their RSA key pairs,
-// plus a pre-generated key pool that makes thousand-node simulations
-// affordable on one core.
+// Package identity defines node identifiers and their key pairs, plus
+// a pre-generated key pool that makes thousand-node simulations
+// affordable on one core. The key pair's crypto suite (rsa2048 by
+// default, ecc for the modern path; see crypt.Suite) determines every
+// asymmetric primitive the node uses.
 package identity
 
 import (
-	"crypto/rand"
-	"crypto/rsa"
+	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
+
+	"whisper/internal/crypt"
 )
 
 // NodeID uniquely identifies a node in the system.
@@ -25,64 +28,89 @@ func (id NodeID) String() string {
 
 // DefaultKeyBits is the default RSA modulus size. The paper used
 // RSA with ~1 KB serialized public keys; 1024-bit keys match the 2011
-// setting. Tests use smaller keys via the key pool for speed.
+// setting. Tests use smaller keys via the key pool for speed. The ecc
+// suite ignores bit sizes (its curves are fixed).
 const DefaultKeyBits = 1024
 
-// Identity is a node's long-term identity: its ID and RSA key pair.
+// Identity is a node's long-term identity: its ID and key pair.
 type Identity struct {
 	ID  NodeID
-	Key *rsa.PrivateKey
+	Key crypt.PrivateKey
 }
 
-// New generates a fresh identity with a key of the given modulus size.
+// New generates a fresh rsa2048-suite identity with a key of the given
+// modulus size.
 func New(id NodeID, bits int) (*Identity, error) {
+	return NewSuite(id, crypt.SuiteRSA2048, bits)
+}
+
+// NewSuite generates a fresh identity on the given crypto suite. bits
+// sizes RSA moduli (DefaultKeyBits if zero) and is ignored by
+// fixed-size suites.
+func NewSuite(id NodeID, suite crypt.SuiteID, bits int) (*Identity, error) {
 	if id == Nil {
 		return nil, fmt.Errorf("identity: NodeID 0 is reserved")
 	}
 	if bits == 0 {
 		bits = DefaultKeyBits
 	}
-	key, err := rsa.GenerateKey(rand.Reader, bits)
+	key, err := crypt.GenerateKey(suite, bits)
 	if err != nil {
-		return nil, fmt.Errorf("identity: generating %d-bit key: %w", bits, err)
+		return nil, fmt.Errorf("identity: generating %v key: %w", suite, err)
 	}
-	// CRT precomputation makes every private-key operation (the RSA
-	// decryptions that dominate Table II) several times faster; do it
-	// once at generation rather than lazily on first use.
-	key.Precompute()
 	return &Identity{ID: id, Key: key}, nil
 }
 
 // Public returns the identity's public key.
-func (id *Identity) Public() *rsa.PublicKey { return &id.Key.PublicKey }
+func (id *Identity) Public() crypt.PublicKey { return id.Key.Public() }
+
+// DeriveID maps a public key to the node identifier bound to it: the
+// first 8 bytes of the key fingerprint, never Nil. Nodes that boot
+// without an operator-assigned identifier (whisper-node -id 0) use
+// this, which ties the identifier to the key pair the way S/Kademlia
+// derives node IDs from identity keys.
+func DeriveID(pub crypt.PublicKey) NodeID {
+	fp := crypt.KeyFingerprint(pub)
+	id := NodeID(binary.BigEndian.Uint64(fp[:]))
+	if id == Nil {
+		id = 1
+	}
+	return id
+}
 
 // Pool hands out keys from a pre-generated set. Large simulations deal
-// keys round-robin: two nodes may then share a modulus, which does not
+// keys round-robin: two nodes may then share a key pair, which does not
 // affect protocol correctness (every ciphertext is AEAD-authenticated
 // and peeled only by the addressed hop) but cuts setup from minutes to
 // milliseconds. Experiments that need unique keys per node simply size
 // the pool to the node count.
 type Pool struct {
-	keys []*rsa.PrivateKey
+	keys []crypt.PrivateKey
 	next int
 }
 
-// NewPool generates n keys of the given modulus size (DefaultKeyBits
-// if bits is zero).
+// NewPool generates n rsa2048-suite keys of the given modulus size
+// (DefaultKeyBits if bits is zero).
 func NewPool(n, bits int) (*Pool, error) {
+	return NewSuitePool(n, crypt.SuiteRSA2048, bits)
+}
+
+// NewSuitePool generates n keys on the given crypto suite. bits sizes
+// RSA moduli (DefaultKeyBits if zero) and is ignored by fixed-size
+// suites.
+func NewSuitePool(n int, suite crypt.SuiteID, bits int) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("identity: pool size %d", n)
 	}
 	if bits == 0 {
 		bits = DefaultKeyBits
 	}
-	p := &Pool{keys: make([]*rsa.PrivateKey, n)}
+	p := &Pool{keys: make([]crypt.PrivateKey, n)}
 	for i := range p.keys {
-		k, err := rsa.GenerateKey(rand.Reader, bits)
+		k, err := crypt.GenerateKey(suite, bits)
 		if err != nil {
 			return nil, fmt.Errorf("identity: pool key %d: %w", i, err)
 		}
-		k.Precompute()
 		p.keys[i] = k
 	}
 	return p, nil
@@ -91,8 +119,11 @@ func NewPool(n, bits int) (*Pool, error) {
 // Size returns the number of distinct keys in the pool.
 func (p *Pool) Size() int { return len(p.keys) }
 
+// Suite returns the crypto suite of the pool's keys.
+func (p *Pool) Suite() crypt.SuiteID { return p.keys[0].Suite() }
+
 // Next deals the next key round-robin.
-func (p *Pool) Next() *rsa.PrivateKey {
+func (p *Pool) Next() crypt.PrivateKey {
 	k := p.keys[p.next%len(p.keys)]
 	p.next++
 	return k

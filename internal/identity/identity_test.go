@@ -4,7 +4,19 @@ import (
 	"crypto/rsa"
 	"math/rand"
 	"testing"
+
+	"whisper/internal/crypt"
 )
+
+// rsaKey unwraps a pooled key's concrete RSA private key.
+func rsaKey(t *testing.T, k crypt.PrivateKey) *rsa.PrivateKey {
+	t.Helper()
+	w, ok := k.(*crypt.RSAPrivateKey)
+	if !ok {
+		t.Fatalf("key is %T, want *crypt.RSAPrivateKey", k)
+	}
+	return w.K
+}
 
 func TestNewIdentity(t *testing.T) {
 	id, err := New(7, 1024)
@@ -14,17 +26,33 @@ func TestNewIdentity(t *testing.T) {
 	if id.ID != 7 || id.Key == nil {
 		t.Fatalf("identity: %+v", id)
 	}
-	if id.Public() != &id.Key.PublicKey {
+	if id.Public() != id.Key.Public() {
 		t.Fatal("Public() does not alias the key pair")
 	}
-	if id.Key.PublicKey.N.BitLen() != 1024 {
-		t.Fatalf("modulus %d bits, want 1024", id.Key.PublicKey.N.BitLen())
+	if id.Key.Suite() != crypt.SuiteRSA2048 {
+		t.Fatalf("default suite = %v", id.Key.Suite())
+	}
+	if rsaKey(t, id.Key).PublicKey.N.BitLen() != 1024 {
+		t.Fatal("modulus size mismatch")
+	}
+}
+
+func TestNewSuiteECC(t *testing.T) {
+	id, err := NewSuite(8, crypt.SuiteECC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Key.Suite() != crypt.SuiteECC || id.Public().Suite() != crypt.SuiteECC {
+		t.Fatalf("suite: %v/%v", id.Key.Suite(), id.Public().Suite())
 	}
 }
 
 func TestNewRejectsNilID(t *testing.T) {
 	if _, err := New(Nil, 1024); err == nil {
 		t.Fatal("NodeID 0 accepted")
+	}
+	if _, err := NewSuite(Nil, crypt.SuiteECC, 0); err == nil {
+		t.Fatal("NodeID 0 accepted by NewSuite")
 	}
 }
 
@@ -34,6 +62,22 @@ func TestNodeIDString(t *testing.T) {
 	}
 	if NodeID(42).String() != "N42" {
 		t.Fatalf("String = %q", NodeID(42).String())
+	}
+}
+
+func TestDeriveID(t *testing.T) {
+	for _, suite := range []crypt.SuiteID{crypt.SuiteRSA2048, crypt.SuiteECC} {
+		ks := TestSuiteKeys(suite, 2)
+		a, b := DeriveID(ks[0].Public()), DeriveID(ks[1].Public())
+		if a == Nil || b == Nil {
+			t.Fatalf("%v: derived Nil ID", suite)
+		}
+		if a == b {
+			t.Fatalf("%v: distinct keys derived the same ID", suite)
+		}
+		if DeriveID(ks[0].Public()) != a {
+			t.Fatalf("%v: DeriveID not stable", suite)
+		}
 	}
 }
 
@@ -52,6 +96,19 @@ func TestPoolRoundRobin(t *testing.T) {
 	id := p.Identity(9)
 	if id.ID != 9 || id.Key == nil {
 		t.Fatalf("pool identity: %+v", id)
+	}
+	if p.Suite() != crypt.SuiteRSA2048 {
+		t.Fatalf("pool suite = %v", p.Suite())
+	}
+}
+
+func TestSuitePoolECC(t *testing.T) {
+	p := TestSuitePool(crypt.SuiteECC, 2)
+	if p.Suite() != crypt.SuiteECC {
+		t.Fatalf("pool suite = %v", p.Suite())
+	}
+	if p.Next().Suite() != crypt.SuiteECC {
+		t.Fatal("pooled key has wrong suite")
 	}
 }
 
@@ -73,7 +130,7 @@ func TestTestKeysCacheGrowsAndReuses(t *testing.T) {
 }
 
 // precomputed reports whether the CRT acceleration values of a private
-// key are populated (Precompute ran).
+// key are populated (Precompute ran at generation).
 func precomputed(k *rsa.PrivateKey) bool {
 	return k.Precomputed.Dp != nil && k.Precomputed.Dq != nil && k.Precomputed.Qinv != nil
 }
@@ -83,18 +140,18 @@ func TestKeysArePrecomputed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !precomputed(id.Key) {
+	if !precomputed(rsaKey(t, id.Key)) {
 		t.Error("New: CRT values not precomputed")
 	}
 	p, err := NewPool(1, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !precomputed(p.Next()) {
+	if !precomputed(rsaKey(t, p.Next())) {
 		t.Error("NewPool: CRT values not precomputed")
 	}
 	for i, k := range TestKeys(2) {
-		if !precomputed(k) {
+		if !precomputed(rsaKey(t, k)) {
 			t.Errorf("TestKeys[%d]: CRT values not precomputed", i)
 		}
 	}
@@ -143,7 +200,7 @@ func TestNewDefaultsBits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := id.Key.PublicKey.N.BitLen(); got != DefaultKeyBits {
+	if got := rsaKey(t, id.Key).PublicKey.N.BitLen(); got != DefaultKeyBits {
 		t.Fatalf("default modulus %d bits, want %d", got, DefaultKeyBits)
 	}
 }
@@ -157,10 +214,10 @@ func TestNewPoolGeneratesRealKeys(t *testing.T) {
 		t.Fatalf("Size = %d", p.Size())
 	}
 	a, b := p.Next(), p.Next()
-	if a == b || a.PublicKey.N.Cmp(b.PublicKey.N) == 0 {
+	if a == b || rsaKey(t, a).PublicKey.N.Cmp(rsaKey(t, b).PublicKey.N) == 0 {
 		t.Fatal("pool keys not distinct")
 	}
-	if a.PublicKey.N.BitLen() != DefaultKeyBits {
-		t.Fatalf("pool modulus %d bits", a.PublicKey.N.BitLen())
+	if rsaKey(t, a).PublicKey.N.BitLen() != DefaultKeyBits {
+		t.Fatal("pool modulus size mismatch")
 	}
 }

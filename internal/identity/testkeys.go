@@ -1,37 +1,51 @@
 package identity
 
 import (
-	"crypto/rand"
-	"crypto/rsa"
 	"sync"
+
+	"whisper/internal/crypt"
 )
 
-// testKeyCache holds lazily generated 1024-bit keys shared by tests and
-// benchmarks across the repository. RSA key generation costs ~20 ms per
-// key; reusing a process-wide cache keeps thousand-node test networks
-// fast while preserving protocol semantics (see Pool).
+// testKeyCache holds lazily generated keys shared by tests and
+// benchmarks across the repository, one cache per crypto suite. RSA
+// key generation costs ~20 ms per key; reusing a process-wide cache
+// keeps thousand-node test networks fast while preserving protocol
+// semantics (see Pool).
 var testKeyCache struct {
 	mu   sync.Mutex
-	keys []*rsa.PrivateKey
+	keys map[crypt.SuiteID][]crypt.PrivateKey
 }
 
-// TestKeys returns n cached 1024-bit private keys, generating any that
-// do not exist yet. Intended for tests and benchmarks only.
-func TestKeys(n int) []*rsa.PrivateKey {
+// TestKeys returns n cached default-bits rsa2048 private keys,
+// generating any that do not exist yet. Intended for tests and
+// benchmarks only.
+func TestKeys(n int) []crypt.PrivateKey { return TestSuiteKeys(crypt.SuiteRSA2048, n) }
+
+// TestSuiteKeys is TestKeys for an arbitrary suite.
+func TestSuiteKeys(suite crypt.SuiteID, n int) []crypt.PrivateKey {
 	testKeyCache.mu.Lock()
 	defer testKeyCache.mu.Unlock()
-	for len(testKeyCache.keys) < n {
-		k, err := rsa.GenerateKey(rand.Reader, DefaultKeyBits)
+	if testKeyCache.keys == nil {
+		testKeyCache.keys = make(map[crypt.SuiteID][]crypt.PrivateKey)
+	}
+	cached := testKeyCache.keys[suite]
+	for len(cached) < n {
+		k, err := crypt.GenerateKey(suite, DefaultKeyBits)
 		if err != nil {
 			panic("identity: test key generation failed: " + err.Error())
 		}
-		k.Precompute()
-		testKeyCache.keys = append(testKeyCache.keys, k)
+		cached = append(cached, k)
 	}
-	return testKeyCache.keys[:n]
+	testKeyCache.keys[suite] = cached
+	return cached[:n:n]
 }
 
 // TestPool wraps TestKeys in a Pool of size n.
 func TestPool(n int) *Pool {
 	return &Pool{keys: TestKeys(n)}
+}
+
+// TestSuitePool wraps TestSuiteKeys in a Pool of size n.
+func TestSuitePool(suite crypt.SuiteID, n int) *Pool {
+	return &Pool{keys: TestSuiteKeys(suite, n)}
 }

@@ -8,7 +8,6 @@
 package keyss
 
 import (
-	"crypto/rsa"
 	"fmt"
 
 	"whisper/internal/crypt"
@@ -24,16 +23,16 @@ const DefaultKeyBlobSize = 1024
 
 // Store caches public keys learned through gossip.
 type Store struct {
-	keys map[identity.NodeID]*rsa.PublicKey
+	keys map[identity.NodeID]crypt.PublicKey
 }
 
 // NewStore returns an empty key store.
 func NewStore() *Store {
-	return &Store{keys: make(map[identity.NodeID]*rsa.PublicKey)}
+	return &Store{keys: make(map[identity.NodeID]crypt.PublicKey)}
 }
 
 // Put records the key for id, overwriting any previous one.
-func (s *Store) Put(id identity.NodeID, pub *rsa.PublicKey) {
+func (s *Store) Put(id identity.NodeID, pub crypt.PublicKey) {
 	if pub == nil {
 		return
 	}
@@ -41,7 +40,7 @@ func (s *Store) Put(id identity.NodeID, pub *rsa.PublicKey) {
 }
 
 // Get returns the key for id, or nil if unknown.
-func (s *Store) Get(id identity.NodeID) *rsa.PublicKey { return s.keys[id] }
+func (s *Store) Get(id identity.NodeID) crypt.PublicKey { return s.keys[id] }
 
 // Has reports whether a key is known for id.
 func (s *Store) Has(id identity.NodeID) bool { return s.keys[id] != nil }
@@ -52,12 +51,13 @@ func (s *Store) Len() int { return len(s.keys) }
 // Forget drops the key for id (e.g. after the node is declared dead).
 func (s *Store) Forget(id identity.NodeID) { delete(s.keys, id) }
 
-// EncodeKey writes pub as a fixed-size padded blob. A nil key writes an
-// empty blob of the same size, so message sizes stay deterministic.
-// blobSize must be at least the serialized key size (a 1024-bit RSA key
-// is 162 bytes of DER); an undersized configuration is a programmer
-// error and panics with a diagnosis.
-func EncodeKey(w *wire.Writer, pub *rsa.PublicKey, blobSize int) {
+// EncodeKey writes pub as a fixed-size padded blob of its suite-tagged
+// serialization. A nil key writes an empty blob of the same size, so
+// message sizes stay deterministic. blobSize must be at least the
+// serialized key size (a 1024-bit RSA key is 162 bytes of DER, an ecc
+// key 65 bytes); an undersized configuration is a programmer error and
+// panics with a diagnosis.
+func EncodeKey(w *wire.Writer, pub crypt.PublicKey, blobSize int) {
 	if pub == nil {
 		w.Padded(nil, blobSize)
 		return
@@ -74,7 +74,7 @@ func EncodeKey(w *wire.Writer, pub *rsa.PublicKey, blobSize int) {
 // surfaced through the reader's sticky error by returning nil as well —
 // callers treat an unparsable key as absent, per the robustness
 // principle for gossip input.
-func DecodeKey(r *wire.Reader, blobSize int) *rsa.PublicKey {
+func DecodeKey(r *wire.Reader, blobSize int) crypt.PublicKey {
 	der := r.Padded(blobSize)
 	if len(der) == 0 {
 		return nil

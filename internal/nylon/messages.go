@@ -1,9 +1,9 @@
 package nylon
 
 import (
-	"crypto/rsa"
 	"fmt"
 
+	"whisper/internal/crypt"
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/pss"
@@ -87,7 +87,7 @@ type shuffleMsg struct {
 	From    Descriptor
 	Path    []identity.NodeID // request: relays used requester→partner
 	Entries []pss.Entry[Descriptor]
-	Key     *rsa.PublicKey
+	Key     crypt.PublicKey
 }
 
 func (m *shuffleMsg) encode(typ uint8, blobSize int, withKey bool) []byte {
@@ -192,7 +192,7 @@ func decodePunchReq(r *wire.Reader) (*punchReq, error) {
 // it an empty message to ensure that a valid path exists").
 type keyMsg struct {
 	From Descriptor
-	Key  *rsa.PublicKey
+	Key  crypt.PublicKey
 }
 
 func (m *keyMsg) encode(typ uint8, blobSize int) []byte {

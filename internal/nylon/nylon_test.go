@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"whisper/internal/crypt"
 	"whisper/internal/identity"
 	"whisper/internal/netem"
 	"whisper/internal/nylon"
@@ -138,7 +139,7 @@ func TestKeySamplingPopulatesStores(t *testing.T) {
 			continue
 		}
 		if k := n.Nylon.Keys().Get(e.Val.ID); k != nil {
-			if k.N.Cmp(owner.Nylon.Identity().Public().N) != 0 {
+			if crypt.KeyFingerprint(k) != crypt.KeyFingerprint(owner.Nylon.Identity().Public()) {
 				t.Fatalf("sampled key for %v does not match its identity", e.Val.ID)
 			}
 			checked++

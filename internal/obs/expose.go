@@ -27,6 +27,29 @@ type MetricPoint struct {
 	Sum     float64   `json:"sum,omitempty"`
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []uint64  `json:"buckets,omitempty"`
+	// Quantile upper-bound estimates (see HistogramSnapshot.Quantile),
+	// populated on rolled-up histograms so a /metrics/rollup reader gets
+	// network-wide latency percentiles without re-deriving them from the
+	// buckets. Omitted when not finite: an empty histogram has no
+	// quantiles and a tail past the last finite bound estimates to +Inf,
+	// neither of which JSON can carry.
+	P50 *float64 `json:"p50,omitempty"`
+	P95 *float64 `json:"p95,omitempty"`
+	P99 *float64 `json:"p99,omitempty"`
+}
+
+// setQuantiles fills the point's quantile fields from a snapshot,
+// skipping non-finite estimates.
+func (p *MetricPoint) setQuantiles(s HistogramSnapshot) {
+	for _, t := range []struct {
+		q   float64
+		dst **float64
+	}{{0.50, &p.P50}, {0.95, &p.P95}, {0.99, &p.P99}} {
+		if v := s.Quantile(t.q); !math.IsNaN(v) && !math.IsInf(v, 0) {
+			v := v
+			*t.dst = &v
+		}
+	}
 }
 
 // Export snapshots every registered instrument, sorted by name then
@@ -128,6 +151,7 @@ func (r *Registry) Rollup(drop ...string) []MetricPoint {
 		}
 		if g.kind == kindHistogram {
 			p.Count, p.Sum, p.Bounds, p.Buckets = g.hist.Count, g.hist.Sum, g.hist.Bounds, g.hist.Counts
+			p.setQuantiles(g.hist)
 		} else {
 			v := g.value
 			p.Value = &v

@@ -50,6 +50,13 @@ func TestRollupMergesAcrossNodes(t *testing.T) {
 	if len(h.Buckets) != 3 || h.Buckets[0] != 0 || h.Buckets[1] != 3 || h.Buckets[2] != 0 {
 		t.Fatalf("histogram rollup buckets = %v", h.Buckets)
 	}
+	// All three observations sit in the le=10 bucket, so every quantile
+	// estimate is that bucket's upper bound.
+	for q, v := range map[string]*float64{"p50": h.P50, "p95": h.P95, "p99": h.P99} {
+		if v == nil || *v != 10 {
+			t.Fatalf("merged histogram %s = %v, want 10", q, v)
+		}
+	}
 
 	// Dropping nothing is the identity grouping: every per-node series
 	// stays separate.
@@ -65,6 +72,47 @@ func TestRollupMergesAcrossNodes(t *testing.T) {
 	}
 	if (*Registry)(nil).Rollup("node") != nil {
 		t.Fatal("nil registry must roll up to nil")
+	}
+}
+
+// TestRollupQuantilesFiniteOnly: non-finite quantile estimates never
+// reach the JSON document — an empty histogram has none, and a
+// distribution with its tail past the last finite bound omits the
+// quantiles that estimate to +Inf. The finite ones still serialize.
+func TestRollupQuantilesFiniteOnly(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("node", "1").Histogram("empty_ms", 1, 10)
+	tail := reg.Scope("node", "1").Histogram("tail_ms", 1, 10)
+	for i := 0; i < 94; i++ {
+		tail.Observe(2) // 94% within le=10 ...
+	}
+	for i := 0; i < 6; i++ {
+		tail.Observe(99) // ... 6% past the last finite bound
+	}
+
+	var buf strings.Builder
+	if err := reg.WriteRollupJSONTo(&buf, "node"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []MetricPoint `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MetricPoint{}
+	for _, p := range doc.Metrics {
+		byName[p.Name] = p
+	}
+	if e := byName["empty_ms"]; e.P50 != nil || e.P95 != nil || e.P99 != nil {
+		t.Fatalf("empty histogram grew quantiles: %+v", e)
+	}
+	tl := byName["tail_ms"]
+	if tl.P50 == nil || *tl.P50 != 10 {
+		t.Fatalf("tail histogram p50 = %v, want 10", tl.P50)
+	}
+	if tl.P95 != nil || tl.P99 != nil {
+		t.Fatalf("quantiles past the last bound must be omitted: p95=%v p99=%v", tl.P95, tl.P99)
 	}
 }
 

@@ -132,24 +132,24 @@ func (in *Instance) tickElection() {
 // becomeLeader generates the next-epoch group key, self-issues a
 // passport and starts announcing the new key.
 func (in *Instance) becomeLeader() {
-	newKey, err := NewGroupKey(in.cfg.GroupKeyBits)
+	newKey, err := NewGroupKey(in.cfg.Suite, in.cfg.GroupKeyBits)
 	if err != nil {
 		return
 	}
 	newEpoch := in.history.Epoch() + 1
 	sig, err := crypt.Sign(in.r.cpu(), in.r.w.Node().Identity().Key,
-		announceBody(in.grp, newEpoch, &newKey.PublicKey))
+		announceBody(in.grp, newEpoch, newKey.Public()))
 	if err != nil {
 		return
 	}
 	ann := &keyAnnounce{
 		Epoch:     newEpoch,
-		NewKey:    &newKey.PublicKey,
+		NewKey:    newKey.Public(),
 		Leader:    in.passport, // old-epoch passport proves membership
 		LeaderKey: in.r.w.Node().Identity().Public(),
 		Sig:       sig,
 	}
-	in.history.Append(&newKey.PublicKey)
+	in.history.Append(newKey.Public())
 	in.groupPriv = newKey
 	in.leaderID = in.r.id()
 	in.lastHB = in.rt.Now()

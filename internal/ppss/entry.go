@@ -1,8 +1,7 @@
 package ppss
 
 import (
-	"crypto/rsa"
-
+	"whisper/internal/crypt"
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/transport"
@@ -19,7 +18,7 @@ type Entry struct {
 	ID      identity.NodeID
 	IsPub   bool
 	Contact transport.Endpoint // meaningful for P-node members
-	PubKey  *rsa.PublicKey
+	PubKey  crypt.PublicKey
 	Helpers []wcl.Helper
 }
 

@@ -132,7 +132,7 @@ func TestPCPDropsDeadMembers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dead := Entry{ID: 77, PubKey: &identity.TestKeys(1)[0].PublicKey}
+	dead := Entry{ID: 77, PubKey: identity.TestKeys(1)[0].Public()}
 	inst.MakePersistent(dead)
 	if len(inst.PersistentIDs()) != 1 {
 		t.Fatal("member not pooled")

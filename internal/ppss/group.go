@@ -14,8 +14,6 @@
 package ppss
 
 import (
-	"crypto/rand"
-	"crypto/rsa"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -49,22 +47,22 @@ var (
 // Verification accepts signatures from any epoch so that passports
 // survive leader re-election (§IV-A).
 type KeyHistory struct {
-	keys []*rsa.PublicKey
+	keys []crypt.PublicKey
 }
 
 // NewKeyHistory starts a history at epoch 0 with the initial group key.
-func NewKeyHistory(initial *rsa.PublicKey) *KeyHistory {
-	return &KeyHistory{keys: []*rsa.PublicKey{initial}}
+func NewKeyHistory(initial crypt.PublicKey) *KeyHistory {
+	return &KeyHistory{keys: []crypt.PublicKey{initial}}
 }
 
 // Epoch returns the current (latest) epoch number.
 func (h *KeyHistory) Epoch() uint32 { return uint32(len(h.keys) - 1) }
 
 // Current returns the latest group public key.
-func (h *KeyHistory) Current() *rsa.PublicKey { return h.keys[len(h.keys)-1] }
+func (h *KeyHistory) Current() crypt.PublicKey { return h.keys[len(h.keys)-1] }
 
 // At returns the key for an epoch, or nil if unknown.
-func (h *KeyHistory) At(epoch uint32) *rsa.PublicKey {
+func (h *KeyHistory) At(epoch uint32) crypt.PublicKey {
 	if int(epoch) >= len(h.keys) {
 		return nil
 	}
@@ -72,7 +70,7 @@ func (h *KeyHistory) At(epoch uint32) *rsa.PublicKey {
 }
 
 // Append installs the key for the next epoch.
-func (h *KeyHistory) Append(pub *rsa.PublicKey) { h.keys = append(h.keys, pub) }
+func (h *KeyHistory) Append(pub crypt.PublicKey) { h.keys = append(h.keys, pub) }
 
 // Len returns the number of epochs.
 func (h *KeyHistory) Len() int { return len(h.keys) }
@@ -98,7 +96,7 @@ func passportBody(group GroupID, member identity.NodeID, epoch uint32) []byte {
 
 // IssuePassport signs a passport for member with the group private key
 // at the given epoch. Only leaders hold that key.
-func IssuePassport(m *crypt.CPUMeter, groupPriv *rsa.PrivateKey, group GroupID, member identity.NodeID, epoch uint32) (Passport, error) {
+func IssuePassport(m *crypt.CPUMeter, groupPriv crypt.PrivateKey, group GroupID, member identity.NodeID, epoch uint32) (Passport, error) {
 	sig, err := crypt.Sign(m, groupPriv, passportBody(group, member, epoch))
 	if err != nil {
 		return Passport{}, fmt.Errorf("ppss: issuing passport: %w", err)
@@ -155,7 +153,7 @@ func accreditationBody(group GroupID, invitee identity.NodeID, epoch uint32) []b
 }
 
 // IssueAccreditation signs an invitation for invitee.
-func IssueAccreditation(m *crypt.CPUMeter, groupPriv *rsa.PrivateKey, group GroupID, invitee identity.NodeID, epoch uint32) (Accreditation, error) {
+func IssueAccreditation(m *crypt.CPUMeter, groupPriv crypt.PrivateKey, group GroupID, invitee identity.NodeID, epoch uint32) (Accreditation, error) {
 	sig, err := crypt.Sign(m, groupPriv, accreditationBody(group, invitee, epoch))
 	if err != nil {
 		return Accreditation{}, fmt.Errorf("ppss: issuing accreditation: %w", err)
@@ -191,12 +189,14 @@ func decodeAccreditation(r *wire.Reader) Accreditation {
 	return a
 }
 
-// NewGroupKey generates a group key pair (held by leaders).
-func NewGroupKey(bits int) (*rsa.PrivateKey, error) {
+// NewGroupKey generates a group key pair (held by leaders) on the
+// given crypto suite. bits sizes RSA moduli (identity.DefaultKeyBits
+// if zero) and is ignored by fixed-size suites.
+func NewGroupKey(suite crypt.SuiteID, bits int) (crypt.PrivateKey, error) {
 	if bits == 0 {
 		bits = identity.DefaultKeyBits
 	}
-	key, err := rsa.GenerateKey(rand.Reader, bits)
+	key, err := crypt.GenerateKey(suite, bits)
 	if err != nil {
 		return nil, fmt.Errorf("ppss: generating group key: %w", err)
 	}

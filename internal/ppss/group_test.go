@@ -25,7 +25,7 @@ func TestGroupIDStable(t *testing.T) {
 func TestPassportIssueVerify(t *testing.T) {
 	gk := identity.TestKeys(1)[0]
 	g := GroupIDFromName("g")
-	hist := NewKeyHistory(&gk.PublicKey)
+	hist := NewKeyHistory(gk.Public())
 
 	p, err := IssuePassport(nil, gk, g, 42, 0)
 	if err != nil {
@@ -58,13 +58,13 @@ func TestPassportIssueVerify(t *testing.T) {
 func TestPassportSurvivesKeyRotation(t *testing.T) {
 	keys := identity.TestKeys(2)
 	g := GroupIDFromName("g")
-	hist := NewKeyHistory(&keys[0].PublicKey)
+	hist := NewKeyHistory(keys[0].Public())
 	p, _ := IssuePassport(nil, keys[0], g, 7, 0)
 
 	// Leader re-election installs a new key; old passports stay valid
 	// through the history.
-	hist.Append(&keys[1].PublicKey)
-	if hist.Epoch() != 1 || hist.Current() != &keys[1].PublicKey {
+	hist.Append(keys[1].Public())
+	if hist.Epoch() != 1 || hist.Current() != keys[1].Public() {
 		t.Fatal("history bookkeeping wrong")
 	}
 	if err := p.Verify(nil, g, hist); err != nil {
@@ -85,7 +85,7 @@ func TestPassportSurvivesKeyRotation(t *testing.T) {
 func TestAccreditation(t *testing.T) {
 	gk := identity.TestKeys(1)[0]
 	g := GroupIDFromName("g")
-	hist := NewKeyHistory(&gk.PublicKey)
+	hist := NewKeyHistory(gk.Public())
 	a, err := IssueAccreditation(nil, gk, g, 9, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -105,10 +105,10 @@ func TestPassportWireRoundTrip(t *testing.T) {
 	g := GroupIDFromName("g")
 	p, _ := IssuePassport(nil, gk, g, 11, 3)
 	// encode → decode through the wire helpers used in messages.
-	hist := NewKeyHistory(&gk.PublicKey)
-	hist.Append(&gk.PublicKey)
-	hist.Append(&gk.PublicKey)
-	hist.Append(&gk.PublicKey)
+	hist := NewKeyHistory(gk.Public())
+	hist.Append(gk.Public())
+	hist.Append(gk.Public())
+	hist.Append(gk.Public())
 	if err := p.Verify(nil, g, hist); err != nil {
 		t.Fatal(err)
 	}

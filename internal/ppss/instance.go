@@ -1,11 +1,11 @@
 package ppss
 
 import (
-	"crypto/rsa"
 	"errors"
 	"fmt"
 	"time"
 
+	"whisper/internal/crypt"
 	"whisper/internal/dedup"
 	"whisper/internal/identity"
 	"whisper/internal/keyss"
@@ -40,6 +40,9 @@ type Config struct {
 	// circuits: the pool is exactly the set of partners a node
 	// re-contacts indefinitely, so the one-time circuit setup amortizes
 	// and the periodic PCP ping doubles as the circuit's keepalive.
+	// Gossip shuffles take the same route when the partner is pooled
+	// (or a circuit already exists), so steady-state shuffling with
+	// persistent partners pays symmetric cells instead of fresh onions.
 	// Defaults to on (set to a false pointer to disable); one-shot
 	// remains the path for everything outside the pool.
 	PoolCircuits *bool
@@ -48,7 +51,11 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// ElectionDuration is the aggregation convergence window.
 	ElectionDuration time.Duration
-	// GroupKeyBits sizes group key pairs (default identity.DefaultKeyBits).
+	// Suite selects the crypto suite for group key pairs (default
+	// rsa2048, matching the node identity default).
+	Suite crypt.SuiteID
+	// GroupKeyBits sizes RSA group key pairs (default
+	// identity.DefaultKeyBits); ignored by fixed-size suites.
 	GroupKeyBits int
 	// AnnounceFor is how long a new leader keeps piggybacking its key
 	// announcement on shuffles.
@@ -204,7 +211,7 @@ type Instance struct {
 	passport Passport
 	history  *KeyHistory
 
-	groupPriv *rsa.PrivateKey // non-nil iff this node is a leader
+	groupPriv crypt.PrivateKey // non-nil iff this node is a leader
 	leaderID  identity.NodeID
 	lastHB    time.Duration
 	election  *electionState
@@ -233,7 +240,7 @@ type Instance struct {
 	handlers  map[uint8]func(from Entry, payload []byte)
 	// AuthorizeJoin, if set on a leader, vetoes admissions (the
 	// authorizeJoin(id, public key) hook of Fig 1).
-	AuthorizeJoin func(id identity.NodeID, key *rsa.PublicKey) bool
+	AuthorizeJoin func(id identity.NodeID, key crypt.PublicKey) bool
 	// OnExchangeRTT, if set, observes the round-trip time of each
 	// completed view exchange (the quantity Fig 7 plots).
 	OnExchangeRTT func(rtt time.Duration)
@@ -383,7 +390,7 @@ func (in *Instance) cycle() {
 		}
 	})
 	in.pending[seq] = p
-	in.r.w.Send(partner.Val.Dest(), m.encode(msgShuffleReq, in.cfg.KeyBlobSize), func(res wcl.Result) {
+	in.wclSend(partner.Val, m.encode(msgShuffleReq, in.cfg.KeyBlobSize), func(res wcl.Result) {
 		if res.Outcome == wcl.Failed {
 			// The WCL exhausted its alternatives: the partner is
 			// considered failed and stays out of the private view
@@ -441,7 +448,7 @@ func (in *Instance) handleShuffleReq(m *shuffleMsg) {
 		Entries:  sent,
 		Extras:   in.extras(),
 	}
-	in.r.w.Send(m.From.Dest(), resp.encode(msgShuffleResp, in.cfg.KeyBlobSize), nil)
+	in.wclSend(m.From, resp.encode(msgShuffleResp, in.cfg.KeyBlobSize), nil)
 	pss.MergeCyclon(in.view, sent, m.Entries, in.selectOpts())
 	in.met.exchangesServed.Inc()
 }
@@ -499,8 +506,8 @@ func (in *Instance) handleJoinReq(m *joinReq) {
 	in.met.joinsServed.Inc()
 }
 
-func (in *Instance) historyKeys() []*rsa.PublicKey {
-	out := make([]*rsa.PublicKey, in.history.Len())
+func (in *Instance) historyKeys() []crypt.PublicKey {
+	out := make([]crypt.PublicKey, in.history.Len())
 	for i := range out {
 		out[i] = in.history.At(uint32(i))
 	}

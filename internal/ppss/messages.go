@@ -1,7 +1,6 @@
 package ppss
 
 import (
-	"crypto/rsa"
 	"fmt"
 	"time"
 
@@ -43,13 +42,13 @@ type extras struct {
 // leader's identity key and accompanied by its (old-epoch) passport.
 type keyAnnounce struct {
 	Epoch     uint32 // the new epoch
-	NewKey    *rsa.PublicKey
+	NewKey    crypt.PublicKey
 	Leader    Passport
-	LeaderKey *rsa.PublicKey
+	LeaderKey crypt.PublicKey
 	Sig       []byte
 }
 
-func announceBody(group GroupID, epoch uint32, newKey *rsa.PublicKey) []byte {
+func announceBody(group GroupID, epoch uint32, newKey crypt.PublicKey) []byte {
 	w := wire.NewWriter(64)
 	w.String("whisper-key-announce")
 	w.U64(uint64(group))
@@ -58,7 +57,7 @@ func announceBody(group GroupID, epoch uint32, newKey *rsa.PublicKey) []byte {
 	return w.Bytes()
 }
 
-func keyDER(k *rsa.PublicKey) []byte {
+func keyDER(k crypt.PublicKey) []byte {
 	if k == nil {
 		return nil
 	}
@@ -190,7 +189,7 @@ func decodeJoinReq(r *wire.Reader, keyBlob int) (*joinReq, error) {
 type joinResp struct {
 	Group    GroupID
 	Passport Passport
-	History  []*rsa.PublicKey
+	History  []crypt.PublicKey
 	Leader   Entry
 	Entries  []pss.Entry[Entry]
 }

@@ -354,7 +354,7 @@ func TestPersistentPoolRidesCircuits(t *testing.T) {
 	// A pooled application send rides the circuit as a data cell and is
 	// acknowledged hop-free. (The precise zero-RSA steady-state property
 	// is pinned in the wcl package, where no background gossip muddies
-	// the meters; here gossip shuffles legitimately keep paying RSA.)
+	// the meters; shuffles to non-pooled partners still pay onions.)
 	target := findMember(members, peer.ID)
 	got := false
 	target.PPSS.Instance(g).OnMessage = func(_ ppss.Entry, p []byte) { got = string(p) == "cell" }
@@ -372,6 +372,64 @@ func TestPersistentPoolRidesCircuits(t *testing.T) {
 	}
 	if after.CellsAcked == before.CellsAcked {
 		t.Fatal("pooled cell never acknowledged")
+	}
+}
+
+// TestShufflesRideCircuits: gossip shuffles to a pooled partner travel
+// as circuit cells, not fresh onions. One pair of members pools each
+// other; a PCP refresh period longer than the run keeps pings out of
+// the cell counters, so every cell on the wire is a shuffle request or
+// response. Members outside the pair must stay cell-free: their
+// shuffles keep paying one-shot onions.
+func TestShufflesRideCircuits(t *testing.T) {
+	cfg := fastPPSS()
+	cfg.PCPRefresh = 2 * time.Hour
+	w, err := sim.NewWorld(sim.Options{
+		Seed:     41,
+		N:        80,
+		NATRatio: 0.7,
+		KeyPool:  identity.TestPool(64),
+		PPSS:     cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+
+	members := w.Live()[:6]
+	g := ppss.GroupIDFromName("shuffle-circ")
+	formGroup(t, w, "shuffle-circ", members)
+	w.Sim.RunFor(3 * time.Minute)
+
+	a, b := members[1].PPSS.Instance(g), members[2].PPSS.Instance(g)
+	var pa, pb ppss.Entry
+	for deadline := w.Sim.Now() + 10*time.Minute; ; w.Sim.RunFor(30 * time.Second) {
+		var okA, okB bool
+		pa, okA = a.Lookup(members[2].ID())
+		pb, okB = b.Lookup(members[1].ID())
+		if okA && okB {
+			break
+		}
+		if w.Sim.Now() >= deadline {
+			t.Fatal("the pooled pair never learned each other's entries")
+		}
+	}
+	a.MakePersistent(pa)
+	b.MakePersistent(pb)
+	baseline := a.Stats().ExchangesCompleted
+
+	w.Sim.RunFor(15 * time.Minute) // ~30 gossip cycles
+	if cells := members[1].WCL.Stats().CellsSent + members[2].WCL.Stats().CellsSent; cells == 0 {
+		t.Fatal("pooled pair sent no cells — shuffles did not ride the circuit")
+	}
+	for _, i := range []int{0, 3, 4, 5} {
+		if st := members[i].WCL.Stats(); st.CellsSent != 0 {
+			t.Fatalf("non-pooled member %d sent %d cells", i, st.CellsSent)
+		}
+	}
+	if a.Stats().ExchangesCompleted == baseline {
+		t.Fatal("no shuffle exchange completed after pooling")
 	}
 }
 

@@ -29,14 +29,14 @@ func TestReplayedShuffleReqNotDoubleApplied(t *testing.T) {
 		entries = append(entries, pss.Entry[Entry]{Val: Entry{
 			ID:     identity.NodeID(100 + i),
 			IsPub:  true,
-			PubKey: &k.PublicKey,
+			PubKey: k.Public(),
 		}})
 	}
 	m := shuffleMsg{
 		Group:    inst.Group(),
 		Passport: passport,
 		Seq:      9,
-		From:     Entry{ID: 42, IsPub: true, PubKey: &identity.TestKeys(1)[0].PublicKey},
+		From:     Entry{ID: 42, IsPub: true, PubKey: identity.TestKeys(1)[0].Public()},
 		Entries:  entries,
 	}
 	wire := m.encode(msgShuffleReq, r.cfg.KeyBlobSize)

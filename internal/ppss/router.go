@@ -145,11 +145,11 @@ func (r *Router) CreateGroup(name string) (*Instance, error) {
 	if r.instances[g] != nil {
 		return nil, fmt.Errorf("ppss: already a member of group %q", name)
 	}
-	groupKey, err := NewGroupKey(r.cfg.GroupKeyBits)
+	groupKey, err := NewGroupKey(r.cfg.Suite, r.cfg.GroupKeyBits)
 	if err != nil {
 		return nil, err
 	}
-	history := NewKeyHistory(&groupKey.PublicKey)
+	history := NewKeyHistory(groupKey.Public())
 	passport, err := IssuePassport(r.cpu(), groupKey, g, r.id(), 0)
 	if err != nil {
 		return nil, err

@@ -16,7 +16,6 @@ package realudp
 
 import (
 	"context"
-	"crypto/rsa"
 	"errors"
 	"fmt"
 	"net"
@@ -34,7 +33,7 @@ const (
 // Peer is one UDP endpoint participating in onion forwarding.
 type Peer struct {
 	tr  *udp.Transport
-	key *rsa.PrivateKey
+	key crypt.PrivateKey
 
 	// OnDeliver receives exit payloads (set before Run).
 	OnDeliver func(payload []byte)
@@ -45,7 +44,7 @@ type Peer struct {
 }
 
 // Listen binds a peer to addr ("127.0.0.1:0" for an ephemeral port).
-func Listen(addr string, key *rsa.PrivateKey) (*Peer, error) {
+func Listen(addr string, key crypt.PrivateKey) (*Peer, error) {
 	tr, err := udp.New(addr, 0)
 	if err != nil {
 		return nil, fmt.Errorf("realudp: %w", err)
@@ -61,7 +60,7 @@ func Listen(addr string, key *rsa.PrivateKey) (*Peer, error) {
 func (p *Peer) Addr() string { return p.tr.LocalAddr().String() }
 
 // Public returns the peer's public key.
-func (p *Peer) Public() *rsa.PublicKey { return &p.key.PublicKey }
+func (p *Peer) Public() crypt.PublicKey { return p.key.Public() }
 
 // Stats reports how many layers this peer peeled and payloads it
 // delivered.
@@ -134,7 +133,7 @@ func encodeForward(onion, content []byte) []byte {
 // Hop names one node of a real onion path.
 type Hop struct {
 	Addr string
-	Pub  *rsa.PublicKey
+	Pub  crypt.PublicKey
 }
 
 // SendOnion builds the layered message for the path (first mix first,

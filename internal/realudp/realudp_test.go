@@ -96,7 +96,7 @@ func TestWrongKeyMixDropsSilently(t *testing.T) {
 	// The layer for "A" is encrypted to a key A does not hold.
 	stranger := identity.TestKeys(4)[3]
 	err := s.SendOnion([]Hop{
-		{Addr: a.Addr(), Pub: &stranger.PublicKey},
+		{Addr: a.Addr(), Pub: stranger.Public()},
 		{Addr: d.Addr(), Pub: d.Public()},
 	}, []byte("doomed"))
 	if err != nil {

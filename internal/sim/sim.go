@@ -40,8 +40,12 @@ type Options struct {
 	Faults *netem.FaultModel
 	// Nylon configures the PSS layer of every node.
 	Nylon nylon.Config
-	// KeyPool provides RSA keys; nil generates a fresh pool of
-	// PoolSize keys at identity.DefaultKeyBits.
+	// Suite selects the crypto suite every node keys under (default
+	// rsa2048). When KeyPool is provided its suite wins; otherwise the
+	// generated pool uses this suite.
+	Suite crypt.SuiteID
+	// KeyPool provides identity keys; nil generates a fresh pool of
+	// PoolSize keys at identity.DefaultKeyBits on Suite.
 	KeyPool *identity.Pool
 	// PoolSize is the size of the generated pool when KeyPool is nil
 	// (default 64; sims share keys round-robin, see identity.Pool).
@@ -141,7 +145,7 @@ func NewWorld(opts Options) (*World, error) {
 		nextIP: 100, // leave room for infrastructure addresses
 	}
 	if w.pool == nil {
-		pool, err := identity.NewPool(opts.PoolSize, identity.DefaultKeyBits)
+		pool, err := identity.NewSuitePool(opts.PoolSize, opts.Suite, identity.DefaultKeyBits)
 		if err != nil {
 			return nil, fmt.Errorf("sim: building key pool: %w", err)
 		}

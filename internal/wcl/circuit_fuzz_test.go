@@ -128,7 +128,7 @@ func TestCircuitSetupWithForeignOnion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	onion, err := crypt.BuildCircuitOnion(nil, []crypt.CircuitHop{{Pub: &foreign.PublicKey, Key: keys[0]}}, nil)
+	onion, err := crypt.BuildCircuitOnion(nil, []crypt.CircuitHop{{Pub: foreign.Public(), Key: keys[0]}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

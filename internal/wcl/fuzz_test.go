@@ -60,7 +60,7 @@ func TestForwardWithForeignOnion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	onion, err := crypt.BuildOnion(nil, []crypt.Hop{{Pub: &foreign.PublicKey}}, k)
+	onion, err := crypt.BuildOnion(nil, []crypt.Hop{{Pub: foreign.Public()}}, k)
 	if err != nil {
 		t.Fatal(err)
 	}

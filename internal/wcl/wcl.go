@@ -6,7 +6,6 @@
 package wcl
 
 import (
-	"crypto/rsa"
 	"errors"
 	"fmt"
 	"time"
@@ -115,7 +114,7 @@ func (c Config) withDefaults() Config {
 type Helper struct {
 	ID       identity.NodeID
 	Endpoint transport.Endpoint
-	Key      *rsa.PublicKey
+	Key      crypt.PublicKey
 }
 
 // Dest is everything the source needs to open a confidential route:
@@ -124,7 +123,7 @@ type Helper struct {
 // view entries (§IV-B).
 type Dest struct {
 	ID  identity.NodeID
-	Key *rsa.PublicKey
+	Key crypt.PublicKey
 	// Endpoint is the destination's public address when it is a P-node:
 	// the next-to-last mix can then address it directly, with no
 	// pre-established association.
