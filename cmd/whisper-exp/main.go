@@ -6,7 +6,7 @@
 //	whisper-exp [flags] <experiment>
 //
 // Experiments: fig5, fig6, table1, fig7, table2, fig8, fig9, circuit,
-// suites, all.
+// suites, scale, all.
 //
 // The default parameters match the paper (1,000-node cluster runs,
 // 400-node PlanetLab runs, 70% of nodes behind NATs, Π = 3, 1 KB keys).
@@ -35,9 +35,10 @@ func main() {
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment (1 = sequential, matching the pre-harness output byte for byte)")
 		benchOut = flag.String("benchjson", "", "write machine-readable per-run timings to this JSON file")
 		metrics  = flag.String("metrics-out", "", "write the metrics registry as JSON to this file after the run")
+		shards   = flag.Int("shards", 8, "event shards for the scale experiment (1 = classic single-heap engine)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|ablate|scale|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	r := runner{seed: *seed, scale: *scale, out: out, check: *check, parallel: *par}
+	r := runner{seed: *seed, scale: *scale, out: out, check: *check, parallel: *par, shards: *shards}
 	name := flag.Arg(0)
 	if *benchOut != "" {
 		exp.BenchSink = &exp.BenchLog{}
@@ -106,6 +107,7 @@ type runner struct {
 	out        io.Writer
 	check      bool
 	parallel   int
+	shards     int
 	violations int
 }
 
@@ -160,6 +162,8 @@ func (r *runner) run(name string) error {
 		return r.suites()
 	case "ablate":
 		return r.ablate()
+	case "scale":
+		return r.scaleExp()
 	case "all":
 		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit, r.suites} {
 			if err := f(); err != nil {
@@ -296,6 +300,33 @@ func (r *runner) ablate() error {
 	}
 	exp.PrintAblations(r.out, rows)
 	r.report(exp.AblationShapeCheck(rows))
+	return nil
+}
+
+func (r *runner) scaleExp() error {
+	// The scale run sizes off its own 100k-node baseline (not the
+	// 1,000-node paper figures) and skips the 4-minute duration floor:
+	// small -scale values are how CI keeps the smoke run cheap.
+	rt := time.Duration(float64(2*time.Minute) * r.scale)
+	if rt < 30*time.Second {
+		rt = 30 * time.Second
+	}
+	res, err := exp.Scale(exp.ScaleConfig{
+		Seed:    r.seed,
+		N:       r.n(100_000),
+		Shards:  r.shards,
+		Runtime: rt,
+		Env:     exp.PlanetLab,
+		Progress: func(now, total time.Duration) {
+			fmt.Fprintf(os.Stderr, "\rscale: %v / %v of virtual time", now.Round(time.Second), total)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		return err
+	}
+	exp.PrintScale(r.out, res)
+	r.report(exp.ScaleShapeCheck(res))
 	return nil
 }
 

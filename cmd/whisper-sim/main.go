@@ -9,6 +9,7 @@
 //	whisper-sim -n 1000 -churn "from 300s to 1200s const churn 1% each 60s" -duration 25m
 //	whisper-sim -n 400 -env planetlab -pi 2 -duration 20m
 //	whisper-sim -n 300 -runs 8 -parallel 4   # 8 replicas at seeds 1..8
+//	whisper-sim -n 20000 -shards 8 -env planetlab -groups 0 -duration 10m
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 		keyBlob  = flag.Int("keyblob", 1024, "on-wire key blob size (bytes)")
 		suite    = flag.String("suite", "rsa2048", "crypto suite every node keys under: rsa2048 or ecc")
 		runs     = flag.Int("runs", 1, "replicas to run at seeds seed..seed+runs-1")
+		shards   = flag.Int("shards", 1, "event shards (1 = classic single-heap engine; >1 needs a latency-bounded env)")
 		metrics  = flag.String("metrics-out", "", "dump the metrics registry as JSON to this file after the run (- = stdout)")
 		rollup   = flag.String("metrics-rollup", "", "dump one cross-node rollup of the metrics registry (counters summed, histograms merged) as JSON to this file after the run (- = stdout)")
 		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = sequential)")
@@ -76,7 +78,7 @@ func main() {
 	cfg := scenario{
 		n: *n, natRatio: *natRatio, pi: *pi, groups: *groups,
 		duration: *duration, env: *env, script: *script, keyBlob: *keyBlob,
-		suite: suiteID, metricsOut: *metrics, rollupOut: *rollup,
+		suite: suiteID, metricsOut: *metrics, rollupOut: *rollup, shards: *shards,
 	}
 	if *faultDup > 0 || *faultReorder > 0 || *faultBurstP > 0 {
 		cfg.faults = &netem.FaultModel{
@@ -132,6 +134,7 @@ type scenario struct {
 	faults     *netem.FaultModel
 	metricsOut string
 	rollupOut  string
+	shards     int
 }
 
 func (c scenario) run(out io.Writer, seed int64) error {
@@ -147,6 +150,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		Seed:     seed,
 		N:        c.n,
 		NATRatio: c.natRatio,
+		Shards:   c.shards,
 		Model:    model,
 		Faults:   c.faults,
 		Nylon:    nylon.Config{MinPublic: c.pi, KeyBlobSize: c.keyBlob},
@@ -163,7 +167,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		return err
 	}
 	w.StartAll()
-	w.Sim.RunUntil(4 * time.Minute)
+	w.RunUntil(4 * time.Minute)
 
 	var leaders []*ppss.Instance
 	if c.groups > 0 {
@@ -186,7 +190,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 				continue
 			}
 			node.PPSS.Join(fmt.Sprintf("group-%d", (gi-1)%len(leaders)), accr, entry, nil2)
-			w.Sim.RunFor(time.Second)
+			w.RunFor(time.Second)
 		}
 		fmt.Fprintf(out, "%d private groups formed\n", len(leaders))
 	}
@@ -196,8 +200,8 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		if err != nil {
 			return err
 		}
-		rng := w.Sim.Rand()
-		plan.Run(w.Sim, churn.Actions{
+		rng := w.Rand()
+		plan.RunOn(w, churn.Actions{
 			Population: func() int { return len(w.Live()) },
 			Leave: func(count int) {
 				w.KillRandom(count)
@@ -209,7 +213,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 					if len(leaders) > 0 {
 						inst := leaders[rng.Intn(len(leaders))]
 						nd := node
-						w.Sim.After(30*time.Second, func() {
+						w.Schedule(w.Now()+30*time.Second, func() {
 							if nd.Nylon.Stopped() {
 								return
 							}
@@ -225,7 +229,7 @@ func (c scenario) run(out io.Writer, seed int64) error {
 		fmt.Fprintln(out, "churn script scheduled")
 	}
 
-	w.Sim.RunUntil(c.duration)
+	w.RunUntil(c.duration)
 	report(out, w)
 	if c.metricsOut != "" {
 		if err := dumpMetrics(reg, c.metricsOut, seed); err != nil {
@@ -263,7 +267,7 @@ func dumpRollup(reg *obs.Registry, path string, seed int64) error {
 func nil2(*ppss.Instance, error) {}
 
 func report(out io.Writer, w *sim.World) {
-	fmt.Fprintf(out, "\n=== report at t=%v ===\n", w.Sim.Now())
+	fmt.Fprintf(out, "\n=== report at t=%v ===\n", w.Now())
 	live := w.Live()
 	fmt.Fprintf(out, "live nodes: %d (%d public, %d NATted)\n", len(live), len(w.LivePublics()), len(w.LiveNatted()))
 
@@ -313,7 +317,7 @@ func report(out io.Writer, w *sim.World) {
 	}
 
 	var up, down []float64
-	mins := w.Sim.Now().Minutes()
+	mins := w.Now().Minutes()
 	for _, node := range live {
 		m := node.Nylon.Meter()
 		up = append(up, m.UpKB()/mins)
@@ -322,8 +326,8 @@ func report(out io.Writer, w *sim.World) {
 	fmt.Fprintf(out, "bandwidth per node: up %s KB/min, down %s KB/min\n",
 		stats.StackOf(up).String(), stats.StackOf(down).String())
 
-	if w.Net.Faults() != nil {
-		fs := w.Net.FaultStats()
+	if w.Opts.Faults != nil {
+		fs := w.NetFaultStats()
 		fmt.Fprintf(out, "faults injected: %d duplicated, %d reordered, %d burst-dropped, %d partitioned\n",
 			fs.Duplicated, fs.Reordered, fs.BurstDropped, fs.Partitioned)
 	}

@@ -22,6 +22,19 @@ import (
 	"whisper/internal/simnet"
 )
 
+// Scheduler is the scheduling plane a churn plan drives. The plain
+// simulator implements it directly; the sharded engine implements it on
+// its control plane, so churn scripts run single-threaded at exact
+// window barriers with every shard parked.
+type Scheduler interface {
+	// Schedule runs fn at absolute virtual time at (or as soon after as
+	// the engine's semantics allow, never before).
+	Schedule(at time.Duration, fn func())
+}
+
+var _ Scheduler = (*simnet.Sim)(nil)
+var _ Scheduler = (*simnet.Sharded)(nil)
+
 // Actions is what a churn plan drives: the harness wires these to node
 // creation and destruction.
 type Actions struct {
@@ -38,7 +51,7 @@ type Actions struct {
 
 // Step is one scripted churn behaviour.
 type Step interface {
-	schedule(s *simnet.Sim, a Actions)
+	schedule(s Scheduler, a Actions)
 }
 
 // JoinBurst joins Count nodes spread evenly over [From, To].
@@ -47,7 +60,7 @@ type JoinBurst struct {
 	Count    int
 }
 
-func (j JoinBurst) schedule(s *simnet.Sim, a Actions) {
+func (j JoinBurst) schedule(s Scheduler, a Actions) {
 	if j.Count <= 0 {
 		return
 	}
@@ -57,7 +70,7 @@ func (j JoinBurst) schedule(s *simnet.Sim, a Actions) {
 		if j.Count > 1 && span > 0 {
 			at += span * time.Duration(i) / time.Duration(j.Count-1)
 		}
-		s.At(at, func() { a.Join(1) })
+		s.Schedule(at, func() { a.Join(1) })
 	}
 }
 
@@ -68,7 +81,7 @@ type SetReplacement struct {
 	Ratio float64
 }
 
-func (r SetReplacement) schedule(s *simnet.Sim, a Actions) {} // handled by ConstChurn via plan state
+func (r SetReplacement) schedule(s Scheduler, a Actions) {} // handled by ConstChurn via plan state
 
 // ConstChurn makes RatePct percent of the population leave per minute
 // between From and To, batched every Interval, with departures replaced
@@ -82,15 +95,15 @@ type ConstChurn struct {
 	Interval time.Duration
 }
 
-func (c ConstChurn) schedule(s *simnet.Sim, a Actions) {} // handled by Plan.Run
+func (c ConstChurn) schedule(s Scheduler, a Actions) {} // handled by Plan.RunOn
 
 // StopAt ends the run.
 type StopAt struct {
 	At time.Duration
 }
 
-func (st StopAt) schedule(s *simnet.Sim, a Actions) {
-	s.At(st.At, func() {
+func (st StopAt) schedule(s Scheduler, a Actions) {
+	s.Schedule(st.At, func() {
 		if a.Stop != nil {
 			a.Stop()
 		}
@@ -104,13 +117,17 @@ type Plan struct {
 
 // Run schedules the whole plan on the simulator. It returns immediately;
 // the events fire as virtual time advances.
-func (p Plan) Run(s *simnet.Sim, a Actions) {
+func (p Plan) Run(s *simnet.Sim, a Actions) { p.RunOn(s, a) }
+
+// RunOn schedules the whole plan on any scheduling plane — the plain
+// simulator, or a sharded engine's barrier-synchronized control plane.
+func (p Plan) RunOn(s Scheduler, a Actions) {
 	replacement := 1.0
 	for _, step := range p.Steps {
 		switch st := step.(type) {
 		case SetReplacement:
 			ratio := st.Ratio
-			s.At(st.At, func() { replacement = ratio })
+			s.Schedule(st.At, func() { replacement = ratio })
 		case ConstChurn:
 			interval := st.Interval
 			if interval <= 0 {
@@ -121,7 +138,7 @@ func (p Plan) Run(s *simnet.Sim, a Actions) {
 				if at > st.To {
 					return
 				}
-				s.At(at, func() {
+				s.Schedule(at, func() {
 					pop := a.Population()
 					leave := int(float64(pop) * st.RatePct / 100 * interval.Minutes())
 					if leave > 0 {

@@ -35,6 +35,13 @@ type RunStat struct {
 	ECCDecs      uint64  `json:"ecc_decs,omitempty"`
 	ECCSigns     uint64  `json:"ecc_signs,omitempty"`
 	ECCVerifys   uint64  `json:"ecc_verifys,omitempty"`
+
+	// Scale-run fields (whisper-exp scale).
+	Nodes           int     `json:"nodes,omitempty"`
+	Shards          int     `json:"shards,omitempty"`
+	Windows         uint64  `json:"windows,omitempty"`
+	BytesPerNode    float64 `json:"bytes_per_node,omitempty"`
+	MemBytesPerNode float64 `json:"mem_bytes_per_node,omitempty"`
 }
 
 // BenchMeta describes how a whisper-exp invocation was configured, so
@@ -119,10 +126,10 @@ func recordRun(name string, start time.Time, w *sim.World) {
 	cpu := w.CPUTotal()
 	st := RunStat{
 		Name:       name,
-		Faults:     w.Net.Faults().String(),
+		Faults:     w.Opts.Faults.String(),
 		WallMS:     float64(wall.Microseconds()) / 1000,
-		Events:     w.Sim.Executed(),
-		VirtualSec: w.Sim.Now().Seconds(),
+		Events:     w.Executed(),
+		VirtualSec: w.Now().Seconds(),
 		AESms:      float64(cpu.AES.Microseconds()) / 1000,
 		RSAms:      float64(cpu.RSA.Microseconds()) / 1000,
 		ECCms:      float64(cpu.ECC.Microseconds()) / 1000,

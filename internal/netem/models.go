@@ -34,6 +34,15 @@ func (c Cluster) Delay(rng *rand.Rand, _, _ IP, size int) time.Duration {
 // LossProb implements LatencyModel. Cluster links are lossless.
 func (Cluster) LossProb(_, _ IP) float64 { return 0 }
 
+// MinDelay implements MinDelayModel: the base latency bounds every
+// delay from below (jitter and serialization only add).
+func (c Cluster) MinDelay() time.Duration {
+	if c.Base == 0 {
+		return 100 * time.Microsecond
+	}
+	return c.Base
+}
+
 // PlanetLab models the paper's second testbed: a 400-node global slice
 // with heterogeneous, often heavily loaded machines. Properties modeled:
 //
@@ -139,6 +148,15 @@ func (p PlanetLab) slowNode(ip IP) bool {
 // LossProb implements LatencyModel.
 func (p PlanetLab) LossProb(_, _ IP) float64 { return p.Loss }
 
+// MinDelay implements MinDelayModel: the per-pair base RTT is at least
+// MinBase and every other term is additive.
+func (p PlanetLab) MinDelay() time.Duration {
+	if p.MinBase == 0 {
+		return 20 * time.Millisecond
+	}
+	return p.MinBase
+}
+
 // Fixed is a trivial model with constant delay and no loss, useful in
 // unit tests that assert exact timings.
 type Fixed struct {
@@ -150,6 +168,9 @@ func (f Fixed) Delay(_ *rand.Rand, _, _ IP, _ int) time.Duration { return f.D }
 
 // LossProb implements LatencyModel.
 func (Fixed) LossProb(_, _ IP) float64 { return 0 }
+
+// MinDelay implements MinDelayModel.
+func (f Fixed) MinDelay() time.Duration { return f.D }
 
 // Lossy wraps another model, overriding loss with probability P.
 type Lossy struct {
@@ -164,3 +185,6 @@ func (l Lossy) Delay(rng *rand.Rand, src, dst IP, size int) time.Duration {
 
 // LossProb implements LatencyModel.
 func (l Lossy) LossProb(_, _ IP) float64 { return l.P }
+
+// MinDelay implements MinDelayModel when the wrapped model does.
+func (l Lossy) MinDelay() time.Duration { return MinDelay(l.Model) }

@@ -72,6 +72,24 @@ type LatencyModel interface {
 	LossProb(src, dst IP) float64
 }
 
+// MinDelayModel is implemented by latency models that can state a lower
+// bound on every delay they will ever return. The sharded engine uses
+// the bound as its synchronization lookahead: cross-shard traffic can
+// never arrive sooner than MinDelay, so windows of that width are safe.
+type MinDelayModel interface {
+	MinDelay() time.Duration
+}
+
+// MinDelay returns the model's delay lower bound, or zero when the
+// model cannot state one (in which case sharded execution must not be
+// used with it).
+func MinDelay(m LatencyModel) time.Duration {
+	if b, ok := m.(MinDelayModel); ok {
+		return b.MinDelay()
+	}
+	return 0
+}
+
 // Network routes datagrams between attached handlers with model-driven
 // latency and loss, optionally composed with a FaultModel (duplication,
 // reordering, burst loss, partitions — see faults.go). All methods must
@@ -87,6 +105,13 @@ type Network struct {
 	faults *FaultModel
 	burst  map[[2]IP]bool // Gilbert-Elliott per-directed-link state
 	fstats FaultStats
+
+	// Shard plane (nil/zero on unsharded networks). route maps a public
+	// IP to its owning shard; cross hands a datagram bound for another
+	// shard to the coordinator for barrier exchange.
+	shard int
+	route func(IP) (int, bool)
+	cross func(dstShard int, at time.Duration, dg Datagram)
 }
 
 // New creates a network using the given latency model.
@@ -156,19 +181,45 @@ func (n *Network) Send(dg Datagram) {
 }
 
 // deliver schedules one copy of dg after the model's latency, plus the
-// fault model's reordering jitter for an unlucky subset.
+// fault model's reordering jitter for an unlucky subset. On a sharded
+// network a datagram whose destination lives on another shard is handed
+// to the coordinator instead of the local clock; the latency model's
+// MinDelay bound guarantees it lands in a later window.
 func (n *Network) deliver(rng *rand.Rand, dg Datagram) {
 	delay := n.model.Delay(rng, dg.Src.IP, dg.Dst.IP, dg.WireSize())
 	if f := n.faults; f != nil && f.ReorderProb > 0 && rng.Float64() < f.ReorderProb {
 		n.fstats.Reordered++
 		delay += time.Duration(rng.Int63n(int64(f.reorderJitter())))
 	}
-	n.sim.After(delay, func() {
-		h, ok := n.hosts[dg.Dst.IP]
-		if !ok {
-			n.dropped++
+	if n.route != nil {
+		if s, ok := n.route(dg.Dst.IP); ok && s != n.shard {
+			n.cross(s, n.sim.Now()+delay, dg)
 			return
 		}
-		h.HandleDatagram(dg)
+	}
+	n.sim.After(delay, func() {
+		n.Inject(dg)
 	})
+}
+
+// SetShardPlane wires this network into a sharded run: shard is the
+// network's own shard index, route maps public IPs to shards (IPs it
+// does not know stay local — private addresses never cross shards), and
+// cross forwards a datagram due at virtual time at on another shard.
+func (n *Network) SetShardPlane(shard int, route func(IP) (int, bool), cross func(dstShard int, at time.Duration, dg Datagram)) {
+	n.shard = shard
+	n.route = route
+	n.cross = cross
+}
+
+// Inject delivers dg to the locally attached handler right now, with no
+// latency draw. The cross-shard exchange path uses it at the barrier:
+// latency was already applied on the sending shard.
+func (n *Network) Inject(dg Datagram) {
+	h, ok := n.hosts[dg.Dst.IP]
+	if !ok {
+		n.dropped++
+		return
+	}
+	h.HandleDatagram(dg)
 }

@@ -1,6 +1,7 @@
 package nylon
 
 import (
+	"sort"
 	"time"
 
 	"whisper/internal/identity"
@@ -38,14 +39,24 @@ func (n *Node) maybeDiscoverExternal() {
 }
 
 // randomPublicPeer picks the endpoint of a usable P-node: preferably a
-// live contact, otherwise a P-node from the view.
+// live contact, otherwise a P-node from the view. Contact candidates
+// are ordered by node ID before the random pick — n.contacts is a map,
+// and letting its iteration order reach the draw would make runs
+// depend on the runtime's map hashing (invisible while nodes hold at
+// most one public contact, nondeterministic at scale where they hold
+// several).
 func (n *Node) randomPublicPeer() (transport.Endpoint, bool) {
-	var candidates []transport.Endpoint
+	var pubIDs []identity.NodeID
 	for id, c := range n.contacts {
 		if c.public {
-			if ep, ok := n.contactEndpoint(id); ok {
-				candidates = append(candidates, ep)
-			}
+			pubIDs = append(pubIDs, id)
+		}
+	}
+	sort.Slice(pubIDs, func(i, j int) bool { return pubIDs[i] < pubIDs[j] })
+	var candidates []transport.Endpoint
+	for _, id := range pubIDs {
+		if ep, ok := n.contactEndpoint(id); ok {
+			candidates = append(candidates, ep)
 		}
 	}
 	if len(candidates) == 0 {

@@ -75,7 +75,7 @@ func (r *Registry) Export() []MetricPoint {
 			v := float64(m.g.Value())
 			p.Value = &v
 		case kindGaugeFunc:
-			v := m.f()
+			v := m.fval()
 			p.Value = &v
 		case kindHistogram:
 			s := m.h.Snapshot()
@@ -134,7 +134,7 @@ func (r *Registry) Rollup(drop ...string) []MetricPoint {
 		case kindGauge:
 			g.value += float64(m.g.Value())
 		case kindGaugeFunc:
-			g.value += m.f()
+			g.value += m.fval()
 		case kindHistogram:
 			g.hist = g.hist.Merge(m.h.Snapshot())
 		}
@@ -231,7 +231,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		case kindGauge:
 			fmt.Fprintf(w, "%s%s %d\n", m.name, promLabels(m.labels, "", ""), m.g.Value())
 		case kindGaugeFunc:
-			fmt.Fprintf(w, "%s%s %s\n", m.name, promLabels(m.labels, "", ""), promFloat(m.f()))
+			fmt.Fprintf(w, "%s%s %s\n", m.name, promLabels(m.labels, "", ""), promFloat(m.fval()))
 		case kindHistogram:
 			s := m.h.Snapshot()
 			var cum uint64

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one metric dimension (e.g. node="42").
@@ -69,8 +70,24 @@ type metric struct {
 
 	c *Counter
 	g *Gauge
-	f func() float64
 	h *Histogram
+
+	// fns holds the functions behind a kindGaugeFunc metric; duplicate
+	// registrations under one key accumulate here and the exported value
+	// is their sum (shared per-shard scopes register one function per
+	// node). Copy-on-write behind Registry.mu so export-time readers
+	// need no lock.
+	fns atomic.Pointer[[]func() float64]
+}
+
+// fval sums the registered gauge functions. Only valid on
+// kindGaugeFunc metrics.
+func (m *metric) fval() float64 {
+	var sum float64
+	for _, fn := range *m.fns.Load() {
+		sum += fn()
+	}
+	return sum
 }
 
 // key renders the unique registry key: name plus sorted labels.
@@ -207,14 +224,25 @@ func (s *Scope) Gauge(name string) *Gauge {
 
 // GaugeFunc registers a gauge whose value is computed by fn at export
 // time (e.g. reading an externally maintained atomic meter). fn must be
-// safe to call from any goroutine. No-op on a nil scope.
+// safe to call from any goroutine. Registering the same key again adds
+// another function and the gauge exports the sum of all of them — many
+// nodes sharing one scope therefore roll up at read time. No-op on a
+// nil scope.
 func (s *Scope) GaugeFunc(name string, fn func() float64) {
 	if s == nil {
 		return
 	}
-	s.reg.getOrCreate(name, s.labels, kindGaugeFunc, func() *metric {
-		return &metric{f: fn}
+	m := s.reg.getOrCreate(name, s.labels, kindGaugeFunc, func() *metric {
+		return &metric{}
 	})
+	s.reg.mu.Lock()
+	var fns []func() float64
+	if old := m.fns.Load(); old != nil {
+		fns = append(fns, *old...)
+	}
+	fns = append(fns, fn)
+	m.fns.Store(&fns)
+	s.reg.mu.Unlock()
 }
 
 // Histogram returns the histogram registered under name in this scope.

@@ -1,0 +1,88 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/sim"
+)
+
+// TestLiveSetsMatchScan pins the incremental live sets to the scan-based
+// definition they replaced: after any interleaving of spawns and kills,
+// Live()/LivePublics()/LiveNatted() must equal a fresh filter over
+// w.Nodes in creation order.
+func TestLiveSetsMatchScan(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{Seed: 3, N: 120, NATRatio: 0.7, KeyPool: identity.TestPool(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+
+	scan := func() (all, pub, nat []*sim.Node) {
+		for _, n := range w.Nodes {
+			if n.Nylon.Stopped() {
+				continue
+			}
+			all = append(all, n)
+			if n.Public() {
+				pub = append(pub, n)
+			} else {
+				nat = append(nat, n)
+			}
+		}
+		return
+	}
+	check := func(stage string) {
+		t.Helper()
+		all, pub, nat := scan()
+		for _, c := range []struct {
+			name      string
+			got, want []*sim.Node
+		}{
+			{"Live", w.Live(), all},
+			{"LivePublics", w.LivePublics(), pub},
+			{"LiveNatted", w.LiveNatted(), nat},
+		} {
+			if len(c.got) != len(c.want) {
+				t.Fatalf("%s after %s: %d nodes, scan says %d", c.name, stage, len(c.got), len(c.want))
+			}
+			for i := range c.got {
+				if c.got[i] != c.want[i] {
+					t.Fatalf("%s after %s: index %d differs from scan order", c.name, stage, i)
+				}
+			}
+		}
+		if w.LiveCount() != len(all) {
+			t.Fatalf("LiveCount after %s = %d, scan says %d", stage, w.LiveCount(), len(all))
+		}
+	}
+
+	check("creation")
+	w.KillRandom(30)
+	check("KillRandom(30)")
+	for i := 0; i < 25; i++ {
+		w.Spawn()
+	}
+	check("25 spawns")
+	// Kill a specific node twice: Kill is idempotent and must not
+	// corrupt the sets on the second call.
+	victim := w.Live()[10]
+	w.Kill(victim)
+	w.Kill(victim)
+	check("double kill")
+	w.Sim.RunFor(30 * time.Second)
+	w.KillRandom(40)
+	for i := 0; i < 10; i++ {
+		w.Spawn()
+	}
+	check("mid-run churn")
+
+	// The returned slices are copies: mutating one must not corrupt the
+	// world's bookkeeping.
+	live := w.Live()
+	for i := range live {
+		live[i] = nil
+	}
+	check("caller mutation")
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"whisper/internal/nat"
+)
+
+// TestNATRatioPrefixAccuracyAt10M: the integer dealing arithmetic keeps
+// any prefix of the population at the configured NAT ratio — exactly
+// floor(i·r) NATted nodes among the first i, checked at i = 10M where
+// naive float math would be trusted on faith.
+func TestNATRatioPrefixAccuracyAt10M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-index sweep")
+	}
+	w := &World{Opts: Options{NATRatio: 0.7}}
+	w.natNum, w.natShift = ratioParts(0.7)
+
+	const M = 10_000_000
+	natted := uint64(0)
+	perType := map[nat.Type]uint64{}
+	for i := uint64(0); i < M; i++ {
+		typ := w.natTypeFor(i)
+		if typ != nat.None {
+			natted++
+			perType[typ]++
+		}
+	}
+	// floor(10M · r) for the stored float64 r (slightly above 0.7) is
+	// exactly 7,000,000; the dealing must hit it on the nose, not merely
+	// within float tolerance.
+	if want := floorRatio(M, w.natNum, w.natShift); natted != want {
+		t.Fatalf("NATted in 10M prefix = %d, want exactly %d", natted, want)
+	}
+	if natted != 7_000_000 {
+		t.Fatalf("NATted in 10M prefix = %d, want 7,000,000", natted)
+	}
+	// The four device types stay evenly dealt at scale too.
+	for typ, c := range perType {
+		if c != 1_750_000 {
+			t.Fatalf("%v count = %d, want exactly 1,750,000", typ, c)
+		}
+	}
+}
+
+// TestFloorRatioMatchesFloatPath: the integer restatement is bit-for-bit
+// the historical uint64(float64(i)*r) everywhere float64(i) is exact —
+// the property that keeps every golden run valid.
+func TestFloorRatioMatchesFloatPath(t *testing.T) {
+	ratios := []float64{0.7, 0.5, 0.3, 0.9, 0.25, 0.1, 0.999, 1.0}
+	// Dense low range plus probes around power-of-two boundaries.
+	var idx []uint64
+	for i := uint64(0); i < 100_000; i++ {
+		idx = append(idx, i)
+	}
+	for _, p := range []uint64{1 << 20, 1 << 26, 1 << 32, 1 << 40, 1 << 52} {
+		for d := uint64(0); d < 64; d++ {
+			idx = append(idx, p-32+d)
+		}
+	}
+	for _, r := range ratios {
+		num, shift := ratioParts(r)
+		for _, i := range idx {
+			want := uint64(float64(i) * r)
+			if got := floorRatio(i, num, shift); got != want {
+				t.Fatalf("r=%v i=%d: floorRatio=%d, float path=%d", r, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFloorRatioLargeIndexNoDrift: past 2^53 the float path loses the
+// low bits of i itself; the integer path keeps consecutive indices
+// distinct so the dealt prefix count still advances with every ~1/r
+// indices instead of stalling in runs.
+func TestFloorRatioLargeIndexNoDrift(t *testing.T) {
+	num, shift := ratioParts(0.7)
+	base := uint64(1) << 56
+	prev := floorRatio(base, num, shift)
+	advances := 0
+	for i := base + 1; i <= base+1000; i++ {
+		cur := floorRatio(i, num, shift)
+		if cur < prev {
+			t.Fatalf("dealing not monotone at i=%d", i)
+		}
+		if cur > prev {
+			advances++
+		}
+		prev = cur
+	}
+	// 1000 indices at r=0.7 must advance ~700 times; float64(i) at 2^56
+	// is quantized to multiples of 8, which caps advances near 125.
+	if advances < 650 || advances > 750 {
+		t.Fatalf("advances in 1000 indices past 2^56 = %d, want ~700", advances)
+	}
+}

@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whisper/internal/churn"
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/sim"
+)
+
+// TestShardedWorldGossips: a sharded world assembles, spreads nodes
+// round-robin across shards, and the PSS converges across shard
+// boundaries — cross-shard descriptors must show up in views, which
+// only happens if the barrier exchange delivers datagrams.
+func TestShardedWorldGossips(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{
+		Seed: 11, N: 48, Shards: 4, NATRatio: 0.5,
+		Model:   netem.Cluster{},
+		KeyPool: identity.TestPool(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Sharded() || w.Sim != nil {
+		t.Fatal("world did not come up sharded")
+	}
+	perShard := make([]int, 4)
+	for _, n := range w.Nodes {
+		perShard[n.Shard]++
+	}
+	for s, c := range perShard {
+		if c != 12 {
+			t.Fatalf("shard %d has %d nodes, want 12 (round-robin)", s, c)
+		}
+	}
+	w.StartAll()
+	w.RunUntil(2 * time.Minute)
+	if w.Now() != 2*time.Minute {
+		t.Fatalf("Now = %v, want 2m", w.Now())
+	}
+
+	crossEdges := 0
+	for _, n := range w.Live() {
+		shuffles := n.Nylon.Stats().ShufflesCompleted
+		if shuffles == 0 {
+			t.Fatalf("node %v on shard %d completed no shuffles", n.ID(), n.Shard)
+		}
+		for _, id := range n.Nylon.ViewIDs() {
+			if p := w.Get(id); p != nil && p.Shard != n.Shard {
+				crossEdges++
+			}
+		}
+	}
+	if crossEdges == 0 {
+		t.Fatal("no cross-shard view edges: barrier exchange is not delivering")
+	}
+	if sent, _ := w.NetStats(); sent == 0 {
+		t.Fatal("no datagrams sent")
+	}
+}
+
+// TestShardedWorldDeterminism: a (seed, config, shards) triple fully
+// determines the run, including under churn driven through the control
+// plane; a different shard count gives a different (valid) run.
+func TestShardedWorldDeterminism(t *testing.T) {
+	run := func(shards int) (uint64, uint64, uint64, int) {
+		w, err := sim.NewWorld(sim.Options{
+			Seed: 23, N: 40, Shards: shards, NATRatio: 0.7,
+			Model:   netem.Cluster{},
+			KeyPool: identity.TestPool(16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.StartAll()
+		plan := churn.Plan{Steps: []churn.Step{
+			churn.JoinBurst{From: 20 * time.Second, To: 40 * time.Second, Count: 10},
+			churn.ConstChurn{From: 30 * time.Second, To: 90 * time.Second, RatePct: 60, Interval: 15 * time.Second},
+		}}
+		plan.RunOn(w, churn.Actions{
+			Join: func(c int) {
+				for i := 0; i < c; i++ {
+					w.Spawn().Nylon.Start()
+				}
+			},
+			Leave:      func(c int) { w.KillRandom(c) },
+			Population: func() int { return w.LiveCount() },
+		})
+		w.RunUntil(2 * time.Minute)
+		var shuffles uint64
+		for _, n := range w.Live() {
+			shuffles += n.Nylon.Stats().ShufflesCompleted
+		}
+		sent, dropped := w.NetStats()
+		return shuffles, sent, dropped, w.LiveCount()
+	}
+	s1, sent1, drop1, live1 := run(3)
+	s2, sent2, drop2, live2 := run(3)
+	if s1 != s2 || sent1 != sent2 || drop1 != drop2 || live1 != live2 {
+		t.Fatalf("same (seed, shards) diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			s1, sent1, drop1, live1, s2, sent2, drop2, live2)
+	}
+	s3, sent3, _, _ := run(2)
+	if s1 == s3 && sent1 == sent3 {
+		t.Fatal("different shard counts produced identical runs (suspicious)")
+	}
+}
+
+// TestShardedWorldRequiresLatencyBound: models without a MinDelay bound
+// are rejected up front rather than running non-causally.
+func TestShardedWorldRequiresLatencyBound(t *testing.T) {
+	_, err := sim.NewWorld(sim.Options{
+		Seed: 1, N: 4, Shards: 2,
+		Model:   boundlessModel{},
+		KeyPool: identity.TestPool(4),
+	})
+	if err == nil {
+		t.Fatal("sharded world accepted a model with no latency lower bound")
+	}
+}
+
+// boundlessModel implements LatencyModel but not MinDelayModel.
+type boundlessModel struct{}
+
+func (boundlessModel) Delay(_ *rand.Rand, _, _ netem.IP, _ int) time.Duration { return 0 }
+func (boundlessModel) LossProb(_, _ netem.IP) float64                         { return 0 }

@@ -7,6 +7,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"strconv"
 	"time"
 
 	"whisper/internal/core"
@@ -63,10 +67,21 @@ type Options struct {
 	// every node (requires WCL; a default WCL config is used if WCL is
 	// nil).
 	PPSS *ppss.Config
-	// Obs, when non-nil, registers every node's instruments under it,
-	// each node scoped by a "node" label. Nil (the default) runs fully
-	// unobserved: the fig5 golden test pins that this costs nothing.
+	// Obs, when non-nil, registers every node's instruments under it.
+	// Single-shard worlds scope each node by a "node" label; sharded
+	// worlds share one "shard"-labelled scope per shard, so instruments
+	// roll up at write time instead of holding one scope per node. Nil
+	// (the default) runs fully unobserved: the fig5 golden test pins
+	// that this costs nothing.
 	Obs *obs.Scope
+	// Shards selects the engine: 1 (the default) runs the classic
+	// single-threaded simulator, byte-identical to every previous
+	// release at a fixed seed; >1 runs the sharded engine, partitioning
+	// nodes round-robin across shards with conservative window
+	// synchronization (see simnet.Sharded). Sharded worlds require a
+	// latency model with a positive MinDelay bound and produce
+	// different (but reproducible) event orders per shard count.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BootstrapPublics == 0 {
 		o.BootstrapPublics = 3
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
 	}
 	if o.PPSS != nil && o.WCL == nil {
 		o.WCL = &wcl.Config{}
@@ -98,6 +116,9 @@ type Node struct {
 	PPSS  *ppss.Router // nil unless Options.PPSS is set
 	Dev   *nat.Device  // nil for P-nodes
 	Type  nat.Type
+	// Shard is the engine shard the node lives on (0 on single-shard
+	// worlds).
+	Shard int
 	// Ext carries application state attached by StackBuilder users.
 	Ext map[string]any
 }
@@ -111,16 +132,52 @@ func (n *Node) Public() bool { return n.Type == nat.None }
 // World is a running simulated network.
 type World struct {
 	Opts Options
-	Sim  *simnet.Sim
-	Net  *netem.Network
+	// Sim, Net and Rt are the single-shard engine, network and
+	// transport. They are nil on sharded worlds (Opts.Shards > 1) —
+	// use the World engine methods (Now, RunUntil, Schedule, …) or
+	// Engine()/Fabric() instead.
+	Sim *simnet.Sim
+	Net *netem.Network
 	// Rt is the transport adapter the stacks are wired through.
 	Rt    *simtr.Transport
 	Nodes []*Node
+
+	eng    *simnet.Sharded // non-nil iff Opts.Shards > 1
+	fabric *simtr.Fabric   // non-nil iff Opts.Shards > 1
+
+	// rng drives world-plane randomness (bootstrap sampling,
+	// KillRandom). On single-shard worlds it IS the simulator's stream,
+	// preserving the historical draw sequence byte for byte; sharded
+	// worlds give the world plane its own stream so shard streams stay
+	// private to their shards.
+	rng *rand.Rand
 
 	byID   map[identity.NodeID]*Node
 	pool   *identity.Pool
 	nextID uint64
 	nextIP uint32
+
+	// Incremental live sets in creation order, maintained by create and
+	// Kill; they make Live()/LivePublics()/LiveNatted() O(live) copies
+	// instead of O(all-ever-created) scans, and bootstrap O(1)-ish
+	// instead of the O(N) scan that made world creation O(N²). Every
+	// node death must go through Kill for these to stay exact (a test
+	// pins equivalence with the scan-based definition).
+	liveAll []*Node
+	livePub []*Node
+	liveNat []*Node
+	// scratch is bootstrap's reusable shuffle buffer.
+	scratch []*Node
+
+	// shardObs caches the per-shard metric scopes of a sharded world.
+	shardObs []*obs.Scope
+
+	// natNum/natShift represent NATRatio exactly as natNum/2^natShift
+	// (every float64 is such a dyadic rational), so NAT-type dealing
+	// uses exact integer arithmetic at any index.
+	natNum   uint64
+	natShift uint
+
 	// StackBuilder, when set, augments a freshly created node with the
 	// upper layers (WCL, PPSS); used by the full-stack harness.
 	StackBuilder func(n *Node)
@@ -130,19 +187,45 @@ type World struct {
 // (or Start on individual nodes) from time zero of the simulation.
 func NewWorld(opts Options) (*World, error) {
 	opts = opts.withDefaults()
-	s := simnet.New(opts.Seed)
-	nw := netem.New(s, opts.Model)
-	if opts.Faults != nil {
-		nw.SetFaults(opts.Faults)
-	}
 	w := &World{
 		Opts:   opts,
-		Sim:    s,
-		Net:    nw,
-		Rt:     simtr.New(s, nw),
 		byID:   make(map[identity.NodeID]*Node, opts.N),
 		pool:   opts.KeyPool,
 		nextIP: 100, // leave room for infrastructure addresses
+	}
+	if r := opts.NATRatio; r > 0 {
+		if r > 1 {
+			r = 1
+		}
+		w.natNum, w.natShift = ratioParts(r)
+	}
+	if opts.Shards == 1 {
+		s := simnet.New(opts.Seed)
+		nw := netem.New(s, opts.Model)
+		if opts.Faults != nil {
+			nw.SetFaults(opts.Faults)
+		}
+		w.Sim, w.Net, w.Rt = s, nw, simtr.New(s, nw)
+		w.rng = s.Rand()
+	} else {
+		la := netem.MinDelay(opts.Model)
+		if la <= 0 {
+			return nil, fmt.Errorf("sim: model %T states no positive latency lower bound; sharded worlds need one for the window synchronizer", opts.Model)
+		}
+		w.eng = simnet.NewSharded(opts.Seed, opts.Shards, la)
+		w.fabric = simtr.NewFabric(w.eng, opts.Model)
+		if opts.Faults != nil {
+			for i := 0; i < opts.Shards; i++ {
+				w.fabric.Net(i).SetFaults(opts.Faults)
+			}
+		}
+		w.rng = rand.New(rand.NewSource(opts.Seed))
+		if opts.Obs != nil {
+			w.shardObs = make([]*obs.Scope, opts.Shards)
+			for i := range w.shardObs {
+				w.shardObs[i] = opts.Obs.With("shard", strconv.Itoa(i))
+			}
+		}
 	}
 	if w.pool == nil {
 		pool, err := identity.NewSuitePool(opts.PoolSize, opts.Suite, identity.DefaultKeyBits)
@@ -162,18 +245,84 @@ func NewWorld(opts Options) (*World, error) {
 	return w, nil
 }
 
+// ratioParts decomposes r ∈ (0, 1] into num/2^shift exactly: a float64
+// is mant × 2^exp with mant ∈ [0.5, 1) holding 53 significant bits, so
+// num = mant × 2^53 is an exact integer.
+func ratioParts(r float64) (num uint64, shift uint) {
+	mant, exp := math.Frexp(r)
+	return uint64(mant * (1 << 53)), uint(53 - exp)
+}
+
+// floorRatio computes floor(i·r) for r = num/2^shift the way the
+// shipped dealing sequence defines it, in pure integer arithmetic.
+//
+// Historically this was uint64(float64(i) * r). Every golden run and
+// every seeded experiment pins that sequence, so for every index where
+// it was well-defined — i < 2^53, float64(i) exact — the integer form
+// reproduces it bit for bit: the exact 128-bit product i·num is rounded
+// to 53 significant bits half-to-even (the one rounding the float64
+// multiply performed) before the floor. Past 2^53 the float form
+// degraded — float64(i) quantizes, so consecutive indices collapsed and
+// the dealt pattern advanced in coarse jumps — and there the integer
+// form uses the exact rational floor instead, keeping the dealing
+// precise at any index. No FPU is involved at runtime either way, which
+// removes any cross-platform rounding hazard from world assembly.
+func floorRatio(i, num uint64, shift uint) uint64 {
+	hi, lo := bits.Mul64(i, num)
+	if i >= 1<<53 {
+		// Exact rational floor: floor(i·num / 2^shift).
+		switch {
+		case shift >= 128:
+			return 0
+		case shift >= 64:
+			return hi >> (shift - 64)
+		default:
+			return hi<<(64-shift) | lo>>shift
+		}
+	}
+	// Compatibility regime: round the product to 53 significant bits,
+	// half to even, exactly as the float64 multiply did.
+	n := bits.Len64(lo)
+	if hi != 0 {
+		n = 64 + bits.Len64(hi)
+	}
+	if n > 53 {
+		drop := uint(n - 53) // ∈ [1, 53]: the product is under 2^106 here
+		kept := hi<<(64-drop) | lo>>drop
+		rem := lo & (1<<drop - 1)
+		half := uint64(1) << (drop - 1)
+		if rem > half || (rem == half && kept&1 == 1) {
+			kept++ // may carry to 2^53: still exact below
+		}
+		// Value is kept·2^drop; floor-divide by 2^shift.
+		if drop >= shift {
+			return kept << (drop - shift)
+		}
+		if s := shift - drop; s < 64 {
+			return kept >> s
+		}
+		return 0
+	}
+	// Product fits in 53 bits: no rounding ever happened.
+	if shift >= 64 {
+		return 0
+	}
+	return hi<<(64-shift) | lo>>shift
+}
+
 // natTypeFor deals NAT types, interleaving P- and N-nodes so that any
 // prefix of the population approximates NATRatio, with the four device
 // types split evenly among N-nodes (§V-A).
 func (w *World) natTypeFor(i uint64) nat.Type {
-	r := w.Opts.NATRatio
-	if r <= 0 {
+	if w.natNum == 0 {
 		return nat.None
 	}
-	// Node i is NATted iff the integer part of (i+1)*r advances.
-	before := uint64(float64(i) * r)
-	after := uint64(float64(i+1) * r)
-	if after == before {
+	// Node i is NATted iff the integer part of (i+1)*r advances. The <=
+	// guard absorbs the one-off dip possible exactly at the 2^53
+	// regime boundary inside floorRatio.
+	before := floorRatio(i, w.natNum, w.natShift)
+	after := floorRatio(i+1, w.natNum, w.natShift)
+	if after <= before {
 		return nat.None
 	}
 	return nat.EmulatedTypes[after%uint64(len(nat.EmulatedTypes))]
@@ -187,32 +336,61 @@ func (w *World) Spawn() *Node {
 	return n
 }
 
-// create instantiates a node without bootstrapping it.
+// create instantiates a node without bootstrapping it. On sharded
+// worlds it must only run between windows (world assembly, or control
+// events at barriers — churn joins qualify): it mutates the routing
+// table and attaches handlers.
 func (w *World) create() *Node {
 	w.nextID++
 	id := identity.NodeID(w.nextID)
 	typ := w.natTypeFor(w.nextID - 1)
 	ident := w.pool.Identity(id)
 
-	cfg := core.Config{Nylon: w.Opts.Nylon, WCL: w.Opts.WCL, PPSS: w.Opts.PPSS,
-		Obs: w.Opts.Obs.With("node", id.String())}
+	shard := 0
+	nw, rt := w.Net, w.Rt
+	var sc *obs.Scope
+	if w.eng != nil {
+		// Round-robin partitioning: NAT mix and churn exposure spread
+		// evenly, and (seed, shards) fixes every node's placement.
+		shard = int((w.nextID - 1) % uint64(w.eng.Shards()))
+		nw, rt = w.fabric.Net(shard), w.fabric.Transport(shard)
+		if w.shardObs != nil {
+			sc = w.shardObs[shard]
+		}
+	} else {
+		sc = w.Opts.Obs.With("node", id.String())
+	}
+
+	cfg := core.Config{Nylon: w.Opts.Nylon, WCL: w.Opts.WCL, PPSS: w.Opts.PPSS, Obs: sc}
 	var addr netem.Endpoint
 	var dev *nat.Device
 	w.nextIP++
 	if typ == nat.None {
 		addr = netem.Endpoint{IP: netem.IP(w.nextIP), Port: 1}
 	} else {
-		dev = nat.NewDevice(w.Net, typ, netem.IP(w.nextIP), w.Opts.NATLease)
+		// The device lives on its node's shard network: relaying is
+		// synchronous inside the device, so both must share an event
+		// plane. Only the external IP is globally routable.
+		dev = nat.NewDevice(nw, typ, netem.IP(w.nextIP), w.Opts.NATLease)
 		addr = netem.Endpoint{IP: netem.PrivateBase + netem.IP(w.nextID), Port: 1}
 	}
-	st, err := core.NewStack(w.Rt, ident, typ, addr, dev, cfg)
+	if w.fabric != nil {
+		w.fabric.Assign(netem.IP(w.nextIP), shard)
+	}
+	st, err := core.NewStack(rt, ident, typ, addr, dev, cfg)
 	if err != nil {
 		// Key sampling is forced on by the stack; any error here is a
 		// programming bug, not an environmental condition.
 		panic(fmt.Sprintf("sim: building stack: %v", err))
 	}
-	node := &Node{Nylon: st.Nylon, WCL: st.WCL, PPSS: st.PPSS, Dev: dev, Type: typ}
+	node := &Node{Nylon: st.Nylon, WCL: st.WCL, PPSS: st.PPSS, Dev: dev, Type: typ, Shard: shard}
 	w.Nodes = append(w.Nodes, node)
+	w.liveAll = append(w.liveAll, node)
+	if node.Public() {
+		w.livePub = append(w.livePub, node)
+	} else {
+		w.liveNat = append(w.liveNat, node)
+	}
 	w.byID[id] = node
 	if w.StackBuilder != nil {
 		w.StackBuilder(node)
@@ -224,17 +402,42 @@ func (w *World) create() *Node {
 // model: only publicly reachable nodes are useful before any route
 // exists).
 func (w *World) bootstrap(node *Node) {
-	pubs := w.LivePublics()
-	rng := w.Sim.Rand()
-	rng.Shuffle(len(pubs), func(i, j int) { pubs[i], pubs[j] = pubs[j], pubs[i] })
+	want := w.Opts.BootstrapPublics
 	var ds []nylon.Descriptor
-	for _, p := range pubs {
-		if p == node {
-			continue
+	if w.eng == nil {
+		// Classic path, draw-for-draw identical to every previous
+		// release: copy the public set (into a reused buffer — the copy
+		// itself draws nothing) and fully shuffle it.
+		pubs := append(w.scratch[:0], w.livePub...)
+		w.scratch = pubs
+		w.rng.Shuffle(len(pubs), func(i, j int) { pubs[i], pubs[j] = pubs[j], pubs[i] })
+		for _, p := range pubs {
+			if p == node {
+				continue
+			}
+			ds = append(ds, p.Nylon.SelfDescriptor())
+			if len(ds) >= want {
+				break
+			}
 		}
-		ds = append(ds, p.Nylon.SelfDescriptor())
-		if len(ds) >= w.Opts.BootstrapPublics {
-			break
+	} else {
+		// Sharded worlds draw O(want) samples instead of shuffling the
+		// whole public set — at 100k nodes the full shuffle would put
+		// world assembly back at O(N²).
+		pubs := w.livePub
+		if want > len(pubs) {
+			want = len(pubs)
+		}
+		seen := make(map[int]bool, want+1)
+		for tries := 0; len(ds) < want && tries < 20*(want+1); tries++ {
+			idx := w.rng.Intn(len(pubs))
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			if p := pubs[idx]; p != node {
+				ds = append(ds, p.Nylon.SelfDescriptor())
+			}
 		}
 	}
 	node.Nylon.Bootstrap(ds)
@@ -242,10 +445,8 @@ func (w *World) bootstrap(node *Node) {
 
 // StartAll starts gossip on every live node.
 func (w *World) StartAll() {
-	for _, n := range w.Nodes {
-		if !n.Nylon.Stopped() {
-			n.Nylon.Start()
-		}
+	for _, n := range w.liveAll {
+		n.Nylon.Start()
 	}
 }
 
@@ -258,52 +459,53 @@ func (w *World) Get(id identity.NodeID) *Node {
 	return n
 }
 
-// Live returns all running nodes.
-func (w *World) Live() []*Node {
-	var out []*Node
-	for _, n := range w.Nodes {
-		if !n.Nylon.Stopped() {
-			out = append(out, n)
+// Live returns all running nodes in creation order. The returned slice
+// is the caller's to mutate.
+func (w *World) Live() []*Node { return append([]*Node(nil), w.liveAll...) }
+
+// LiveCount returns the number of running nodes without copying.
+func (w *World) LiveCount() int { return len(w.liveAll) }
+
+// LivePublics returns all running P-nodes in creation order.
+func (w *World) LivePublics() []*Node { return append([]*Node(nil), w.livePub...) }
+
+// LiveNatted returns all running N-nodes in creation order.
+func (w *World) LiveNatted() []*Node { return append([]*Node(nil), w.liveNat...) }
+
+// removeNode deletes n from s preserving order (the live sets are
+// creation-ordered, and bootstrap's shuffle draws depend on that
+// order). O(live) per kill — the same cost one Live() scan used to be.
+func removeNode(s []*Node, n *Node) []*Node {
+	for i, x := range s {
+		if x == n {
+			return append(s[:i], s[i+1:]...)
 		}
 	}
-	return out
+	return s
 }
 
-// LivePublics returns all running P-nodes.
-func (w *World) LivePublics() []*Node {
-	var out []*Node
-	for _, n := range w.Live() {
-		if n.Public() {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// LiveNatted returns all running N-nodes.
-func (w *World) LiveNatted() []*Node {
-	var out []*Node
-	for _, n := range w.Live() {
-		if !n.Public() {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// Kill stops a node abruptly (churn departure).
+// Kill stops a node abruptly (churn departure). Idempotent. On sharded
+// worlds it must only run from the control plane (barriers).
 func (w *World) Kill(n *Node) {
+	if n.Nylon.Stopped() {
+		return
+	}
 	if n.PPSS != nil {
 		n.PPSS.Close()
 	}
 	n.Nylon.Stop()
+	w.liveAll = removeNode(w.liveAll, n)
+	if n.Public() {
+		w.livePub = removeNode(w.livePub, n)
+	} else {
+		w.liveNat = removeNode(w.liveNat, n)
+	}
 }
 
 // KillRandom stops count random live nodes.
 func (w *World) KillRandom(count int) []*Node {
 	live := w.Live()
-	rng := w.Sim.Rand()
-	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	w.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	if count > len(live) {
 		count = len(live)
 	}
@@ -317,7 +519,7 @@ func (w *World) KillRandom(count int) []*Node {
 // Graph snapshots the PSS overlay of all live nodes.
 func (w *World) Graph() graph.Directed {
 	g := make(graph.Directed)
-	for _, n := range w.Live() {
+	for _, n := range w.liveAll {
 		g[n.ID()] = n.Nylon.ViewIDs()
 	}
 	return g
@@ -325,7 +527,7 @@ func (w *World) Graph() graph.Directed {
 
 // ResetMeters zeroes all bandwidth meters (per-cycle measurements).
 func (w *World) ResetMeters() {
-	for _, n := range w.Live() {
+	for _, n := range w.liveAll {
 		n.Nylon.Meter().Reset()
 	}
 }
@@ -342,4 +544,108 @@ func (w *World) CPUTotal() crypt.CPUMeter {
 		}
 	}
 	return total
+}
+
+// ----- Engine facade -----
+//
+// The methods below drive the run regardless of engine flavor, so the
+// harness (whisper-sim, whisper-exp, churn scripts) is written once.
+// Single-shard worlds delegate to the classic simulator; sharded worlds
+// to the window-synchronized coordinator.
+
+// Sharded reports whether this world runs on the sharded engine.
+func (w *World) Sharded() bool { return w.eng != nil }
+
+// Engine returns the sharded coordinator, or nil on single-shard
+// worlds.
+func (w *World) Engine() *simnet.Sharded { return w.eng }
+
+// Fabric returns the sharded transport fabric, or nil on single-shard
+// worlds.
+func (w *World) Fabric() *simtr.Fabric { return w.fabric }
+
+// Now returns the current virtual time (the barrier time on sharded
+// worlds).
+func (w *World) Now() time.Duration {
+	if w.eng != nil {
+		return w.eng.Now()
+	}
+	return w.Sim.Now()
+}
+
+// Run executes events until the world goes quiet or StopRun is called.
+func (w *World) Run() {
+	if w.eng != nil {
+		w.eng.Run()
+		return
+	}
+	w.Sim.Run()
+}
+
+// RunUntil executes events up to virtual time t.
+func (w *World) RunUntil(t time.Duration) {
+	if w.eng != nil {
+		w.eng.RunUntil(t)
+		return
+	}
+	w.Sim.RunUntil(t)
+}
+
+// RunFor executes events for d of virtual time.
+func (w *World) RunFor(d time.Duration) {
+	if w.eng != nil {
+		w.eng.RunFor(d)
+		return
+	}
+	w.Sim.RunFor(d)
+}
+
+// StopRun makes the current Run/RunUntil return; the world may be
+// resumed afterwards.
+func (w *World) StopRun() {
+	if w.eng != nil {
+		w.eng.Stop()
+		return
+	}
+	w.Sim.Stop()
+}
+
+// Schedule runs fn at absolute virtual time at on the control plane —
+// the simulator itself on single-shard worlds, the barrier-synchronized
+// control queue on sharded ones. It implements churn.Scheduler, so
+// Plan.RunOn(w, actions) scripts churn over either engine; world
+// surgery (Spawn, Kill) is safe from these callbacks on both.
+func (w *World) Schedule(at time.Duration, fn func()) {
+	if w.eng != nil {
+		w.eng.Schedule(at, fn)
+		return
+	}
+	w.Sim.Schedule(at, fn)
+}
+
+// Rand returns the world-plane random stream (see the rng field note).
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// Executed reports the total events dispatched across all shards.
+func (w *World) Executed() uint64 {
+	if w.eng != nil {
+		return w.eng.Executed()
+	}
+	return w.Sim.Executed()
+}
+
+// NetStats sums datagrams sent and dropped across all shard networks.
+func (w *World) NetStats() (sent, dropped uint64) {
+	if w.fabric != nil {
+		return w.fabric.Stats()
+	}
+	return w.Net.Stats()
+}
+
+// NetFaultStats sums fault-injection totals across all shard networks.
+func (w *World) NetFaultStats() netem.FaultStats {
+	if w.fabric != nil {
+		return w.fabric.FaultStats()
+	}
+	return w.Net.FaultStats()
 }

@@ -265,6 +265,29 @@ func (s *Sim) run(until time.Duration) {
 	}
 }
 
+// NextLiveAt reports the timestamp of the earliest pending live event.
+// Cancelled events sitting on top of the heap are dropped and recycled
+// on the way, so the answer is exact. The sharded coordinator uses it
+// between windows to pick the next horizon.
+func (s *Sim) NextLiveAt() (time.Duration, bool) {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.fn != nil {
+			return ev.at, true
+		}
+		heap.Pop(&s.events)
+		s.cancelled--
+		s.release(ev)
+	}
+	return 0, false
+}
+
+// Schedule runs fn at absolute virtual time at, discarding the timer
+// handle. It adapts the simulator to scheduler interfaces (see
+// churn.Scheduler) that the sharded engine's control plane also
+// implements.
+func (s *Sim) Schedule(at time.Duration, fn func()) { s.At(at, fn) }
+
 // Pending reports the number of events currently queued, including
 // cancelled ones not yet compacted away.
 func (s *Sim) Pending() int { return len(s.events) }
