@@ -6,7 +6,7 @@
 //	whisper-exp [flags] <experiment>
 //
 // Experiments: fig5, fig6, table1, fig7, table2, fig8, fig9, circuit,
-// suites, scale, all.
+// suites, transfer, scale, all.
 //
 // The default parameters match the paper (1,000-node cluster runs,
 // 400-node PlanetLab runs, 70% of nodes behind NATs, Π = 3, 1 KB keys).
@@ -38,7 +38,7 @@ func main() {
 		shards   = flag.Int("shards", 8, "event shards for the scale experiment (1 = classic single-heap engine)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|ablate|scale|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|transfer|ablate|scale|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -160,12 +160,14 @@ func (r *runner) run(name string) error {
 		return r.circuit()
 	case "suites":
 		return r.suites()
+	case "transfer":
+		return r.transfer()
 	case "ablate":
 		return r.ablate()
 	case "scale":
 		return r.scaleExp()
 	case "all":
-		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit, r.suites} {
+		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit, r.suites, r.transfer} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -353,6 +355,19 @@ func (r *runner) suites() error {
 	}
 	exp.PrintSuites(r.out, res)
 	r.report(exp.SuitesShapeCheck(res))
+	return nil
+}
+
+func (r *runner) transfer() error {
+	res, err := exp.Transfer(exp.TransferConfig{
+		Seed: r.seed,
+		N:    r.n(300),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintTransfer(r.out, res)
+	r.report(exp.TransferShapeCheck(res))
 	return nil
 }
 

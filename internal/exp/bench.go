@@ -36,6 +36,11 @@ type RunStat struct {
 	ECCSigns     uint64  `json:"ecc_signs,omitempty"`
 	ECCVerifys   uint64  `json:"ecc_verifys,omitempty"`
 
+	// Transfer-run fields (whisper-exp transfer): payload bytes moved
+	// and virtual-time throughput per transport leg.
+	Bytes    uint64  `json:"bytes,omitempty"`
+	KBPerSec float64 `json:"kb_per_sec,omitempty"`
+
 	// Scale-run fields (whisper-exp scale).
 	Nodes           int     `json:"nodes,omitempty"`
 	Shards          int     `json:"shards,omitempty"`

@@ -163,6 +163,33 @@ func TestCircuitShape(t *testing.T) {
 	}
 }
 
+func TestTransferShape(t *testing.T) {
+	cfg := TransferConfig{Seed: 69, N: 150, Messages: 4, MessageKB: 16}
+	res, err := Transfer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range TransferShapeCheck(res) {
+		t.Error(v)
+	}
+	// Same seed, same config: the fingerprint must reproduce exactly.
+	again, err := Transfer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != again.Fingerprint {
+		t.Errorf("fingerprint not deterministic: %016x != %016x", res.Fingerprint, again.Fingerprint)
+	}
+	var sb strings.Builder
+	PrintTransfer(&sb, res)
+	if !strings.Contains(sb.String(), "fingerprint:") {
+		t.Error("missing fingerprint line in output")
+	}
+	if !strings.Contains(sb.String(), "stream throughput vs one-shot") {
+		t.Error("missing throughput ratio line in output")
+	}
+}
+
 func TestAblationsShape(t *testing.T) {
 	rows, err := Ablations(AblateConfig{
 		Seed: 68, N: 200, Groups: 4,

@@ -102,6 +102,7 @@ type circPath struct {
 	cells        int    // data cells sent (rotation budget)
 	seq          uint64 // last cell sequence number issued
 	pendingCells map[uint64]*pendingCell
+	stream       *streamSend // active stream message pinned to this path
 
 	// setup state (shares the one-shot attempt budget semantics)
 	attempts int
@@ -123,6 +124,7 @@ type Circuit struct {
 	opening *circPath // replacement or initial path being set up
 
 	queue    []*pendingCell // cells awaiting establishment
+	streamQ  []*streamSend  // stream messages behind the active one
 	lastUsed time.Duration  // last application send
 	lastSent time.Duration  // last cell of any kind (keepalive decision)
 	keep     transport.Timer
@@ -237,6 +239,11 @@ func (c *Circuit) Close() {
 	c.queue = nil
 	for _, cell := range q {
 		w.sendOneShot(c.dest, cell.payload, cell.done)
+	}
+	sq := c.streamQ
+	c.streamQ = nil
+	for _, s := range sq {
+		w.streamFallback(s)
 	}
 	w.dropCircuit(c)
 }
@@ -369,6 +376,11 @@ func (w *WCL) failSetup(p *circPath) {
 	for _, cell := range q {
 		w.sendOneShot(c.dest, cell.payload, cell.done)
 	}
+	sq := c.streamQ
+	c.streamQ = nil
+	for _, s := range sq {
+		w.streamFallback(s)
+	}
 	if c.cur == nil && c.old == nil && c.opening == nil {
 		w.dropCircuit(c)
 	}
@@ -397,9 +409,12 @@ func (w *WCL) establish(p *circPath) {
 		c.opening = nil
 	}
 	if old := c.cur; old != nil && old != p {
-		// Rotation complete: retire the old path once its in-flight
-		// cells drain (immediately when there are none).
-		if len(old.pendingCells) == 0 {
+		// Rotation complete: retire the old path once it drains —
+		// in-flight cells acked AND any pinned stream message finished
+		// (immediately when neither remains). A fragmented message must
+		// never split across circuits: the exit's (circID, seq) dedup
+		// only covers one circuit.
+		if w.pathDrained(old) {
 			w.closePath(old, true)
 		} else {
 			old.closing = true
@@ -418,6 +433,7 @@ func (w *WCL) establish(p *circPath) {
 		}
 		w.sendCell(c, p, cell)
 	}
+	w.startStreams(c)
 	if c.keep == nil {
 		c.armKeepalive()
 	}
@@ -498,7 +514,11 @@ func (w *WCL) closePath(p *circPath, sendClose bool) {
 		p.timer.Cancel()
 		p.timer = nil
 	}
-	for seq, cell := range p.pendingCells {
+	// In-flight cells fall back in ascending seq order — the order the
+	// application sent them. Iterating the map directly would re-send
+	// in runtime hash order, nondeterministic under a fixed seed.
+	for _, seq := range sortedSeqs(p.pendingCells) {
+		cell := p.pendingCells[seq]
 		delete(p.pendingCells, seq)
 		if cell.timer != nil {
 			cell.timer.Cancel()
@@ -507,6 +527,10 @@ func (w *WCL) closePath(p *circPath, sendClose bool) {
 			w.met.cellFallbacks.Inc()
 			w.sendOneShot(p.c.dest, cell.payload, cell.done)
 		}
+	}
+	if s := p.stream; s != nil {
+		p.stream = nil
+		w.streamFallback(s)
 	}
 	if p.established {
 		w.met.circuitsOpen.Add(-1)
@@ -603,7 +627,7 @@ func (w *WCL) handleCircCellAck(circID, seq uint64) {
 				cell.done(r)
 			}
 		}
-		if p.closing && len(p.pendingCells) == 0 {
+		if p.closing && w.pathDrained(p) {
 			w.closePath(p, true)
 		}
 		return
@@ -717,10 +741,29 @@ func (w *WCL) handleCircData(m *circDataMsg) {
 			return
 		}
 		// Exactly-once under duplication: a repeated cell is only
-		// re-acknowledged (the first ack may have been lost).
+		// re-acknowledged (the first ack may have been lost). For
+		// duplicated stream fragments the acknowledgement repeats at
+		// the stream level — the sender tracks fragments, not seqs.
 		if w.deliveredCells.Add(cellKey{m.CircID, m.Seq}) {
 			w.met.dupCells.Inc()
+			if typ == cellStream {
+				if f, err := decodeStreamFrag(payload); err == nil {
+					w.streamReAck(e, f.StreamID)
+				}
+				return
+			}
 			w.sendCircBack(e, encodeCircCellAck(m.CircID, m.Seq))
+			return
+		}
+		if typ == cellStream {
+			f, err := decodeStreamFrag(payload)
+			if err != nil {
+				w.met.peelErrors.Inc()
+				return
+			}
+			// The stream ack (cumulative + selective) carries this
+			// fragment's reliability; no per-cell ack travels for it.
+			w.handleStreamFrag(e, f)
 			return
 		}
 		if typ == cellData {
@@ -760,6 +803,7 @@ func (w *WCL) handleCircClose(circID uint64) {
 		return
 	}
 	if e.exit {
+		w.dropStreamRecv(circID)
 		return
 	}
 	switch e.nextKind {

@@ -19,7 +19,7 @@ func TestCircuitHandleAppNeverPanics(t *testing.T) {
 	w := newBareWCL(t)
 	src := netem.Endpoint{IP: 9, Port: 9}
 	rng := rand.New(rand.NewSource(46))
-	for _, tag := range []uint8{msgCircSetup, msgCircAck, msgCircData, msgCircCellAck, msgCircClose} {
+	for _, tag := range []uint8{msgCircSetup, msgCircAck, msgCircData, msgCircCellAck, msgCircClose, msgCircStreamAck} {
 		for i := 0; i < 500; i++ {
 			body := make([]byte, rng.Intn(300))
 			rng.Read(body)

@@ -272,9 +272,9 @@ func TestCircuitBreakFallsBackToOneShot(t *testing.T) {
 	}
 }
 
-// circTag returns the WCL message tag (1..7) of an app payload, or 0.
+// circTag returns the WCL message tag (1..8) of an app payload, or 0.
 func circTag(payload []byte) byte {
-	if len(payload) == 0 || payload[0] > 7 {
+	if len(payload) == 0 || payload[0] > 8 {
 		return 0
 	}
 	return payload[0]
@@ -484,7 +484,7 @@ func TestCircuitsDisabledIsZeroBehavior(t *testing.T) {
 		if r.U8() != nylon.MsgApp {
 			return
 		}
-		if tag := r.U8(); r.Err() == nil && tag >= 1 && tag <= 7 {
+		if tag := r.U8(); r.Err() == nil && tag >= 1 && tag <= 8 {
 			tagsSeen[tag]++
 		}
 	})
@@ -509,7 +509,7 @@ func TestCircuitsDisabledIsZeroBehavior(t *testing.T) {
 	if tagsSeen[1] == 0 || tagsSeen[2] == 0 {
 		t.Fatalf("tap missed one-shot traffic (parse drift?): %v", tagsSeen)
 	}
-	for tag := byte(3); tag <= 7; tag++ {
+	for tag := byte(3); tag <= 8; tag++ {
 		if tagsSeen[tag] != 0 {
 			t.Fatalf("circuit wire tag %d appeared %d times with circuits disabled", tag, tagsSeen[tag])
 		}

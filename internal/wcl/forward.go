@@ -66,6 +66,12 @@ func (w *WCL) handleApp(src transport.Endpoint, payload []byte) {
 			return
 		}
 		w.handleCircClose(circID)
+	case msgCircStreamAck:
+		m, err := decodeStreamAck(r)
+		if err != nil {
+			return
+		}
+		w.handleCircStreamAck(m)
 	}
 }
 

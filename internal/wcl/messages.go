@@ -17,6 +17,7 @@ const (
 	msgCircData
 	msgCircCellAck
 	msgCircClose
+	msgCircStreamAck
 )
 
 // forwardMsg carries an onion and its content one WCL hop. The clear
@@ -169,10 +170,12 @@ func encodeCircClose(circID uint64) []byte {
 }
 
 // Cell plaintext framing (the innermost layer a circuit exit opens):
-// one type byte followed by the raw payload.
+// one type byte followed by the raw payload. cellStream payloads carry
+// the stream-fragment sub-frame below.
 const (
-	cellData uint8 = 1
-	cellPing uint8 = 2
+	cellData   uint8 = 1
+	cellPing   uint8 = 2
+	cellStream uint8 = 3
 )
 
 func encodeCellPayload(typ uint8, payload []byte) []byte {
@@ -187,6 +190,91 @@ func decodeCellPayload(b []byte) (typ uint8, payload []byte, ok bool) {
 		return 0, nil, false
 	}
 	return b[0], b[1:], true
+}
+
+// maxStreamFrags bounds the fragments of one stream message. Together
+// with the fragment size it caps what a single SendStream can carry
+// (64 Ki fragments at the 1 KiB default = 64 MiB) and what a receiver
+// will ever allocate reassembly bookkeeping for.
+const maxStreamFrags = 1 << 16
+
+// DefaultStreamFragSize is the default Config.StreamFragSize: the
+// payload bytes carried by one stream fragment cell. Exported so
+// experiments can chunk comparison transports identically.
+const DefaultStreamFragSize = 1024
+
+// streamFrag is the plaintext sub-frame inside a cellStream cell: which
+// message the fragment belongs to (the per-circuit stream ID), its
+// position, and the total fragment count (carried by every fragment so
+// the receiver can set up reassembly from any arrival order).
+type streamFrag struct {
+	StreamID  uint64
+	Frag      uint32
+	FragCount uint32
+	Data      []byte
+}
+
+func (f *streamFrag) encode() []byte {
+	w := wire.NewWriter(16 + len(f.Data))
+	w.U64(f.StreamID)
+	w.U32(f.Frag)
+	w.U32(f.FragCount)
+	w.Raw(f.Data)
+	return w.Bytes()
+}
+
+func decodeStreamFrag(b []byte) (streamFrag, error) {
+	r := wire.NewReader(b)
+	var f streamFrag
+	f.StreamID = r.U64()
+	f.Frag = r.U32()
+	f.FragCount = r.U32()
+	f.Data = r.Rest()
+	if err := r.Err(); err != nil {
+		return f, fmt.Errorf("wcl: decoding stream fragment: %w", err)
+	}
+	if f.FragCount == 0 || f.FragCount > maxStreamFrags {
+		return f, fmt.Errorf("wcl: stream fragment count %d out of range", f.FragCount)
+	}
+	if f.Frag >= f.FragCount {
+		return f, fmt.Errorf("wcl: stream fragment index %d >= count %d", f.Frag, f.FragCount)
+	}
+	return f, nil
+}
+
+// streamAckMsg travels backwards along the circuit, like a cell ack,
+// and acknowledges stream fragments cumulatively plus selectively: every
+// fragment below Cum has arrived, and bit k of Bits reports fragment
+// Cum+1+k. It exposes (circID, streamID, positions) to relays on the
+// backward path — the same class of cleartext sequencing information the
+// per-cell acks already carry.
+type streamAckMsg struct {
+	CircID   uint64
+	StreamID uint64
+	Cum      uint32
+	Bits     uint64
+}
+
+func (m *streamAckMsg) encode() []byte {
+	w := wire.NewWriter(29)
+	w.U8(msgCircStreamAck)
+	w.U64(m.CircID)
+	w.U64(m.StreamID)
+	w.U32(m.Cum)
+	w.U64(m.Bits)
+	return w.Bytes()
+}
+
+func decodeStreamAck(r *wire.Reader) (streamAckMsg, error) {
+	var m streamAckMsg
+	m.CircID = r.U64()
+	m.StreamID = r.U64()
+	m.Cum = r.U32()
+	m.Bits = r.U64()
+	if err := r.Err(); err != nil {
+		return m, fmt.Errorf("wcl: decoding stream ack: %w", err)
+	}
+	return m, nil
 }
 
 // Hop addressing blobs embedded inside onion layers. A mix learns its

@@ -63,6 +63,32 @@ type Config struct {
 	// CircuitTTL expires relay-side circuit entries this long after
 	// their last use (default 5 minutes).
 	CircuitTTL time.Duration
+	// CircuitDedupCells bounds the exit-side (circID, seq) cell dedup
+	// LRU (default 4096). Invariant: the window must never evict a seq
+	// that could still be retransmitted, or a late retransmit would be
+	// re-delivered and break exactly-once — withDefaults therefore
+	// clamps it to at least 4× StreamWindow (each windowed fragment can
+	// be retransmitted under fresh seqs, so a single window of frags
+	// can occupy several windows' worth of dedup entries).
+	CircuitDedupCells int
+
+	// StreamFragSize is the payload carried by one stream fragment cell
+	// (default DefaultStreamFragSize). Circuit.SendStream splits larger
+	// payloads into fragments of this size.
+	StreamFragSize int
+	// StreamWindow is the per-stream sliding send window: the maximum
+	// number of unacknowledged fragments in flight (default 32, capped
+	// at 64 — the selective-ack bitmap is one 64-bit word).
+	StreamWindow int
+	// StreamQueueMax bounds the stream messages queued per circuit
+	// behind the active one; overflow is shed with ErrStreamBacklog
+	// rather than buffered without limit (default 16).
+	StreamQueueMax int
+	// StreamRetries is how many consecutive retransmission rounds
+	// without any acknowledged progress a stream tolerates before the
+	// path is declared broken and the whole message falls back to a
+	// one-shot send (default 4).
+	StreamRetries int
 
 	// Obs is the observability scope the layer's instruments register
 	// under. Nil runs unobserved (counters still count).
@@ -105,6 +131,29 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CircuitTTL == 0 {
 		c.CircuitTTL = 5 * time.Minute
+	}
+	if c.StreamFragSize == 0 {
+		c.StreamFragSize = DefaultStreamFragSize
+	}
+	if c.StreamWindow == 0 {
+		c.StreamWindow = 32
+	}
+	if c.StreamWindow > 64 {
+		c.StreamWindow = 64 // sack bitmap is one u64
+	}
+	if c.StreamQueueMax == 0 {
+		c.StreamQueueMax = 16
+	}
+	if c.StreamRetries == 0 {
+		c.StreamRetries = 4
+	}
+	if c.CircuitDedupCells == 0 {
+		c.CircuitDedupCells = 4096
+	}
+	// Exactly-once invariant: the dedup window must outlive any seq a
+	// stream retransmit can still put on the wire (see the field doc).
+	if min := 4 * c.StreamWindow; c.CircuitDedupCells < min {
+		c.CircuitDedupCells = min
 	}
 	return c
 }
@@ -169,6 +218,10 @@ type Result struct {
 	HelpersTried int
 	// Elapsed is the time from Send to the final outcome.
 	Elapsed time.Duration
+	// Err carries the reason for a local refusal that never reached the
+	// network: ErrStreamBacklog (the circuit's stream queue was full)
+	// or ErrStreamTooLarge. Nil for every networked outcome.
+	Err error
 }
 
 // Stats is a snapshot of send outcomes and hop-level events, read
@@ -221,10 +274,33 @@ type Stats struct {
 	CellFallbacks uint64
 	// Keepalives counts ping cells sent to keep idle circuits warm.
 	Keepalives uint64
+
+	// Stream layer (see stream.go). StreamsSent counts SendStream
+	// messages launched at the source, StreamsDelivered complete
+	// reassembled messages handed to the exit's OnReceive,
+	// StreamFragsSent/StreamFragsRecv individual fragment cells
+	// (retransmissions included on the send side, duplicates excluded
+	// on the receive side), StreamRetransmits re-sent fragments,
+	// DupStreamFrags exit-side duplicate fragments (re-acked),
+	// StreamsShed SendStream calls refused with ErrStreamBacklog or
+	// ErrStreamTooLarge, StreamFallbacks stream messages re-sent whole
+	// through the one-shot engine after their path broke.
+	StreamsSent       uint64
+	StreamsDelivered  uint64
+	StreamFragsSent   uint64
+	StreamFragsRecv   uint64
+	StreamRetransmits uint64
+	DupStreamFrags    uint64
+	StreamsShed       uint64
+	StreamFallbacks   uint64
+
 	// CircuitsOpen / CircuitTableEntries are point-in-time gauge values:
 	// established source-side circuits and relay-side table entries.
+	// StreamWindow is the current window occupancy: stream fragments in
+	// flight (sent, unacknowledged) across all circuits of this node.
 	CircuitsOpen        int64
 	CircuitTableEntries int64
+	StreamWindow        int64
 }
 
 // met holds the layer's metric instruments (registered when Config.Obs
@@ -260,14 +336,26 @@ type met struct {
 	cellFallbacks       *obs.Counter
 	keepalives          *obs.Counter
 
+	streamsSent       *obs.Counter
+	streamsDelivered  *obs.Counter
+	streamFragsSent   *obs.Counter
+	streamFragsRecv   *obs.Counter
+	streamRetransmits *obs.Counter
+	dupStreamFrags    *obs.Counter
+	streamsShed       *obs.Counter
+	streamFallbacks   *obs.Counter
+
 	circuitsOpen *obs.Gauge
 	circuitTable *obs.Gauge
+	streamWindow *obs.Gauge
 
 	buildMS     *obs.Histogram
 	peelMS      *obs.Histogram
 	elapsedMS   *obs.Histogram
 	establishMS *obs.Histogram
 	cellMS      *obs.Histogram
+	streamBytes *obs.Histogram
+	streamRTT   *obs.Histogram
 }
 
 func newMet(sc *obs.Scope) met {
@@ -302,19 +390,39 @@ func newMet(sc *obs.Scope) met {
 		cellFallbacks:       sc.Counter("wcl_cell_fallbacks_total"),
 		keepalives:          sc.Counter("wcl_circuit_keepalives_total"),
 
+		streamsSent:       sc.Counter("wcl_streams_sent_total"),
+		streamsDelivered:  sc.Counter("wcl_streams_delivered_total"),
+		streamFragsSent:   sc.Counter("wcl_stream_frags_sent_total"),
+		streamFragsRecv:   sc.Counter("wcl_stream_frags_recv_total"),
+		streamRetransmits: sc.Counter("wcl_stream_retransmits_total"),
+		dupStreamFrags:    sc.Counter("wcl_dup_stream_frags_total"),
+		streamsShed:       sc.Counter("wcl_streams_shed_total"),
+		streamFallbacks:   sc.Counter("wcl_stream_fallbacks_total"),
+
 		circuitsOpen: sc.Gauge("wcl_circuits_open"),
 		circuitTable: sc.Gauge("wcl_circuit_table_entries"),
+		streamWindow: sc.Gauge("wcl_stream_window"),
 
 		buildMS:     sc.Histogram("wcl_onion_build_ms"),
 		peelMS:      sc.Histogram("wcl_peel_ms"),
 		elapsedMS:   sc.Histogram("wcl_send_elapsed_ms"),
 		establishMS: sc.Histogram("wcl_circuit_establish_ms"),
 		cellMS:      sc.Histogram("wcl_cell_elapsed_ms"),
+		streamBytes: sc.Histogram("wcl_stream_bytes"),
+		streamRTT:   sc.Histogram("wcl_stream_rtt_ms"),
 	}
 }
 
 // ErrNoPath is reported (inside Result) when no usable path exists.
 var ErrNoPath = errors.New("wcl: no usable path")
+
+// ErrStreamBacklog reports a SendStream shed because the circuit's
+// bounded stream queue was full — backpressure, not a network failure.
+var ErrStreamBacklog = errors.New("wcl: stream backlog full")
+
+// ErrStreamTooLarge reports a SendStream payload exceeding the
+// fragment-count bound (maxStreamFrags × StreamFragSize bytes).
+var ErrStreamTooLarge = errors.New("wcl: stream payload too large")
 
 // WCL is the Whisper communication layer of one node.
 type WCL struct {
@@ -333,9 +441,14 @@ type WCL struct {
 	circuits  map[identity.NodeID]*Circuit
 	circByID  map[uint64]*circPath
 	relayCirc *circTable
+	// streamSeq issues node-unique stream identifiers (see stream.go).
+	streamSeq uint64
 	// deliveredCells gives the exit hop exactly-once delivery of data
 	// cells under network duplication (duplicates are re-acked).
 	deliveredCells *dedup.Seen[cellKey]
+	// streamRecv holds exit-side stream reassembly state, keyed by
+	// (circID, streamID). Entries are bounded and expire (see stream.go).
+	streamRecv map[streamKey]*streamRecvState
 
 	// seenForwards remembers recently handled forwards (pathID folded
 	// with an onion digest, so distinct attempts of one path pass) and
@@ -386,7 +499,8 @@ func New(node *nylon.Node, cfg Config) (*WCL, error) {
 		circByID:       make(map[uint64]*circPath),
 		seenForwards:   dedup.New[uint64](2048),
 		deliveredPaths: dedup.New[uint64](1024),
-		deliveredCells: dedup.New[cellKey](4096),
+		deliveredCells: dedup.New[cellKey](cfg.CircuitDedupCells),
+		streamRecv:     make(map[streamKey]*streamRecvState),
 		met:            newMet(cfg.Obs),
 	}
 	w.relayCirc = newCircTable(cfg.CircuitTableMax, cfg.CircuitTTL, w.met.circuitTable)
@@ -440,8 +554,19 @@ func (w *WCL) Stats() Stats {
 		CellDrops:           w.met.cellDrops.Value(),
 		CellFallbacks:       w.met.cellFallbacks.Value(),
 		Keepalives:          w.met.keepalives.Value(),
+
+		StreamsSent:       w.met.streamsSent.Value(),
+		StreamsDelivered:  w.met.streamsDelivered.Value(),
+		StreamFragsSent:   w.met.streamFragsSent.Value(),
+		StreamFragsRecv:   w.met.streamFragsRecv.Value(),
+		StreamRetransmits: w.met.streamRetransmits.Value(),
+		DupStreamFrags:    w.met.dupStreamFrags.Value(),
+		StreamsShed:       w.met.streamsShed.Value(),
+		StreamFallbacks:   w.met.streamFallbacks.Value(),
+
 		CircuitsOpen:        w.met.circuitsOpen.Value(),
 		CircuitTableEntries: w.met.circuitTable.Value(),
+		StreamWindow:        w.met.streamWindow.Value(),
 	}
 }
 
