@@ -6,7 +6,7 @@
 //	whisper-exp [flags] <experiment>
 //
 // Experiments: fig5, fig6, table1, fig7, table2, fig8, fig9, circuit,
-// suites, transfer, scale, all.
+// suites, transfer, pubsub, scale, all.
 //
 // The default parameters match the paper (1,000-node cluster runs,
 // 400-node PlanetLab runs, 70% of nodes behind NATs, Π = 3, 1 KB keys).
@@ -38,7 +38,7 @@ func main() {
 		shards   = flag.Int("shards", 8, "event shards for the scale experiment (1 = classic single-heap engine)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|transfer|ablate|scale|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|transfer|pubsub|ablate|scale|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -162,12 +162,14 @@ func (r *runner) run(name string) error {
 		return r.suites()
 	case "transfer":
 		return r.transfer()
+	case "pubsub":
+		return r.pubsub()
 	case "ablate":
 		return r.ablate()
 	case "scale":
 		return r.scaleExp()
 	case "all":
-		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit, r.suites, r.transfer} {
+		for _, f := range []func() error{r.fig5, r.fig6, r.table1, r.fig7, r.table2, r.fig8, r.fig9, r.circuit, r.suites, r.transfer, r.pubsub} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -368,6 +370,19 @@ func (r *runner) transfer() error {
 	}
 	exp.PrintTransfer(r.out, res)
 	r.report(exp.TransferShapeCheck(res))
+	return nil
+}
+
+func (r *runner) pubsub() error {
+	res, err := exp.PubSub(exp.PubSubConfig{
+		Seed: r.seed,
+		N:    r.n(160),
+	})
+	if err != nil {
+		return err
+	}
+	exp.PrintPubSub(r.out, res)
+	r.report(exp.PubSubShapeCheck(res))
 	return nil
 }
 

@@ -42,6 +42,7 @@ import (
 	"whisper/internal/nylon"
 	"whisper/internal/obs"
 	"whisper/internal/ppss"
+	"whisper/internal/pubsub"
 	"whisper/internal/transport"
 	"whisper/internal/transport/udp"
 	"whisper/internal/wcl"
@@ -76,6 +77,7 @@ func main() {
 		id      = flag.Uint64("id", 0, "node ID (doubles as the overlay IP; 0 = derive from the identity key)")
 		cycle   = flag.Duration("cycle", 10*time.Second, "Nylon gossip period")
 		group   = flag.String("group", "", "found a private group with this name at startup")
+		topics  = flag.String("subscribe", "", "comma-separated pub/sub topics to subscribe to in the founded group (requires -group)")
 		keyBits = flag.Int("keybits", identity.DefaultKeyBits, "RSA modulus size (rsa2048 suite only)")
 		suite   = flag.String("suite", "rsa2048", "crypto suite: rsa2048 or ecc")
 		stats   = flag.Duration("stats", 30*time.Second, "stats logging period (0 = off)")
@@ -117,10 +119,11 @@ func main() {
 
 	self := transport.Endpoint{IP: transport.IP(*id), Port: 1}
 	st, err := core.NewStack(tr, ident, nat.None, self, nil, core.Config{
-		Nylon: nylon.Config{Cycle: *cycle},
-		WCL:   &wcl.Config{},
-		PPSS:  &ppss.Config{},
-		Obs:   scope,
+		Nylon:  nylon.Config{Cycle: *cycle},
+		WCL:    &wcl.Config{},
+		PPSS:   &ppss.Config{},
+		PubSub: &pubsub.Config{},
+		Obs:    scope,
 	})
 	if err != nil {
 		log.Fatalf("whisper-node: assembling stack: %v", err)
@@ -167,6 +170,23 @@ func main() {
 			log.Fatalf("whisper-node: founding group %q: %v", *group, gerr)
 		}
 		log.Printf("founded private group %q (this node is leader)", *group)
+
+		if *topics != "" {
+			tr.Do(func() {
+				ps := st.PubSub(inst)
+				ps.OnDeliver = func(topic string, payload []byte) {
+					log.Printf("group %q topic %q: %s", *group, topic, payload)
+				}
+				for _, t := range strings.Split(*topics, ",") {
+					if t = strings.TrimSpace(t); t != "" {
+						ps.Subscribe(t)
+					}
+				}
+				log.Printf("subscribed to topics %v in group %q", ps.Topics(), *group)
+			})
+		}
+	} else if *topics != "" {
+		log.Fatalf("whisper-node: -subscribe requires -group")
 	}
 
 	if *stats > 0 {

@@ -271,7 +271,7 @@ func report(out io.Writer, w *sim.World) {
 	live := w.Live()
 	fmt.Fprintf(out, "live nodes: %d (%d public, %d NATted)\n", len(live), len(w.LivePublics()), len(w.LiveNatted()))
 
-	g := w.Graph()
+	g := w.GraphStream()
 	cc := g.ClusteringCoefficients()
 	var ccVals []float64
 	for _, v := range cc {

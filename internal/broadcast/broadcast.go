@@ -60,22 +60,28 @@ type Stats struct {
 	Delivered  uint64
 	Duplicates uint64
 	Forwards   uint64
+	// ForwardBytes is the encoded bytes of all forwards — the relay
+	// bandwidth the full-group flood costs, which the pub/sub
+	// experiment compares its filtered routing against.
+	ForwardBytes uint64
 }
 
 // met holds the broadcaster's metric instruments.
 type met struct {
-	published  *obs.Counter
-	delivered  *obs.Counter
-	duplicates *obs.Counter
-	forwards   *obs.Counter
+	published    *obs.Counter
+	delivered    *obs.Counter
+	duplicates   *obs.Counter
+	forwards     *obs.Counter
+	forwardBytes *obs.Counter
 }
 
 func newMet(sc *obs.Scope) met {
 	return met{
-		published:  sc.Counter("broadcast_published_total"),
-		delivered:  sc.Counter("broadcast_delivered_total"),
-		duplicates: sc.Counter("broadcast_duplicates_total"),
-		forwards:   sc.Counter("broadcast_forwards_total"),
+		published:    sc.Counter("broadcast_published_total"),
+		delivered:    sc.Counter("broadcast_delivered_total"),
+		duplicates:   sc.Counter("broadcast_duplicates_total"),
+		forwards:     sc.Counter("broadcast_forwards_total"),
+		forwardBytes: sc.Counter("broadcast_forward_bytes_total"),
 	}
 }
 
@@ -115,10 +121,11 @@ func New(inst *ppss.Instance, cfg Config) *Broadcaster {
 // Stats returns a snapshot of the broadcaster's counters.
 func (b *Broadcaster) Stats() Stats {
 	return Stats{
-		Published:  b.met.published.Value(),
-		Delivered:  b.met.delivered.Value(),
-		Duplicates: b.met.duplicates.Value(),
-		Forwards:   b.met.forwards.Value(),
+		Published:    b.met.published.Value(),
+		Delivered:    b.met.delivered.Value(),
+		Duplicates:   b.met.duplicates.Value(),
+		Forwards:     b.met.forwards.Value(),
+		ForwardBytes: b.met.forwardBytes.Value(),
 	}
 }
 
@@ -185,22 +192,26 @@ func (b *Broadcaster) handle(_ ppss.Entry, payload []byte) {
 	}
 }
 
-// forward infects Fanout random private-view peers.
+// forward infects Fanout random private-view peers. Sends go out in
+// selection order (not map order) so simulated runs stay deterministic.
 func (b *Broadcaster) forward(m message) {
-	peers := map[identity.NodeID]ppss.Entry{}
+	var peers []ppss.Entry
+	picked := map[identity.NodeID]bool{}
 	for tries := 0; tries < b.cfg.Fanout*3 && len(peers) < b.cfg.Fanout; tries++ {
 		e, ok := b.inst.GetPeer()
 		if !ok {
 			break
 		}
-		if e.ID == m.Origin {
+		if e.ID == m.Origin || picked[e.ID] {
 			continue
 		}
-		peers[e.ID] = e
+		picked[e.ID] = true
+		peers = append(peers, e)
 	}
 	enc := m.encode()
 	for _, e := range peers {
 		b.met.forwards.Inc()
+		b.met.forwardBytes.Add(uint64(len(enc)))
 		b.inst.Send(e, enc, nil)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"whisper/internal/nylon"
 	"whisper/internal/obs"
 	"whisper/internal/ppss"
+	"whisper/internal/pubsub"
 	"whisper/internal/transport"
 	"whisper/internal/wcl"
 )
@@ -33,6 +34,12 @@ type Config struct {
 	// PPSS, when non-nil, attaches the private peer sampling router
 	// (requires WCL; a default WCL config is implied if WCL is nil).
 	PPSS *ppss.Config
+	// PubSub, when non-nil, enables the topic pub/sub application layer
+	// on top of private groups (requires PPSS; a default PPSS config is
+	// implied if PPSS is nil). Endpoints attach per group through
+	// Stack.PubSub and stay zero-behavior until the first Subscribe or
+	// Publish.
+	PubSub *pubsub.Config
 	// Obs is the observability scope every layer registers its
 	// instruments under (typically already carrying a node label). Nil
 	// runs the stack unobserved at zero behavioral cost.
@@ -44,6 +51,9 @@ type Stack struct {
 	Nylon *nylon.Node
 	WCL   *wcl.WCL     // nil if not configured
 	PPSS  *ppss.Router // nil if not configured
+
+	pubsubCfg *pubsub.Config
+	pubsubs   map[ppss.GroupID]*pubsub.PubSub
 }
 
 // NewStack builds and wires the stack on the given attachment point.
@@ -53,6 +63,9 @@ type Stack struct {
 func NewStack(rt transport.Transport, ident *identity.Identity, typ nat.Type, addr transport.Endpoint, dev *nat.Device, cfg Config) (*Stack, error) {
 	if cfg.Suite == crypt.SuiteRSA2048 {
 		cfg.Suite = ident.Key.Suite()
+	}
+	if cfg.PubSub != nil && cfg.PPSS == nil {
+		cfg.PPSS = &ppss.Config{}
 	}
 	if cfg.PPSS != nil && cfg.WCL == nil {
 		cfg.WCL = &wcl.Config{}
@@ -81,7 +94,34 @@ func NewStack(rt transport.Transport, ident *identity.Identity, typ nat.Type, ad
 		}
 		st.PPSS = ppss.NewRouter(st.WCL, pcfg)
 	}
+	if cfg.PubSub != nil {
+		pscfg := *cfg.PubSub
+		if pscfg.Obs == nil {
+			pscfg.Obs = cfg.Obs
+		}
+		st.pubsubCfg = &pscfg
+	}
 	return st, nil
+}
+
+// PubSub returns (creating on first use) the topic pub/sub endpoint
+// for one of this node's group instances. It returns nil when the
+// stack was built without a PubSub config — the application-level
+// Subscribe/Publish API is then simply absent, and no pub/sub state
+// exists anywhere in the stack.
+func (s *Stack) PubSub(inst *ppss.Instance) *pubsub.PubSub {
+	if s.pubsubCfg == nil || inst == nil {
+		return nil
+	}
+	if s.pubsubs == nil {
+		s.pubsubs = make(map[ppss.GroupID]*pubsub.PubSub)
+	}
+	if p, ok := s.pubsubs[inst.Group()]; ok {
+		return p
+	}
+	p := pubsub.New(inst, *s.pubsubCfg)
+	s.pubsubs[inst.Group()] = p
+	return p
 }
 
 // Start begins gossip on the base PSS (upper layers start with group

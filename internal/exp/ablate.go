@@ -207,7 +207,7 @@ func ablateBiasCap(cfg AblateConfig, pool *identity.Pool, vi int) (AblationRow, 
 	}
 	w.StartAll()
 	w.Sim.RunUntil(cfg.Warmup)
-	in := w.Graph().InDegrees()
+	in := w.GraphStream().InDegrees()
 	var pIn []float64
 	quotaOK := 0
 	for _, n := range w.Live() {

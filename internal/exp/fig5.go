@@ -93,7 +93,10 @@ func Fig5(cfg Fig5Config) ([]Fig5Result, error) {
 }
 
 func snapshotFig5(w *sim.World, pi int) Fig5Result {
-	g := w.Graph()
+	// The lazy stream feeds the same metric code as the eager snapshot
+	// (value-identical — the fig5 golden pins it) without materializing
+	// the adjacency map.
+	g := w.GraphStream()
 	cc := g.ClusteringCoefficients()
 	in := g.InDegrees()
 

@@ -67,30 +67,7 @@ func (g Directed) undirected() map[identity.NodeID]map[identity.NodeID]bool {
 // every node: the fraction of existing links among its (undirected)
 // neighbours. Nodes with fewer than two neighbours have coefficient 0.
 func (g Directed) ClusteringCoefficients() map[identity.NodeID]float64 {
-	u := g.undirected()
-	out := make(map[identity.NodeID]float64, len(u))
-	for id, nbrs := range u {
-		k := len(nbrs)
-		if k < 2 {
-			out[id] = 0
-			continue
-		}
-		links := 0
-		// Count undirected links among neighbours.
-		list := make([]identity.NodeID, 0, k)
-		for n := range nbrs {
-			list = append(list, n)
-		}
-		for i := 0; i < len(list); i++ {
-			for j := i + 1; j < len(list); j++ {
-				if u[list[i]][list[j]] {
-					links++
-				}
-			}
-		}
-		out[id] = float64(2*links) / float64(k*(k-1))
-	}
-	return out
+	return clusteringOf(g.undirected())
 }
 
 // WeaklyConnected reports whether the overlay forms a single weakly

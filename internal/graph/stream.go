@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"whisper/internal/identity"
+)
+
+// Stream is a lazily produced overlay adjacency: calling it walks the
+// graph one node at a time, invoking yield with each node's out-edges.
+// Reports over very large simulated overlays (the 100k–1M-node scale
+// runs) use it to compute metrics without first materializing a
+// Directed map of every view — the producer hands out each node's
+// existing view slice and the consumers keep only what the metric
+// itself needs (degree counters, a union-find, neighbour sets).
+//
+// A Stream may be consumed multiple times; each consumption re-walks
+// the producer. yield returning false stops the walk early.
+type Stream func(yield func(id identity.NodeID, outs []identity.NodeID) bool)
+
+// Stream adapts an eager snapshot to the lazy interface (iteration
+// order is map order; no metric below is order-sensitive).
+func (g Directed) Stream() Stream {
+	return func(yield func(identity.NodeID, []identity.NodeID) bool) {
+		for id, outs := range g {
+			if !yield(id, outs) {
+				return
+			}
+		}
+	}
+}
+
+// Collect materializes the stream into an eager snapshot.
+func (s Stream) Collect() Directed {
+	g := make(Directed)
+	s(func(id identity.NodeID, outs []identity.NodeID) bool {
+		g[id] = outs
+		return true
+	})
+	return g
+}
+
+// InDegrees returns the number of views each node appears in, without
+// materializing adjacency: only the degree counters are kept.
+func (s Stream) InDegrees() map[identity.NodeID]int {
+	in := make(map[identity.NodeID]int)
+	s(func(id identity.NodeID, outs []identity.NodeID) bool {
+		if _, ok := in[id]; !ok {
+			in[id] = 0
+		}
+		for _, to := range outs {
+			in[to]++
+		}
+		return true
+	})
+	return in
+}
+
+// OutDegrees returns each node's view size.
+func (s Stream) OutDegrees() map[identity.NodeID]int {
+	out := make(map[identity.NodeID]int)
+	s(func(id identity.NodeID, outs []identity.NodeID) bool {
+		out[id] = len(outs)
+		return true
+	})
+	return out
+}
+
+// undirectedFrom accumulates the undirected neighbour sets from a
+// stream — the projection the clustering coefficient is computed on.
+// This is the one metric that inherently needs neighbour sets; the
+// stream path still skips the intermediate Directed map.
+func undirectedFrom(s Stream) map[identity.NodeID]map[identity.NodeID]bool {
+	u := make(map[identity.NodeID]map[identity.NodeID]bool)
+	add := func(a, b identity.NodeID) {
+		if a == b {
+			return
+		}
+		if u[a] == nil {
+			u[a] = make(map[identity.NodeID]bool)
+		}
+		u[a][b] = true
+	}
+	s(func(id identity.NodeID, outs []identity.NodeID) bool {
+		if u[id] == nil {
+			u[id] = make(map[identity.NodeID]bool)
+		}
+		for _, to := range outs {
+			add(id, to)
+			add(to, id)
+		}
+		return true
+	})
+	return u
+}
+
+// clusteringOf computes local clustering coefficients from undirected
+// neighbour sets (shared by the eager and lazy paths, so the two are
+// value-identical by construction).
+func clusteringOf(u map[identity.NodeID]map[identity.NodeID]bool) map[identity.NodeID]float64 {
+	out := make(map[identity.NodeID]float64, len(u))
+	for id, nbrs := range u {
+		k := len(nbrs)
+		if k < 2 {
+			out[id] = 0
+			continue
+		}
+		links := 0
+		list := make([]identity.NodeID, 0, k)
+		for n := range nbrs {
+			list = append(list, n)
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				if u[list[i]][list[j]] {
+					links++
+				}
+			}
+		}
+		out[id] = float64(2*links) / float64(k*(k-1))
+	}
+	return out
+}
+
+// ClusteringCoefficients returns each node's local clustering
+// coefficient, computed from one pass over the stream.
+func (s Stream) ClusteringCoefficients() map[identity.NodeID]float64 {
+	return clusteringOf(undirectedFrom(s))
+}
+
+// WeaklyConnected reports whether the overlay forms a single weakly
+// connected component, via a union-find over the edge stream — O(nodes)
+// memory for the parent table, no adjacency retained.
+func (s Stream) WeaklyConnected() bool {
+	parent := make(map[identity.NodeID]identity.NodeID)
+	var find func(x identity.NodeID) identity.NodeID
+	find = func(x identity.NodeID) identity.NodeID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root // path compression
+		return root
+	}
+	union := func(a, b identity.NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	s(func(id identity.NodeID, outs []identity.NodeID) bool {
+		find(id)
+		for _, to := range outs {
+			union(id, to)
+		}
+		return true
+	})
+	if len(parent) == 0 {
+		return true
+	}
+	roots := make(map[identity.NodeID]bool)
+	for x := range parent {
+		roots[find(x)] = true
+	}
+	return len(roots) == 1
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"whisper/internal/identity"
+)
+
+// randomDirected builds an arbitrary overlay for equivalence checks.
+func randomDirected(rng *rand.Rand, n, deg int) Directed {
+	g := make(Directed, n)
+	for i := 1; i <= n; i++ {
+		id := identity.NodeID(i)
+		var outs []identity.NodeID
+		for j := 0; j < deg; j++ {
+			to := identity.NodeID(1 + rng.Intn(n))
+			if to != id {
+				outs = append(outs, to)
+			}
+		}
+		g[id] = outs
+	}
+	return g
+}
+
+// TestStreamMatchesEager pins the lazy report path to the eager one:
+// every metric must be value-identical whether computed from the
+// materialized adjacency or the stream (the fig5 golden depends on it).
+func TestStreamMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDirected(rng, 40+trial*10, 5)
+		s := g.Stream()
+		if got, want := s.InDegrees(), g.InDegrees(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: InDegrees diverged\nstream: %v\neager:  %v", trial, got, want)
+		}
+		if got, want := s.OutDegrees(), g.OutDegrees(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: OutDegrees diverged", trial)
+		}
+		if got, want := s.ClusteringCoefficients(), g.ClusteringCoefficients(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ClusteringCoefficients diverged", trial)
+		}
+		if got, want := s.WeaklyConnected(), g.WeaklyConnected(); got != want {
+			t.Fatalf("trial %d: WeaklyConnected diverged: stream %v, eager %v", trial, got, want)
+		}
+		if got := s.Collect(); !reflect.DeepEqual(got, g) {
+			t.Fatalf("trial %d: Collect did not round-trip", trial)
+		}
+	}
+}
+
+func TestStreamWeaklyConnected(t *testing.T) {
+	connected := Directed{1: {2}, 2: {3}, 3: {}, 4: {1}}
+	if !connected.Stream().WeaklyConnected() {
+		t.Error("connected graph reported disconnected")
+	}
+	split := Directed{1: {2}, 2: {}, 3: {4}, 4: {}}
+	if split.Stream().WeaklyConnected() {
+		t.Error("two components reported connected")
+	}
+	// Empty graphs are trivially connected in both the eager and the
+	// lazy implementation.
+	if !(Directed{}).Stream().WeaklyConnected() {
+		t.Error("empty graph semantics diverged from the eager path")
+	}
+}
+
+// TestStreamEarlyStop pins the lazy contract: a consumer returning
+// false stops the walk immediately.
+func TestStreamEarlyStop(t *testing.T) {
+	g := randomDirected(rand.New(rand.NewSource(3)), 50, 4)
+	visited := 0
+	g.Stream()(func(identity.NodeID, []identity.NodeID) bool {
+		visited++
+		return visited < 5
+	})
+	if visited != 5 {
+		t.Errorf("walk visited %d nodes after stop at 5", visited)
+	}
+}

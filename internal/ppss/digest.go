@@ -1,0 +1,145 @@
+package ppss
+
+import (
+	"sort"
+
+	"whisper/internal/identity"
+	"whisper/internal/pss"
+)
+
+// SubDigest is an opaque, versioned application digest (in practice a
+// pub/sub subscription bloom filter) gossiped piggyback on shuffles.
+// The PPSS treats the blob as application-defined bytes: it ships the
+// digest of every entry it trades, merges received digests by highest
+// version, and remembers the owner's last-shipped coordinates so an
+// application can route to a digest owner that has rotated out of the
+// private view.
+type SubDigest struct {
+	// Owner is the member the digest describes.
+	Owner identity.NodeID
+	// Version orders updates; higher wins during merge.
+	Version uint32
+	// Blob is the application-encoded digest (opaque to the PPSS).
+	Blob []byte
+	// Entry is the owner's last coordinates seen alongside the digest
+	// (not on the wire with the digest itself — it rides the same
+	// shuffle's entry list).
+	Entry Entry
+}
+
+// maxDigestBlob bounds one digest on the wire (hostile input).
+const maxDigestBlob = 1024
+
+// maxDigestsPerMsg bounds the piggybacked digest list: the sender's
+// own digest plus one per shipped entry.
+const maxDigestsPerMsg = 16
+
+// digestCap bounds the per-instance digest table.
+func (in *Instance) digestCap() int { return 4*in.cfg.ViewSize + 8 }
+
+// SetSelfDigest installs this member's own digest for piggybacking on
+// every subsequent shuffle. The zero-behavior contract holds until the
+// first call: no digest bytes ever ship for members that never set one.
+func (in *Instance) SetSelfDigest(version uint32, blob []byte) {
+	in.selfDigest = &SubDigest{Owner: in.r.id(), Version: version, Blob: blob}
+}
+
+// SelfDigest returns this member's own digest, if set.
+func (in *Instance) SelfDigest() (SubDigest, bool) {
+	if in.selfDigest == nil {
+		return SubDigest{}, false
+	}
+	return *in.selfDigest, true
+}
+
+// Digests returns the known digests of other members, sorted by owner
+// for deterministic iteration.
+func (in *Instance) Digests() []SubDigest {
+	out := make([]SubDigest, 0, len(in.digests))
+	for _, d := range in.digests {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// DigestOf returns the known digest of one member.
+func (in *Instance) DigestOf(id identity.NodeID) (SubDigest, bool) {
+	d, ok := in.digests[id]
+	return d, ok
+}
+
+// digestsFor assembles the digest list for an outgoing shuffle: the
+// sender's own digest plus the digests known for the entries shipped
+// in the same message, so a digest always travels with coordinates its
+// receiver can route to.
+func (in *Instance) digestsFor(shipped []pss.Entry[Entry]) []SubDigest {
+	var out []SubDigest
+	if in.selfDigest != nil {
+		out = append(out, SubDigest{Owner: in.selfDigest.Owner, Version: in.selfDigest.Version, Blob: in.selfDigest.Blob})
+	}
+	for _, e := range shipped {
+		if len(out) >= maxDigestsPerMsg {
+			break
+		}
+		if e.Val.ID == in.r.id() {
+			continue
+		}
+		if d, ok := in.digests[e.Val.ID]; ok {
+			out = append(out, SubDigest{Owner: d.Owner, Version: d.Version, Blob: d.Blob})
+		}
+	}
+	return out
+}
+
+// absorbDigests merges received digests, resolving each owner's
+// coordinates from the same message (the sender itself or its shipped
+// entries). Higher versions win; the table is bounded, so unknown
+// owners are dropped once it is full.
+func (in *Instance) absorbDigests(ds []SubDigest, from Entry, shipped []pss.Entry[Entry]) {
+	if len(ds) == 0 {
+		return
+	}
+	if in.digests == nil {
+		in.digests = make(map[identity.NodeID]SubDigest)
+	}
+	for _, d := range ds {
+		if d.Owner == in.r.id() || len(d.Blob) == 0 || len(d.Blob) > maxDigestBlob {
+			continue
+		}
+		cur, known := in.digests[d.Owner]
+		if known && cur.Version >= d.Version {
+			// Stale (or same) version: still refresh coordinates.
+			if e, ok := entryFor(d.Owner, from, shipped); ok {
+				cur.Entry = e
+				in.digests[d.Owner] = cur
+			}
+			continue
+		}
+		if !known && len(in.digests) >= in.digestCap() {
+			continue
+		}
+		e, ok := entryFor(d.Owner, from, shipped)
+		if !ok {
+			if !known {
+				continue // no coordinates to route to; wait for a better copy
+			}
+			e = cur.Entry
+		}
+		in.digests[d.Owner] = SubDigest{Owner: d.Owner, Version: d.Version, Blob: d.Blob, Entry: e}
+	}
+}
+
+// entryFor finds the coordinates of a digest owner within one shuffle
+// message.
+func entryFor(id identity.NodeID, from Entry, shipped []pss.Entry[Entry]) (Entry, bool) {
+	if from.ID == id {
+		return from, true
+	}
+	for _, e := range shipped {
+		if e.Val.ID == id {
+			return e.Val, true
+		}
+	}
+	return Entry{}, false
+}

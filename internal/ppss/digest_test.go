@@ -1,0 +1,157 @@
+package ppss
+
+import (
+	"bytes"
+	"testing"
+
+	"whisper/internal/identity"
+	"whisper/internal/pss"
+	"whisper/internal/wire"
+)
+
+func newBareInstance(t testing.TB) *Instance {
+	t.Helper()
+	r := newBareRouter(t)
+	return newInstance(r, GroupIDFromName("digests"), "digests", nil, Passport{})
+}
+
+func shippedFor(ids ...identity.NodeID) []pss.Entry[Entry] {
+	var out []pss.Entry[Entry]
+	for _, id := range ids {
+		out = append(out, pss.Entry[Entry]{Val: Entry{ID: id}})
+	}
+	return out
+}
+
+func TestDigestMergeHigherVersionWins(t *testing.T) {
+	in := newBareInstance(t)
+	from := Entry{ID: 9}
+
+	in.absorbDigests([]SubDigest{{Owner: 9, Version: 2, Blob: []byte("v2")}}, from, nil)
+	d, ok := in.DigestOf(9)
+	if !ok || !bytes.Equal(d.Blob, []byte("v2")) || d.Entry.ID != 9 {
+		t.Fatalf("digest not absorbed with coordinates: %+v ok=%v", d, ok)
+	}
+
+	// A stale copy must not replace the blob, but still refreshes the
+	// owner's coordinates from the message it rode in on.
+	stale := Entry{ID: 9, IsPub: true}
+	in.absorbDigests([]SubDigest{{Owner: 9, Version: 1, Blob: []byte("v1")}}, stale, nil)
+	d, _ = in.DigestOf(9)
+	if !bytes.Equal(d.Blob, []byte("v2")) {
+		t.Errorf("stale version overwrote fresher blob: %q", d.Blob)
+	}
+	if !d.Entry.IsPub {
+		t.Error("stale digest did not refresh coordinates")
+	}
+
+	in.absorbDigests([]SubDigest{{Owner: 9, Version: 3, Blob: []byte("v3")}}, from, nil)
+	if d, _ = in.DigestOf(9); !bytes.Equal(d.Blob, []byte("v3")) {
+		t.Errorf("higher version did not win: %q", d.Blob)
+	}
+}
+
+func TestDigestMergeDropsUnroutableAndHostile(t *testing.T) {
+	in := newBareInstance(t)
+	from := Entry{ID: 9}
+
+	// An unknown owner whose coordinates are not in the message cannot
+	// be routed to — the digest waits for a better copy.
+	in.absorbDigests([]SubDigest{{Owner: 77, Version: 1, Blob: []byte("x")}}, from, nil)
+	if _, ok := in.DigestOf(77); ok {
+		t.Error("absorbed a digest with no routable coordinates")
+	}
+	// With the owner's entry shipped in the same shuffle it resolves.
+	in.absorbDigests([]SubDigest{{Owner: 77, Version: 1, Blob: []byte("x")}}, from, shippedFor(77))
+	if d, ok := in.DigestOf(77); !ok || d.Entry.ID != 77 {
+		t.Error("digest with shipped coordinates not absorbed")
+	}
+
+	// The node's own digest, empty blobs, and oversize blobs are dropped.
+	self := in.r.id()
+	in.absorbDigests([]SubDigest{
+		{Owner: self, Version: 9, Blob: []byte("self")},
+		{Owner: 11, Version: 1},
+		{Owner: 12, Version: 1, Blob: make([]byte, maxDigestBlob+1)},
+	}, from, shippedFor(self, 11, 12))
+	for _, id := range []identity.NodeID{self, 11, 12} {
+		if _, ok := in.DigestOf(id); ok {
+			t.Errorf("hostile/self digest of %d absorbed", id)
+		}
+	}
+}
+
+func TestDigestTableBounded(t *testing.T) {
+	in := newBareInstance(t)
+	from := Entry{ID: 9}
+	cap := in.digestCap()
+	for i := 0; i < cap+20; i++ {
+		owner := identity.NodeID(100 + i)
+		in.absorbDigests([]SubDigest{{Owner: owner, Version: 1, Blob: []byte("b")}}, from, shippedFor(owner))
+	}
+	if got := len(in.Digests()); got > cap {
+		t.Errorf("digest table grew to %d, cap %d", got, cap)
+	}
+	// Known owners still update at capacity.
+	in.absorbDigests([]SubDigest{{Owner: 100, Version: 5, Blob: []byte("fresh")}}, from, shippedFor(100))
+	if d, _ := in.DigestOf(100); !bytes.Equal(d.Blob, []byte("fresh")) {
+		t.Error("full table refused an update for a known owner")
+	}
+}
+
+func TestDigestsForShipsSelfPlusShipped(t *testing.T) {
+	in := newBareInstance(t)
+	from := Entry{ID: 9}
+	if got := in.digestsFor(shippedFor(9)); len(got) != 0 {
+		t.Errorf("digestsFor shipped %d digests before SetSelfDigest (zero-behavior)", len(got))
+	}
+	in.absorbDigests([]SubDigest{{Owner: 9, Version: 1, Blob: []byte("peer")}}, from, nil)
+	in.SetSelfDigest(3, []byte("mine"))
+	got := in.digestsFor(shippedFor(9, 10))
+	if len(got) != 2 {
+		t.Fatalf("digestsFor returned %d digests, want self + shipped peer", len(got))
+	}
+	if got[0].Owner != in.r.id() || !bytes.Equal(got[0].Blob, []byte("mine")) {
+		t.Errorf("first digest is not self: %+v", got[0])
+	}
+	if got[1].Owner != 9 || !bytes.Equal(got[1].Blob, []byte("peer")) {
+		t.Errorf("second digest is not the shipped peer: %+v", got[1])
+	}
+}
+
+func TestExtrasDigestRoundtrip(t *testing.T) {
+	x := extras{
+		Digests: []SubDigest{
+			{Owner: 5, Version: 2, Blob: []byte{1, 2, 3}},
+			{Owner: 6, Version: 9, Blob: []byte{4}},
+		},
+	}
+	w := wire.NewWriter(64)
+	x.encode(w, 256)
+	r := wire.NewReader(w.Bytes())
+	got := decodeExtras(r, 256)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Digests) != 2 {
+		t.Fatalf("roundtrip lost digests: %+v", got.Digests)
+	}
+	for i := range x.Digests {
+		g, w := got.Digests[i], x.Digests[i]
+		if g.Owner != w.Owner || g.Version != w.Version || !bytes.Equal(g.Blob, w.Blob) {
+			t.Errorf("digest %d mismatch: got %+v want %+v", i, g, w)
+		}
+	}
+	// No digests set: the extras block costs one zero count byte and
+	// decodes to none (the wire-level zero-behavior contract).
+	w2 := wire.NewWriter(32)
+	extras{}.encode(w2, 256)
+	r2 := wire.NewReader(w2.Bytes())
+	empty := decodeExtras(r2, 256)
+	if err := r2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Digests) != 0 {
+		t.Error("empty extras decoded digests")
+	}
+}

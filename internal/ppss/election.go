@@ -6,6 +6,7 @@ import (
 
 	"whisper/internal/crypt"
 	"whisper/internal/identity"
+	"whisper/internal/pss"
 	"whisper/internal/wire"
 )
 
@@ -32,9 +33,10 @@ func proposalValue(g GroupID, id identity.NodeID) uint64 {
 }
 
 // extras assembles the piggybacked liveness/election state for an
-// outgoing shuffle.
-func (in *Instance) extras() extras {
-	x := extras{Epoch: in.history.Epoch()}
+// outgoing shuffle, plus the application digests travelling with the
+// shipped entries.
+func (in *Instance) extras(shipped []pss.Entry[Entry]) extras {
+	x := extras{Epoch: in.history.Epoch(), Digests: in.digestsFor(shipped)}
 	if in.IsLeader() {
 		in.lastHB = in.rt.Now()
 		x.HBAge = 0

@@ -222,6 +222,16 @@ type Instance struct {
 	pending map[uint32]*pendingExchange
 	seq     uint32
 	pcp     map[identity.NodeID]*pcpState
+	// scratch is the reusable sample buffer for gossip hot paths:
+	// shuffle-serving samples are consumed synchronously (encoded and
+	// merged before the handler returns), so one per-instance slice
+	// replaces a per-shuffle allocation.
+	scratch []pss.Entry[Entry]
+	// selfDigest and digests implement the application digest
+	// piggyback (pub/sub subscription filters): own digest to ship,
+	// and the bounded table of digests learned from shuffles.
+	selfDigest *SubDigest
+	digests    map[identity.NodeID]SubDigest
 	// served remembers recently answered shuffle requests by (sender,
 	// seq), making the serving side idempotent: a duplicated request is
 	// not merged into the view a second time. The response side is
@@ -379,7 +389,7 @@ func (in *Instance) cycle() {
 		Seq:      seq,
 		From:     in.r.SelfEntry(),
 		Entries:  sent,
-		Extras:   in.extras(),
+		Extras:   in.extras(sent),
 	}
 	in.met.exchangesInitiated.Inc()
 	p := &pendingExchange{partner: partner.Val, sent: sent, started: in.rt.Now()}
@@ -400,10 +410,14 @@ func (in *Instance) cycle() {
 	})
 }
 
-// buffer assembles the shuffle buffer: self (age 0) plus a sample.
+// buffer assembles the shuffle buffer: self (age 0) plus a sample. The
+// sample lands in the instance scratch slice; the returned buffer is a
+// fresh copy because the initiator retains it until the response.
 func (in *Instance) buffer(exclude identity.NodeID) []pss.Entry[Entry] {
-	buf := []pss.Entry[Entry]{{Val: in.r.SelfEntry()}}
-	buf = append(buf, in.view.Sample(in.rt.Rand(), in.cfg.ExchangeSize-1, exclude)...)
+	in.scratch = in.view.SampleInto(in.scratch, in.rt.Rand(), in.cfg.ExchangeSize-1, exclude)
+	buf := make([]pss.Entry[Entry], 0, len(in.scratch)+1)
+	buf = append(buf, pss.Entry[Entry]{Val: in.r.SelfEntry()})
+	buf = append(buf, in.scratch...)
 	return buf
 }
 
@@ -439,14 +453,19 @@ func (in *Instance) handleShuffleReq(m *shuffleMsg) {
 		return
 	}
 	in.absorbExtras(m.Extras)
-	sent := in.view.Sample(in.rt.Rand(), in.cfg.ExchangeSize, m.From.ID)
+	in.absorbDigests(m.Extras.Digests, m.From, m.Entries)
+	// Serving-side sample: consumed synchronously (encoded below,
+	// merged right after), so it reuses the instance scratch slice
+	// instead of allocating per shuffle.
+	in.scratch = in.view.SampleInto(in.scratch, in.rt.Rand(), in.cfg.ExchangeSize, m.From.ID)
+	sent := in.scratch
 	resp := shuffleMsg{
 		Group:    in.grp,
 		Passport: in.passport,
 		Seq:      m.Seq,
 		From:     in.r.SelfEntry(),
 		Entries:  sent,
-		Extras:   in.extras(),
+		Extras:   in.extras(sent),
 	}
 	in.wclSend(m.From, resp.encode(msgShuffleResp, in.cfg.KeyBlobSize), nil)
 	pss.MergeCyclon(in.view, sent, m.Entries, in.selectOpts())
@@ -470,6 +489,7 @@ func (in *Instance) handleShuffleResp(m *shuffleMsg) {
 	delete(in.pending, m.Seq)
 	p.timer.Cancel()
 	in.absorbExtras(m.Extras)
+	in.absorbDigests(m.Extras.Digests, m.From, m.Entries)
 	pss.MergeCyclon(in.view, p.sent, m.Entries, in.selectOpts())
 	in.met.exchangesCompleted.Inc()
 	in.met.exchangeRTT.ObserveDuration(in.rt.Now() - p.started)
@@ -549,6 +569,25 @@ func (in *Instance) wclSend(e Entry, encoded []byte, done func(wcl.Result)) {
 func (in *Instance) Send(to Entry, payload []byte, done func(wcl.Result)) {
 	m := appMsg{Group: in.grp, Passport: in.passport, From: in.r.SelfEntry(), Payload: payload}
 	in.wclSend(to, m.encode(in.cfg.KeyBlobSize), func(res wcl.Result) {
+		if res.Outcome == wcl.Failed {
+			in.met.sendFailures.Inc()
+		}
+		if done != nil {
+			done(res)
+		}
+	})
+}
+
+// SendCircuit delivers an application payload to a group member over a
+// pooled WCL circuit regardless of pool membership: the first send
+// establishes the circuit, subsequent ones ride symmetric cells. This
+// is the fan-out path of the pub/sub layer, whose repeated envelope
+// traffic toward the same matched subscribers is exactly the workload
+// circuits amortize. The circuit layer transparently falls back to a
+// one-shot onion when establishment fails.
+func (in *Instance) SendCircuit(to Entry, payload []byte, done func(wcl.Result)) {
+	m := appMsg{Group: in.grp, Passport: in.passport, From: in.r.SelfEntry(), Payload: payload}
+	in.r.w.SendCircuit(to.Dest(), m.encode(in.cfg.KeyBlobSize), func(res wcl.Result) {
 		if res.Outcome == wcl.Failed {
 			in.met.sendFailures.Inc()
 		}
@@ -673,6 +712,15 @@ func (in *Instance) handlePCP(kind uint8, m *pcpMsg) {
 // helper set included), for applications that ship their own
 // coordinates in queries (§V-G).
 func (in *Instance) SelfEntry() Entry { return in.r.SelfEntry() }
+
+// GroupRootKey returns the epoch-0 group public key: stable
+// group-internal key material that survives leader re-election, from
+// which applications derive content keys (the pub/sub topic keys).
+func (in *Instance) GroupRootKey() crypt.PublicKey { return in.history.At(0) }
+
+// CPU returns the node's crypto CPU meter, so group applications
+// charge their symmetric work like every protocol layer.
+func (in *Instance) CPU() *crypt.CPUMeter { return in.r.cpu() }
 
 // Config returns the instance's effective configuration.
 func (in *Instance) Config() Config { return in.cfg }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"whisper/internal/crypt"
+	"whisper/internal/identity"
 	"whisper/internal/keyss"
 	"whisper/internal/pss"
 	"whisper/internal/wire"
@@ -36,6 +37,11 @@ type extras struct {
 	Proposer *Entry
 	// Announce carries a new group key after an election.
 	Announce *keyAnnounce
+	// Digests piggybacks application subscription digests (§ pub/sub):
+	// the sender's own plus those of the entries shipped in the same
+	// shuffle. Empty unless an application installed a digest, so the
+	// feature is zero-cost (one count byte) when unused.
+	Digests []SubDigest
 }
 
 // keyAnnounce propagates a new group public key, signed by the new
@@ -84,6 +90,12 @@ func (x extras) encode(w *wire.Writer, keyBlob int) {
 	} else {
 		w.Bool(false)
 	}
+	w.U8(uint8(len(x.Digests)))
+	for _, d := range x.Digests {
+		w.U64(uint64(d.Owner))
+		w.U32(d.Version)
+		w.Bytes16(d.Blob)
+	}
 }
 
 func decodeExtras(r *wire.Reader, keyBlob int) extras {
@@ -103,6 +115,23 @@ func decodeExtras(r *wire.Reader, keyBlob int) extras {
 		a.LeaderKey = keyss.DecodeKey(r, keyBlob)
 		a.Sig = r.Bytes16()
 		x.Announce = a
+	}
+	nd := int(r.U8())
+	if nd > maxDigestsPerMsg {
+		nd = maxDigestsPerMsg
+	}
+	for i := 0; i < nd; i++ {
+		var d SubDigest
+		d.Owner = identity.NodeID(r.U64())
+		d.Version = r.U32()
+		d.Blob = r.Bytes16()
+		if r.Err() != nil {
+			break
+		}
+		if len(d.Blob) > maxDigestBlob {
+			continue
+		}
+		x.Digests = append(x.Digests, d)
 	}
 	return x
 }

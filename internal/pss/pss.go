@@ -161,13 +161,26 @@ func (v *View[T]) Oldest() (Entry[T], bool) {
 // Sample returns up to n distinct random entries, excluding any entry
 // whose key is in exclude.
 func (v *View[T]) Sample(rng *rand.Rand, n int, exclude ...identity.NodeID) []Entry[T] {
-	skip := make(map[identity.NodeID]bool, len(exclude))
-	for _, id := range exclude {
-		skip[id] = true
-	}
-	candidates := make([]Entry[T], 0, len(v.entries))
+	return v.SampleInto(make([]Entry[T], 0, len(v.entries)), rng, n, exclude...)
+}
+
+// SampleInto is Sample appending into dst[:0], for gossip hot paths
+// that draw one sample per shuffle: with a reusable dst of sufficient
+// capacity the draw allocates nothing. The returned slice aliases dst
+// (possibly grown), so callers that retain samples across events must
+// copy. The exclude list is scanned linearly — it is one or two IDs in
+// every protocol path.
+func (v *View[T]) SampleInto(dst []Entry[T], rng *rand.Rand, n int, exclude ...identity.NodeID) []Entry[T] {
+	candidates := dst[:0]
 	for _, e := range v.entries {
-		if !skip[e.Val.Key()] {
+		skip := false
+		for _, id := range exclude {
+			if e.Val.Key() == id {
+				skip = true
+				break
+			}
+		}
+		if !skip {
 			candidates = append(candidates, e)
 		}
 	}

@@ -1,0 +1,52 @@
+package pss
+
+import (
+	"math/rand"
+	"testing"
+
+	"whisper/internal/identity"
+)
+
+// TestSampleIntoMatchesSample pins the scratch-reuse path to the
+// allocating path draw for draw: with identical rng state the two must
+// return the same entries in the same order, since the gossip hot path
+// swapped one for the other.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	v := NewView[item](20)
+	for i := 1; i <= 20; i++ {
+		v.Insert(item{id: identity.NodeID(i), pub: i%3 == 0}, uint16(i))
+	}
+	var scratch []Entry[item]
+	for round := 0; round < 50; round++ {
+		r1 := rand.New(rand.NewSource(int64(round)))
+		r2 := rand.New(rand.NewSource(int64(round)))
+		want := v.Sample(r1, 5, 3, 7)
+		scratch = v.SampleInto(scratch, r2, 5, 3, 7)
+		if len(want) != len(scratch) {
+			t.Fatalf("round %d: lengths differ: %d vs %d", round, len(want), len(scratch))
+		}
+		for i := range want {
+			if want[i] != scratch[i] {
+				t.Fatalf("round %d entry %d: SampleInto diverged from Sample: %+v vs %+v", round, i, scratch[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSampleIntoZeroAllocs pins the gossip hot-path optimization: once
+// the scratch slice has grown to capacity, serving a shuffle sample
+// allocates nothing.
+func TestSampleIntoZeroAllocs(t *testing.T) {
+	v := NewView[item](20)
+	for i := 1; i <= 20; i++ {
+		v.Insert(item{id: identity.NodeID(i)}, 0)
+	}
+	rng := rand.New(rand.NewSource(9))
+	scratch := make([]Entry[item], 0, v.Len())
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = v.SampleInto(scratch, rng, 5, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("SampleInto allocates %.1f per run with warm scratch, want 0", allocs)
+	}
+}

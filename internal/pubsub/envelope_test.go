@@ -1,0 +1,105 @@
+package pubsub
+
+import (
+	"bytes"
+	"testing"
+
+	"whisper/internal/crypt"
+)
+
+func TestHashTopicPrivacy(t *testing.T) {
+	a, b := HashTopic("politics"), HashTopic("weather")
+	if a == b {
+		t.Error("distinct topics hashed to the same tag")
+	}
+	if bytes.Contains(a[:], []byte("poli")) || bytes.Equal(a[:], []byte("poli")) {
+		t.Error("tag leaks topic string bytes")
+	}
+	if HashTopic("politics") != a {
+		t.Error("tag not deterministic")
+	}
+}
+
+func TestTopicKeySeparation(t *testing.T) {
+	root, err := crypt.GenerateKey(crypt.SuiteECC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := TopicKey(root.Public(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := TopicKey(root.Public(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ka, kb) {
+		t.Fatal("different topics derived the same key")
+	}
+	if len(ka) != crypt.SymKeySize {
+		t.Fatalf("topic key is %d bytes, want %d", len(ka), crypt.SymKeySize)
+	}
+	// A ciphertext sealed for topic a must not open under topic b's key:
+	// a relay that knows the group but not the topic reads nothing.
+	ct, err := crypt.SealSym(nil, ka, []byte("confidential"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crypt.OpenSym(nil, kb, ct); err == nil {
+		t.Error("topic-b key opened a topic-a ciphertext")
+	}
+	pt, err := crypt.OpenSym(nil, ka, ct)
+	if err != nil || string(pt) != "confidential" {
+		t.Errorf("right key failed to open: %v", err)
+	}
+}
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	e := Envelope{ID: 0xdeadbeef, Topic: HashTopic("t"), Hops: 3, Ct: []byte{1, 2, 3}}
+	enc := e.Encode()
+	if enc[0] != Tag {
+		t.Fatalf("encoded envelope starts with %#x, want Tag %#x", enc[0], Tag)
+	}
+	got, ok := DecodeEnvelope(enc)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got.ID != e.ID || got.Topic != e.Topic || got.Hops != e.Hops || !bytes.Equal(got.Ct, e.Ct) {
+		t.Errorf("roundtrip mismatch: got %+v want %+v", got, e)
+	}
+}
+
+func TestDecodeEnvelopeRejectsGarbage(t *testing.T) {
+	if _, ok := DecodeEnvelope(nil); ok {
+		t.Error("accepted empty payload")
+	}
+	if _, ok := DecodeEnvelope([]byte{0x60, 1, 2, 3}); ok {
+		t.Error("accepted wrong tag")
+	}
+	e := Envelope{ID: 1, Topic: HashTopic("t"), Hops: 1, Ct: []byte{9}}
+	if _, ok := DecodeEnvelope(e.Encode()[:8]); ok {
+		t.Error("accepted truncated envelope")
+	}
+}
+
+func FuzzDecodeEnvelope(f *testing.F) {
+	f.Add(Envelope{ID: 1, Topic: HashTopic("seed"), Hops: 4, Ct: []byte("ct")}.Encode())
+	f.Add([]byte{Tag})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		e, ok := DecodeEnvelope(payload)
+		if !ok {
+			return
+		}
+		if len(e.Ct) > MaxEnvelopeCt {
+			t.Fatal("decoded ciphertext beyond bound")
+		}
+		again, ok := DecodeEnvelope(e.Encode())
+		if !ok {
+			t.Fatal("re-decode of valid envelope failed")
+		}
+		if again.ID != e.ID || again.Topic != e.Topic || again.Hops != e.Hops || !bytes.Equal(again.Ct, e.Ct) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package pubsub
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestFilterAddTest(t *testing.T) {
+	f := NewFilter(256, 4)
+	tags := make([]TopicTag, 16)
+	for i := range tags {
+		tags[i] = HashTopic(fmt.Sprintf("topic-%d", i))
+		f.Add(tags[i])
+	}
+	for i, tag := range tags {
+		if !f.Test(tag) {
+			t.Errorf("tag %d not found after Add (bloom filters have no false negatives)", i)
+		}
+	}
+	if f.FillRatio() <= 0 || f.FillRatio() > 1 {
+		t.Errorf("fill ratio %f out of range", f.FillRatio())
+	}
+}
+
+func TestFilterFalsePositiveRateFallsWithSize(t *testing.T) {
+	subscribed := []TopicTag{HashTopic("a"), HashTopic("b")}
+	rate := func(m int) float64 {
+		f := NewFilter(m, 4)
+		for _, tag := range subscribed {
+			f.Add(tag)
+		}
+		hits := 0
+		const probes = 4096
+		for i := 0; i < probes; i++ {
+			if f.Test(HashTopic(fmt.Sprintf("probe-%d", i))) {
+				hits++
+			}
+		}
+		return float64(hits) / probes
+	}
+	small, large := rate(16), rate(1024)
+	if small == 0 {
+		t.Error("m=16 with 2 tags should show measurable false positives")
+	}
+	if large >= small {
+		t.Errorf("false-positive rate did not fall with filter size: m=16 %.4f, m=1024 %.4f", small, large)
+	}
+}
+
+func TestFilterEncodeDecodeRoundtrip(t *testing.T) {
+	f := NewFilter(128, 3)
+	f.Version = 7
+	f.Add(HashTopic("x"))
+	f.Add(HashTopic("y"))
+	got, err := DecodeFilter(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != f.Version || got.K != f.K || !bytes.Equal(got.Bits, f.Bits) {
+		t.Errorf("roundtrip mismatch: got %+v want %+v", got, f)
+	}
+}
+
+func TestDecodeFilterRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": NewFilter(256, 4).Encode()[:3],
+		"zero-k":    {0, 0, 0, 1, 0, 0, 1, 0xff},                   // k = 0
+		"many-k":    {0, 0, 0, 1, MaxFilterHashes + 1, 0, 1, 0xff}, // k beyond bound
+		"trailing":  append(NewFilter(64, 4).Encode(), 0xde, 0xad), // junk after the blob
+	}
+	for name, blob := range cases {
+		if _, err := DecodeFilter(blob); err == nil {
+			t.Errorf("%s: DecodeFilter accepted invalid input", name)
+		}
+	}
+	// Oversize bit arrays must be rejected too (hostile gossip input).
+	big := NewFilter(MaxFilterBytes*8+8, 4)
+	if _, err := DecodeFilter(big.Encode()); err == nil {
+		t.Error("oversize filter accepted")
+	}
+}
+
+func TestFilterOrMergesGeometry(t *testing.T) {
+	a, b := NewFilter(64, 4), NewFilter(64, 4)
+	a.Add(HashTopic("left"))
+	b.Add(HashTopic("right"))
+	if err := a.Or(b); err != nil {
+		t.Fatalf("Or rejected same-geometry filter: %v", err)
+	}
+	if !a.Test(HashTopic("left")) || !a.Test(HashTopic("right")) {
+		t.Error("Or lost bits")
+	}
+	c := NewFilter(128, 4)
+	if a.Or(c) == nil {
+		t.Error("Or accepted mismatched geometry")
+	}
+}
+
+func FuzzDecodeFilter(f *testing.F) {
+	f.Add(NewFilter(256, 4).Encode())
+	seeded := NewFilter(64, 2)
+	seeded.Add(HashTopic("seed"))
+	f.Add(seeded.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 4, 0, 0, 0, 1, 0xab})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		flt, err := DecodeFilter(blob)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to a blob that decodes to the
+		// same filter (canonical form), and must be probe-safe.
+		flt.Test(HashTopic("probe"))
+		again, err := DecodeFilter(flt.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of valid filter failed: %v", err)
+		}
+		if again.Version != flt.Version || again.K != flt.K || !bytes.Equal(again.Bits, flt.Bits) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package pubsub_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/ppss"
+	"whisper/internal/pubsub"
+	"whisper/internal/sim"
+)
+
+// fastPPSS mirrors the PPSS integration tests: short cycles so groups
+// converge quickly in virtual time.
+func fastPPSS() *ppss.Config {
+	return &ppss.Config{
+		Cycle:            30 * time.Second,
+		RespTimeout:      15 * time.Second,
+		JoinTimeout:      20 * time.Second,
+		PCPRefresh:       time.Minute,
+		HeartbeatTimeout: 3 * time.Minute,
+		ElectionDuration: 4 * time.Minute,
+		KeyBlobSize:      256,
+	}
+}
+
+func buildWorld(t testing.TB, seed int64, n int, faults *netem.FaultModel) *sim.World {
+	t.Helper()
+	w, err := sim.NewWorld(sim.Options{
+		Seed:     seed,
+		N:        n,
+		NATRatio: 0.7,
+		KeyPool:  identity.TestPool(64),
+		PPSS:     fastPPSS(),
+		Faults:   faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+	return w
+}
+
+// formGroup creates a group at members[0] and joins the rest through
+// invitations, returning the per-member instances.
+func formGroup(t testing.TB, w *sim.World, name string, members []*sim.Node) []*ppss.Instance {
+	t.Helper()
+	leader, err := members[0].PPSS.CreateGroup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tryJoin func(m *sim.Node, attempt int)
+	tryJoin = func(m *sim.Node, attempt int) {
+		accr, entry, err := leader.Invite(m.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.PPSS.Join(name, accr, entry, func(_ *ppss.Instance, err error) {
+			if err != nil && attempt < 3 {
+				tryJoin(m, attempt+1)
+			}
+		})
+	}
+	for _, m := range members[1:] {
+		tryJoin(m, 1)
+		w.Sim.RunFor(5 * time.Second)
+	}
+	w.Sim.RunFor(3 * time.Minute)
+	g := leader.Group()
+	var insts []*ppss.Instance
+	for _, m := range members {
+		if inst := m.PPSS.Instance(g); inst != nil {
+			insts = append(insts, inst)
+		}
+	}
+	if len(insts) != len(members) {
+		t.Fatalf("only %d/%d members joined", len(insts), len(members))
+	}
+	return insts
+}
+
+// TestPubSubDeliveryAndRelayPrivacy drives the full path on one world:
+// subscribers across overlapping topics receive every publication
+// exactly once, non-subscribers receive nothing readable, and a
+// network-wide tap never sees topic strings or plaintext payloads — a
+// traffic collector learns only ciphertext (the topic tag and filter
+// bits themselves travel inside encrypted shuffles and envelopes).
+func TestPubSubDeliveryAndRelayPrivacy(t *testing.T) {
+	const secret = "MARKER-the-plaintext-that-must-never-surface"
+	w := buildWorld(t, 43, 90, nil)
+
+	leaked := ""
+	w.Net.SetTap(func(dg netem.Datagram) {
+		for _, probe := range []string{"politics", "weather", "sports", "finance", secret} {
+			if bytes.Contains(dg.Payload, []byte(probe)) {
+				leaked = probe
+			}
+		}
+	})
+
+	live := w.Live()
+	members := live[:16]
+	insts := formGroup(t, w, "pubsub-main", members)
+
+	topics := []string{"politics", "weather", "sports", "finance"}
+	endpoints := make([]*pubsub.PubSub, len(insts))
+	// deliveries[i][topic] counts OnDeliver calls per member and topic.
+	deliveries := make([]map[string]int, len(insts))
+	subs := make([]map[string]bool, len(insts))
+	subscribers := map[string]int{}
+	for i, inst := range insts {
+		i := i
+		endpoints[i] = pubsub.New(inst, pubsub.Config{})
+		deliveries[i] = map[string]int{}
+		subs[i] = map[string]bool{}
+		endpoints[i].OnDeliver = func(topic string, payload []byte) {
+			if string(payload) != secret {
+				t.Errorf("member %d topic %q: corrupted payload %q", i, topic, payload)
+			}
+			deliveries[i][topic]++
+		}
+		for j := 0; j < 2; j++ {
+			topic := topics[(2*i+j)%len(topics)]
+			if subs[i][topic] {
+				continue
+			}
+			subs[i][topic] = true
+			if err := endpoints[i].Subscribe(topic); err != nil {
+				t.Fatal(err)
+			}
+			subscribers[topic]++
+		}
+	}
+	// Let the subscription digests ride the shuffles through the group.
+	w.Sim.RunFor(6 * time.Minute)
+
+	for ti, topic := range topics {
+		if err := endpoints[ti%len(endpoints)].Publish(topic, []byte(secret)); err != nil {
+			t.Fatal(err)
+		}
+		w.Sim.RunFor(30 * time.Second)
+	}
+	w.Sim.RunFor(2 * time.Minute)
+	w.Net.SetTap(nil)
+
+	for i := range insts {
+		for _, topic := range topics {
+			got := deliveries[i][topic]
+			switch {
+			case subs[i][topic] && got != 1:
+				t.Errorf("member %d subscribed to %q: delivered %d times, want exactly 1", i, topic, got)
+			case !subs[i][topic] && got != 0:
+				t.Errorf("member %d NOT subscribed to %q: delivered %d times", i, topic, got)
+			}
+		}
+	}
+	if leaked != "" {
+		t.Errorf("collector tap saw %q in the clear on the wire", leaked)
+	}
+
+	// What a relaying member (or a collector of gossip digests) holds is
+	// only topic hashes and filter bits: no digest blob contains a topic
+	// string, and every stored tag differs from the raw topic bytes.
+	for _, inst := range insts {
+		for _, d := range inst.Digests() {
+			for _, topic := range topics {
+				if bytes.Contains(d.Blob, []byte(topic)) {
+					t.Fatalf("subscription digest of %v contains topic string %q", d.Owner, topic)
+				}
+			}
+		}
+	}
+	for _, topic := range topics {
+		tag := pubsub.HashTopic(topic)
+		if bytes.Equal(tag[:], []byte(topic)[:4]) {
+			t.Errorf("tag of %q equals its leading topic bytes", topic)
+		}
+	}
+
+	// The cost of deniability: sum the false-positive counter (own
+	// filter matched an unsubscribed topic). It may be zero at m=256,
+	// but must never exceed deliveries (sanity of accounting).
+	var fp, delivered uint64
+	for _, ep := range endpoints {
+		s := ep.Stats()
+		fp += s.FalsePositives
+		delivered += s.Delivered
+		if s.Undecryptable != 0 {
+			t.Errorf("subscriber failed to decrypt %d envelopes", s.Undecryptable)
+		}
+	}
+	var want uint64
+	for _, topic := range topics {
+		want += uint64(subscribers[topic])
+	}
+	if delivered != want {
+		t.Errorf("delivered %d, want %d", delivered, want)
+	}
+	_ = fp
+}
+
+// TestPubSubDisabledIsZeroBehavior pins the zero-behavior contract: a
+// group whose members never Subscribe or Publish generates no pub/sub
+// traffic at all — no envelope (Tag 0x70) reaches any member, no
+// subscription digest circulates, and every counter stays zero. Half
+// the members have an endpoint attached (passive), the other half run a
+// bare probe handler, so an envelope arriving anywhere would be caught.
+func TestPubSubDisabledIsZeroBehavior(t *testing.T) {
+	w := buildWorld(t, 47, 80, nil)
+	members := w.Live()[:12]
+	insts := formGroup(t, w, "quiet", members)
+
+	var endpoints []*pubsub.PubSub
+	envelopes := 0
+	for i, inst := range insts {
+		if i%2 == 0 {
+			ep := pubsub.New(inst, pubsub.Config{})
+			ep.OnDeliver = func(string, []byte) { envelopes++ }
+			endpoints = append(endpoints, ep)
+		} else {
+			inst.Subscribe(pubsub.Tag, func(_ ppss.Entry, payload []byte) {
+				if len(payload) > 0 && payload[0] == pubsub.Tag {
+					envelopes++
+				}
+			})
+		}
+	}
+	// Plenty of gossip cycles for any spurious traffic to surface.
+	w.Sim.RunFor(10 * time.Minute)
+
+	if envelopes != 0 {
+		t.Errorf("%d pub/sub envelopes observed in a group that never subscribed or published", envelopes)
+	}
+	for i, inst := range insts {
+		if ds := inst.Digests(); len(ds) != 0 {
+			t.Errorf("member %d holds %d subscription digests, want 0", i, len(ds))
+		}
+		if _, ok := inst.SelfDigest(); ok {
+			t.Errorf("member %d gossips a self digest without subscribing", i)
+		}
+	}
+	for i, ep := range endpoints {
+		if s := ep.Stats(); s != (pubsub.Stats{}) {
+			t.Errorf("endpoint %d has non-zero stats %+v in a silent group", i, s)
+		}
+	}
+}
+
+// TestPubSubUnderFaults drives publications through duplication,
+// reordering, and burst-loss fault models: the dedup cache must keep
+// deliveries exactly-once, re-forwarding must stay within the
+// MatchFanout+Spray budget, and lossless fault modes must still
+// deliver.
+func TestPubSubUnderFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		faults   *netem.FaultModel
+		minRatio float64 // delivery floor (loss-free modes stay high)
+	}{
+		{"duplication", &netem.FaultModel{DupProb: 0.3}, 0.9},
+		{"reordering", &netem.FaultModel{ReorderProb: 0.5, ReorderJitter: 200 * time.Millisecond}, 0.9},
+		{"burst-loss", &netem.FaultModel{Burst: &netem.GilbertElliott{PGoodBad: 0.01, PBadGood: 0.3, LossBad: 0.8}}, 0},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w := buildWorld(t, 53+int64(ci), 70, tc.faults)
+			members := w.Live()[:10]
+			insts := formGroup(t, w, "faulty-"+tc.name, members)
+
+			const topic = "updates"
+			cfg := pubsub.Config{}
+			endpoints := make([]*pubsub.PubSub, len(insts))
+			// delivered[member][payload] must never exceed 1.
+			delivered := make([]map[string]int, len(insts))
+			for i, inst := range insts {
+				i := i
+				endpoints[i] = pubsub.New(inst, cfg)
+				delivered[i] = map[string]int{}
+				endpoints[i].OnDeliver = func(_ string, payload []byte) {
+					delivered[i][string(payload)]++
+				}
+				if err := endpoints[i].Subscribe(topic); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w.Sim.RunFor(5 * time.Minute)
+
+			const publishes = 6
+			for p := 0; p < publishes; p++ {
+				payload := []byte(fmt.Sprintf("update-%d", p))
+				if err := endpoints[p%len(endpoints)].Publish(topic, payload); err != nil {
+					t.Fatal(err)
+				}
+				w.Sim.RunFor(30 * time.Second)
+			}
+			w.Sim.RunFor(2 * time.Minute)
+
+			got := 0
+			for i := range insts {
+				for payload, n := range delivered[i] {
+					if n > 1 {
+						t.Errorf("member %d delivered %q %d times under %s, want exactly once", i, payload, n, tc.name)
+					}
+					got += n
+				}
+			}
+			want := publishes * len(insts)
+			if ratio := float64(got) / float64(want); ratio < tc.minRatio {
+				t.Errorf("delivery ratio %.2f under %s, want >= %.2f", ratio, tc.name, tc.minRatio)
+			}
+
+			// Re-forwarding stays bounded: each member forwards one
+			// envelope at most once, to at most MatchFanout matches (plus
+			// the publisher's spray), however many duplicate copies the
+			// network injects.
+			var forwards uint64
+			for _, ep := range endpoints {
+				forwards += ep.Stats().Forwards
+			}
+			limit := uint64(publishes * (len(insts)*8 + 2)) // defaults: MatchFanout 8, Spray 2
+			if forwards > limit {
+				t.Errorf("%d forwards under %s exceeds the %d budget — relays are re-forwarding duplicates", forwards, tc.name, limit)
+			}
+		})
+	}
+}

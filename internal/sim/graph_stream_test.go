@@ -1,0 +1,62 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/sim"
+)
+
+// TestGraphStreamMatchesEagerGraph pins the lazy report path on a real
+// converged overlay: every metric the reports compute must be
+// value-identical whether taken from the materialized Graph() snapshot
+// or the on-demand GraphStream() walk (the fig5 golden depends on it).
+func TestGraphStreamMatchesEagerGraph(t *testing.T) {
+	w, err := sim.NewWorld(sim.Options{Seed: 21, N: 150, NATRatio: 0.7, KeyPool: identity.TestPool(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAll()
+	w.Sim.RunUntil(4 * time.Minute)
+
+	// Kill a few nodes so the live set differs from the full node list —
+	// the stream must reflect exactly the live overlay, like Graph().
+	for i := 0; i < 10; i++ {
+		w.Kill(w.Live()[i*3])
+	}
+	w.Sim.RunFor(30 * time.Second)
+
+	eager := w.Graph()
+	stream := w.GraphStream()
+
+	if got, want := stream.Collect(), eager; !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Fatal("stream adjacency differs from eager snapshot")
+	}
+	if got, want := stream.InDegrees(), eager.InDegrees(); !reflect.DeepEqual(got, want) {
+		t.Fatal("InDegrees diverged between stream and eager graph")
+	}
+	if got, want := stream.OutDegrees(), eager.OutDegrees(); !reflect.DeepEqual(got, want) {
+		t.Fatal("OutDegrees diverged between stream and eager graph")
+	}
+	if got, want := stream.ClusteringCoefficients(), eager.ClusteringCoefficients(); !reflect.DeepEqual(got, want) {
+		t.Fatal("ClusteringCoefficients diverged between stream and eager graph")
+	}
+	if got, want := stream.WeaklyConnected(), eager.WeaklyConnected(); got != want {
+		t.Fatalf("WeaklyConnected diverged: stream %v, eager %v", got, want)
+	}
+}
+
+// normalize maps empty and nil adjacency slices together for DeepEqual.
+func normalize(g map[identity.NodeID][]identity.NodeID) map[identity.NodeID][]identity.NodeID {
+	out := make(map[identity.NodeID][]identity.NodeID, len(g))
+	for id, outs := range g {
+		if len(outs) == 0 {
+			out[id] = nil
+			continue
+		}
+		out[id] = outs
+	}
+	return out
+}
