@@ -36,6 +36,8 @@ func main() {
 		benchOut = flag.String("benchjson", "", "write machine-readable per-run timings to this JSON file")
 		metrics  = flag.String("metrics-out", "", "write the metrics registry as JSON to this file after the run")
 		shards   = flag.Int("shards", 8, "event shards for the scale experiment (1 = classic single-heap engine)")
+		nodes    = flag.Int("nodes", 0, "scale experiment population override (0 = 100k x -scale)")
+		virtual  = flag.Duration("virtual", 0, "scale experiment virtual runtime override (0 = 2m x -scale, floor 30s)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: whisper-exp [flags] <fig5|fig6|table1|fig7|table2|fig8|fig9|circuit|suites|transfer|pubsub|ablate|scale|all>\n")
@@ -56,7 +58,8 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	r := runner{seed: *seed, scale: *scale, out: out, check: *check, parallel: *par, shards: *shards}
+	r := runner{seed: *seed, scale: *scale, out: out, check: *check, parallel: *par,
+		shards: *shards, nodes: *nodes, virtual: *virtual}
 	name := flag.Arg(0)
 	if *benchOut != "" {
 		exp.BenchSink = &exp.BenchLog{}
@@ -108,6 +111,8 @@ type runner struct {
 	check      bool
 	parallel   int
 	shards     int
+	nodes      int           // scale population override (0 = derive from -scale)
+	virtual    time.Duration // scale virtual-runtime override (0 = derive from -scale)
 	violations int
 }
 
@@ -310,19 +315,30 @@ func (r *runner) ablate() error {
 func (r *runner) scaleExp() error {
 	// The scale run sizes off its own 100k-node baseline (not the
 	// 1,000-node paper figures) and skips the 4-minute duration floor:
-	// small -scale values are how CI keeps the smoke run cheap.
-	rt := time.Duration(float64(2*time.Minute) * r.scale)
-	if rt < 30*time.Second {
-		rt = 30 * time.Second
+	// small -scale values are how CI keeps the smoke run cheap. -nodes
+	// and -virtual override either dimension directly, so CI can pin
+	// an exact population (e.g. 250k smoke) without back-deriving a
+	// scale factor.
+	rt := r.virtual
+	if rt == 0 {
+		rt = time.Duration(float64(2*time.Minute) * r.scale)
+		if rt < 30*time.Second {
+			rt = 30 * time.Second
+		}
+	}
+	n := r.nodes
+	if n == 0 {
+		n = r.n(100_000)
 	}
 	res, err := exp.Scale(exp.ScaleConfig{
 		Seed:    r.seed,
-		N:       r.n(100_000),
+		N:       n,
 		Shards:  r.shards,
 		Runtime: rt,
 		Env:     exp.PlanetLab,
-		Progress: func(now, total time.Duration) {
-			fmt.Fprintf(os.Stderr, "\rscale: %v / %v of virtual time", now.Round(time.Second), total)
+		Rollup: func(ru exp.ScaleRollup) {
+			fmt.Fprintf(os.Stderr, "\rscale: %v / %v virtual, %d events in %d windows",
+				ru.Now.Round(time.Second), ru.Total, ru.Events, ru.Windows)
 		},
 	})
 	fmt.Fprintln(os.Stderr)

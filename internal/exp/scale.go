@@ -30,10 +30,21 @@ type ScaleConfig struct {
 	Env Env
 	// NATRatio is the fraction of NATted nodes (default 0.7, §V-A).
 	NATRatio float64
-	// Progress, when non-nil, receives the window edge as virtual time
-	// advances (roughly once per simulated second) so long runs can
-	// show liveness without polluting the result.
-	Progress func(now, total time.Duration)
+	// Rollup, when non-nil, receives streamed per-window rollups as
+	// virtual time advances (at most once per simulated second). The
+	// rollup carries only O(1) engine counters, so long runs can show
+	// liveness and throughput without any per-node scan until the run
+	// ends.
+	Rollup func(ScaleRollup)
+}
+
+// ScaleRollup is one streamed progress rollup, emitted from the
+// engine's window hook while the run is in flight.
+type ScaleRollup struct {
+	Now     time.Duration // virtual time reached
+	Total   time.Duration // virtual time target
+	Events  uint64        // events executed so far
+	Windows uint64        // windows completed so far
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -50,6 +61,19 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 		c.NATRatio = 0.7
 	}
 	return c
+}
+
+// settledHeap returns HeapAlloc after a double-GC settle: the first
+// collection frees ordinary garbage, the second reclaims objects whose
+// finalizers (or sync.Pool slots) the first pass only queued. Without
+// it the heap delta swings by whatever transient garbage the last
+// window produced.
+func settledHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
 }
 
 // ScaleResult is one completed scale run.
@@ -79,9 +103,7 @@ type ScaleResult struct {
 func Scale(cfg ScaleConfig) (ScaleResult, error) {
 	cfg = cfg.withDefaults()
 
-	runtime.GC()
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
+	before := settledHeap()
 
 	w, err := sim.NewWorld(sim.Options{
 		Seed:     cfg.Seed,
@@ -96,12 +118,21 @@ func Scale(cfg ScaleConfig) (ScaleResult, error) {
 		return ScaleResult{}, err
 	}
 
-	if cfg.Progress != nil {
+	if cfg.Rollup != nil && w.Sharded() {
+		// The hook runs single-threaded at window barriers (workers
+		// joined), so the engine counters it reads are settled; each
+		// rollup is O(1), never a node scan.
+		eng := w.Engine()
 		var last time.Duration
-		w.Engine().SetWindowHook(func(_, end time.Duration) {
+		eng.SetWindowHook(func(_, end time.Duration) {
 			if end-last >= time.Second {
 				last = end
-				cfg.Progress(end, cfg.Runtime)
+				cfg.Rollup(ScaleRollup{
+					Now:     end,
+					Total:   cfg.Runtime,
+					Events:  eng.Executed(),
+					Windows: eng.Windows(),
+				})
 			}
 		})
 	}
@@ -117,8 +148,10 @@ func Scale(cfg ScaleConfig) (ScaleResult, error) {
 		Runtime: cfg.Runtime,
 		Wall:    wall,
 		Events:  w.Executed(),
-		Windows: w.Engine().Windows(),
 		Live:    w.LiveCount(),
+	}
+	if w.Sharded() {
+		res.Windows = w.Engine().Windows()
 	}
 	res.Sent, res.Dropped = w.NetStats()
 	if secs := wall.Seconds(); secs > 0 {
@@ -134,12 +167,12 @@ func Scale(cfg ScaleConfig) (ScaleResult, error) {
 	}
 	res.BytesPerNode = float64(bytes) / float64(cfg.N)
 	// Heap growth from before the world existed to end-of-run (world
-	// still reachable), amortized per node.
-	runtime.GC()
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
-	if after.HeapAlloc > before.HeapAlloc {
-		res.MemBytesPerNode = float64(after.HeapAlloc-before.HeapAlloc) / float64(cfg.N)
+	// still reachable), amortized per node. Both sides settle with a
+	// double GC so the delta measures retained state, not transient
+	// garbage awaiting finalizer-driven collection.
+	after := settledHeap()
+	if after > before {
+		res.MemBytesPerNode = float64(after-before) / float64(cfg.N)
 	}
 	runtime.KeepAlive(w)
 

@@ -1,6 +1,11 @@
 // Package graph analyses the overlay induced by peer-sampling views:
 // local clustering coefficients and in-degree distributions, the two
 // metrics the paper uses to characterize PSS quality (§II-B, Fig 5).
+//
+// The metric implementations live on Stream (see stream.go), which is
+// what large-world reports consume; Directed is the eager snapshot
+// form used by small analyses and tests, and its methods delegate to
+// the stream path so the two can never diverge.
 package graph
 
 import (
@@ -13,87 +18,19 @@ type Directed map[identity.NodeID][]identity.NodeID
 
 // InDegrees returns the number of views each node appears in. Nodes
 // with no in-edges are present with degree 0.
-func (g Directed) InDegrees() map[identity.NodeID]int {
-	in := make(map[identity.NodeID]int, len(g))
-	for id := range g {
-		in[id] = 0
-	}
-	for _, outs := range g {
-		for _, to := range outs {
-			in[to]++
-		}
-	}
-	return in
-}
+func (g Directed) InDegrees() map[identity.NodeID]int { return g.Stream().InDegrees() }
 
 // OutDegrees returns each node's view size.
-func (g Directed) OutDegrees() map[identity.NodeID]int {
-	out := make(map[identity.NodeID]int, len(g))
-	for id, outs := range g {
-		out[id] = len(outs)
-	}
-	return out
-}
-
-// undirected builds the undirected neighbour sets (union of in- and
-// out-edges), which is the projection on which the paper's clustering
-// coefficient is computed.
-func (g Directed) undirected() map[identity.NodeID]map[identity.NodeID]bool {
-	u := make(map[identity.NodeID]map[identity.NodeID]bool, len(g))
-	add := func(a, b identity.NodeID) {
-		if a == b {
-			return
-		}
-		if u[a] == nil {
-			u[a] = make(map[identity.NodeID]bool)
-		}
-		u[a][b] = true
-	}
-	for id := range g {
-		if u[id] == nil {
-			u[id] = make(map[identity.NodeID]bool)
-		}
-	}
-	for from, outs := range g {
-		for _, to := range outs {
-			add(from, to)
-			add(to, from)
-		}
-	}
-	return u
-}
+func (g Directed) OutDegrees() map[identity.NodeID]int { return g.Stream().OutDegrees() }
 
 // ClusteringCoefficients returns the local clustering coefficient of
 // every node: the fraction of existing links among its (undirected)
 // neighbours. Nodes with fewer than two neighbours have coefficient 0.
 func (g Directed) ClusteringCoefficients() map[identity.NodeID]float64 {
-	return clusteringOf(g.undirected())
+	return g.Stream().ClusteringCoefficients()
 }
 
 // WeaklyConnected reports whether the overlay forms a single weakly
 // connected component — the liveness property a healthy PSS maintains
 // under churn.
-func (g Directed) WeaklyConnected() bool {
-	if len(g) == 0 {
-		return true
-	}
-	u := g.undirected()
-	var start identity.NodeID
-	for id := range u {
-		start = id
-		break
-	}
-	seen := map[identity.NodeID]bool{start: true}
-	stack := []identity.NodeID{start}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for n := range u[v] {
-			if !seen[n] {
-				seen[n] = true
-				stack = append(stack, n)
-			}
-		}
-	}
-	return len(seen) == len(u)
-}
+func (g Directed) WeaklyConnected() bool { return g.Stream().WeaklyConnected() }

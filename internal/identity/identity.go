@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
+	"sync"
+	"sync/atomic"
 
 	"whisper/internal/crypt"
 )
@@ -78,26 +80,62 @@ func DeriveID(pub crypt.PublicKey) NodeID {
 	return id
 }
 
-// Pool hands out keys from a pre-generated set. Large simulations deal
-// keys round-robin: two nodes may then share a key pair, which does not
-// affect protocol correctness (every ciphertext is AEAD-authenticated
-// and peeled only by the addressed hop) but cuts setup from minutes to
-// milliseconds. Experiments that need unique keys per node simply size
-// the pool to the node count.
+// Pool hands out keys from a bounded set, generated lazily on first
+// use. Large simulations deal keys round-robin: two nodes may then
+// share a key pair, which does not affect protocol correctness (every
+// ciphertext is AEAD-authenticated and peeled only by the addressed
+// hop) but cuts setup from minutes to milliseconds. Experiments that
+// need unique keys per node simply size the pool to the node count.
+//
+// Laziness decouples setup cost from the declared size: a million-node
+// world can declare a million-key pool and only pay keygen for the keys
+// its nodes actually draw, and a pool sized far above the node count
+// behaves identically to one sized exactly (slot i is generated the
+// first time any cursor lands on it). Prefill generates ahead of time,
+// in parallel, when keygen latency inside the run is unwanted.
 type Pool struct {
-	keys []crypt.PrivateKey
+	b    *poolBacking
 	next int
 }
 
-// NewPool generates n rsa2048-suite keys of the given modulus size
-// (DefaultKeyBits if bits is zero).
+// poolBacking is the key store shared by a pool and all its views: a
+// fixed-size slot table deduplicating generation (each slot's key is
+// generated at most once, no matter how many cursors pass over it).
+type poolBacking struct {
+	suite crypt.SuiteID
+	bits  int
+
+	mu   sync.Mutex
+	keys []crypt.PrivateKey // slot table, nil = not yet generated
+	gen  int                // slots filled so far
+}
+
+// key returns slot i, generating it on first access.
+func (b *poolBacking) key(i int) crypt.PrivateKey {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.keys[i] == nil {
+		k, err := crypt.GenerateKey(b.suite, b.bits)
+		if err != nil {
+			// Key generation fails only when the process's entropy
+			// source does; there is no meaningful recovery.
+			panic(fmt.Sprintf("identity: pool key %d: %v", i, err))
+		}
+		b.keys[i] = k
+		b.gen++
+	}
+	return b.keys[i]
+}
+
+// NewPool creates a pool of n rsa2048-suite keys of the given modulus
+// size (DefaultKeyBits if bits is zero), generated lazily as dealt.
 func NewPool(n, bits int) (*Pool, error) {
 	return NewSuitePool(n, crypt.SuiteRSA2048, bits)
 }
 
-// NewSuitePool generates n keys on the given crypto suite. bits sizes
-// RSA moduli (DefaultKeyBits if zero) and is ignored by fixed-size
-// suites.
+// NewSuitePool creates a pool of n keys on the given crypto suite,
+// generated lazily as dealt. bits sizes RSA moduli (DefaultKeyBits if
+// zero) and is ignored by fixed-size suites.
 func NewSuitePool(n int, suite crypt.SuiteID, bits int) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("identity: pool size %d", n)
@@ -105,26 +143,39 @@ func NewSuitePool(n int, suite crypt.SuiteID, bits int) (*Pool, error) {
 	if bits == 0 {
 		bits = DefaultKeyBits
 	}
-	p := &Pool{keys: make([]crypt.PrivateKey, n)}
-	for i := range p.keys {
-		k, err := crypt.GenerateKey(suite, bits)
-		if err != nil {
-			return nil, fmt.Errorf("identity: pool key %d: %w", i, err)
-		}
-		p.keys[i] = k
-	}
-	return p, nil
+	return &Pool{b: &poolBacking{
+		suite: suite,
+		bits:  bits,
+		keys:  make([]crypt.PrivateKey, n),
+	}}, nil
 }
 
-// Size returns the number of distinct keys in the pool.
-func (p *Pool) Size() int { return len(p.keys) }
+// poolFromKeys wraps pre-generated keys (the test-key cache path).
+func poolFromKeys(suite crypt.SuiteID, keys []crypt.PrivateKey) *Pool {
+	return &Pool{b: &poolBacking{
+		suite: suite,
+		bits:  DefaultKeyBits,
+		keys:  append([]crypt.PrivateKey(nil), keys...),
+		gen:   len(keys),
+	}}
+}
+
+// Size returns the number of distinct key slots in the pool.
+func (p *Pool) Size() int { return len(p.b.keys) }
+
+// Generated returns how many slots hold a generated key so far.
+func (p *Pool) Generated() int {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	return p.b.gen
+}
 
 // Suite returns the crypto suite of the pool's keys.
-func (p *Pool) Suite() crypt.SuiteID { return p.keys[0].Suite() }
+func (p *Pool) Suite() crypt.SuiteID { return p.b.suite }
 
 // Next deals the next key round-robin.
 func (p *Pool) Next() crypt.PrivateKey {
-	k := p.keys[p.next%len(p.keys)]
+	k := p.b.key(p.next % len(p.b.keys))
 	p.next++
 	return k
 }
@@ -134,15 +185,84 @@ func (p *Pool) Identity(id NodeID) *Identity {
 	return &Identity{ID: id, Key: p.Next()}
 }
 
-// View returns an independent cursor over the same keys, starting at
-// the given offset. Concurrent simulation runs each take a view so that
-// key dealing stays deterministic per run (a run's draws depend only on
-// its own offset, never on sibling runs) and involves no shared state.
+// Prefill generates the first n key slots (the whole pool if n <= 0 or
+// above Size) using up to workers parallel generators, so that a run
+// measuring steady-state behaviour does not absorb keygen latency on
+// its setup path. It is safe concurrently with Next; generation of each
+// slot still happens at most once. Returns the number of keys newly
+// generated.
+func (p *Pool) Prefill(n, workers int) int {
+	b := p.b
+	if n <= 0 || n > len(b.keys) {
+		n = len(b.keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Collect the slots that still need keys.
+	b.mu.Lock()
+	var missing []int
+	for i := 0; i < n; i++ {
+		if b.keys[i] == nil {
+			missing = append(missing, i)
+		}
+	}
+	b.mu.Unlock()
+	if len(missing) == 0 {
+		return 0
+	}
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	type gen struct {
+		slot int
+		key  crypt.PrivateKey
+	}
+	var cursor atomic.Int64
+	out := make(chan gen, len(missing))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(missing) {
+					return
+				}
+				k, err := crypt.GenerateKey(b.suite, b.bits)
+				if err != nil {
+					panic(fmt.Sprintf("identity: pool prefill: %v", err))
+				}
+				out <- gen{slot: missing[i], key: k}
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	filled := 0
+	b.mu.Lock()
+	for g := range out {
+		if b.keys[g.slot] == nil { // a racing Next may have won the slot
+			b.keys[g.slot] = g.key
+			b.gen++
+			filled++
+		}
+	}
+	b.mu.Unlock()
+	return filled
+}
+
+// View returns an independent cursor over the same key slots, starting
+// at the given offset. Concurrent simulation runs each take a view so
+// that key dealing stays deterministic per run (a run's draws depend
+// only on its own offset, never on sibling runs); the shared backing
+// synchronizes generation, so views are safe to drive concurrently.
 func (p *Pool) View(offset int) *Pool {
 	if offset < 0 {
 		offset = 0
 	}
-	return &Pool{keys: p.keys, next: offset % len(p.keys)}
+	return &Pool{b: p.b, next: offset % len(p.b.keys)}
 }
 
 // RandomID draws a non-nil NodeID from rng.

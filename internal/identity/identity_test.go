@@ -159,7 +159,7 @@ func TestKeysArePrecomputed(t *testing.T) {
 
 func TestPoolViewIndependentCursor(t *testing.T) {
 	p := TestPool(3)
-	if got := p.View(1).Next(); got != p.keys[1] {
+	if got := p.View(1).Next(); got != p.b.keys[1] {
 		t.Fatal("view did not start at its offset")
 	}
 	before := p.next
@@ -169,14 +169,69 @@ func TestPoolViewIndependentCursor(t *testing.T) {
 	if p.next != before {
 		t.Fatal("view draws advanced the parent cursor")
 	}
-	if &v.keys[0] != &p.keys[0] {
-		t.Fatal("view copied the key slice")
+	if v.b != p.b {
+		t.Fatal("view copied the key backing")
 	}
 	if got := p.View(7).next; got != 7%3 {
 		t.Fatalf("View(7).next = %d, want %d", got, 7%3)
 	}
 	if got := p.View(-2).next; got != 0 {
 		t.Fatalf("View(-2).next = %d, want 0", got)
+	}
+}
+
+func TestPoolLazyGeneration(t *testing.T) {
+	p, err := NewSuitePool(8, crypt.SuiteECC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Generated(); got != 0 {
+		t.Fatalf("fresh pool generated %d keys, want 0", got)
+	}
+	a := p.Next()
+	if got := p.Generated(); got != 1 {
+		t.Fatalf("after one draw generated = %d, want 1", got)
+	}
+	// A view over the same slot must deal the same key, not regenerate.
+	if got := p.View(0).Next(); got != a {
+		t.Fatal("view regenerated an existing slot")
+	}
+	if got := p.Generated(); got != 1 {
+		t.Fatalf("view draw generated a duplicate: %d", got)
+	}
+	// Wrapping the cursor reuses slots without generating more.
+	for i := 0; i < 20; i++ {
+		p.Next()
+	}
+	if got := p.Generated(); got != 8 {
+		t.Fatalf("after wrap generated = %d, want 8", got)
+	}
+}
+
+func TestPoolPrefillParallel(t *testing.T) {
+	p, err := NewSuitePool(9, crypt.SuiteECC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Next() // slot 0 generated on demand
+	if filled := p.Prefill(0, 4); filled != 8 {
+		t.Fatalf("Prefill generated %d keys, want 8", filled)
+	}
+	if got := p.Generated(); got != 9 {
+		t.Fatalf("after prefill generated = %d, want 9", got)
+	}
+	if filled := p.Prefill(0, 4); filled != 0 {
+		t.Fatalf("second Prefill regenerated %d keys", filled)
+	}
+	// Every slot distinct: round-robin over a full cycle repeats nothing.
+	seen := map[crypt.PrivateKey]bool{}
+	v := p.View(0)
+	for i := 0; i < 9; i++ {
+		k := v.Next()
+		if seen[k] {
+			t.Fatal("prefilled pool dealt a duplicate inside one cycle")
+		}
+		seen[k] = true
 	}
 }
 

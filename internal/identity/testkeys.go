@@ -42,10 +42,10 @@ func TestSuiteKeys(suite crypt.SuiteID, n int) []crypt.PrivateKey {
 
 // TestPool wraps TestKeys in a Pool of size n.
 func TestPool(n int) *Pool {
-	return &Pool{keys: TestKeys(n)}
+	return poolFromKeys(crypt.SuiteRSA2048, TestKeys(n))
 }
 
 // TestSuitePool wraps TestSuiteKeys in a Pool of size n.
 func TestSuitePool(suite crypt.SuiteID, n int) *Pool {
-	return &Pool{keys: TestSuiteKeys(suite, n)}
+	return poolFromKeys(suite, TestSuiteKeys(suite, n))
 }

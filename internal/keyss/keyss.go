@@ -21,20 +21,25 @@ import (
 // RSA modulus chosen for a run.
 const DefaultKeyBlobSize = 1024
 
-// Store caches public keys learned through gossip.
+// Store caches public keys learned through gossip. The map is
+// allocated on first Put: stacks running with key sampling disabled
+// (the large-population scale runs) never pay for it.
 type Store struct {
 	keys map[identity.NodeID]crypt.PublicKey
 }
 
 // NewStore returns an empty key store.
 func NewStore() *Store {
-	return &Store{keys: make(map[identity.NodeID]crypt.PublicKey)}
+	return &Store{}
 }
 
 // Put records the key for id, overwriting any previous one.
 func (s *Store) Put(id identity.NodeID, pub crypt.PublicKey) {
 	if pub == nil {
 		return
+	}
+	if s.keys == nil {
+		s.keys = make(map[identity.NodeID]crypt.PublicKey)
 	}
 	s.keys[id] = pub
 }

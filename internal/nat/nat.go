@@ -104,27 +104,87 @@ const TCPLease = 24 * time.Hour
 // paper's prototype does.
 const DefaultLease = TCPLease
 
-type filterKey struct {
+// filterEntry is one association-rule permission: traffic from ip (and
+// port, when non-zero — zero marks the address-only entry) was allowed
+// by an outbound packet at time at.
+type filterEntry struct {
 	ip   netem.IP
 	port uint16 // 0 = address-only entry
+	at   time.Duration
 }
 
 type mapping struct {
 	intEP   netem.Endpoint
-	extPort uint16
 	remote  netem.Endpoint // non-zero only for symmetric mappings
+	extPort uint16
 	lastOut time.Duration
-	filters map[filterKey]time.Duration
+	// filters is the packed filter table: linear-scanned (a mapping
+	// accumulates at most a couple of entries per distinct remote), with
+	// expired entries swept as it grows. It replaces a per-mapping map
+	// whose buckets dominated device memory at large populations.
+	filters []filterEntry
 }
 
-type symKey struct {
-	intEP  netem.Endpoint
-	remote netem.Endpoint
+// touchFilter records (or refreshes) the permission opened by an
+// outbound packet. Entries past the lease are unobservable (allowInbound
+// checks freshness), so the periodic sweep below cannot change behavior.
+func (m *mapping) touchFilter(ip netem.IP, port uint16, now, lease time.Duration) {
+	for i := range m.filters {
+		if m.filters[i].ip == ip && m.filters[i].port == port {
+			m.filters[i].at = now
+			return
+		}
+	}
+	if len(m.filters) > 0 && len(m.filters)%64 == 0 {
+		keep := m.filters[:0]
+		for _, f := range m.filters {
+			if now-f.at <= lease {
+				keep = append(keep, f)
+			}
+		}
+		m.filters = keep
+	}
+	if len(m.filters) == cap(m.filters) {
+		// Double while small (a symmetric mapping holds 2-3 entries,
+		// ever), then fixed +8 steps (see nylon.contactTable.upsert): a
+		// cone mapping accumulates a couple of entries per distinct
+		// remote, and append's doubling parked most devices on arrays
+		// half empty.
+		step := len(m.filters)
+		if step < 2 {
+			step = 2
+		} else if step > 8 {
+			step = 8
+		}
+		grown := make([]filterEntry, len(m.filters), len(m.filters)+step)
+		copy(grown, m.filters)
+		m.filters = grown
+	}
+	m.filters = append(m.filters, filterEntry{ip: ip, port: port, at: now})
+}
+
+func (m *mapping) filterFresh(ip netem.IP, port uint16, now, lease time.Duration) bool {
+	for i := range m.filters {
+		if m.filters[i].ip == ip && m.filters[i].port == port {
+			return now-m.filters[i].at <= lease
+		}
+	}
+	return false
+}
+
+type insideHost struct {
+	ip netem.IP
+	h  netem.Handler
 }
 
 // Device is one emulated NAT box serving one or more internal hosts.
 // It implements netem.Handler on its external (public) interface and
 // netem.Uplink on its internal interface.
+//
+// All tables are packed slices scanned linearly: a device serves one or
+// two internal hosts and one mapping per host (cone types) or per
+// (host, remote) pair (symmetric), so scans stay short while the maps
+// they replace cost ~100 heap bytes per entry at million-device scale.
 type Device struct {
 	sim   *simnet.Sim
 	net   *netem.Network
@@ -132,10 +192,8 @@ type Device struct {
 	ext   netem.IP
 	lease time.Duration
 
-	inside   map[netem.IP]netem.Handler
-	cone     map[netem.Endpoint]*mapping
-	sym      map[symKey]*mapping
-	byPort   map[uint16]*mapping
+	inside   []insideHost
+	maps     []mapping
 	nextPort uint16
 
 	// Diagnostics.
@@ -162,10 +220,6 @@ func NewDevice(n *netem.Network, typ Type, ext netem.IP, lease time.Duration) *D
 		typ:      typ,
 		ext:      ext,
 		lease:    lease,
-		inside:   make(map[netem.IP]netem.Handler),
-		cone:     make(map[netem.Endpoint]*mapping),
-		sym:      make(map[symKey]*mapping),
-		byPort:   make(map[uint16]*mapping),
 		nextPort: 1024,
 	}
 	n.Attach(ext, d)
@@ -186,18 +240,52 @@ func (d *Device) AttachInside(ip netem.IP, h netem.Handler) {
 	if ip.Public() {
 		panic("nat: internal host must use a private address")
 	}
-	d.inside[ip] = h
+	for i := range d.inside {
+		if d.inside[i].ip == ip {
+			d.inside[i].h = h
+			return
+		}
+	}
+	d.inside = append(d.inside, insideHost{ip: ip, h: h})
 }
 
 // DetachInside removes a private host (e.g. on churn departure). Its
 // mappings are left to expire naturally, as on a real device.
-func (d *Device) DetachInside(ip netem.IP) { delete(d.inside, ip) }
+func (d *Device) DetachInside(ip netem.IP) {
+	for i := range d.inside {
+		if d.inside[i].ip == ip {
+			d.inside = append(d.inside[:i], d.inside[i+1:]...)
+			return
+		}
+	}
+}
+
+func (d *Device) insideHandler(ip netem.IP) (netem.Handler, bool) {
+	for i := range d.inside {
+		if d.inside[i].ip == ip {
+			return d.inside[i].h, true
+		}
+	}
+	return nil, false
+}
 
 // Close detaches the device from the network.
 func (d *Device) Close() { d.net.Detach(d.ext) }
 
 func (d *Device) alive(m *mapping) bool {
 	return d.sim.Now()-m.lastOut <= d.lease
+}
+
+// livePortIndex returns the index of the live mapping holding external
+// port p, or -1. At most one live mapping holds any port (allocPort
+// only hands out ports no live mapping uses).
+func (d *Device) livePortIndex(p uint16) int {
+	for i := range d.maps {
+		if d.maps[i].extPort == p && d.alive(&d.maps[i]) {
+			return i
+		}
+	}
+	return -1
 }
 
 func (d *Device) allocPort() uint16 {
@@ -207,42 +295,71 @@ func (d *Device) allocPort() uint16 {
 		if d.nextPort == 0 {
 			d.nextPort = 1024
 		}
-		if m, ok := d.byPort[p]; !ok || !d.alive(m) {
-			delete(d.byPort, p)
+		if d.livePortIndex(p) < 0 {
 			return p
 		}
 	}
 }
 
+// mappingIndex finds the mapping slot for (intEP, remote) under the
+// device's mapping policy: endpoint-independent for cone types (remote
+// ignored), address-and-port-dependent for symmetric.
+func (d *Device) mappingIndex(intEP, remote netem.Endpoint) int {
+	for i := range d.maps {
+		if d.maps[i].intEP != intEP {
+			continue
+		}
+		if d.typ == Symmetric && d.maps[i].remote != remote {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
 // outboundMapping finds or creates the mapping used when intEP sends to
-// remote, refreshing the lease and filter entries.
+// remote, refreshing the lease and filter entries. The returned pointer
+// is into the device's mapping array — valid only until the next
+// outbound packet.
 func (d *Device) outboundMapping(intEP, remote netem.Endpoint) *mapping {
 	now := d.sim.Now()
-	var m *mapping
-	if d.typ == Symmetric {
-		k := symKey{intEP, remote}
-		m = d.sym[k]
-		if m == nil || !d.alive(m) {
-			m = &mapping{intEP: intEP, extPort: d.allocPort(), remote: remote,
-				filters: make(map[filterKey]time.Duration)}
-			d.sym[k] = m
-			d.byPort[m.extPort] = m
-			d.Mapped++
+	idx := d.mappingIndex(intEP, remote)
+	if idx < 0 || !d.alive(&d.maps[idx]) {
+		m := mapping{intEP: intEP, extPort: d.allocPort()}
+		if d.typ == Symmetric {
+			m.remote = remote
 		}
-	} else {
-		m = d.cone[intEP]
-		if m == nil || !d.alive(m) {
-			m = &mapping{intEP: intEP, extPort: d.allocPort(),
-				filters: make(map[filterKey]time.Duration)}
-			d.cone[intEP] = m
-			d.byPort[m.extPort] = m
-			d.Mapped++
+		if idx >= 0 {
+			// Reuse the dead slot (and its filter-table capacity). The
+			// dead mapping was already invisible: every inbound lookup
+			// checks liveness before use.
+			m.filters = d.maps[idx].filters[:0]
+			d.maps[idx] = m
+		} else {
+			if len(d.maps) == cap(d.maps) {
+				// Double while small, then +2 steps, as for the filter
+				// table: a cone device holds one mapping forever, a
+				// symmetric one grows per distinct destination.
+				step := len(d.maps)
+				if step < 1 {
+					step = 1
+				} else if step > 2 {
+					step = 2
+				}
+				grown := make([]mapping, len(d.maps), len(d.maps)+step)
+				copy(grown, d.maps)
+				d.maps = grown
+			}
+			d.maps = append(d.maps, m)
+			idx = len(d.maps) - 1
 		}
+		d.Mapped++
 	}
+	m := &d.maps[idx]
 	m.lastOut = now
 	// Record filter permissions opened by this outbound packet.
-	m.filters[filterKey{remote.IP, 0}] = now
-	m.filters[filterKey{remote.IP, remote.Port}] = now
+	m.touchFilter(remote.IP, 0, now, d.lease)
+	m.touchFilter(remote.IP, remote.Port, now, d.lease)
 	return m
 }
 
@@ -258,17 +375,13 @@ func (d *Device) Send(dg netem.Datagram) {
 // datagram from src on mapping m.
 func (d *Device) allowInbound(m *mapping, src netem.Endpoint) bool {
 	now := d.sim.Now()
-	fresh := func(k filterKey) bool {
-		t, ok := m.filters[k]
-		return ok && now-t <= d.lease
-	}
 	switch d.typ {
 	case FullCone:
 		return true
 	case RestrictedCone:
-		return fresh(filterKey{src.IP, 0})
+		return m.filterFresh(src.IP, 0, now, d.lease)
 	case PortRestrictedCone, Symmetric:
-		return fresh(filterKey{src.IP, src.Port})
+		return m.filterFresh(src.IP, src.Port, now, d.lease)
 	default:
 		return false
 	}
@@ -277,16 +390,17 @@ func (d *Device) allowInbound(m *mapping, src netem.Endpoint) bool {
 // HandleDatagram implements netem.Handler on the external interface:
 // look up the mapping by destination port, filter, rewrite, deliver.
 func (d *Device) HandleDatagram(dg netem.Datagram) {
-	m, ok := d.byPort[dg.Dst.Port]
-	if !ok || !d.alive(m) {
+	i := d.livePortIndex(dg.Dst.Port)
+	if i < 0 {
 		d.DroppedInbound++
 		return
 	}
+	m := &d.maps[i]
 	if !d.allowInbound(m, dg.Src) {
 		d.DroppedInbound++
 		return
 	}
-	h, ok := d.inside[m.intEP.IP]
+	h, ok := d.insideHandler(m.intEP.IP)
 	if !ok {
 		d.DroppedInbound++
 		return
@@ -302,9 +416,9 @@ func (d *Device) ExternalEndpoint(intEP netem.Endpoint) (ep netem.Endpoint, ok b
 	if d.typ == Symmetric {
 		return netem.Endpoint{}, false
 	}
-	m := d.cone[intEP]
-	if m == nil || !d.alive(m) {
+	i := d.mappingIndex(intEP, netem.Endpoint{})
+	if i < 0 || !d.alive(&d.maps[i]) {
 		return netem.Endpoint{}, false
 	}
-	return netem.Endpoint{IP: d.ext, Port: m.extPort}, true
+	return netem.Endpoint{IP: d.ext, Port: d.maps[i].extPort}, true
 }

@@ -1,6 +1,7 @@
 package nylon
 
 import (
+	"sync/atomic"
 	"time"
 
 	"whisper/internal/identity"
@@ -109,7 +110,34 @@ type met struct {
 	punchRTT          *obs.Histogram
 }
 
+// sharedPunchRTT absorbs punch RTT observations for nodes running
+// without a metrics scope: the per-node histogram is write-only then
+// (Stats does not expose it), so unobserved nodes share one sink
+// instead of each retaining a bucket array. Histogram writes are
+// atomic, so the shared sink is safe from every node.
+var sharedPunchRTT = obs.NewHistogram()
+
 func newMet(sc *obs.Scope) met {
+	if sc == nil {
+		// Unobserved node: the counters still back Stats, so they stay
+		// per-node — but carved from one block instead of eleven heap
+		// objects each.
+		blk := new([11]obs.Counter)
+		return met{
+			shufflesInitiated: &blk[0],
+			shufflesViaRelays: &blk[1],
+			shufflesCompleted: &blk[2],
+			shufflesTimedOut:  &blk[3],
+			shufflesServed:    &blk[4],
+			routeFailures:     &blk[5],
+			relaysForwarded:   &blk[6],
+			relayDrops:        &blk[7],
+			punchAttempts:     &blk[8],
+			punchSuccesses:    &blk[9],
+			echoUpdates:       &blk[10],
+			punchRTT:          sharedPunchRTT,
+		}
+	}
 	return met{
 		shufflesInitiated: sc.Counter("nylon_shuffles_initiated_total"),
 		shufflesViaRelays: sc.Counter("nylon_shuffles_via_relays_total"),
@@ -145,9 +173,44 @@ type pendingShuffle struct {
 	timer   transport.Timer
 }
 
+// pendingRef indexes an in-flight shuffle by sequence number. A node
+// has at most a couple of shuffles in flight, so a packed slice with
+// linear scans replaces the historical map[uint32]*pendingShuffle,
+// whose buckets outweighed the payload at large populations.
+type pendingRef struct {
+	seq uint32
+	p   *pendingShuffle
+}
+
+// findPending returns the in-flight shuffle with the given sequence
+// number, or nil.
+func (n *Node) findPending(seq uint32) *pendingShuffle {
+	for i := range n.pending {
+		if n.pending[i].seq == seq {
+			return n.pending[i].p
+		}
+	}
+	return nil
+}
+
+// removePending drops the in-flight shuffle with the given sequence
+// number, reporting whether it existed.
+func (n *Node) removePending(seq uint32) bool {
+	for i := range n.pending {
+		if n.pending[i].seq == seq {
+			last := len(n.pending) - 1
+			n.pending[i] = n.pending[last]
+			n.pending[last] = pendingRef{}
+			n.pending = n.pending[:last]
+			return true
+		}
+	}
+	return false
+}
+
 // Node is one Nylon PSS participant.
 type Node struct {
-	cfg   Config
+	cfg   *Config // shared across nodes built with an identical config
 	rt    transport.Transport
 	ident *identity.Identity
 	port  *transport.Port
@@ -156,8 +219,8 @@ type Node struct {
 
 	view     *pss.View[Descriptor]
 	keys     *keyss.Store
-	contacts map[identity.NodeID]*contact
-	pending  map[uint32]*pendingShuffle
+	contacts contactTable
+	pending  []pendingRef
 	seq      uint32
 
 	selfExt   transport.Endpoint
@@ -175,8 +238,31 @@ type Node struct {
 
 	met met
 	// punchSent remembers when a punch request left for a peer, to
-	// derive the punch RTT when the peer's probe (or ack) arrives.
-	punchSent map[identity.NodeID]time.Duration
+	// derive the punch RTT when the peer's probe (or ack) arrives. A
+	// node has at most a handful of punches outstanding, so a packed
+	// slice (empty until the first punch) replaces the historical map.
+	punchSent []punchSentEntry
+}
+
+// punchSentEntry records an outstanding punch request's start time.
+type punchSentEntry struct {
+	id identity.NodeID
+	at time.Duration
+}
+
+// cfgCache deduplicates the per-node Config copy: a world builds every
+// node with the same effective config, so all of them can point at one
+// shared value instead of embedding ~100 bytes each. Lock-free — a
+// racing store at worst wastes one copy.
+var cfgCache atomic.Pointer[Config]
+
+func sharedConfig(c Config) *Config {
+	if p := cfgCache.Load(); p != nil && *p == c {
+		return p
+	}
+	p := &c
+	cfgCache.Store(p)
+	return p
 }
 
 // NewNode wires a node to a transport (the emulated substrate or real
@@ -189,17 +275,14 @@ type Node struct {
 func NewNode(rt transport.Transport, ident *identity.Identity, typ nat.Type, addr transport.Endpoint, dev *nat.Device, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:       cfg,
-		rt:        rt,
-		ident:     ident,
-		typ:       typ,
-		dev:       dev,
-		view:      pss.NewView[Descriptor](cfg.ViewSize),
-		keys:      keyss.NewStore(),
-		contacts:  make(map[identity.NodeID]*contact),
-		pending:   make(map[uint32]*pendingShuffle),
-		punchSent: make(map[identity.NodeID]time.Duration),
-		met:       newMet(cfg.Obs),
+		cfg:   sharedConfig(cfg),
+		rt:    rt,
+		ident: ident,
+		typ:   typ,
+		dev:   dev,
+		view:  pss.NewView[Descriptor](cfg.ViewSize),
+		keys:  keyss.NewStore(),
+		met:   newMet(cfg.Obs),
 	}
 	meter := &transport.Meter{}
 	// Bandwidth gauges read the (atomic) meter at scrape time.
@@ -276,7 +359,7 @@ func (n *Node) View() []pss.Entry[Descriptor] { return n.view.Entries() }
 func (n *Node) ViewIDs() []identity.NodeID { return n.view.IDs() }
 
 // Config returns the node's effective configuration.
-func (n *Node) Config() Config { return n.cfg }
+func (n *Node) Config() Config { return *n.cfg }
 
 // GetPeer returns one uniformly random peer from the view — the
 // getPeer() of the PSS API (Fig 1). ok is false if the view is empty.
@@ -322,8 +405,8 @@ func (n *Node) Stop() {
 	if n.ticker != nil {
 		n.ticker.Stop()
 	}
-	for _, p := range n.pending {
-		p.timer.Cancel()
+	for i := range n.pending {
+		n.pending[i].p.timer.Cancel()
 	}
 	n.port.Close()
 	if n.typ == nat.None {
@@ -342,6 +425,7 @@ func (n *Node) cycle() {
 	if n.stopped {
 		return
 	}
+	n.contacts.sweep(n.rt.Now(), n.cfg.ContactTTL)
 	n.maybeDiscoverExternal()
 	n.view.AgeAll()
 	partner, ok := n.view.Oldest()
@@ -368,12 +452,11 @@ func (n *Node) cycle() {
 	}
 	p := &pendingShuffle{partner: partner.Val, path: path, sent: sent}
 	p.timer = n.rt.After(n.cfg.ShuffleTimeout, func() {
-		if _, live := n.pending[seq]; live {
-			delete(n.pending, seq)
+		if n.removePending(seq) {
 			n.met.shufflesTimedOut.Inc()
 		}
 	})
-	n.pending[seq] = p
+	n.pending = append(n.pending, pendingRef{seq: seq, p: p})
 	n.send(msg.encode(msgShuffleReq, n.cfg.KeyBlobSize, n.cfg.KeySampling), partner.Val, path)
 }
 
@@ -516,11 +599,11 @@ func (n *Node) handleShuffleResp(src transport.Endpoint, r *wire.Reader) {
 	if err != nil {
 		return
 	}
-	p, ok := n.pending[resp.Seq]
-	if !ok || p.partner.ID != resp.From.ID {
+	p := n.findPending(resp.Seq)
+	if p == nil || p.partner.ID != resp.From.ID {
 		return
 	}
-	delete(n.pending, resp.Seq)
+	n.removePending(resp.Seq)
 	p.timer.Cancel()
 	if len(p.path) == 0 {
 		n.learnContact(resp.From.ID, src, resp.From.Public)

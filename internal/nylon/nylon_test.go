@@ -29,7 +29,7 @@ func TestOverlayConvergesWithNATs(t *testing.T) {
 	w.StartAll()
 	w.Sim.RunUntil(5 * time.Minute)
 
-	g := w.Graph()
+	g := w.GraphStream()
 	if !g.WeaklyConnected() {
 		t.Fatal("overlay disconnected after 30 cycles")
 	}
@@ -183,7 +183,7 @@ func TestPunchingDisabledStillConverges(t *testing.T) {
 		Nylon: nylon.Config{DisablePunch: true}})
 	w.StartAll()
 	w.Sim.RunUntil(5 * time.Minute)
-	if !w.Graph().WeaklyConnected() {
+	if !w.GraphStream().WeaklyConnected() {
 		t.Fatal("relay-only network disconnected")
 	}
 	var punches uint64
@@ -224,7 +224,7 @@ func TestChurnHealing(t *testing.T) {
 	if frac := float64(staleRefs) / float64(totalRefs); frac > 0.02 {
 		t.Fatalf("%.1f%% of view entries still point to dead nodes after 36 cycles", frac*100)
 	}
-	if !w.Graph().WeaklyConnected() {
+	if !w.GraphStream().WeaklyConnected() {
 		t.Fatal("overlay disconnected after churn")
 	}
 	// New arrivals are integrated: they appear in other nodes' views.
@@ -304,7 +304,7 @@ func TestInDegreeBalance(t *testing.T) {
 	w := buildWorld(t, sim.Options{Seed: 11, N: 200, NATRatio: 0.7})
 	w.StartAll()
 	w.Sim.RunUntil(5 * time.Minute)
-	in := w.Graph().InDegrees()
+	in := w.GraphStream().InDegrees()
 	max, zero := 0, 0
 	for _, d := range in {
 		if d > max {
@@ -340,7 +340,7 @@ func TestConvergesOnLossyWAN(t *testing.T) {
 	w.StartAll()
 	w.Sim.RunUntil(8 * time.Minute)
 
-	g := w.Graph()
+	g := w.GraphStream()
 	if !g.WeaklyConnected() {
 		t.Fatal("overlay disconnected under WAN loss")
 	}

@@ -40,16 +40,15 @@ func (n *Node) maybeDiscoverExternal() {
 
 // randomPublicPeer picks the endpoint of a usable P-node: preferably a
 // live contact, otherwise a P-node from the view. Contact candidates
-// are ordered by node ID before the random pick — n.contacts is a map,
-// and letting its iteration order reach the draw would make runs
-// depend on the runtime's map hashing (invisible while nodes hold at
-// most one public contact, nondeterministic at scale where they hold
-// several).
+// are ordered by node ID before the random pick — the table stores them
+// in insertion order, and letting that order reach the draw would make
+// the RNG stream depend on arrival history in ways the historical
+// (sorted) implementation pinned down.
 func (n *Node) randomPublicPeer() (transport.Endpoint, bool) {
 	var pubIDs []identity.NodeID
-	for id, c := range n.contacts {
-		if c.public {
-			pubIDs = append(pubIDs, id)
+	for i := range n.contacts.entries {
+		if c := &n.contacts.entries[i]; c.public {
+			pubIDs = append(pubIDs, c.id)
 		}
 	}
 	sort.Slice(pubIDs, func(i, j int) bool { return pubIDs[i] < pubIDs[j] })
@@ -95,7 +94,18 @@ func (n *Node) maybePunch(peer Descriptor, path []identity.NodeID) {
 		return // discovery not completed yet; a later exchange will punch
 	}
 	n.met.punchAttempts.Inc()
-	n.punchSent[peer.ID] = n.rt.Now()
+	now := n.rt.Now()
+	found := false
+	for i := range n.punchSent {
+		if n.punchSent[i].id == peer.ID {
+			n.punchSent[i].at = now
+			found = true
+			break
+		}
+	}
+	if !found {
+		n.punchSent = append(n.punchSent, punchSentEntry{id: peer.ID, at: now})
+	}
 	req := punchReq{From: n.ident.ID, Ext: ext, Path: path}
 	n.send(req.encode(), peer, path)
 }
@@ -152,8 +162,14 @@ func (n *Node) handleProbeAck(src transport.Endpoint, r *wire.Reader) {
 // evidence of a working direct path (the peer's probe or ack). Only the
 // initiating side has a start time on record.
 func (n *Node) observePunchRTT(from identity.NodeID) {
-	if t0, ok := n.punchSent[from]; ok {
-		delete(n.punchSent, from)
-		n.met.punchRTT.ObserveDuration(n.rt.Now() - t0)
+	for i := range n.punchSent {
+		if n.punchSent[i].id == from {
+			t0 := n.punchSent[i].at
+			last := len(n.punchSent) - 1
+			n.punchSent[i] = n.punchSent[last]
+			n.punchSent = n.punchSent[:last]
+			n.met.punchRTT.ObserveDuration(n.rt.Now() - t0)
+			return
+		}
 	}
 }

@@ -19,15 +19,135 @@ var ErrNoRoute = errors.New("nylon: no usable route")
 // from it (which bounds how long its NAT association rules keep our
 // traffic flowing).
 type contact struct {
+	id     identity.NodeID
+	lastIn time.Duration // virtual time of last direct inbound datagram
 	ep     transport.Endpoint
 	public bool
-	lastIn time.Duration // virtual time of last direct inbound datagram
-	// route is the last known relay chain to the node, for peers whose
-	// exchanges were relayed (no direct association exists). It embodies
-	// the Nylon property that a channel can be opened to any recent
-	// partner even without hole punching.
-	route   []identity.NodeID
+}
+
+// routeEntry is the last known relay chain to a node, for peers whose
+// exchanges were relayed (no direct association exists). It embodies
+// the Nylon property that a channel can be opened to any recent
+// partner even without hole punching. Routes are kept in a side table
+// because only a small minority of contacts ever carry one: folding
+// the slice header and timestamp into every contact would nearly
+// triple the 24-byte entry for state that is almost always empty.
+type routeEntry struct {
+	id      identity.NodeID
 	routeAt time.Duration
+	route   []identity.NodeID
+}
+
+// contactTable stores contacts packed by value in insertion order,
+// replacing the historical map[NodeID]*contact. Every node carries one
+// of these for its whole life, so at large populations the map's bucket
+// overhead and one heap object per contact dominated the table's own
+// payload. Lookups scan linearly — a node accumulates tens of contacts,
+// and the dense walk is cache-friendly at that size.
+type contactTable struct {
+	entries []contact
+	routes  []routeEntry
+}
+
+func (t *contactTable) find(id identity.NodeID) int {
+	for i := range t.entries {
+		if t.entries[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// upsert returns the entry for id, creating it if absent. The returned
+// pointer is invalidated by the next upsert or sweep — use immediately.
+func (t *contactTable) upsert(id identity.NodeID) *contact {
+	if i := t.find(id); i >= 0 {
+		return &t.entries[i]
+	}
+	if len(t.entries) == cap(t.entries) {
+		// Double while small, then grow in fixed +4 steps instead of
+		// append's doubling: every node carries this table for its
+		// whole life, and at large populations the doubled tail (a
+		// 9-contact NATted node parked on a 16-slot array, a 35-contact
+		// P-node on a 64-slot one) was a measurable share of per-node
+		// heap. Growth is rare — a node meets a few dozen distinct
+		// peers — so the extra copies are noise.
+		step := len(t.entries)
+		if step < 2 {
+			step = 2
+		} else if step > 4 {
+			step = 4
+		}
+		grown := make([]contact, len(t.entries), len(t.entries)+step)
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+	t.entries = append(t.entries, contact{id: id})
+	return &t.entries[len(t.entries)-1]
+}
+
+func (t *contactTable) routeFind(id identity.NodeID) int {
+	for i := range t.routes {
+		if t.routes[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// routeUpsert returns the route entry for id, creating it if absent.
+// Same pointer-validity and growth policy as upsert.
+func (t *contactTable) routeUpsert(id identity.NodeID) *routeEntry {
+	if i := t.routeFind(id); i >= 0 {
+		return &t.routes[i]
+	}
+	if len(t.routes) == cap(t.routes) {
+		step := len(t.routes)
+		if step < 2 {
+			step = 2
+		} else if step > 4 {
+			step = 4
+		}
+		grown := make([]routeEntry, len(t.routes), len(t.routes)+step)
+		copy(grown, t.routes)
+		t.routes = grown
+	}
+	t.routes = append(t.routes, routeEntry{id: id})
+	return &t.routes[len(t.routes)-1]
+}
+
+// sweep drops entries no reader can see anymore: direct associations
+// past their liveness window, and routes past the contact TTL. The
+// conditions mirror the freshness checks in contactEndpoint and
+// storedRoute, so removal is observationally identical to keeping the
+// stale state around.
+func (t *contactTable) sweep(now, ttl time.Duration) {
+	keep := t.entries[:0]
+	for i := range t.entries {
+		c := &t.entries[i]
+		directTTL := ttl
+		if c.public {
+			directTTL *= 4
+		}
+		if now-c.lastIn <= directTTL {
+			keep = append(keep, *c)
+		}
+	}
+	for i := len(keep); i < len(t.entries); i++ {
+		t.entries[i] = contact{}
+	}
+	t.entries = keep
+
+	keepR := t.routes[:0]
+	for i := range t.routes {
+		if now-t.routes[i].routeAt <= ttl {
+			keepR = append(keepR, t.routes[i])
+		}
+	}
+	for i := len(keepR); i < len(t.routes); i++ {
+		t.routes[i] = routeEntry{}
+	}
+	t.routes = keepR
 }
 
 // learnContact records that a datagram arrived directly from id via ep.
@@ -35,11 +155,7 @@ func (n *Node) learnContact(id identity.NodeID, ep transport.Endpoint, public bo
 	if id == n.ident.ID || ep.IsZero() {
 		return
 	}
-	c := n.contacts[id]
-	if c == nil {
-		c = &contact{}
-		n.contacts[id] = c
-	}
+	c := n.contacts.upsert(id)
 	c.ep = ep
 	c.public = public
 	c.lastIn = n.rt.Now()
@@ -51,20 +167,20 @@ func (n *Node) learnRoute(id identity.NodeID, route []identity.NodeID) {
 	if id == n.ident.ID || len(route) == 0 {
 		return
 	}
-	c := n.contacts[id]
-	if c == nil {
-		c = &contact{}
-		n.contacts[id] = c
-	}
-	c.route = append(c.route[:0], route...)
-	c.routeAt = n.rt.Now()
+	r := n.contacts.routeUpsert(id)
+	r.route = append(r.route[:0], route...)
+	r.routeAt = n.rt.Now()
 }
 
 // storedRoute returns a remembered relay chain to id whose first relay
 // is still reachable.
 func (n *Node) storedRoute(id identity.NodeID) ([]identity.NodeID, bool) {
-	c, ok := n.contacts[id]
-	if !ok || len(c.route) == 0 {
+	i := n.contacts.routeFind(id)
+	if i < 0 {
+		return nil, false
+	}
+	c := &n.contacts.routes[i]
+	if len(c.route) == 0 {
 		return nil, false
 	}
 	if n.rt.Now()-c.routeAt > n.cfg.ContactTTL {
@@ -86,11 +202,11 @@ func (n *Node) usableContact(id identity.NodeID) bool {
 }
 
 func (n *Node) contactEndpoint(id identity.NodeID) (transport.Endpoint, bool) {
-	c, ok := n.contacts[id]
-	if !ok || c.ep.IsZero() {
-		// Entries created by learnRoute alone carry no direct endpoint.
+	i := n.contacts.find(id)
+	if i < 0 {
 		return transport.Endpoint{}, false
 	}
+	c := &n.contacts.entries[i]
 	age := n.rt.Now() - c.lastIn
 	ttl := n.cfg.ContactTTL
 	if c.public {
@@ -107,8 +223,8 @@ func (n *Node) contactEndpoint(id identity.NodeID) (transport.Endpoint, bool) {
 // (diagnostic).
 func (n *Node) ContactIDs() []identity.NodeID {
 	var out []identity.NodeID
-	for id := range n.contacts {
-		if n.usableContact(id) {
+	for i := range n.contacts.entries {
+		if id := n.contacts.entries[i].id; n.usableContact(id) {
 			out = append(out, id)
 		}
 	}

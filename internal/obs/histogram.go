@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,17 +18,29 @@ var DefaultBuckets = []float64{
 }
 
 // Histogram accumulates observations into fixed buckets. Observation
-// is an atomic add (allocation-free); merging and quantile estimation
-// happen on snapshots. Safe on a nil receiver.
+// is an atomic add (allocation-free once the bucket array exists);
+// merging and quantile estimation happen on snapshots. Safe on a nil
+// receiver.
+//
+// The bucket array is allocated lazily on the first Observe: every
+// simulated node registers duration histograms it may never feed (a
+// node that never punches never observes a punch RTT), and with the
+// default 19-bound layout each eager array cost 160 bytes across the
+// whole population.
 type Histogram struct {
 	bounds []float64 // strictly increasing upper bounds
-	counts []Counter // len(bounds)+1; the last bucket is +Inf overflow
+	// counts holds len(bounds)+1 counters (the last is the +Inf
+	// overflow), nil until the first observation.
+	counts atomic.Pointer[[]Counter]
 	count  Counter
 	sum    atomicFloat
 }
 
 // NewHistogram creates a histogram with the given bucket upper bounds
-// (DefaultBuckets if none). Bounds must be strictly increasing.
+// (DefaultBuckets if none). Bounds must be strictly increasing. The
+// bounds slice is retained, not copied — callers must not mutate it
+// (the common DefaultBuckets case shares one package-level array across
+// every histogram in the process).
 func NewHistogram(bounds ...float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = DefaultBuckets
@@ -37,10 +50,21 @@ func NewHistogram(bounds ...float64) *Histogram {
 			panic("obs: histogram bounds must be strictly increasing")
 		}
 	}
-	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]Counter, len(bounds)+1),
+	return &Histogram{bounds: bounds}
+}
+
+// buckets returns the counter array, allocating it on first use. The
+// CAS makes a racing first Observe from two goroutines converge on one
+// array; the loser's allocation is garbage.
+func (h *Histogram) buckets() []Counter {
+	if p := h.counts.Load(); p != nil {
+		return *p
 	}
+	fresh := make([]Counter, len(h.bounds)+1)
+	if h.counts.CompareAndSwap(nil, &fresh) {
+		return fresh
+	}
+	return *h.counts.Load()
 }
 
 // Observe records one value.
@@ -51,7 +75,7 @@ func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v; equal values land in the
 	// bucket they bound (Prometheus "le" semantics).
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Inc()
+	h.buckets()[i].Inc()
 	h.count.Inc()
 	h.sum.add(v)
 }
@@ -71,12 +95,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s := HistogramSnapshot{
 		Bounds: h.bounds,
-		Counts: make([]uint64, len(h.counts)),
+		Counts: make([]uint64, len(h.bounds)+1),
 		Sum:    h.sum.load(),
 	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Value()
-		s.Count += s.Counts[i]
+	if p := h.counts.Load(); p != nil {
+		for i := range *p {
+			s.Counts[i] = (*p)[i].Value()
+			s.Count += s.Counts[i]
+		}
 	}
 	return s
 }

@@ -1,0 +1,295 @@
+package pss
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"whisper/internal/identity"
+)
+
+// boxedView is the pre-packing reference implementation of View: a
+// plain []Entry[T] grown by append, with each method transcribed from
+// the historical code. TestViewPackedMatchesBoxed drives it and the
+// packed View through identical operation and RNG streams and requires
+// bit-identical observable state after every step — the packed layout
+// must be a pure representation change.
+type boxedView[T Item] struct {
+	capacity int
+	entries  []Entry[T]
+}
+
+func (v *boxedView[T]) Len() int { return len(v.entries) }
+
+func (v *boxedView[T]) Entries() []Entry[T] { return append([]Entry[T](nil), v.entries...) }
+
+func (v *boxedView[T]) index(id identity.NodeID) int {
+	for i, e := range v.entries {
+		if e.Val.Key() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (v *boxedView[T]) oldestIndex() int {
+	if len(v.entries) == 0 {
+		return -1
+	}
+	best := 0
+	for i, e := range v.entries {
+		if e.Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	return best
+}
+
+func (v *boxedView[T]) Contains(id identity.NodeID) bool { return v.index(id) >= 0 }
+
+func (v *boxedView[T]) Insert(val T, age uint16) {
+	for i := range v.entries {
+		if v.entries[i].Val.Key() == val.Key() {
+			if age <= v.entries[i].Age {
+				v.entries[i] = Entry[T]{Val: val, Age: age}
+			}
+			return
+		}
+	}
+	if len(v.entries) >= v.capacity {
+		oldest := v.oldestIndex()
+		v.entries = append(v.entries[:oldest], v.entries[oldest+1:]...)
+	}
+	v.entries = append(v.entries, Entry[T]{Val: val, Age: age})
+}
+
+func (v *boxedView[T]) Remove(id identity.NodeID) bool {
+	if i := v.index(id); i >= 0 {
+		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+		return true
+	}
+	return false
+}
+
+func (v *boxedView[T]) AgeAll() {
+	for i := range v.entries {
+		if v.entries[i].Age < MaxAge {
+			v.entries[i].Age++
+		}
+	}
+}
+
+func (v *boxedView[T]) Oldest() (Entry[T], bool) {
+	if len(v.entries) == 0 {
+		return Entry[T]{}, false
+	}
+	return v.entries[v.oldestIndex()], true
+}
+
+func (v *boxedView[T]) Sample(rng *rand.Rand, n int, exclude ...identity.NodeID) []Entry[T] {
+	candidates := make([]Entry[T], 0, len(v.entries))
+	for _, e := range v.entries {
+		skip := false
+		for _, id := range exclude {
+			if e.Val.Key() == id {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			candidates = append(candidates, e)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > n {
+		candidates = candidates[:n]
+	}
+	return candidates
+}
+
+func (v *boxedView[T]) Random(rng *rand.Rand) (Entry[T], bool) {
+	if len(v.entries) == 0 {
+		return Entry[T]{}, false
+	}
+	return v.entries[rng.Intn(len(v.entries))], true
+}
+
+func (v *boxedView[T]) PublicCount() int {
+	n := 0
+	for _, e := range v.entries {
+		if e.Val.IsPublic() {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeCyclonBoxed is the historical MergeCyclon transcribed onto the
+// boxed layout.
+func mergeCyclonBoxed[T Item](view *boxedView[T], sent, received []Entry[T], o SelectOpts) {
+	replaceable := make([]identity.NodeID, 0, len(sent))
+	for _, s := range sent {
+		id := s.Val.Key()
+		if id != o.Self && view.Contains(id) {
+			replaceable = append(replaceable, id)
+		}
+	}
+	var evicted []Entry[T]
+	for _, r := range received {
+		id := r.Val.Key()
+		if id == o.Self {
+			continue
+		}
+		if i := view.index(id); i >= 0 {
+			if r.Age < view.entries[i].Age {
+				view.entries[i] = r
+			}
+			continue
+		}
+		if view.Len() < o.Capacity {
+			view.entries = append(view.entries, r)
+			continue
+		}
+		if len(replaceable) > 0 {
+			victim := replaceable[0]
+			replaceable = replaceable[1:]
+			if i := view.index(victim); i >= 0 {
+				evicted = append(evicted, view.entries[i])
+				view.entries[i] = r
+				continue
+			}
+		}
+		oi := view.oldestIndex()
+		if oi >= 0 && view.entries[oi].Age > r.Age {
+			evicted = append(evicted, view.entries[oi])
+			view.entries[oi] = r
+		}
+	}
+	if o.MinPublic <= 0 {
+		return
+	}
+	var candidates []Entry[T]
+	for _, e := range received {
+		if e.Val.IsPublic() && e.Val.Key() != o.Self && !view.Contains(e.Val.Key()) {
+			candidates = append(candidates, e)
+		}
+	}
+	for _, e := range evicted {
+		if e.Val.IsPublic() && !view.Contains(e.Val.Key()) {
+			candidates = append(candidates, e)
+		}
+	}
+	sortEntries(candidates)
+	for view.PublicCount() < o.MinPublic && len(candidates) > 0 {
+		c := candidates[0]
+		candidates = candidates[1:]
+		if view.Contains(c.Val.Key()) {
+			continue
+		}
+		if view.Len() < o.Capacity {
+			view.entries = append(view.entries, c)
+			continue
+		}
+		ni, age := -1, -1
+		for i, e := range view.entries {
+			if !e.Val.IsPublic() && int(e.Age) > age {
+				ni, age = i, int(e.Age)
+			}
+		}
+		if ni < 0 {
+			break
+		}
+		view.entries[ni] = c
+	}
+}
+
+// TestViewPackedMatchesBoxed drives the packed View and the boxed
+// reference through the same randomized operation script with
+// independent but identically seeded RNG streams, comparing the full
+// entry sequence (values, ages, and slot order) after every operation.
+func TestViewPackedMatchesBoxed(t *testing.T) {
+	const capacity = 10
+	for seed := int64(1); seed <= 20; seed++ {
+		script := rand.New(rand.NewSource(seed))
+		packedRNG := rand.New(rand.NewSource(seed * 7919))
+		boxedRNG := rand.New(rand.NewSource(seed * 7919))
+		packed := NewView[item](capacity)
+		boxed := &boxedView[item]{capacity: capacity}
+		self := identity.NodeID(0)
+		opts := SelectOpts{Capacity: capacity, Self: self, MinPublic: 3}
+
+		mkItem := func() item {
+			id := identity.NodeID(script.Intn(40) + 1)
+			return item{id: id, pub: id%3 == 0}
+		}
+		entries := func(n int) []Entry[item] {
+			out := make([]Entry[item], n)
+			for i := range out {
+				out[i] = Entry[item]{Val: mkItem(), Age: uint16(script.Intn(8))}
+			}
+			return out
+		}
+
+		for step := 0; step < 500; step++ {
+			switch op := script.Intn(10); op {
+			case 0, 1, 2:
+				it := mkItem()
+				age := uint16(script.Intn(8))
+				packed.Insert(it, age)
+				boxed.Insert(it, age)
+			case 3:
+				id := identity.NodeID(script.Intn(40) + 1)
+				if packed.Remove(id) != boxed.Remove(id) {
+					t.Fatalf("seed %d step %d: Remove(%d) disagreement", seed, step, id)
+				}
+			case 4:
+				packed.AgeAll()
+				boxed.AgeAll()
+			case 5:
+				pe, pok := packed.Oldest()
+				be, bok := boxed.Oldest()
+				if pok != bok || pe != be {
+					t.Fatalf("seed %d step %d: Oldest %v/%v vs %v/%v", seed, step, pe, pok, be, bok)
+				}
+			case 6:
+				n := script.Intn(6)
+				var exclude []identity.NodeID
+				if script.Intn(2) == 0 {
+					exclude = append(exclude, identity.NodeID(script.Intn(40)+1))
+				}
+				ps := packed.Sample(packedRNG, n, exclude...)
+				bs := boxed.Sample(boxedRNG, n, exclude...)
+				if !reflect.DeepEqual(ps, bs) {
+					t.Fatalf("seed %d step %d: Sample mismatch\npacked: %v\nboxed:  %v", seed, step, ps, bs)
+				}
+			case 7:
+				pe, pok := packed.Random(packedRNG)
+				be, bok := boxed.Random(boxedRNG)
+				if pok != bok || pe != be {
+					t.Fatalf("seed %d step %d: Random %v/%v vs %v/%v", seed, step, pe, pok, be, bok)
+				}
+			case 8, 9:
+				// A full Cyclon exchange: both sides sample a sent
+				// buffer with the same RNG draw, then merge the same
+				// received buffer.
+				sent := packed.Sample(packedRNG, 5)
+				bsent := boxed.Sample(boxedRNG, 5)
+				if !reflect.DeepEqual(sent, bsent) {
+					t.Fatalf("seed %d step %d: sent buffer mismatch", seed, step)
+				}
+				received := entries(script.Intn(7))
+				MergeCyclon(packed, sent, received, opts)
+				mergeCyclonBoxed(boxed, bsent, received, opts)
+			}
+			pe, be := packed.Entries(), boxed.Entries()
+			if !reflect.DeepEqual(pe, be) {
+				t.Fatalf("seed %d step %d: entries diverged\npacked: %v\nboxed:  %v", seed, step, pe, be)
+			}
+			if packed.Len() != boxed.Len() || packed.PublicCount() != boxed.PublicCount() {
+				t.Fatalf("seed %d step %d: len/publics diverged", seed, step)
+			}
+		}
+	}
+}

@@ -10,6 +10,20 @@
 // PPSS instantiates it with private-group entries carrying public keys
 // and helper sets. All functions are pure or operate on local state, so
 // the protocol logic is exhaustively unit-testable without a network.
+//
+// # Memory layout
+//
+// A View stores its entries in dense, exact-capacity, structure-of-
+// arrays form: one value array and one age array, both allocated once
+// at construction and indexed by slot. Views are the dominant per-node
+// heap consumer of large simulated worlds (one view per node, held for
+// the node's whole life), and the historical []Entry[T] form paid both
+// the interleaved-age padding and append's capacity doubling — a
+// 10-entry view ended up with room for 16 boxed entries. The packed
+// layout is behavior-identical: every operation below preserves the
+// exact slot order (and therefore the exact gossip output) of the boxed
+// implementation, which TestViewPackedMatchesBoxed pins differentially
+// and the fig5 golden pins end to end.
 package pss
 
 import (
@@ -31,79 +45,121 @@ type Item interface {
 // MaxAge saturates entry ages, preventing wrap-around in very long runs.
 const MaxAge = 1<<16 - 1
 
-// Entry is one aged element of a view.
+// Entry is one aged element of a view. Views no longer store entries in
+// this boxed form — it remains the exchange currency of the package API
+// (buffers, samples, Select).
 type Entry[T Item] struct {
 	Val T
 	Age uint16
 }
 
-// View is a bounded partial view of the network.
+// View is a bounded partial view of the network, stored packed: vals
+// and ages are parallel arrays of length capacity, of which the first n
+// slots are live. Slot order carries protocol meaning (eviction scans,
+// stable ties), so all mutations preserve it exactly as the boxed
+// append/delete idioms did.
 type View[T Item] struct {
-	capacity int
-	entries  []Entry[T]
+	n    int
+	vals []T
+	ages []uint16
 }
 
-// NewView creates an empty view bounded to capacity entries.
+// NewView creates an empty view bounded to capacity entries. The full
+// backing storage is allocated here, once; no later operation grows it.
 func NewView[T Item](capacity int) *View[T] {
 	if capacity <= 0 {
 		panic("pss: view capacity must be positive")
 	}
-	return &View[T]{capacity: capacity}
+	return &View[T]{
+		vals: make([]T, capacity),
+		ages: make([]uint16, capacity),
+	}
 }
 
 // Capacity returns the view bound.
-func (v *View[T]) Capacity() int { return v.capacity }
+func (v *View[T]) Capacity() int { return len(v.vals) }
 
 // Len returns the current number of entries.
-func (v *View[T]) Len() int { return len(v.entries) }
+func (v *View[T]) Len() int { return v.n }
 
-// Entries returns a copy of the view content.
+// entry materializes slot i in boxed form.
+func (v *View[T]) entry(i int) Entry[T] { return Entry[T]{Val: v.vals[i], Age: v.ages[i]} }
+
+// Entries returns a copy of the view content (nil when empty).
 func (v *View[T]) Entries() []Entry[T] {
-	return append([]Entry[T](nil), v.entries...)
+	if v.n == 0 {
+		return nil
+	}
+	out := make([]Entry[T], v.n)
+	for i := 0; i < v.n; i++ {
+		out[i] = v.entry(i)
+	}
+	return out
 }
 
 // Values returns the payloads of all entries.
 func (v *View[T]) Values() []T {
-	out := make([]T, len(v.entries))
-	for i, e := range v.entries {
-		out[i] = e.Val
-	}
-	return out
+	return append([]T(nil), v.vals[:v.n]...)
 }
 
 // IDs returns the identifiers of all entries.
 func (v *View[T]) IDs() []identity.NodeID {
-	out := make([]identity.NodeID, len(v.entries))
-	for i, e := range v.entries {
-		out[i] = e.Val.Key()
+	out := make([]identity.NodeID, v.n)
+	for i := 0; i < v.n; i++ {
+		out[i] = v.vals[i].Key()
 	}
 	return out
 }
 
+// IDsInto is IDs appending into dst[:0]; with a reusable dst of
+// sufficient capacity it allocates nothing. The returned slice aliases
+// dst. Report paths that walk every node's view each sampling interval
+// (the overlay graph stream) use it to avoid one slice per node per
+// walk.
+func (v *View[T]) IDsInto(dst []identity.NodeID) []identity.NodeID {
+	dst = dst[:0]
+	for i := 0; i < v.n; i++ {
+		dst = append(dst, v.vals[i].Key())
+	}
+	return dst
+}
+
 // Contains reports whether id is in the view.
 func (v *View[T]) Contains(id identity.NodeID) bool {
-	_, ok := v.Get(id)
-	return ok
+	return v.index(id) >= 0
 }
 
 // Get returns the entry for id.
 func (v *View[T]) Get(id identity.NodeID) (Entry[T], bool) {
-	for _, e := range v.entries {
-		if e.Val.Key() == id {
-			return e, true
-		}
+	if i := v.index(id); i >= 0 {
+		return v.entry(i), true
 	}
 	return Entry[T]{}, false
+}
+
+// removeAt deletes slot i, shifting later slots down (order-preserving,
+// exactly like the boxed append(entries[:i], entries[i+1:]...)).
+func (v *View[T]) removeAt(i int) {
+	copy(v.vals[i:v.n-1], v.vals[i+1:v.n])
+	copy(v.ages[i:v.n-1], v.ages[i+1:v.n])
+	v.n--
+	var zero T
+	v.vals[v.n] = zero // drop references held by the vacated slot
+}
+
+// append adds an entry at the end. The caller guarantees n < capacity.
+func (v *View[T]) append(val T, age uint16) {
+	v.vals[v.n] = val
+	v.ages[v.n] = age
+	v.n++
 }
 
 // Remove deletes id from the view, reporting whether it was present.
 // Used when a peer is detected as failed (§II-B membership management).
 func (v *View[T]) Remove(id identity.NodeID) bool {
-	for i, e := range v.entries {
-		if e.Val.Key() == id {
-			v.entries = append(v.entries[:i], v.entries[i+1:]...)
-			return true
-		}
+	if i := v.index(id); i >= 0 {
+		v.removeAt(i)
+		return true
 	}
 	return false
 }
@@ -113,32 +169,24 @@ func (v *View[T]) Remove(id identity.NodeID) bool {
 // entry is evicted. Used at bootstrap and when learning peers outside a
 // shuffle.
 func (v *View[T]) Insert(val T, age uint16) {
-	for i := range v.entries {
-		if v.entries[i].Val.Key() == val.Key() {
-			if age <= v.entries[i].Age {
-				v.entries[i] = Entry[T]{Val: val, Age: age}
-			}
-			return
+	if i := v.index(val.Key()); i >= 0 {
+		if age <= v.ages[i] {
+			v.vals[i] = val
+			v.ages[i] = age
 		}
+		return
 	}
-	if len(v.entries) >= v.capacity {
-		oldest := 0
-		for i, e := range v.entries {
-			if e.Age > v.entries[oldest].Age {
-				oldest = i
-			}
-			_ = e
-		}
-		v.entries = append(v.entries[:oldest], v.entries[oldest+1:]...)
+	if v.n >= len(v.vals) {
+		v.removeAt(v.oldestIndex())
 	}
-	v.entries = append(v.entries, Entry[T]{Val: val, Age: age})
+	v.append(val, age)
 }
 
 // AgeAll increments every entry's age (start of a gossip cycle).
 func (v *View[T]) AgeAll() {
-	for i := range v.entries {
-		if v.entries[i].Age < MaxAge {
-			v.entries[i].Age++
+	for i := 0; i < v.n; i++ {
+		if v.ages[i] < MaxAge {
+			v.ages[i]++
 		}
 	}
 }
@@ -146,22 +194,16 @@ func (v *View[T]) AgeAll() {
 // Oldest returns the entry with the highest age — the exchange partner
 // under the healer strategy. ok is false for an empty view.
 func (v *View[T]) Oldest() (Entry[T], bool) {
-	if len(v.entries) == 0 {
+	if v.n == 0 {
 		return Entry[T]{}, false
 	}
-	best := 0
-	for i, e := range v.entries {
-		if e.Age > v.entries[best].Age {
-			best = i
-		}
-	}
-	return v.entries[best], true
+	return v.entry(v.oldestIndex()), true
 }
 
 // Sample returns up to n distinct random entries, excluding any entry
 // whose key is in exclude.
 func (v *View[T]) Sample(rng *rand.Rand, n int, exclude ...identity.NodeID) []Entry[T] {
-	return v.SampleInto(make([]Entry[T], 0, len(v.entries)), rng, n, exclude...)
+	return v.SampleInto(make([]Entry[T], 0, v.n), rng, n, exclude...)
 }
 
 // SampleInto is Sample appending into dst[:0], for gossip hot paths
@@ -172,16 +214,16 @@ func (v *View[T]) Sample(rng *rand.Rand, n int, exclude ...identity.NodeID) []En
 // every protocol path.
 func (v *View[T]) SampleInto(dst []Entry[T], rng *rand.Rand, n int, exclude ...identity.NodeID) []Entry[T] {
 	candidates := dst[:0]
-	for _, e := range v.entries {
+	for i := 0; i < v.n; i++ {
 		skip := false
 		for _, id := range exclude {
-			if e.Val.Key() == id {
+			if v.vals[i].Key() == id {
 				skip = true
 				break
 			}
 		}
 		if !skip {
-			candidates = append(candidates, e)
+			candidates = append(candidates, v.entry(i))
 		}
 	}
 	rng.Shuffle(len(candidates), func(i, j int) {
@@ -196,17 +238,17 @@ func (v *View[T]) SampleInto(dst []Entry[T], rng *rand.Rand, n int, exclude ...i
 // Random returns one uniformly random entry (the getPeer() of the PSS
 // API). ok is false for an empty view.
 func (v *View[T]) Random(rng *rand.Rand) (Entry[T], bool) {
-	if len(v.entries) == 0 {
+	if v.n == 0 {
 		return Entry[T]{}, false
 	}
-	return v.entries[rng.Intn(len(v.entries))], true
+	return v.entry(rng.Intn(v.n)), true
 }
 
 // PublicCount returns the number of P-node entries.
 func (v *View[T]) PublicCount() int {
 	n := 0
-	for _, e := range v.entries {
-		if e.Val.IsPublic() {
+	for i := 0; i < v.n; i++ {
+		if v.vals[i].IsPublic() {
 			n++
 		}
 	}
@@ -216,9 +258,9 @@ func (v *View[T]) PublicCount() int {
 // Publics returns the P-node entries.
 func (v *View[T]) Publics() []Entry[T] {
 	var out []Entry[T]
-	for _, e := range v.entries {
-		if e.Val.IsPublic() {
-			out = append(out, e)
+	for i := 0; i < v.n; i++ {
+		if v.vals[i].IsPublic() {
+			out = append(out, v.entry(i))
 		}
 	}
 	return out
@@ -226,10 +268,18 @@ func (v *View[T]) Publics() []Entry[T] {
 
 // Replace overwrites the view with entries, truncating to capacity.
 func (v *View[T]) Replace(entries []Entry[T]) {
-	if len(entries) > v.capacity {
-		entries = entries[:v.capacity]
+	if len(entries) > len(v.vals) {
+		entries = entries[:len(v.vals)]
 	}
-	v.entries = append(v.entries[:0], entries...)
+	for i, e := range entries {
+		v.vals[i] = e.Val
+		v.ages[i] = e.Age
+	}
+	var zero T
+	for i := len(entries); i < v.n; i++ {
+		v.vals[i] = zero
+	}
+	v.n = len(entries)
 }
 
 // SelectOpts parameterizes the post-exchange truncation policy.
@@ -391,29 +441,32 @@ func MergeCyclon[T Item](view *View[T], sent, received []Entry[T], o SelectOpts)
 			continue
 		}
 		if i := view.index(id); i >= 0 {
-			if r.Age < view.entries[i].Age {
-				view.entries[i] = r
+			if r.Age < view.ages[i] {
+				view.vals[i] = r.Val
+				view.ages[i] = r.Age
 			}
 			continue
 		}
-		if view.Len() < o.Capacity {
-			view.entries = append(view.entries, r)
+		if view.n < o.Capacity {
+			view.append(r.Val, r.Age)
 			continue
 		}
 		if len(replaceable) > 0 {
 			victim := replaceable[0]
 			replaceable = replaceable[1:]
 			if i := view.index(victim); i >= 0 {
-				evicted = append(evicted, view.entries[i])
-				view.entries[i] = r
+				evicted = append(evicted, view.entry(i))
+				view.vals[i] = r.Val
+				view.ages[i] = r.Age
 				continue
 			}
 		}
 		// Healer fallback: replace the oldest entry if strictly older.
 		oi := view.oldestIndex()
-		if oi >= 0 && view.entries[oi].Age > r.Age {
-			evicted = append(evicted, view.entries[oi])
-			view.entries[oi] = r
+		if oi >= 0 && view.ages[oi] > r.Age {
+			evicted = append(evicted, view.entry(oi))
+			view.vals[oi] = r.Val
+			view.ages[oi] = r.Age
 		}
 		// Otherwise the received entry is dropped.
 	}
@@ -440,40 +493,43 @@ func MergeCyclon[T Item](view *View[T], sent, received []Entry[T], o SelectOpts)
 		if view.Contains(c.Val.Key()) {
 			continue
 		}
-		if view.Len() < o.Capacity {
-			view.entries = append(view.entries, c)
+		if view.n < o.Capacity {
+			view.append(c.Val, c.Age)
 			continue
 		}
 		// Replace the oldest N-node.
 		ni, age := -1, -1
-		for i, e := range view.entries {
-			if !e.Val.IsPublic() && int(e.Age) > age {
-				ni, age = i, int(e.Age)
+		for i := 0; i < view.n; i++ {
+			if !view.vals[i].IsPublic() && int(view.ages[i]) > age {
+				ni, age = i, int(view.ages[i])
 			}
 		}
 		if ni < 0 {
 			break
 		}
-		view.entries[ni] = c
+		view.vals[ni] = c.Val
+		view.ages[ni] = c.Age
 	}
 }
 
 func (v *View[T]) index(id identity.NodeID) int {
-	for i, e := range v.entries {
-		if e.Val.Key() == id {
+	for i := 0; i < v.n; i++ {
+		if v.vals[i].Key() == id {
 			return i
 		}
 	}
 	return -1
 }
 
+// oldestIndex returns the slot with the highest age (first among ties,
+// matching the historical forward scan with strict >). -1 when empty.
 func (v *View[T]) oldestIndex() int {
-	if len(v.entries) == 0 {
+	if v.n == 0 {
 		return -1
 	}
 	best := 0
-	for i, e := range v.entries {
-		if e.Age > v.entries[best].Age {
+	for i := 1; i < v.n; i++ {
+		if v.ages[i] > v.ages[best] {
 			best = i
 		}
 	}

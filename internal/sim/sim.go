@@ -516,17 +516,6 @@ func (w *World) KillRandom(count int) []*Node {
 	return killed
 }
 
-// Graph snapshots the PSS overlay of all live nodes eagerly. Reports
-// over large worlds should prefer GraphStream, which feeds the same
-// metrics without materializing the adjacency map.
-func (w *World) Graph() graph.Directed {
-	g := make(graph.Directed)
-	for _, n := range w.liveAll {
-		g[n.ID()] = n.Nylon.ViewIDs()
-	}
-	return g
-}
-
 // GraphStream exposes the live overlay as a lazy adjacency stream:
 // each consumption walks the live nodes and hands out fresh view
 // snapshots, building adjacency on demand instead of up front — the

@@ -128,7 +128,7 @@ func TestGraphSnapshot(t *testing.T) {
 	}
 	w.StartAll()
 	w.Sim.RunUntil(4 * time.Minute)
-	g := w.Graph()
+	g := w.GraphStream().Collect()
 	if len(g) != 60 {
 		t.Fatalf("graph nodes = %d", len(g))
 	}

@@ -1,0 +1,58 @@
+package sim_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"whisper/internal/identity"
+	"whisper/internal/netem"
+	"whisper/internal/sim"
+)
+
+// TestShardedWorkerDeterminismMatrix pins the tentpole invariant of the
+// parallel window pool: for a fixed (seed, config, shards) the run's
+// fingerprint must not depend on how many workers execute the windows,
+// nor on GOMAXPROCS. Worker counts change only scheduling; shard state
+// is private and the barrier exchange merges cross-shard events in a
+// fixed (time, src, seq) order.
+func TestShardedWorkerDeterminismMatrix(t *testing.T) {
+	run := func(workers int) string {
+		w, err := sim.NewWorld(sim.Options{
+			Seed: 42, N: 64, Shards: 8, NATRatio: 0.7,
+			Model:   netem.Cluster{},
+			KeyPool: identity.TestPool(16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Engine().SetWorkers(workers)
+		w.StartAll()
+		w.RunUntil(2 * time.Minute)
+		var shuffles uint64
+		for _, n := range w.Live() {
+			shuffles += n.Nylon.Stats().ShufflesCompleted
+		}
+		sent, dropped := w.NetStats()
+		return fmt.Sprintf("shuffles=%d sent=%d dropped=%d live=%d events=%d windows=%d",
+			shuffles, sent, dropped, w.LiveCount(), w.Executed(), w.Engine().Windows())
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var want string
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{0, 1, 2, 8} {
+			got := run(workers)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("fingerprint diverged at GOMAXPROCS=%d workers=%d:\n got %s\nwant %s",
+					procs, workers, got, want)
+			}
+		}
+	}
+}

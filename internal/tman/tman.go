@@ -26,12 +26,19 @@ type Ranker[D any] interface {
 	Equal(x, y D) bool
 }
 
-// View is the ranked neighbour set of one node.
+// View is the ranked neighbour set of one node. Neighbours live in a
+// dense array allocated once at the view bound — T-Man views exist for
+// every private-group member of a world, so per-view append growth
+// multiplies across the population. Merge's transient overflow (the
+// candidates above the bound that ranking discards) goes through a
+// reusable scratch buffer instead of growing the neighbour array.
 type View[D any] struct {
 	self    D
 	ranker  Ranker[D]
 	size    int
-	entries []D
+	n       int
+	entries []D // len size, first n live, best first
+	scratch []D // merge workspace, reused across exchanges
 }
 
 // New creates a T-Man view for self, bounded to size entries, ranked by
@@ -40,7 +47,7 @@ func New[D any](self D, size int, ranker Ranker[D]) *View[D] {
 	if size <= 0 {
 		panic("tman: view size must be positive")
 	}
-	return &View[D]{self: self, ranker: ranker, size: size}
+	return &View[D]{self: self, ranker: ranker, size: size, entries: make([]D, size)}
 }
 
 // Self returns the view's own descriptor.
@@ -50,49 +57,64 @@ func (v *View[D]) Self() D { return v.self }
 func (v *View[D]) SetSelf(self D) { v.self = self }
 
 // Entries returns the current neighbours, best first.
-func (v *View[D]) Entries() []D { return append([]D(nil), v.entries...) }
+func (v *View[D]) Entries() []D { return append([]D(nil), v.entries[:v.n]...) }
 
 // Len returns the number of neighbours.
-func (v *View[D]) Len() int { return len(v.entries) }
+func (v *View[D]) Len() int { return v.n }
 
 // Merge folds candidate descriptors into the view, keeping the
 // best-ranked size entries. Self and duplicates are dropped (duplicates
 // keep the most recently merged copy, so refreshed coordinates win).
 // It reports whether the view changed.
 func (v *View[D]) Merge(candidates ...D) bool {
+	merged := append(v.scratch[:0], v.entries[:v.n]...)
 	changed := false
 	for _, c := range candidates {
 		if v.ranker.Equal(c, v.self) {
 			continue
 		}
-		if i := v.index(c); i >= 0 {
-			v.entries[i] = c // refresh coordinates
+		dup := false
+		for i := range merged {
+			if v.ranker.Equal(merged[i], c) {
+				merged[i] = c // refresh coordinates
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		v.entries = append(v.entries, c)
+		merged = append(merged, c)
 		changed = true
 	}
-	sort.SliceStable(v.entries, func(i, j int) bool {
-		return v.ranker.Less(v.self, v.entries[i], v.entries[j])
+	sort.SliceStable(merged, func(i, j int) bool {
+		return v.ranker.Less(v.self, merged[i], merged[j])
 	})
-	if len(v.entries) > v.size {
-		v.entries = v.entries[:v.size]
+	v.n = copy(v.entries, merged)
+	// Retain the workspace but not the descriptors it references.
+	var zero D
+	for i := range merged {
+		merged[i] = zero
 	}
+	v.scratch = merged[:0]
 	return changed
 }
 
 // Remove drops a descriptor (failed neighbour), reporting presence.
 func (v *View[D]) Remove(d D) bool {
 	if i := v.index(d); i >= 0 {
-		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+		copy(v.entries[i:v.n-1], v.entries[i+1:v.n])
+		v.n--
+		var zero D
+		v.entries[v.n] = zero
 		return true
 	}
 	return false
 }
 
 func (v *View[D]) index(d D) int {
-	for i, e := range v.entries {
-		if v.ranker.Equal(e, d) {
+	for i := 0; i < v.n; i++ {
+		if v.ranker.Equal(v.entries[i], d) {
 			return i
 		}
 	}
@@ -102,9 +124,9 @@ func (v *View[D]) index(d D) int {
 // Buffer returns the gossip buffer for an exchange: self plus the
 // current neighbours (T-Man ships its whole small view).
 func (v *View[D]) Buffer() []D {
-	out := make([]D, 0, len(v.entries)+1)
+	out := make([]D, 0, v.n+1)
 	out = append(out, v.self)
-	out = append(out, v.entries...)
+	out = append(out, v.entries[:v.n]...)
 	return out
 }
 
@@ -113,11 +135,11 @@ func (v *View[D]) Buffer() []D {
 // speed against load). ok is false for an empty view.
 func (v *View[D]) SelectPartner(rng *rand.Rand, psi int) (D, bool) {
 	var zero D
-	if len(v.entries) == 0 {
+	if v.n == 0 {
 		return zero, false
 	}
-	if psi <= 0 || psi > len(v.entries) {
-		psi = len(v.entries)
+	if psi <= 0 || psi > v.n {
+		psi = v.n
 	}
 	return v.entries[rng.Intn(psi)], true
 }
@@ -125,7 +147,7 @@ func (v *View[D]) SelectPartner(rng *rand.Rand, psi int) (D, bool) {
 // Best returns the top-ranked neighbour.
 func (v *View[D]) Best() (D, bool) {
 	var zero D
-	if len(v.entries) == 0 {
+	if v.n == 0 {
 		return zero, false
 	}
 	return v.entries[0], true
